@@ -1,0 +1,75 @@
+// Fig. 10: distance from measured data as a function of the simulated user
+// count, expressed as a fraction of the most popular app's downloads.
+// Paper: the minimum sits where the user count equals the downloads of the
+// most popular app, for first and last days of AppChina, Anzhi and 1Mobile.
+#include "common.hpp"
+
+#include "fit/sweep.hpp"
+#include "models/app_clustering_model.hpp"
+#include "synth/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig10_users_sweep",
+                       "Fig. 10: choosing the right number of users", 0.02, 1e-4);
+  cli.parse(argc, argv);
+  const auto config = cli.config();
+
+  benchx::print_heading("Fig. 10 — Top-app downloads estimate the user count",
+                        "distance is minimized when U is close to the downloads of "
+                        "the most popular app (ratio ~1)");
+
+  const std::vector<double> ratios = {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0};
+
+  report::Table table({"store", "day", "best ratio", "min distance", "distance@0.1",
+                       "distance@50"});
+  std::vector<report::Series> all_series;
+
+  const std::vector<synth::StoreProfile> profiles = {synth::appchina(), synth::anzhi(),
+                                                     synth::one_mobile()};
+  for (const auto& profile : profiles) {
+    const auto generated = synth::generate(profile, config);
+    for (const bool last_day : {false, true}) {
+      const market::Day day = last_day ? profile.crawl_days : 0;
+      const auto measured =
+          synth::downloads_by_rank_at_day(*generated.store, day, market::Pricing::kFree);
+      if (measured.empty() || measured.front() <= 0) continue;
+
+      // Model parameters: the store's fitted APP-CLUSTERING configuration,
+      // with the store's actual category layout restricted to the apps
+      // listed on this day (the measured curve covers exactly those).
+      models::ModelParams params = generated.free_params;
+      std::vector<std::uint32_t> assignment;
+      for (const auto app_id : generated.free_rank_order) {
+        const auto& app = generated.store->app(app_id);
+        if (app.released <= day) assignment.push_back(app.category.value);
+      }
+      const auto layout = models::ClusterLayout::from_assignment(std::move(assignment));
+      const auto points = fit::sweep_users(models::ModelKind::kAppClustering, measured,
+                                           params, ratios, cli.seed() + 3,
+                                           /*analytic=*/false, /*replicates=*/3, &layout);
+
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].distance < points[best].distance) best = i;
+      }
+      table.row({profile.name, last_day ? "last" : "first",
+                 report::fixed(points[best].user_ratio, 2),
+                 report::fixed(points[best].distance, 3),
+                 report::fixed(points.front().distance, 3),
+                 report::fixed(points.back().distance, 3)});
+
+      report::Series series;
+      series.name = util::format("users_sweep_{}_{}", profile.name,
+                                 last_day ? "last" : "first");
+      series.columns = {"user_ratio", "users", "distance"};
+      for (const auto& point : points) {
+        series.add({point.user_ratio, static_cast<double>(point.users), point.distance});
+      }
+      all_series.push_back(std::move(series));
+    }
+  }
+  benchx::print_table(table);
+  report::export_all(all_series, "fig10");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 12: downloads and number of apps as a function of price (SlideMe).
+// Paper: price is negatively correlated with downloads (Pearson -0.229) and
+// with the number of apps per one-dollar bin (-0.240) — cheaper apps are
+// more numerous and more popular.
+#include "common.hpp"
+
+#include "pricing/income.hpp"
+#include "stats/histogram.hpp"
+#include "synth/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig12_price_popularity",
+                       "Fig. 12: expensive apps are less popular");
+  cli.parse(argc, argv);
+  auto config = cli.config();
+  config.app_scale = std::max(config.app_scale, 0.10);
+  config.download_scale = std::max(config.download_scale, 5e-4);
+  config.paid_download_scale = 0.05;  // resolve the small paid segment
+
+  benchx::print_heading("Fig. 12 — Expensive apps are less popular",
+                        "Pearson(price, downloads) = -0.229; Pearson(price, #apps per "
+                        "$1 bin) = -0.240");
+
+  const auto generated = synth::generate(synth::slideme(), config);
+  const auto result = pricing::price_popularity(*generated.store);
+
+  report::Table summary({"correlation", "value"});
+  summary.row({"price vs downloads (per app)",
+               report::fixed(result.price_download_correlation, 3)});
+  summary.row({"price vs #apps (per $1 bin)",
+               report::fixed(result.price_app_count_correlation, 3)});
+  benchx::print_table(summary);
+
+  // Binned view: average downloads + app count per one-dollar bin.
+  stats::LinearHistogram bins(0.0, 50.0, 1.0);
+  for (std::size_t i = 0; i < result.prices.size(); ++i) {
+    bins.add(result.prices[i], result.downloads[i]);
+  }
+  report::Table table({"price bin", "apps", "avg downloads"});
+  report::Series series{"price_bins", {"price", "apps", "avg_downloads"}, {}};
+  for (const auto& bin : bins.bins()) {
+    if (bin.count == 0) continue;
+    table.row({util::format("${:.0f}-{:.0f}", bin.lower, bin.upper),
+               std::to_string(bin.count), report::fixed(bin.mean(), 1)});
+    series.add({bin.center(), static_cast<double>(bin.count), bin.mean()});
+  }
+  benchx::print_table(table);
+  report::export_all({series}, "fig12");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 2: CDF of the percentage of downloads vs normalized app rank.
+// Paper: 10% of apps account for ~90% (AppChina/Anzhi), >85% (1Mobile),
+// >70% (SlideMe) of downloads; the top 1% holds 30-70%.
+#include "common.hpp"
+
+#include "core/study.hpp"
+#include "stats/pareto.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig2_pareto", "Fig. 2: Pareto effect of app downloads");
+  cli.parse(argc, argv);
+  const auto config = cli.config();
+
+  benchx::print_heading("Fig. 2 — A few apps account for most of the downloads",
+                        "10% of the apps account for 70-90% of downloads; the top 1% "
+                        "alone holds 30-70%");
+
+  report::Table table(
+      {"store", "top 1%", "top 5%", "top 10%", "top 20%", "top 50%"});
+  std::vector<report::Series> all_series;
+
+  for (const auto& profile : synth::all_profiles()) {
+    const core::EcosystemStudy study(profile, config);
+    table.row({profile.name, report::percent(study.pareto_share(0.01)),
+               report::percent(study.pareto_share(0.05)),
+               report::percent(study.pareto_share(0.10)),
+               report::percent(study.pareto_share(0.20)),
+               report::percent(study.pareto_share(0.50))});
+
+    report::Series series;
+    series.name = "pareto_" + profile.name;
+    series.columns = {"rank_percent", "download_percent"};
+    for (const auto& point : study.pareto_curve()) {
+      series.add({point.rank_percent, point.download_percent});
+    }
+    all_series.push_back(std::move(series));
+  }
+  benchx::print_table(table);
+  report::export_all(all_series, "fig2");
+  return 0;
+}

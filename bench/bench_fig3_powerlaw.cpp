@@ -1,0 +1,49 @@
+// Fig. 3: downloads vs app rank (log-log) per appstore. The main trunk is a
+// Zipf line with reported slopes Anzhi 1.42, AppChina 1.51, 1Mobile 0.92,
+// SlideMe 0.90, truncated at the head (fetch-at-most-once) and at the tail
+// (clustering effect).
+#include "common.hpp"
+
+#include "core/study.hpp"
+#include "stats/powerlaw.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig3_powerlaw",
+                       "Fig. 3: truncated power-law popularity distribution");
+  cli.parse(argc, argv);
+  const auto config = cli.config();
+
+  benchx::print_heading(
+      "Fig. 3 — App popularity deviates from Zipf at both ends",
+      "trunk slopes: Anzhi 1.42, AppChina 1.51, 1Mobile 0.92, SlideMe 0.90; head "
+      "flattens (fetch-at-most-once), tail collapses (clustering effect)");
+
+  report::Table table({"store", "trunk exponent", "trunk R^2", "head ratio", "tail ratio"});
+  std::vector<report::Series> all_series;
+
+  for (const auto& profile : synth::all_profiles()) {
+    const core::EcosystemStudy study(profile, config);
+    const auto report = study.popularity_fit();
+    table.row({profile.name, report::fixed(report.trunk.exponent, 2),
+               report::fixed(report.trunk.r_squared, 3),
+               report::fixed(report.head_ratio, 3), report::fixed(report.tail_ratio, 3)});
+
+    // Export the full rank-download curve (decimated log-uniformly).
+    report::Series series;
+    series.name = "rank_downloads_" + profile.name;
+    series.columns = {"rank", "downloads"};
+    const auto ranks = study.store().downloads_by_rank();
+    std::size_t step = 1;
+    for (std::size_t i = 0; i < ranks.size(); i += step) {
+      series.add({static_cast<double>(i + 1), ranks[i]});
+      if (i + 1 >= 100) step = std::max<std::size_t>(1, (i + 1) / 100);
+    }
+    all_series.push_back(std::move(series));
+  }
+  benchx::print_table(table);
+  std::printf("head/tail ratio: measured / trunk-fit prediction at that rank; "
+              "values well below 1 indicate truncation.\n");
+  report::export_all(all_series, "fig3");
+  return 0;
+}

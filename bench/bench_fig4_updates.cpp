@@ -1,0 +1,42 @@
+// Fig. 4: CDF of the number of updates per app within two months.
+// Paper: >80% of apps receive no updates; 99% fewer than four. Among the
+// top-10% most popular apps, 60-75% receive no updates and 99% up to six.
+#include "common.hpp"
+
+#include "core/study.hpp"
+#include "stats/ecdf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig4_updates", "Fig. 4: apps are not updated often");
+  cli.parse(argc, argv);
+  const auto config = cli.config();
+
+  benchx::print_heading("Fig. 4 — Apps are not updated often",
+                        ">80% of apps have zero updates in two months; 99% fewer than "
+                        "four; the top-10% apps update somewhat more (60-75% zero)");
+
+  report::Table table({"store", "P[0 updates]", "P[<=1]", "P[<=3]", "P[<=3] top-10%",
+                       "P[0] top-10%"});
+  std::vector<report::Series> all_series;
+
+  for (const auto& profile : synth::all_profiles()) {
+    const core::EcosystemStudy study(profile, config);
+    const stats::Ecdf all(study.updates_per_app(false));
+    const stats::Ecdf top(study.updates_per_app(true));
+    table.row({profile.name, report::percent(all.at(0.0)), report::percent(all.at(1.0)),
+               report::percent(all.at(3.0)), report::percent(top.at(3.0)),
+               report::percent(top.at(0.0))});
+
+    report::Series series;
+    series.name = "updates_cdf_" + profile.name;
+    series.columns = {"updates", "cdf_all", "cdf_top10"};
+    for (int updates = 0; updates <= 25; ++updates) {
+      series.add({static_cast<double>(updates), all.at(updates), top.at(updates)});
+    }
+    all_series.push_back(std::move(series));
+  }
+  benchx::print_table(table);
+  report::export_all(all_series, "fig4");
+  return 0;
+}

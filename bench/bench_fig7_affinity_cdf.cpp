@@ -1,0 +1,48 @@
+// Fig. 7: CDF of per-user temporal affinity for depths 1-3.
+// Paper: medians 0.5 (d1), 0.58 (d2), 0.67 (d3); for ~50% of users the
+// affinity far exceeds the random-walk baselines (0.14 / 0.28 / 0.42).
+#include "common.hpp"
+
+#include "core/study.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig7_affinity_cdf", "Fig. 7: per-user affinity CDF");
+  cli.parse(argc, argv);
+  auto config = cli.config();
+  config.comments = true;
+
+  benchx::print_heading("Fig. 7 — Most users exhibit strong temporal affinity",
+                        "median affinity 0.50 / 0.58 / 0.67 for depths 1-3, all far "
+                        "above the random-walk baselines 0.14 / 0.28 / 0.42");
+
+  synth::StoreProfile profile = synth::anzhi();
+  profile.commenter_fraction = 0.10;
+  const core::EcosystemStudy study(profile, config);
+  const auto strings = study.category_strings();
+
+  report::Table table({"depth", "users", "median", "P25", "P75", "random walk",
+                       "share above random"});
+  std::vector<report::Series> all_series;
+
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    const auto values = affinity::per_user_affinity(strings, depth);
+    const double random_walk = study.random_walk_affinity(depth);
+    const stats::Ecdf cdf(values);
+    table.row({std::to_string(depth), std::to_string(values.size()),
+               report::fixed(cdf.inverse(0.5), 2), report::fixed(cdf.inverse(0.25), 2),
+               report::fixed(cdf.inverse(0.75), 2), report::fixed(random_walk, 2),
+               report::percent(1.0 - cdf.at(random_walk))});
+
+    report::Series series;
+    series.name = util::format("affinity_cdf_depth{}", depth);
+    series.columns = {"affinity", "cdf"};
+    for (const auto& point : cdf.steps()) series.add({point.x, point.f});
+    all_series.push_back(std::move(series));
+  }
+  benchx::print_table(table);
+  report::export_all(all_series, "fig7");
+  return 0;
+}

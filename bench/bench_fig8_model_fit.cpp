@@ -1,0 +1,68 @@
+// Fig. 8: predicted vs measured popularity per appstore (AppChina, Anzhi,
+// 1Mobile). Paper: APP-CLUSTERING (best p = 0.9-0.95) follows the measured
+// curve closely at both ends; ZIPF-at-most-once fixes the head only; pure
+// ZIPF overshoots the head by more than an order of magnitude.
+#include "common.hpp"
+
+#include "core/study.hpp"
+#include "fit/sweep.hpp"
+#include "synth/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_fig8_model_fit",
+                       "Fig. 8: ZIPF vs ZIPF-at-most-once vs APP-CLUSTERING fits", 0.02, 1e-4);
+  cli.parse(argc, argv);
+  const auto config = cli.config();
+
+  benchx::print_heading("Fig. 8 — APP-CLUSTERING fits measured downloads closely",
+                        "best fits use p=0.9-0.95; ZIPF overshoots the head, "
+                        "ZIPF-at-most-once diverges at the tail");
+
+  fit::SweepOptions options;
+  options.zr_grid = {1.0, 1.2, 1.4, 1.6, 1.8};
+  options.p_grid = {0.85, 0.9, 0.95};
+  options.zc_grid = {1.2, 1.4, 1.6};
+  options.seed = cli.seed() + 1;
+
+  report::Table table({"store", "model", "best zr", "best p", "best zc", "distance"});
+  std::vector<report::Series> all_series;
+
+  const std::vector<synth::StoreProfile> profiles = {synth::appchina(), synth::anzhi(),
+                                                     synth::one_mobile()};
+  for (const auto& profile : profiles) {
+    const auto generated = synth::generate(profile, config);
+    const auto measured = generated.store->downloads_by_rank();
+    const auto users = static_cast<std::uint64_t>(measured.front());
+
+    report::Series series;
+    series.name = "fit_curves_" + profile.name;
+    series.columns = {"rank", "measured", "zipf", "zipf_amo", "app_clustering"};
+
+    std::vector<std::vector<double>> curves;
+    for (const auto kind : {models::ModelKind::kZipf, models::ModelKind::kZipfAtMostOnce,
+                            models::ModelKind::kAppClustering}) {
+      const auto result = fit::fit_model(
+          kind, measured, users,
+          static_cast<std::uint32_t>(generated.store->categories().size()), options);
+      const bool clustering = kind == models::ModelKind::kAppClustering;
+      table.row({profile.name, std::string(to_string(kind)),
+                 report::fixed(result.best.zr, 2),
+                 clustering ? report::fixed(result.best.p, 2) : "-",
+                 clustering ? report::fixed(result.best.zc, 2) : "-",
+                 report::fixed(result.distance, 3)});
+      curves.push_back(result.simulated_by_rank);
+    }
+
+    std::size_t step = 1;
+    for (std::size_t i = 0; i < measured.size(); i += step) {
+      series.add({static_cast<double>(i + 1), measured[i], curves[0][i], curves[1][i],
+                  curves[2][i]});
+      if (i + 1 >= 100) step = std::max<std::size_t>(1, (i + 1) / 100);
+    }
+    all_series.push_back(std::move(series));
+  }
+  benchx::print_table(table);
+  report::export_all(all_series, "fig8");
+  return 0;
+}

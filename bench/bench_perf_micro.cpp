@@ -1,0 +1,121 @@
+// Performance microbenchmarks (google-benchmark): the hot paths that bound
+// simulation throughput — Zipf/alias sampling, model session steps, cache
+// operations, affinity computation, JSON handling and HTTP round-trips.
+#include <benchmark/benchmark.h>
+
+#include "affinity/metric.hpp"
+#include "cache/policy.hpp"
+#include "crawler/json.hpp"
+#include "models/app_clustering_model.hpp"
+#include "models/zipf_amo_model.hpp"
+#include "models/zipf_model.hpp"
+#include "net/server.hpp"
+#include "stats/zipf.hpp"
+
+namespace {
+
+using namespace appstore;
+
+void BM_ZipfSamplerDraw(benchmark::State& state) {
+  const stats::ZipfSampler sampler(static_cast<std::uint64_t>(state.range(0)), 1.4);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSamplerDraw)->Arg(1000)->Arg(100000);
+
+void BM_ZipfSamplerBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const stats::ZipfSampler sampler(static_cast<std::uint64_t>(state.range(0)), 1.4);
+    benchmark::DoNotOptimize(sampler.size());
+  }
+}
+BENCHMARK(BM_ZipfSamplerBuild)->Arg(1000)->Arg(100000);
+
+void BM_ModelSessionStep(benchmark::State& state) {
+  models::ModelParams params;
+  params.app_count = 60000;
+  params.user_count = 1000;
+  params.downloads_per_user = 10;
+  params.zr = 1.7;
+  params.zc = 1.4;
+  params.p = 0.9;
+  params.cluster_count = 30;
+  const auto kind = static_cast<models::ModelKind>(state.range(0));
+  const auto model = models::make_model(kind, params);
+  util::Rng rng(2);
+  auto session = model->new_session();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    if (steps++ % 32 == 0 || session->exhausted()) session = model->new_session();
+    benchmark::DoNotOptimize(session->next(rng));
+  }
+  state.SetLabel(std::string(to_string(kind)));
+}
+BENCHMARK(BM_ModelSessionStep)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LruAccess(benchmark::State& state) {
+  cache::LruCache cache(static_cast<std::size_t>(state.range(0)));
+  const stats::ZipfSampler sampler(60000, 1.7);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(static_cast<std::uint32_t>(sampler.sample_index(rng))));
+  }
+}
+BENCHMARK(BM_LruAccess)->Arg(600)->Arg(6000);
+
+void BM_ClusterLruAccess(benchmark::State& state) {
+  std::vector<std::uint32_t> app_category(60000);
+  for (std::uint32_t a = 0; a < app_category.size(); ++a) app_category[a] = a % 30;
+  cache::ClusterLruCache cache(static_cast<std::size_t>(state.range(0)), app_category);
+  const stats::ZipfSampler sampler(60000, 1.7);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(static_cast<std::uint32_t>(sampler.sample_index(rng))));
+  }
+}
+BENCHMARK(BM_ClusterLruAccess)->Arg(600)->Arg(6000);
+
+void BM_AffinityDepth(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<std::uint32_t> categories(200);
+  for (auto& c : categories) c = static_cast<std::uint32_t>(rng.below(34));
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(affinity::affinity(categories, depth));
+  }
+}
+BENCHMARK(BM_AffinityDepth)->Arg(1)->Arg(3);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  crawlersim::JsonArray ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(crawlersim::Json(i));
+  const crawlersim::Json document = crawlersim::json_object(
+      {{"page", crawlersim::Json(0)},
+       {"total", crawlersim::Json(100)},
+       {"ids", crawlersim::Json(std::move(ids))}});
+  const std::string text = document.dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crawlersim::parse_json(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_HttpRoundTrip(benchmark::State& state) {
+  net::HttpServer server(0, [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, "pong");
+  });
+  net::HttpClient client("127.0.0.1", server.port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("/ping"));
+  }
+}
+BENCHMARK(BM_HttpRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table 1: summary of collected data per appstore — apps on first/last day,
+// new apps per day, total downloads on first/last day, daily downloads.
+// Paper-scale values are reproduced per configured scale (divide the paper's
+// numbers by the scale factors to compare).
+#include "common.hpp"
+
+#include "core/study.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+  benchx::BenchCli cli("bench_table1_dataset",
+                       "Table 1: dataset summary per monitored appstore");
+  cli.parse(argc, argv);
+  const auto config = cli.config();
+
+  benchx::print_heading(
+      "Table 1 — Summary of collected data",
+      "Anzhi 58,423->60,196 apps / 1,396M->2,816M dl; AppChina 33,183->55,357 / "
+      "1,033M->2,623M; 1Mobile 128,455->156,221 / 367M->453M; SlideMe(free+paid) "
+      "16,902->22,184 / 63.1M->96.9M");
+
+  std::printf("scales: apps x%g, downloads x%g (multiply by 1/scale for paper units)\n\n",
+              config.app_scale, config.download_scale);
+
+  report::Table table({"store", "apps first", "apps last", "new apps/day",
+                       "downloads first", "downloads last", "daily downloads"});
+  report::Series series;
+  series.name = "table1";
+  series.columns = {"apps_first", "apps_last", "new_apps_per_day", "downloads_first",
+                    "downloads_last", "daily_downloads"};
+
+  for (const auto& profile : synth::all_profiles()) {
+    const core::EcosystemStudy study(profile, config);
+    const auto summary = study.dataset_summary();
+    table.row({summary.store, util::with_thousands(summary.apps_first_day),
+               util::with_thousands(summary.apps_last_day),
+               report::fixed(summary.new_apps_per_day, 1),
+               util::human_count(static_cast<double>(summary.downloads_first_day)),
+               util::human_count(static_cast<double>(summary.downloads_last_day)),
+               util::human_count(summary.daily_downloads)});
+    series.add({static_cast<double>(summary.apps_first_day),
+                static_cast<double>(summary.apps_last_day), summary.new_apps_per_day,
+                static_cast<double>(summary.downloads_first_day),
+                static_cast<double>(summary.downloads_last_day), summary.daily_downloads});
+  }
+  benchx::print_table(table);
+  report::export_all({series}, "table1");
+  return 0;
+}

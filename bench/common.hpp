@@ -1,0 +1,77 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench accepts --seed, --app-scale and --dl-scale so paper-scale runs
+// are a flag away; defaults keep the whole suite under a few minutes on one
+// core. Each bench prints the paper's rows/series to stdout and mirrors them
+// as CSVs under results/<experiment>/.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "report/series.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace appstore::benchx {
+
+/// Standard bench flags; call parse() then config().
+class BenchCli {
+ public:
+  /// Default scales are per-bench: figure benches that only generate stores
+  /// afford app_scale 0.1 / dl_scale 5e-4 (shape-faithful, ~15 s for all four
+  /// stores); fitting benches that run dozens of Monte Carlo sweeps pass
+  /// smaller defaults.
+  BenchCli(std::string program, std::string description, double default_app_scale = 0.1,
+           double default_dl_scale = 5e-4)
+      : cli_(std::move(program), std::move(description)),
+        seed_(cli_.u64("seed", 0x5eed, "PRNG seed")),
+        app_scale_(cli_.f64("app-scale", default_app_scale,
+                            "fraction of paper-scale app counts")),
+        dl_scale_(cli_.f64("dl-scale", default_dl_scale,
+                           "fraction of paper-scale download totals")),
+        comments_(cli_.flag("comments", "generate comment streams")),
+        verbose_(cli_.flag("verbose", "info-level logging")) {}
+
+  void parse(int argc, const char* const* argv) {
+    cli_.parse(argc, argv);
+    if (*verbose_) util::set_log_level(util::Level::kInfo);
+  }
+
+  [[nodiscard]] synth::GeneratorConfig config() const {
+    synth::GeneratorConfig config;
+    config.seed = *seed_;
+    config.app_scale = *app_scale_;
+    config.download_scale = *dl_scale_;
+    config.comments = *comments_;
+    return config;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return *seed_; }
+  [[nodiscard]] util::Cli& raw() noexcept { return cli_; }
+
+ private:
+  util::Cli cli_;
+  std::shared_ptr<std::uint64_t> seed_;
+  std::shared_ptr<double> app_scale_;
+  std::shared_ptr<double> dl_scale_;
+  std::shared_ptr<bool> comments_;
+  std::shared_ptr<bool> verbose_;
+};
+
+inline void print_heading(std::string_view experiment, std::string_view paper_claim) {
+  std::printf("=== %.*s ===\n", static_cast<int>(experiment.size()), experiment.data());
+  std::printf("paper: %.*s\n\n", static_cast<int>(paper_claim.size()), paper_claim.data());
+}
+
+inline void print_table(const report::Table& table) {
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace appstore::benchx

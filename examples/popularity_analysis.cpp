@@ -1,0 +1,63 @@
+// Popularity analysis across all four monitored appstores: Pareto shares,
+// truncated power-law fits, update statistics and model ranking — the §3-§5
+// pipeline as a single report.
+//
+//   $ ./popularity_analysis [--seed N] [--app-scale X] [--dl-scale Y]
+#include <cstdio>
+
+#include "core/study.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+
+  util::Cli cli("popularity_analysis", "popularity pipeline over all four stores");
+  auto seed = cli.u64("seed", 3, "PRNG seed");
+  auto app_scale = cli.f64("app-scale", 0.02, "fraction of paper-scale app counts");
+  auto dl_scale = cli.f64("dl-scale", 1e-4, "fraction of paper-scale downloads");
+  cli.parse(argc, argv);
+
+  synth::GeneratorConfig config;
+  config.seed = *seed;
+  config.app_scale = *app_scale;
+  config.download_scale = *dl_scale;
+
+  report::Table popularity({"store", "top 10% share", "trunk slope", "R^2",
+                            "P[0 updates]", "best model", "distance"});
+
+  for (const auto& profile : synth::all_profiles()) {
+    const core::EcosystemStudy study(profile, config);
+    const auto fit_report = study.popularity_fit();
+    const stats::Ecdf updates(study.updates_per_app());
+
+    // Rank the three models on this store's measured curve.
+    fit::SweepOptions options;
+    options.zr_grid = {1.0, 1.2, 1.4, 1.6, 1.8};
+    options.p_grid = {0.9};
+    options.zc_grid = {1.4};
+    options.seed = *seed + 11;
+    std::string best_name = "-";
+    double best_distance = 1e300;
+    for (const auto kind : {models::ModelKind::kZipf, models::ModelKind::kZipfAtMostOnce,
+                            models::ModelKind::kAppClustering}) {
+      const auto result = study.fit(kind, profile.crawl_days, options);
+      if (result.distance < best_distance) {
+        best_distance = result.distance;
+        best_name = std::string(to_string(kind));
+      }
+    }
+
+    popularity.row({profile.name, report::percent(study.pareto_share(0.10)),
+                    report::fixed(fit_report.trunk.exponent, 2),
+                    report::fixed(fit_report.trunk.r_squared, 3),
+                    report::percent(updates.at(0.0)), best_name,
+                    report::fixed(best_distance, 3)});
+  }
+  std::printf("%s", popularity.render().c_str());
+  std::printf("\nExpected: strong Pareto effect, trunk slopes near the paper's "
+              "(1.42/1.51/0.92/0.90 order of magnitude), >80%% of apps never "
+              "updated, and APP-CLUSTERING the best-fitting model everywhere.\n");
+  return 0;
+}

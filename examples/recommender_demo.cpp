@@ -1,0 +1,85 @@
+// Recommender demo (§7 "better recommendation systems"):
+// generate a clustered marketplace, persist it to disk, reload it, build the
+// per-user download sequences, and compare four recommenders under
+// leave-last-out evaluation.
+//
+//   $ ./recommender_demo [--topk 10] [--save-dir /tmp/appstore-demo]
+#include <cstdio>
+#include <filesystem>
+
+#include "market/serialize.hpp"
+#include "recommend/recommender.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appstore;
+
+  util::Cli cli("recommender_demo", "recommenders vs the clustering effect");
+  auto seed = cli.u64("seed", 17, "PRNG seed");
+  auto top_k = cli.u64("topk", 10, "recommendation list length");
+  auto save_dir = cli.str("save-dir", "", "optional directory to persist the store to");
+  cli.parse(argc, argv);
+
+  // A clustered marketplace with enough per-user history to learn from.
+  synth::StoreProfile profile = synth::anzhi();
+  profile.free_segment.top_app_share = 0.03;  // more users, moderate d
+  synth::GeneratorConfig config;
+  config.seed = *seed;
+  config.app_scale = 0.02;
+  config.download_scale = 2e-5;
+  const auto generated = synth::generate(profile, config);
+  std::printf("marketplace: %zu apps, %u users, %llu downloads\n",
+              generated.store->apps().size(), generated.store->user_count(),
+              static_cast<unsigned long long>(generated.store->total_downloads()));
+
+  // Optional round trip through the CSV persistence layer: the reloaded
+  // store drives the rest of the demo, proving the format carries
+  // everything the analyses need.
+  const market::AppStore* store = generated.store.get();
+  std::unique_ptr<market::AppStore> reloaded;
+  if (!save_dir->empty()) {
+    market::save_store(*store, *save_dir);
+    reloaded = market::load_store(*save_dir);
+    store = reloaded.get();
+    std::printf("persisted to %s and reloaded (%llu downloads intact)\n",
+                save_dir->c_str(),
+                static_cast<unsigned long long>(store->total_downloads()));
+  }
+
+  // Build the recommender dataset from per-user download streams.
+  recommend::Dataset dataset;
+  dataset.app_count = static_cast<std::uint32_t>(store->apps().size());
+  dataset.app_category.reserve(dataset.app_count);
+  for (const auto& app : store->apps()) dataset.app_category.push_back(app.category.value);
+  for (auto& stream : store->download_streams()) {
+    std::vector<std::uint32_t> sequence;
+    sequence.reserve(stream.size());
+    for (const auto& event : stream) sequence.push_back(event.app.value);
+    if (!sequence.empty()) dataset.user_sequences.push_back(std::move(sequence));
+  }
+  std::printf("training sequences: %zu users\n\n", dataset.user_sequences.size());
+
+  std::vector<std::uint32_t> held_out;
+  const recommend::Dataset truncated = recommend::leave_last_out(dataset, held_out);
+
+  recommend::PopularityRecommender popularity;
+  recommend::CategoryRecommender category;
+  recommend::ItemCfRecommender item_cf;
+  recommend::HybridRecommender hybrid;
+
+  report::Table table({"recommender", util::format("hit@{}", *top_k)});
+  std::vector<recommend::Recommender*> recommenders = {&popularity, &category, &item_cf,
+                                                       &hybrid};
+  for (recommend::Recommender* recommender : recommenders) {
+    recommender->train(truncated);
+    const auto result = recommend::evaluate(*recommender, truncated, held_out, *top_k);
+    table.row({std::string(recommender->name()), report::percent(result.hit_rate())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The clustering effect is why CATEGORY and HYBRID beat POPULARITY: the\n"
+              "held-out download usually comes from a category the user was already in.\n");
+  return 0;
+}

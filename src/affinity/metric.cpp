@@ -1,0 +1,132 @@
+#include "affinity/metric.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+
+namespace appstore::affinity {
+
+std::optional<double> affinity(std::span<const std::uint32_t> categories, std::size_t depth) {
+  if (depth == 0) throw std::invalid_argument("affinity: depth must be >= 1");
+  const std::size_t n = categories.size();
+  if (n <= depth) return std::nullopt;
+
+  std::size_t hits = 0;
+  for (std::size_t i = depth; i < n; ++i) {
+    for (std::size_t back = 1; back <= depth; ++back) {
+      if (categories[i - back] == categories[i]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n - depth);
+}
+
+double random_walk_affinity(std::span<const std::uint64_t> category_sizes, std::size_t depth) {
+  if (depth == 0) throw std::invalid_argument("random_walk_affinity: depth must be >= 1");
+  // Eq. 4:
+  //   numerator   = sum_i A(i)(A(i)-1) * d * prod_{k=2..d} (A - k)
+  //   denominator = prod_{k=0..d} (A - k)
+  // For depth 1 the empty product makes this Eq. 2.
+  double total_apps = 0.0;
+  double pair_sum = 0.0;
+  for (const auto size : category_sizes) {
+    const double a = static_cast<double>(size);
+    total_apps += a;
+    pair_sum += a * (a - 1.0);
+  }
+  if (total_apps < 2.0) return 0.0;
+
+  double numerator = pair_sum * static_cast<double>(depth);
+  for (std::size_t k = 2; k <= depth; ++k) {
+    numerator *= total_apps - static_cast<double>(k);
+  }
+  double denominator = 1.0;
+  for (std::size_t k = 0; k <= depth; ++k) {
+    denominator *= total_apps - static_cast<double>(k);
+  }
+  return numerator / denominator;
+}
+
+std::vector<GroupPoint> affinity_by_group(
+    const std::vector<std::vector<std::uint32_t>>& category_strings, std::size_t depth,
+    std::size_t min_samples) {
+  std::map<std::size_t, std::vector<double>> groups;
+  for (const auto& str : category_strings) {
+    const auto value = affinity(str, depth);
+    if (value.has_value()) groups[str.size()].push_back(*value);
+  }
+
+  std::vector<GroupPoint> points;
+  points.reserve(groups.size());
+  for (const auto& [comments, values] : groups) {
+    if (values.size() < min_samples) continue;
+    const stats::Interval ci = stats::normal_ci(values);
+    points.push_back(GroupPoint{.comments = comments,
+                                .samples = values.size(),
+                                .mean = stats::mean(values),
+                                .ci_low = ci.lower,
+                                .ci_high = ci.upper});
+  }
+  return points;
+}
+
+std::vector<double> per_user_affinity(
+    const std::vector<std::vector<std::uint32_t>>& category_strings, std::size_t depth) {
+  std::vector<double> values;
+  values.reserve(category_strings.size());
+  for (const auto& str : category_strings) {
+    const auto value = affinity(str, depth);
+    if (value.has_value()) values.push_back(*value);
+  }
+  return values;
+}
+
+std::vector<double> unique_categories_per_user(
+    const std::vector<std::vector<std::uint32_t>>& category_strings) {
+  std::vector<double> counts;
+  counts.reserve(category_strings.size());
+  for (const auto& str : category_strings) {
+    if (str.empty()) continue;
+    std::vector<std::uint32_t> unique(str.begin(), str.end());
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    counts.push_back(static_cast<double>(unique.size()));
+  }
+  return counts;
+}
+
+std::vector<double> topk_comment_share(
+    const std::vector<std::vector<std::uint32_t>>& category_strings, std::size_t max_k) {
+  // Per user: category frequencies sorted descending; share in top-k is the
+  // cumulative fraction. Averaged across users with >= 2 comments.
+  std::vector<double> share_sums(max_k, 0.0);
+  std::size_t users = 0;
+  for (const auto& str : category_strings) {
+    if (str.size() < 2) continue;  // paper excludes single-app commenters
+    std::map<std::uint32_t, std::size_t> frequency;
+    for (const auto category : str) ++frequency[category];
+    std::vector<std::size_t> counts;
+    counts.reserve(frequency.size());
+    for (const auto& [category, count] : frequency) counts.push_back(count);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+
+    double cumulative = 0.0;
+    const double total = static_cast<double>(str.size());
+    for (std::size_t k = 0; k < max_k; ++k) {
+      if (k < counts.size()) cumulative += static_cast<double>(counts[k]);
+      share_sums[k] += 100.0 * cumulative / total;
+    }
+    ++users;
+  }
+  if (users > 0) {
+    for (auto& share : share_sums) share /= static_cast<double>(users);
+  }
+  return share_sums;
+}
+
+}  // namespace appstore::affinity

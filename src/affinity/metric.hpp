@@ -1,0 +1,68 @@
+// The temporal affinity metric and its random-walk baseline (§4.2, Eq. 1–4).
+//
+// Affinity at depth d over a category string c1..cn: the fraction of the
+// n-d positions i (d+1..n, 1-based) whose category matches at least one of
+// its previous d categories. Depth 1 reduces to Eq. 1; the paper evaluates
+// depths 1–3 (Figs. 6, 7).
+//
+// The base case is a "random wandering" user whose successive choices are
+// independent uniformly-random apps: Eq. 2 (depth 1) and Eq. 4 (general d)
+// give the probability that a choice shares a category with at least one of
+// its previous d, given the store's actual apps-per-category distribution.
+// Note on fidelity: Eq. 4 as printed multiplies the pair count by d without
+// subtracting multi-match overlaps, i.e. it is a union-bound-style
+// approximation that slightly over-estimates the true random-walk affinity
+// for d >= 2. We implement the paper's formula verbatim; tests check it
+// against a Monte Carlo walk and assert the bias direction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace appstore::affinity {
+
+/// Eq. 3. Returns nullopt when the string is shorter than depth+1 (the
+/// metric is undefined: there are no positions with d predecessors).
+[[nodiscard]] std::optional<double> affinity(std::span<const std::uint32_t> categories,
+                                             std::size_t depth);
+
+/// Eq. 2 / Eq. 4: random-walk affinity for a store whose category i contains
+/// category_sizes[i] apps. depth >= 1.
+[[nodiscard]] double random_walk_affinity(std::span<const std::uint64_t> category_sizes,
+                                          std::size_t depth);
+
+/// Per-user-group aggregation for Fig. 6: users are grouped by the length of
+/// their category string ("number of comments"); each group reports the mean
+/// affinity and a 95% normal CI. Groups with fewer than `min_samples` users
+/// are dropped (the paper uses >10, which also filters comment spammers).
+struct GroupPoint {
+  std::size_t comments = 0;   ///< category-string length of the group
+  std::size_t samples = 0;    ///< users in the group
+  double mean = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+
+[[nodiscard]] std::vector<GroupPoint> affinity_by_group(
+    const std::vector<std::vector<std::uint32_t>>& category_strings, std::size_t depth,
+    std::size_t min_samples = 10);
+
+/// Per-user affinity values (for the Fig. 7 CDF); users whose strings are too
+/// short for the depth are skipped.
+[[nodiscard]] std::vector<double> per_user_affinity(
+    const std::vector<std::vector<std::uint32_t>>& category_strings, std::size_t depth);
+
+/// Fig. 5(b): number of distinct categories per user (only users with >= 1
+/// comment).
+[[nodiscard]] std::vector<double> unique_categories_per_user(
+    const std::vector<std::vector<std::uint32_t>>& category_strings);
+
+/// Fig. 5(c): average share (0..100%) of a user's comments that fall in their
+/// own top-k categories, as a function of k = 1..max_k. Users with fewer than
+/// two distinct apps commented are excluded, as in the paper.
+[[nodiscard]] std::vector<double> topk_comment_share(
+    const std::vector<std::vector<std::uint32_t>>& category_strings, std::size_t max_k);
+
+}  // namespace appstore::affinity

@@ -1,0 +1,43 @@
+#include "affinity/strings.hpp"
+
+#include <algorithm>
+
+namespace appstore::affinity {
+
+std::vector<std::uint32_t> suppress_runs(std::span<const std::uint32_t> sequence) {
+  std::vector<std::uint32_t> out;
+  out.reserve(sequence.size());
+  for (const auto value : sequence) {
+    if (out.empty() || out.back() != value) out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> suppress_duplicates(std::span<const std::uint32_t> sequence) {
+  std::vector<std::uint32_t> out;
+  out.reserve(sequence.size());
+  for (const auto value : sequence) {
+    if (std::find(out.begin(), out.end(), value) == out.end()) out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> app_string(std::span<const market::CommentEvent> stream) {
+  std::vector<std::uint32_t> apps;
+  apps.reserve(stream.size());
+  for (const auto& event : stream) {
+    if (event.rating == 0) continue;  // unrated comments are weak signals
+    apps.push_back(event.app.value);
+  }
+  return suppress_duplicates(apps);
+}
+
+std::vector<std::uint32_t> category_string(std::span<const std::uint32_t> apps,
+                                           std::span<const std::uint32_t> app_category) {
+  std::vector<std::uint32_t> categories;
+  categories.reserve(apps.size());
+  for (const auto app : apps) categories.push_back(app_category[app]);
+  return categories;
+}
+
+}  // namespace appstore::affinity

@@ -1,0 +1,40 @@
+// App strings and category strings (§4.2).
+//
+// From each user's chronological comment stream the paper derives an "app
+// string" by suppressing successive repetitions of the same app
+// (a1 a2 a3 a3 a1 a4 -> a1 a2 a3 a1 a4... the paper keeps the *first*
+// occurrence of each run: a1a2a3a3a1a4 becomes a1a2a3a4 in their example —
+// i.e. successive duplicates collapse AND a later re-comment on an earlier
+// app that directly follows is dropped only when adjacent; we implement
+// exactly run-suppression, which reproduces their example), then maps each
+// app to its category to obtain the "category string".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "market/events.hpp"
+
+namespace appstore::affinity {
+
+/// Collapses runs of equal adjacent values: a1 a2 a3 a3 a1 a4 -> a1 a2 a3 a1 a4.
+[[nodiscard]] std::vector<std::uint32_t> suppress_runs(std::span<const std::uint32_t> sequence);
+
+/// Collapses *all* later duplicates, keeping first occurrences:
+/// a1 a2 a3 a3 a1 a4 -> a1 a2 a3 a4 — matching the paper's worked example,
+/// where re-comments on an already-commented app are dropped entirely.
+[[nodiscard]] std::vector<std::uint32_t> suppress_duplicates(
+    std::span<const std::uint32_t> sequence);
+
+/// App string of a chronologically-sorted comment stream: app ids with
+/// duplicate comments on the same app suppressed (first occurrence kept).
+/// Comments without a rating are skipped (§4: a rating is the download signal).
+[[nodiscard]] std::vector<std::uint32_t> app_string(
+    std::span<const market::CommentEvent> stream);
+
+/// Maps an app string to its category string via app→category lookup.
+[[nodiscard]] std::vector<std::uint32_t> category_string(
+    std::span<const std::uint32_t> apps, std::span<const std::uint32_t> app_category);
+
+}  // namespace appstore::affinity

@@ -1,0 +1,194 @@
+#include "cache/policy.hpp"
+
+#include <stdexcept>
+
+namespace appstore::cache {
+
+void CachePolicy::warm(std::span<const std::uint32_t> apps) {
+  for (const auto app : apps) {
+    if (size() >= capacity()) break;
+    (void)access(app);
+  }
+}
+
+// ---- LRU ---------------------------------------------------------------------
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("LruCache: zero capacity");
+  index_.reserve(capacity);
+}
+
+bool LruCache::access(std::uint32_t app) {
+  const auto it = index_.find(app);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(app);
+  index_.emplace(app, order_.begin());
+  return false;
+}
+
+// ---- FIFO --------------------------------------------------------------------
+
+FifoCache::FifoCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("FifoCache: zero capacity");
+  index_.reserve(capacity);
+}
+
+bool FifoCache::access(std::uint32_t app) {
+  if (index_.contains(app)) return true;
+  if (index_.size() >= capacity_) {
+    index_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(app);
+  index_.emplace(app, order_.begin());
+  return false;
+}
+
+// ---- LFU ---------------------------------------------------------------------
+
+LfuCache::LfuCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("LfuCache: zero capacity");
+  entries_.reserve(capacity);
+}
+
+bool LfuCache::access(std::uint32_t app) {
+  ++clock_;
+  const auto it = entries_.find(app);
+  if (it != entries_.end()) {
+    ++it->second.frequency;
+    it->second.last_touch = clock_;
+    return true;
+  }
+  if (entries_.size() >= capacity_) evict();
+  entries_.emplace(app, Entry{1, clock_});
+  return false;
+}
+
+void LfuCache::evict() {
+  // Linear victim scan: O(capacity) per miss. Acceptable for the simulation
+  // sizes here (<= ~10^5 entries, misses are the minority of accesses);
+  // a production cache would keep a frequency-bucketed structure.
+  auto victim = entries_.begin();
+  for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+    const bool less_frequent = it->second.frequency < victim->second.frequency;
+    const bool tie_older = it->second.frequency == victim->second.frequency &&
+                           it->second.last_touch < victim->second.last_touch;
+    if (less_frequent || tie_older) victim = it;
+  }
+  entries_.erase(victim);
+}
+
+// ---- RANDOM ------------------------------------------------------------------
+
+RandomCache::RandomCache(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  if (capacity == 0) throw std::invalid_argument("RandomCache: zero capacity");
+  slots_.reserve(capacity);
+  index_.reserve(capacity);
+}
+
+bool RandomCache::access(std::uint32_t app) {
+  if (index_.contains(app)) return true;
+  if (slots_.size() >= capacity_) {
+    const std::size_t victim_slot = static_cast<std::size_t>(rng_.below(slots_.size()));
+    index_.erase(slots_[victim_slot]);
+    slots_[victim_slot] = app;
+    index_.emplace(app, victim_slot);
+    return false;
+  }
+  slots_.push_back(app);
+  index_.emplace(app, slots_.size() - 1);
+  return false;
+}
+
+// ---- CLUSTER-LRU -------------------------------------------------------------
+
+ClusterLruCache::ClusterLruCache(std::size_t capacity, std::vector<std::uint32_t> app_category)
+    : capacity_(capacity), app_category_(std::move(app_category)) {
+  if (capacity == 0) throw std::invalid_argument("ClusterLruCache: zero capacity");
+  std::uint32_t categories = 0;
+  for (const auto category : app_category_) categories = std::max(categories, category + 1);
+  categories_.resize(categories);
+  index_.reserve(capacity);
+}
+
+bool ClusterLruCache::contains(std::uint32_t app) const { return index_.contains(app); }
+
+bool ClusterLruCache::access(std::uint32_t app) {
+  const std::uint32_t category = app_category_.at(app);
+  CategoryState& state = categories_[category];
+
+  // Bump the category to the front of the category recency list.
+  if (state.active) {
+    category_order_.splice(category_order_.begin(), category_order_, state.recency);
+  } else {
+    category_order_.push_front(category);
+    state.recency = category_order_.begin();
+    state.active = true;
+  }
+
+  const auto it = index_.find(app);
+  if (it != index_.end()) {
+    state.order.splice(state.order.begin(), state.order, it->second);
+    return true;
+  }
+  if (size_ >= capacity_) evict();
+  state.order.push_front(app);
+  index_.emplace(app, state.order.begin());
+  ++size_;
+  return false;
+}
+
+void ClusterLruCache::evict() {
+  // Victim: LRU app of the least-recently-accessed category that still holds
+  // apps. Empty tail categories are retired on the way.
+  while (!category_order_.empty()) {
+    const std::uint32_t tail_category = category_order_.back();
+    CategoryState& state = categories_[tail_category];
+    if (state.order.empty()) {
+      state.active = false;
+      category_order_.pop_back();
+      continue;
+    }
+    index_.erase(state.order.back());
+    state.order.pop_back();
+    --size_;
+    return;
+  }
+}
+
+// ---- factory -----------------------------------------------------------------
+
+std::string_view to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kLfu: return "LFU";
+    case PolicyKind::kRandom: return "RANDOM";
+    case PolicyKind::kClusterLru: return "CLUSTER-LRU";
+  }
+  return "?";
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, std::size_t capacity,
+                                         std::vector<std::uint32_t> app_category,
+                                         std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruCache>(capacity);
+    case PolicyKind::kFifo: return std::make_unique<FifoCache>(capacity);
+    case PolicyKind::kLfu: return std::make_unique<LfuCache>(capacity);
+    case PolicyKind::kRandom: return std::make_unique<RandomCache>(capacity, seed);
+    case PolicyKind::kClusterLru:
+      return std::make_unique<ClusterLruCache>(capacity, std::move(app_category));
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace appstore::cache

@@ -1,0 +1,169 @@
+// App-cache replacement policies (§7, Fig. 19).
+//
+// The paper simulates an appstore front-end cache holding whole APKs
+// (uniform size, avg 3.5 MB) with an LRU policy, and shows that the
+// clustering-driven workload hurts LRU badly. We implement LRU plus the
+// alternatives used by the ablation bench: FIFO, LFU, RANDOM, and a
+// cluster-aware policy (CLUSTER-LRU) that evicts from the least-recently
+// *active category* first — the "new replacement policies" direction the
+// paper suggests.
+//
+// All policies expose one operation: access(app) -> hit/miss. On a miss the
+// app is admitted and, if the cache is full, a victim is evicted.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace appstore::cache {
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Looks up `app`; admits it on miss. Returns true on hit.
+  virtual bool access(std::uint32_t app) = 0;
+
+  /// Pre-populates with apps (most popular first); stops at capacity.
+  virtual void warm(std::span<const std::uint32_t> apps);
+
+  [[nodiscard]] virtual bool contains(std::uint32_t app) const = 0;
+};
+
+/// Least-recently-used: classic list + hash index, O(1) per access.
+class LruCache final : public CachePolicy {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "LRU"; }
+  [[nodiscard]] std::size_t capacity() const noexcept override { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return index_.size(); }
+  bool access(std::uint32_t app) override;
+  [[nodiscard]] bool contains(std::uint32_t app) const override {
+    return index_.contains(app);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint32_t> order_;  ///< front = most recent
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> index_;
+};
+
+/// First-in-first-out: no recency update on hit.
+class FifoCache final : public CachePolicy {
+ public:
+  explicit FifoCache(std::size_t capacity);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "FIFO"; }
+  [[nodiscard]] std::size_t capacity() const noexcept override { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return index_.size(); }
+  bool access(std::uint32_t app) override;
+  [[nodiscard]] bool contains(std::uint32_t app) const override {
+    return index_.contains(app);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint32_t> order_;  ///< front = newest admission
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> index_;
+};
+
+/// Least-frequently-used with LRU tie-breaking (frequency counted since
+/// admission).
+class LfuCache final : public CachePolicy {
+ public:
+  explicit LfuCache(std::size_t capacity);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "LFU"; }
+  [[nodiscard]] std::size_t capacity() const noexcept override { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return entries_.size(); }
+  bool access(std::uint32_t app) override;
+  [[nodiscard]] bool contains(std::uint32_t app) const override {
+    return entries_.contains(app);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t frequency = 0;
+    std::uint64_t last_touch = 0;
+  };
+  void evict();
+
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<std::uint32_t, Entry> entries_;
+};
+
+/// Uniform random eviction — the classic baseline.
+class RandomCache final : public CachePolicy {
+ public:
+  RandomCache(std::size_t capacity, std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "RANDOM"; }
+  [[nodiscard]] std::size_t capacity() const noexcept override { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return slots_.size(); }
+  bool access(std::uint32_t app) override;
+  [[nodiscard]] bool contains(std::uint32_t app) const override {
+    return index_.contains(app);
+  }
+
+ private:
+  std::size_t capacity_;
+  util::Rng rng_;
+  std::vector<std::uint32_t> slots_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;  ///< app -> slot
+};
+
+/// Cluster-aware LRU: apps are grouped by category; eviction takes the LRU
+/// app of the least-recently-*accessed* category. Categories a user
+/// community is actively downloading from stay resident even when individual
+/// apps in them have not been touched recently — directly countering the
+/// clustering effect's damage to plain LRU.
+class ClusterLruCache final : public CachePolicy {
+ public:
+  /// `app_category[a]` maps app a to its category.
+  ClusterLruCache(std::size_t capacity, std::vector<std::uint32_t> app_category);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "CLUSTER-LRU"; }
+  [[nodiscard]] std::size_t capacity() const noexcept override { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return size_; }
+  bool access(std::uint32_t app) override;
+  [[nodiscard]] bool contains(std::uint32_t app) const override;
+
+ private:
+  struct CategoryState {
+    std::list<std::uint32_t> order;  ///< per-category LRU, front = most recent
+    std::list<std::uint32_t>::iterator recency;  ///< position in category_order_
+    bool active = false;
+  };
+  void evict();
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::vector<std::uint32_t> app_category_;
+  std::list<std::uint32_t> category_order_;  ///< front = most recently accessed
+  std::vector<CategoryState> categories_;
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> index_;
+};
+
+enum class PolicyKind : std::uint8_t { kLru, kFifo, kLfu, kRandom, kClusterLru };
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind) noexcept;
+
+/// Factory; `app_category` is required for kClusterLru and ignored otherwise.
+[[nodiscard]] std::unique_ptr<CachePolicy> make_policy(
+    PolicyKind kind, std::size_t capacity, std::vector<std::uint32_t> app_category = {},
+    std::uint64_t seed = 0);
+
+}  // namespace appstore::cache

@@ -1,0 +1,46 @@
+#include "cache/prefetch.hpp"
+
+#include <stdexcept>
+
+namespace appstore::cache {
+
+PrefetchingCache::PrefetchingCache(std::unique_ptr<CachePolicy> inner,
+                                   std::vector<std::uint32_t> app_category,
+                                   std::size_t prefetch_per_hit)
+    : inner_(std::move(inner)),
+      app_category_(std::move(app_category)),
+      prefetch_per_hit_(prefetch_per_hit) {
+  if (!inner_) throw std::invalid_argument("PrefetchingCache: null inner policy");
+  std::uint32_t categories = 0;
+  for (const auto category : app_category_) categories = std::max(categories, category + 1);
+  category_members_.resize(categories);
+  // App index order is popularity order, so appending in index order keeps
+  // each member list popularity-sorted.
+  for (std::uint32_t app = 0; app < app_category_.size(); ++app) {
+    category_members_[app_category_[app]].push_back(app);
+  }
+}
+
+bool PrefetchingCache::access(std::uint32_t app) {
+  const bool hit = inner_->access(app);
+  if (hit) return true;
+
+  // Demand miss: the cache is not serving this category's current interest
+  // well, so prefetch its most popular not-yet-cached apps. Admitted via the
+  // inner policy's own access() so its replacement logic applies; the
+  // prefetches never count as demand hits. Prefetching on hits as well was
+  // measured to pollute the cache (it keeps re-admitting category heads that
+  // demand traffic would have kept warm anyway).
+  const auto& members = category_members_[app_category_.at(app)];
+  std::size_t admitted = 0;
+  for (const auto candidate : members) {
+    if (admitted >= prefetch_per_hit_) break;
+    if (candidate == app || inner_->contains(candidate)) continue;
+    (void)inner_->access(candidate);
+    ++admitted;
+    ++prefetched_;
+  }
+  return false;
+}
+
+}  // namespace appstore::cache

@@ -1,0 +1,36 @@
+#include "cache/sim.hpp"
+
+#include <numeric>
+
+namespace appstore::cache {
+
+SimResult simulate(CachePolicy& policy, std::span<const models::Request> requests,
+                   std::size_t warm_top_n) {
+  if (warm_top_n > 0) {
+    std::vector<std::uint32_t> top(warm_top_n);
+    std::iota(top.begin(), top.end(), 0U);
+    policy.warm(top);
+  }
+  SimResult result;
+  for (const auto& request : requests) {
+    ++result.requests;
+    if (policy.access(request.app)) ++result.hits;
+  }
+  return result;
+}
+
+std::vector<SweepPoint> sweep_cache_sizes(PolicyKind kind, std::span<const std::size_t> sizes,
+                                          std::span<const models::Request> requests,
+                                          std::vector<std::uint32_t> app_category,
+                                          std::uint64_t seed) {
+  std::vector<SweepPoint> points;
+  points.reserve(sizes.size());
+  for (const auto size : sizes) {
+    const auto policy = make_policy(kind, size, app_category, seed);
+    const SimResult result = simulate(*policy, requests, size);
+    points.push_back(SweepPoint{size, result.hit_ratio()});
+  }
+  return points;
+}
+
+}  // namespace appstore::cache

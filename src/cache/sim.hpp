@@ -1,0 +1,41 @@
+// Cache simulation driver (§7, Fig. 19).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "models/stream.hpp"
+
+namespace appstore::cache {
+
+struct SimResult {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return requests == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+};
+
+/// Runs every request through the policy. If `warm_top_n > 0`, the cache is
+/// pre-populated with apps 0..warm_top_n-1 (the globally most popular apps,
+/// as in the paper's setup: "the cache was initialized with the respective
+/// number of most popular apps").
+[[nodiscard]] SimResult simulate(CachePolicy& policy,
+                                 std::span<const models::Request> requests,
+                                 std::size_t warm_top_n = 0);
+
+/// Hit ratio of one policy kind at several cache sizes over the same stream.
+struct SweepPoint {
+  std::size_t cache_size = 0;
+  double hit_ratio = 0.0;
+};
+
+[[nodiscard]] std::vector<SweepPoint> sweep_cache_sizes(
+    PolicyKind kind, std::span<const std::size_t> sizes,
+    std::span<const models::Request> requests, std::vector<std::uint32_t> app_category = {},
+    std::uint64_t seed = 0);
+
+}  // namespace appstore::cache

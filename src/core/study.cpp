@@ -1,0 +1,123 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "affinity/strings.hpp"
+#include "models/stream.hpp"
+
+namespace appstore::core {
+
+EcosystemStudy::EcosystemStudy(const synth::StoreProfile& profile,
+                               const synth::GeneratorConfig& config)
+    : profile_(profile), config_(config), generated_(synth::generate(profile, config)) {}
+
+double EcosystemStudy::pareto_share(double fraction) const {
+  return stats::top_share(store().download_counts(), fraction);
+}
+
+std::vector<stats::ShareCurvePoint> EcosystemStudy::pareto_curve() const {
+  std::vector<double> percents(100);
+  std::iota(percents.begin(), percents.end(), 1.0);
+  return stats::share_curve(store().download_counts(), percents);
+}
+
+stats::TruncationReport EcosystemStudy::popularity_fit(
+    std::optional<market::Pricing> pricing) const {
+  const std::vector<double> ranks = pricing.has_value()
+                                        ? store().downloads_by_rank(*pricing)
+                                        : store().downloads_by_rank();
+  return stats::analyze_truncation(ranks);
+}
+
+std::vector<double> EcosystemStudy::updates_per_app(bool top_decile_only) const {
+  const auto& apps = store().apps();
+  std::vector<std::size_t> candidates(apps.size());
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  if (top_decile_only) {
+    std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+      return store().downloads_of(apps[a].id) > store().downloads_of(apps[b].id);
+    });
+    candidates.resize(std::max<std::size_t>(1, candidates.size() / 10));
+  }
+  std::vector<double> updates;
+  updates.reserve(candidates.size());
+  for (const auto index : candidates) {
+    updates.push_back(static_cast<double>(apps[index].update_days.size()));
+  }
+  return updates;
+}
+
+std::vector<std::vector<std::uint32_t>> EcosystemStudy::category_strings() const {
+  std::vector<std::uint32_t> app_category;
+  app_category.reserve(store().apps().size());
+  for (const auto& app : store().apps()) app_category.push_back(app.category.value);
+
+  std::vector<std::vector<std::uint32_t>> result;
+  for (const auto& stream : store().comment_streams()) {
+    if (stream.empty()) continue;
+    const auto apps = affinity::app_string(stream);
+    if (apps.empty()) continue;
+    result.push_back(affinity::category_string(apps, app_category));
+  }
+  return result;
+}
+
+double EcosystemStudy::random_walk_affinity(std::size_t depth) const {
+  const auto counts32 = store().apps_per_category();
+  std::vector<std::uint64_t> counts(counts32.begin(), counts32.end());
+  return affinity::random_walk_affinity(counts, depth);
+}
+
+fit::FitResult EcosystemStudy::fit(models::ModelKind kind, market::Day day,
+                                   const fit::SweepOptions& options) const {
+  const auto measured =
+      synth::downloads_by_rank_at_day(store(), day, market::Pricing::kFree);
+  const auto users = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(measured.empty() ? 1.0 : measured.front()));
+  return fit::fit_model(kind, measured, users,
+                        static_cast<std::uint32_t>(store().categories().size()), options);
+}
+
+market::DatasetSummary EcosystemStudy::dataset_summary() const {
+  const auto series = market::replay_snapshots(store(), profile_.crawl_days);
+  return market::summarize(store().name(), series);
+}
+
+CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::PolicyKind policy,
+                             std::uint64_t seed) {
+  // §7 setup: 60,000 apps in 30 categories, 600,000 users, 2M downloads,
+  // zr = 1.7, zc = 1.4, p = 0.9; cache sizes 1%..20% of apps.
+  models::ModelParams params;
+  params.app_count = static_cast<std::uint32_t>(std::max(100.0, 60'000.0 * scale));
+  params.user_count = static_cast<std::uint64_t>(std::max(100.0, 600'000.0 * scale));
+  params.downloads_per_user = 2'000'000.0 / 600'000.0;
+  params.zr = 1.7;
+  params.zc = 1.4;
+  params.p = 0.9;
+  params.cluster_count = 30;
+
+  const auto model = models::make_model(kind, params);
+  util::Rng rng(seed);
+  const auto stream = models::generate_stream(*model, rng);
+
+  std::vector<std::uint32_t> app_category(params.app_count);
+  for (std::uint32_t a = 0; a < params.app_count; ++a) {
+    app_category[a] = a % params.cluster_count;  // round-robin layout
+  }
+
+  std::vector<std::size_t> sizes;
+  for (int percent = 1; percent <= 20; ++percent) {
+    sizes.push_back(std::max<std::size_t>(
+        1, static_cast<std::size_t>(params.app_count) * static_cast<std::size_t>(percent) /
+               100));
+  }
+
+  CacheStudyResult result;
+  result.model = kind;
+  result.points = cache::sweep_cache_sizes(policy, sizes, stream, app_category, seed);
+  return result;
+}
+
+}  // namespace appstore::core

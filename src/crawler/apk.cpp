@@ -1,0 +1,125 @@
+#include "crawler/apk.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::crawlersim {
+
+namespace {
+
+constexpr std::string_view kMagic = "APK1\n";
+
+/// Benign libraries mixed into every APK's table so the scanner must
+/// actually match signatures rather than "any library present".
+const std::vector<std::string>& benign_libraries() {
+  static const std::vector<std::string> libraries = {
+      "lib/core/runtime",  "lib/ui/widgets",    "lib/net/http",
+      "lib/json/parser",   "lib/imaging/codec", "lib/crypto/tls",
+  };
+  return libraries;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ad_network_signatures() {
+  static const std::vector<std::string> signatures = [] {
+    std::vector<std::string> names;
+    names.reserve(20);
+    for (int n = 0; n < 20; ++n) {
+      names.push_back(util::format("ads/network{:>2}/sdk", n));
+    }
+    return names;
+  }();
+  return signatures;
+}
+
+std::vector<std::string> select_ad_libraries(std::uint32_t app_id, bool has_ads) {
+  if (!has_ads) return {};
+  const auto& signatures = ad_network_signatures();
+  util::Rng rng(util::combine_seed(0xadf00d, app_id));
+  const std::size_t count = 1 + static_cast<std::size_t>(rng.below(3));
+  std::vector<std::string> chosen;
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto& candidate = signatures[static_cast<std::size_t>(rng.below(signatures.size()))];
+    if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+      chosen.push_back(candidate);
+    }
+  }
+  return chosen;
+}
+
+std::string build_apk(std::uint32_t app_id, std::uint32_t version,
+                      std::span<const std::string> ad_libraries,
+                      std::size_t payload_bytes) {
+  // Library table: benign libraries (deterministic subset) + the ad SDKs.
+  util::Rng rng(util::combine_seed(app_id, version));
+  std::vector<std::string> table;
+  for (const auto& benign : benign_libraries()) {
+    if (rng.chance(0.7)) table.push_back(benign);
+  }
+  for (const auto& ad : ad_libraries) table.push_back(ad);
+  rng.shuffle(std::span<std::string>(table));
+
+  std::string blob(kMagic);
+  blob += util::format("{}\n{}\n{}\n{}\n", app_id, version, payload_bytes, table.size());
+  for (const auto& library : table) {
+    blob += library;
+    blob.push_back('\n');
+  }
+  // Pseudo-random body (printable to keep the blob string-safe end to end).
+  blob.reserve(blob.size() + payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    blob.push_back(static_cast<char>('!' + rng.below(94)));
+  }
+  return blob;
+}
+
+std::optional<ApkHeader> parse_apk_header(std::string_view blob) {
+  if (!blob.starts_with(kMagic)) return std::nullopt;
+  blob.remove_prefix(kMagic.size());
+  ApkHeader header;
+  std::uint64_t fields[4] = {};
+  for (auto& field : fields) {
+    const std::size_t eol = blob.find('\n');
+    if (eol == std::string_view::npos) return std::nullopt;
+    if (!util::parse_u64(blob.substr(0, eol), field)) return std::nullopt;
+    blob.remove_prefix(eol + 1);
+  }
+  header.app_id = static_cast<std::uint32_t>(fields[0]);
+  header.version = static_cast<std::uint32_t>(fields[1]);
+  header.payload_bytes = static_cast<std::uint32_t>(fields[2]);
+  header.library_count = static_cast<std::uint32_t>(fields[3]);
+  return header;
+}
+
+std::optional<ApkScan> scan_apk(std::string_view blob) {
+  const auto header = parse_apk_header(blob);
+  if (!header.has_value()) return std::nullopt;
+
+  // Walk the library table (library_count lines after the header).
+  std::string_view rest = blob.substr(kMagic.size());
+  for (int skip = 0; skip < 4; ++skip) {
+    rest.remove_prefix(rest.find('\n') + 1);
+  }
+  ApkScan scan;
+  scan.header = *header;
+  const auto& signatures = ad_network_signatures();
+  for (std::uint32_t line = 0; line < header->library_count; ++line) {
+    const std::size_t eol = rest.find('\n');
+    if (eol == std::string_view::npos) return std::nullopt;  // truncated table
+    const std::string_view library = rest.substr(0, eol);
+    for (const auto& signature : signatures) {
+      if (library == signature) {
+        scan.ad_libraries.emplace_back(library);
+        break;
+      }
+    }
+    rest.remove_prefix(eol + 1);
+  }
+  return scan;
+}
+
+}  // namespace appstore::crawlersim

@@ -1,0 +1,172 @@
+#include "crawler/crawler.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "crawler/apk.hpp"
+#include "crawler/json.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace appstore::crawlersim {
+
+namespace {
+constexpr std::string_view kComponent = "crawler";
+}
+
+Crawler::Crawler(CrawlerConfig config, CrawlDatabase& database)
+    : config_(std::move(config)),
+      database_(database),
+      proxies_(config_.proxy_count, config_.proxy_regions),
+      rng_(config_.seed) {
+  clients_.resize(proxies_.size());
+}
+
+net::PersistentHttpClient& Crawler::client_for(std::size_t proxy_index) {
+  auto& client = clients_.at(proxy_index);
+  if (!client) {
+    client = std::make_unique<net::PersistentHttpClient>(config_.host, config_.port);
+  }
+  return *client;
+}
+
+std::optional<std::string> Crawler::fetch(const std::string& target, CrawlStats& stats) {
+  auto backoff = config_.rate_limit_backoff;
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    const auto proxy_index = proxies_.pick(rng_);
+    if (!proxy_index.has_value()) {
+      util::log_warn(kComponent, "no healthy proxies left");
+      return std::nullopt;
+    }
+    const net::Proxy& proxy = proxies_.proxy(*proxy_index);
+    try {
+      net::Headers headers;
+      headers["X-Client-Id"] = proxy.id;
+      const net::HttpResponse response =
+          client_for(*proxy_index).get(target, std::move(headers));
+      ++stats.requests;
+
+      if (response.status == 200) {
+        proxies_.report_success(*proxy_index);
+        return response.body;
+      }
+      if (response.status == 404) {
+        proxies_.report_success(*proxy_index);
+        return std::nullopt;  // not an infrastructure problem
+      }
+      if (response.status == 429) {
+        ++stats.rate_limited;
+        // The proxy identity is saturated: wait for its token bucket to
+        // refill, then retry (usually through a different proxy). Not a
+        // proxy failure — no quarantine.
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, config_.rate_limit_backoff * 16);
+        continue;
+      }
+      if (response.status == 403) {
+        ++stats.region_blocked;
+        // Wrong region for this store: quarantine so the pool converges on
+        // usable (e.g. Chinese) proxies, as the paper's setup did.
+        proxies_.report_failure(*proxy_index, 1);
+        continue;
+      }
+      ++stats.transient_failures;
+      proxies_.report_failure(*proxy_index);
+    } catch (const std::exception& error) {
+      ++stats.requests;
+      ++stats.transient_failures;
+      proxies_.report_failure(*proxy_index);
+      util::log_debug(kComponent, "transport error via {}: {}", proxy.id, error.what());
+    }
+  }
+  return std::nullopt;
+}
+
+CrawlStats Crawler::crawl_day(market::Day day) {
+  CrawlStats stats;
+
+  // 1. Enumerate the directory.
+  std::vector<std::uint32_t> ids;
+  std::uint64_t page = 0;
+  for (;;) {
+    const auto body = fetch(
+        util::format("/api/apps?page={}&per_page={}", page, config_.per_page), stats);
+    if (!body.has_value()) {
+      if (page == 0) throw std::runtime_error("crawl_day: cannot enumerate directory");
+      break;
+    }
+    const auto parsed = parse_json(*body);
+    if (!parsed.has_value()) throw std::runtime_error("crawl_day: bad directory JSON");
+    const auto& id_array = parsed->at("ids").as_array();
+    for (const auto& id : id_array) {
+      ids.push_back(static_cast<std::uint32_t>(id.as_u64()));
+    }
+    const std::uint64_t total = parsed->at("total").as_u64();
+    ++page;
+    if (page * config_.per_page >= total || id_array.empty()) break;
+  }
+
+  // 2. Fetch per-app statistics.
+  for (const auto id : ids) {
+    const auto body = fetch(util::format("/api/app/{}", id), stats);
+    if (!body.has_value()) continue;
+    const auto parsed = parse_json(*body);
+    if (!parsed.has_value()) continue;
+
+    AppRecord metadata;
+    metadata.id = id;
+    metadata.name = parsed->at("name").as_string();
+    metadata.category = parsed->at("category").as_string();
+    metadata.developer = parsed->at("developer").as_string();
+    metadata.paid = parsed->at("paid").as_bool();
+    metadata.has_ads = parsed->at("has_ads").as_bool();
+
+    AppObservation observation;
+    observation.downloads = parsed->at("downloads").as_u64();
+    observation.version = static_cast<std::uint32_t>(parsed->at("version").as_u64());
+    observation.price_dollars = parsed->at("price").as_number();
+
+    database_.record(metadata, day, observation);
+    ++stats.apps_observed;
+
+    // APKs: fetched at most once per (app, version) across all crawl days —
+    // the paper's "we download each app version only once".
+    if (config_.fetch_apks && !database_.apk_scanned(id, observation.version)) {
+      const auto apk = fetch(util::format("/api/app/{}/apk", id), stats);
+      if (apk.has_value()) {
+        const auto scan = scan_apk(*apk);
+        if (scan.has_value()) {
+          database_.record_apk_scan(id, scan->header.version, scan->has_ads());
+          ++stats.apks_fetched;
+        }
+      }
+    }
+
+    if (config_.fetch_comments) {
+      std::uint64_t comment_page = 0;
+      for (;;) {
+        const auto comments_body =
+            fetch(util::format("/api/app/{}/comments?page={}", id, comment_page), stats);
+        if (!comments_body.has_value()) break;
+        const auto comments = parse_json(*comments_body);
+        if (!comments.has_value()) break;
+        const auto& array = comments->at("comments").as_array();
+        stats.comments_observed += array.size();
+        const std::uint64_t total = comments->at("total").as_u64();
+        ++comment_page;
+        if (comment_page * 200 >= total || array.empty()) break;
+      }
+    }
+  }
+
+  totals_.requests += stats.requests;
+  totals_.rate_limited += stats.rate_limited;
+  totals_.region_blocked += stats.region_blocked;
+  totals_.transient_failures += stats.transient_failures;
+  totals_.apps_observed += stats.apps_observed;
+  totals_.comments_observed += stats.comments_observed;
+  totals_.apks_fetched += stats.apks_fetched;
+  return stats;
+}
+
+}  // namespace appstore::crawlersim

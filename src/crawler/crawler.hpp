@@ -1,0 +1,86 @@
+// The daily crawler (the "client side" of Fig. 1).
+//
+// For each crawl day the crawler pages through the store directory and
+// fetches every app's statistics page, routing each request through a
+// randomly chosen proxy (retrying through another proxy on 429/403/5xx,
+// with quarantine after repeated failures) and recording observations into
+// a CrawlDatabase. This mirrors the paper's Scrapy + PlanetLab pipeline:
+// daily revisits update statistics of known apps and pick up newly added
+// apps, expanding the dataset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crawler/database.hpp"
+#include "net/proxy.hpp"
+#include "net/server.hpp"
+#include "util/rng.hpp"
+
+namespace appstore::crawlersim {
+
+struct CrawlerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Proxies to rotate over; Chinese stores need kChina proxies available.
+  std::size_t proxy_count = 16;
+  std::vector<net::Region> proxy_regions = {net::Region::kChina, net::Region::kEurope,
+                                            net::Region::kUsa};
+  /// Per-request retry budget (each retry uses a fresh proxy).
+  std::uint32_t max_attempts = 8;
+  /// Initial backoff after a 429 (doubles per retry, capped at 16x). Real
+  /// crawls space requests naturally; tests replay whole crawl days
+  /// back-to-back, so the crawler must let token buckets refill.
+  std::chrono::milliseconds rate_limit_backoff = std::chrono::milliseconds(20);
+  std::uint64_t seed = 0xc4aa;
+  /// Directory page size used while enumerating apps.
+  std::uint64_t per_page = 200;
+  /// Also fetch comment pages for apps (needed by the affinity pipeline).
+  bool fetch_comments = false;
+  /// Also fetch and scan APKs — once per (app, version), as in the paper's
+  /// pipeline. Feeds the §6.3 ad-library analysis.
+  bool fetch_apks = false;
+};
+
+struct CrawlStats {
+  std::uint64_t requests = 0;
+  std::uint64_t rate_limited = 0;      ///< 429 responses
+  std::uint64_t region_blocked = 0;    ///< 403 responses
+  std::uint64_t transient_failures = 0; ///< 5xx responses + transport errors
+  std::uint64_t apps_observed = 0;
+  std::uint64_t comments_observed = 0;
+  std::uint64_t apks_fetched = 0;      ///< new (app, version) APK downloads
+};
+
+class Crawler {
+ public:
+  Crawler(CrawlerConfig config, CrawlDatabase& database);
+
+  /// Crawls the store once for `day` (the service must be set to that day).
+  /// Returns per-day statistics; throws std::runtime_error if the directory
+  /// cannot be enumerated at all.
+  CrawlStats crawl_day(market::Day day);
+
+  [[nodiscard]] const net::ProxyPool& proxies() const noexcept { return proxies_; }
+  [[nodiscard]] const CrawlStats& totals() const noexcept { return totals_; }
+
+ private:
+  /// One GET with proxy rotation and bounded retries. Returns the body on
+  /// HTTP 200, nullopt when attempts are exhausted or the target 404s.
+  [[nodiscard]] std::optional<std::string> fetch(const std::string& target,
+                                                 CrawlStats& stats);
+
+  /// One persistent connection per proxy identity (the paper's crawlers
+  /// similarly kept sessions per PlanetLab node); lazily opened.
+  [[nodiscard]] net::PersistentHttpClient& client_for(std::size_t proxy_index);
+
+  CrawlerConfig config_;
+  CrawlDatabase& database_;
+  net::ProxyPool proxies_;
+  util::Rng rng_;
+  CrawlStats totals_;
+  std::vector<std::unique_ptr<net::PersistentHttpClient>> clients_;
+};
+
+}  // namespace appstore::crawlersim

@@ -1,0 +1,104 @@
+#include "crawler/database.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace appstore::crawlersim {
+
+void CrawlDatabase::record(const AppRecord& metadata, market::Day day,
+                           const AppObservation& observation) {
+  auto [it, inserted] = apps_.try_emplace(metadata.id);
+  AppRecord& record = it->second;
+  if (inserted) {
+    record.id = metadata.id;
+    record.name = metadata.name;
+    record.category = metadata.category;
+    record.developer = metadata.developer;
+    record.paid = metadata.paid;
+    record.has_ads = metadata.has_ads;
+    record.first_seen = day;
+  }
+  record.by_day[day] = observation;
+}
+
+const AppRecord* CrawlDatabase::find(std::uint32_t id) const {
+  const auto it = apps_.find(id);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+std::vector<market::Day> CrawlDatabase::crawl_days() const {
+  std::set<market::Day> days;
+  for (const auto& [id, record] : apps_) {
+    for (const auto& [day, observation] : record.by_day) days.insert(day);
+  }
+  return {days.begin(), days.end()};
+}
+
+market::SnapshotSeries CrawlDatabase::snapshot_series() const {
+  market::SnapshotSeries series;
+  for (const market::Day day : crawl_days()) {
+    market::Snapshot snapshot;
+    snapshot.day = day;
+    for (const auto& [id, record] : apps_) {
+      // An app counts from its first observation; its download figure on a
+      // day is the latest observation at or before that day.
+      const auto it = record.by_day.upper_bound(day);
+      if (it == record.by_day.begin()) continue;
+      ++snapshot.total_apps;
+      snapshot.total_downloads += std::prev(it)->second.downloads;
+    }
+    series.add(snapshot);
+  }
+  return series;
+}
+
+std::vector<double> CrawlDatabase::downloads_by_rank(market::Day day,
+                                                     std::optional<bool> paid) const {
+  std::vector<double> counts;
+  for (const auto& [id, record] : apps_) {
+    if (paid.has_value() && record.paid != *paid) continue;
+    const auto it = record.by_day.upper_bound(day);
+    if (it == record.by_day.begin()) continue;
+    counts.push_back(static_cast<double>(std::prev(it)->second.downloads));
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  return counts;
+}
+
+void CrawlDatabase::record_apk_scan(std::uint32_t id, std::uint32_t version,
+                                    bool ads_found) {
+  apps_.at(id).apk_ads_by_version[version] = ads_found;
+}
+
+bool CrawlDatabase::apk_scanned(std::uint32_t id, std::uint32_t version) const {
+  const auto it = apps_.find(id);
+  return it != apps_.end() && it->second.apk_ads_by_version.contains(version);
+}
+
+double CrawlDatabase::free_apps_with_ads_fraction() const {
+  std::size_t scanned_free = 0;
+  std::size_t with_ads = 0;
+  for (const auto& [id, record] : apps_) {
+    if (record.paid || record.apk_ads_by_version.empty()) continue;
+    ++scanned_free;
+    if (record.ads_detected()) ++with_ads;
+  }
+  return scanned_free == 0
+             ? 0.0
+             : static_cast<double>(with_ads) / static_cast<double>(scanned_free);
+}
+
+std::vector<double> CrawlDatabase::updates_per_app() const {
+  std::vector<double> updates;
+  updates.reserve(apps_.size());
+  for (const auto& [id, record] : apps_) {
+    if (record.by_day.empty()) continue;
+    const auto first = record.by_day.begin()->second.version;
+    const auto last = record.by_day.rbegin()->second.version;
+    updates.push_back(static_cast<double>(last - first));
+  }
+  return updates;
+}
+
+}  // namespace appstore::crawlersim

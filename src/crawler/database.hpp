@@ -1,0 +1,90 @@
+// The crawler's local database (the "Local Database" of Fig. 1).
+//
+// Stores per-(app, day) observations collected by daily crawls plus the
+// app metadata seen on first contact. Provides the derived views the paper's
+// analyses consume: snapshot series (Table 1), rank–download curves, and
+// per-app update counts between two observations (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "market/snapshot.hpp"
+#include "market/types.hpp"
+
+namespace appstore::crawlersim {
+
+struct AppObservation {
+  std::uint64_t downloads = 0;
+  std::uint32_t version = 1;
+  double price_dollars = 0.0;
+};
+
+struct AppRecord {
+  std::uint32_t id = 0;
+  std::string name;
+  std::string category;
+  std::string developer;
+  bool paid = false;
+  bool has_ads = false;
+  market::Day first_seen = 0;
+  /// day -> observation (ordered; one per crawl day).
+  std::map<market::Day, AppObservation> by_day;
+  /// Versions whose APKs have been fetched and scanned (the paper downloads
+  /// each app version exactly once).
+  std::map<std::uint32_t, bool> apk_ads_by_version;  ///< version -> ads found
+
+  /// True if any scanned version embedded an ad-network library.
+  [[nodiscard]] bool ads_detected() const noexcept {
+    for (const auto& [version, ads] : apk_ads_by_version) {
+      if (ads) return true;
+    }
+    return false;
+  }
+};
+
+class CrawlDatabase {
+ public:
+  /// Upserts one observation for an app on a crawl day.
+  void record(const AppRecord& metadata, market::Day day, const AppObservation& observation);
+
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+  [[nodiscard]] const AppRecord* find(std::uint32_t id) const;
+  [[nodiscard]] const std::map<std::uint32_t, AppRecord>& apps() const noexcept {
+    return apps_;
+  }
+
+  /// Days on which at least one observation was recorded, ascending.
+  [[nodiscard]] std::vector<market::Day> crawl_days() const;
+
+  /// Snapshot series reconstructed from observations (apps visible and sum
+  /// of downloads per crawl day) — the Table-1 inputs.
+  [[nodiscard]] market::SnapshotSeries snapshot_series() const;
+
+  /// Rank–download curve (descending) at the latest crawl day <= `day`.
+  [[nodiscard]] std::vector<double> downloads_by_rank(market::Day day,
+                                                      std::optional<bool> paid = {}) const;
+
+  /// Update counts per app between the first and last observation (version
+  /// delta) — the Fig.-4 statistic.
+  [[nodiscard]] std::vector<double> updates_per_app() const;
+
+  /// Records an APK scan result for one app version.
+  void record_apk_scan(std::uint32_t id, std::uint32_t version, bool ads_found);
+
+  /// True if this (app, version) APK was already fetched — the crawler's
+  /// "download each version only once" check.
+  [[nodiscard]] bool apk_scanned(std::uint32_t id, std::uint32_t version) const;
+
+  /// Share of free apps whose scanned APKs embed ad libraries (§6.3: the
+  /// Androguard result was 67.7%). Counts only apps with >= 1 scanned APK.
+  [[nodiscard]] double free_apps_with_ads_fraction() const;
+
+ private:
+  std::map<std::uint32_t, AppRecord> apps_;
+};
+
+}  // namespace appstore::crawlersim

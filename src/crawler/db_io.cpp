@@ -1,0 +1,131 @@
+#include "crawler/db_io.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::crawlersim {
+
+namespace {
+
+[[nodiscard]] std::uint64_t field_u64(const std::string& text, const char* what) {
+  std::uint64_t value = 0;
+  if (!util::parse_u64(text, value)) {
+    throw std::runtime_error(util::format("load_database: bad {} '{}'", what, text));
+  }
+  return value;
+}
+
+[[nodiscard]] std::int64_t field_i64(const std::string& text, const char* what) {
+  if (!text.empty() && text[0] == '-') {
+    return -static_cast<std::int64_t>(field_u64(text.substr(1), what));
+  }
+  return static_cast<std::int64_t>(field_u64(text, what));
+}
+
+[[nodiscard]] double field_f64(const std::string& text, const char* what) {
+  double value = 0.0;
+  if (!util::parse_double(text, value)) {
+    throw std::runtime_error(util::format("load_database: bad {} '{}'", what, text));
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_database(const CrawlDatabase& database, const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+
+  {
+    util::CsvWriter apps(directory / "apps.csv");
+    apps.write_row({"id", "name", "category", "developer", "paid", "has_ads", "first_seen"});
+    for (const auto& [id, record] : database.apps()) {
+      apps.row(static_cast<std::uint64_t>(id), record.name, record.category,
+               record.developer, record.paid ? 1 : 0, record.has_ads ? 1 : 0,
+               static_cast<std::int64_t>(record.first_seen));
+    }
+  }
+  {
+    util::CsvWriter observations(directory / "observations.csv");
+    observations.write_row({"app", "day", "downloads", "version", "price_dollars"});
+    for (const auto& [id, record] : database.apps()) {
+      for (const auto& [day, observation] : record.by_day) {
+        observations.row(static_cast<std::uint64_t>(id), static_cast<std::int64_t>(day),
+                         observation.downloads,
+                         static_cast<std::uint64_t>(observation.version),
+                         observation.price_dollars);
+      }
+    }
+  }
+  {
+    util::CsvWriter scans(directory / "apk_scans.csv");
+    scans.write_row({"app", "version", "ads_found"});
+    for (const auto& [id, record] : database.apps()) {
+      for (const auto& [version, ads] : record.apk_ads_by_version) {
+        scans.row(static_cast<std::uint64_t>(id), static_cast<std::uint64_t>(version),
+                  ads ? 1 : 0);
+      }
+    }
+  }
+}
+
+CrawlDatabase load_database(const std::filesystem::path& directory) {
+  const auto apps_path = directory / "apps.csv";
+  const auto observations_path = directory / "observations.csv";
+  if (!std::filesystem::exists(apps_path) || !std::filesystem::exists(observations_path)) {
+    throw std::runtime_error("load_database: missing apps.csv or observations.csv in " +
+                             directory.string());
+  }
+
+  CrawlDatabase database;
+
+  // Metadata first: record() fixes app metadata on first contact, so feed
+  // it one observation per app below (record needs at least one).
+  std::map<std::uint32_t, AppRecord> metadata;
+  for (const auto& row : util::read_csv(apps_path).rows) {
+    if (row.size() < 7) throw std::runtime_error("load_database: malformed apps.csv row");
+    AppRecord record;
+    record.id = static_cast<std::uint32_t>(field_u64(row[0], "id"));
+    record.name = row[1];
+    record.category = row[2];
+    record.developer = row[3];
+    record.paid = row[4] == "1";
+    record.has_ads = row[5] == "1";
+    record.first_seen = static_cast<market::Day>(field_i64(row[6], "first_seen"));
+    metadata.emplace(record.id, std::move(record));
+  }
+
+  for (const auto& row : util::read_csv(observations_path).rows) {
+    if (row.size() < 5) {
+      throw std::runtime_error("load_database: malformed observations.csv row");
+    }
+    const auto id = static_cast<std::uint32_t>(field_u64(row[0], "app"));
+    const auto it = metadata.find(id);
+    if (it == metadata.end()) {
+      throw std::runtime_error(
+          util::format("load_database: observation for unknown app {}", id));
+    }
+    AppObservation observation;
+    observation.downloads = field_u64(row[2], "downloads");
+    observation.version = static_cast<std::uint32_t>(field_u64(row[3], "version"));
+    observation.price_dollars = field_f64(row[4], "price");
+    database.record(it->second, static_cast<market::Day>(field_i64(row[1], "day")),
+                    observation);
+  }
+
+  const auto scans_path = directory / "apk_scans.csv";
+  if (std::filesystem::exists(scans_path)) {
+    for (const auto& row : util::read_csv(scans_path).rows) {
+      if (row.size() < 3) throw std::runtime_error("load_database: malformed apk_scans.csv");
+      const auto id = static_cast<std::uint32_t>(field_u64(row[0], "app"));
+      if (database.find(id) == nullptr) continue;  // scan without observations
+      database.record_apk_scan(id, static_cast<std::uint32_t>(field_u64(row[1], "version")),
+                               row[2] == "1");
+    }
+  }
+  return database;
+}
+
+}  // namespace appstore::crawlersim

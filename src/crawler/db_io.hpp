@@ -1,0 +1,26 @@
+// CrawlDatabase persistence: save/load the crawler's observations as CSV.
+//
+// This is the boundary where real data enters the library: a user with
+// their own appstore crawl (any source) can write these two files and run
+// every analysis bench against it. Format:
+//
+//   <dir>/apps.csv          id,name,category,developer,paid,has_ads,first_seen
+//   <dir>/observations.csv  app,day,downloads,version,price_dollars
+//   <dir>/apk_scans.csv     app,version,ads_found            (optional)
+#pragma once
+
+#include <filesystem>
+
+#include "crawler/database.hpp"
+
+namespace appstore::crawlersim {
+
+/// Writes the database under `directory` (created if needed).
+void save_database(const CrawlDatabase& database, const std::filesystem::path& directory);
+
+/// Reads a database previously written by save_database (apk_scans.csv may
+/// be absent). Throws std::runtime_error on missing required files or
+/// malformed content.
+[[nodiscard]] CrawlDatabase load_database(const std::filesystem::path& directory);
+
+}  // namespace appstore::crawlersim

@@ -1,0 +1,224 @@
+#include "crawler/service.hpp"
+
+#include <algorithm>
+
+#include "crawler/apk.hpp"
+#include "crawler/json.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::crawlersim {
+
+namespace {
+
+constexpr std::size_t kMaxPerPage = 500;
+
+[[nodiscard]] std::string client_of(const net::HttpRequest& request) {
+  const auto it = request.headers.find("X-Client-Id");
+  return it == request.headers.end() ? std::string("anonymous") : it->second;
+}
+
+[[nodiscard]] bool is_china_client(std::string_view client) {
+  // Proxy ids are "proxy-<region>-<n>".
+  return client.find("-cn-") != std::string_view::npos;
+}
+
+}  // namespace
+
+AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy policy,
+                                 std::uint16_t port, net::TokenBucketLimiter::Clock clock)
+    : store_(store),
+      policy_(policy),
+      limiter_(policy.rate_per_second, policy.burst, std::move(clock)),
+      failure_state_(policy.failure_seed) {
+  download_days_.resize(store_.apps().size());
+  for (const auto& event : store_.download_events()) {
+    download_days_[event.app.index()].push_back(event.day);
+  }
+  for (auto& days : download_days_) std::sort(days.begin(), days.end());
+
+  comment_index_.resize(store_.apps().size());
+  const auto comments = store_.comment_events();
+  for (std::uint32_t i = 0; i < comments.size(); ++i) {
+    comment_index_[comments[i].app.index()].push_back(i);
+  }
+
+  server_ = std::make_unique<net::HttpServer>(
+      port, [this](const net::HttpRequest& request) { return handle(request); });
+}
+
+std::uint64_t AppstoreService::downloads_up_to(std::uint32_t app, market::Day day) const {
+  const auto& days = download_days_[app];
+  return static_cast<std::uint64_t>(
+      std::upper_bound(days.begin(), days.end(), day) - days.begin());
+}
+
+std::uint32_t AppstoreService::version_up_to(std::uint32_t app, market::Day day) const {
+  const auto& updates = store_.apps()[app].update_days;
+  return 1 + static_cast<std::uint32_t>(
+                 std::upper_bound(updates.begin(), updates.end(), day) - updates.begin());
+}
+
+net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
+  const std::string client = client_of(request);
+
+  if (policy_.china_only && !is_china_client(client)) {
+    return net::HttpResponse::text(403, "region blocked");
+  }
+  if (!limiter_.allow(client)) {
+    return net::HttpResponse::text(429, "rate limited");
+  }
+  if (policy_.failure_rate > 0.0) {
+    // Deterministic per-request failure injection (splitmix64 walk).
+    std::uint64_t state = failure_state_.fetch_add(1, std::memory_order_relaxed);
+    util::Rng rng(util::splitmix64(state));
+    if (rng.chance(policy_.failure_rate)) {
+      return net::HttpResponse::text(500, "transient failure (injected)");
+    }
+  }
+
+  if (request.method != "GET") return net::HttpResponse::text(400, "only GET supported");
+
+  const std::string path = request.path();
+  if (path == "/api/meta") return handle_meta();
+  if (path == "/api/apps") return handle_apps(request);
+
+  constexpr std::string_view kAppPrefix = "/api/app/";
+  if (path.starts_with(kAppPrefix)) {
+    std::string_view rest = std::string_view(path).substr(kAppPrefix.size());
+    const bool comments = rest.ends_with("/comments");
+    const bool apk = rest.ends_with("/apk");
+    if (comments) rest.remove_suffix(std::string_view("/comments").size());
+    if (apk) rest.remove_suffix(std::string_view("/apk").size());
+    std::uint64_t id = 0;
+    if (!util::parse_u64(rest, id) || id >= store_.apps().size()) {
+      return net::HttpResponse::text(404, "no such app");
+    }
+    if (comments) return handle_comments(static_cast<std::uint32_t>(id), request);
+    if (apk) return handle_apk(static_cast<std::uint32_t>(id));
+    return handle_app(static_cast<std::uint32_t>(id));
+  }
+  return net::HttpResponse::text(404, "no such endpoint");
+}
+
+net::HttpResponse AppstoreService::handle_meta() const {
+  const market::Day day = day_.load(std::memory_order_relaxed);
+  std::uint64_t visible = 0;
+  for (const auto& app : store_.apps()) {
+    if (app.released <= day) ++visible;
+  }
+  return net::HttpResponse::json(
+      200, json_object({{"store", store_.name()},
+                        {"day", static_cast<std::int64_t>(day)},
+                        {"total_apps", visible},
+                        {"categories", static_cast<std::uint64_t>(store_.categories().size())}})
+               .dump());
+}
+
+net::HttpResponse AppstoreService::handle_apps(const net::HttpRequest& request) const {
+  const market::Day day = day_.load(std::memory_order_relaxed);
+  const auto query = request.query();
+  std::uint64_t page = 0;
+  std::uint64_t per_page = 100;
+  if (const auto it = query.find("page"); it != query.end()) {
+    if (!util::parse_u64(it->second, page)) {
+      return net::HttpResponse::text(400, "bad page");
+    }
+  }
+  if (const auto it = query.find("per_page"); it != query.end()) {
+    if (!util::parse_u64(it->second, per_page) || per_page == 0 || per_page > kMaxPerPage) {
+      return net::HttpResponse::text(400, "bad per_page");
+    }
+  }
+
+  // Visible app ids in id order (the directory lists everything released so
+  // far; new releases append).
+  JsonArray ids;
+  std::uint64_t visible = 0;
+  const std::uint64_t first = page * per_page;
+  for (const auto& app : store_.apps()) {
+    if (app.released > day) continue;
+    if (visible >= first && visible < first + per_page) {
+      ids.push_back(Json(static_cast<std::uint64_t>(app.id.value)));
+    }
+    ++visible;
+  }
+  return net::HttpResponse::json(200, json_object({{"page", page},
+                                                   {"per_page", per_page},
+                                                   {"total", visible},
+                                                   {"ids", Json(std::move(ids))}})
+                                          .dump());
+}
+
+net::HttpResponse AppstoreService::handle_app(std::uint32_t id) const {
+  const market::Day day = day_.load(std::memory_order_relaxed);
+  const market::App& app = store_.apps()[id];
+  if (app.released > day) return net::HttpResponse::text(404, "not yet released");
+
+  return net::HttpResponse::json(
+      200,
+      json_object(
+          {{"id", static_cast<std::uint64_t>(id)},
+           {"name", app.name},
+           {"category", store_.category(app.category).name},
+           {"developer", store_.developer(app.developer).name},
+           {"paid", app.pricing == market::Pricing::kPaid},
+           {"price", market::cents_to_dollars(app.price)},
+           {"downloads", downloads_up_to(id, day)},
+           {"version", static_cast<std::uint64_t>(version_up_to(id, day))},
+           {"has_ads", app.has_ads},
+           {"released", static_cast<std::int64_t>(app.released)}})
+          .dump());
+}
+
+net::HttpResponse AppstoreService::handle_apk(std::uint32_t id) const {
+  const market::Day day = day_.load(std::memory_order_relaxed);
+  const market::App& app = store_.apps()[id];
+  if (app.released > day) return net::HttpResponse::text(404, "not yet released");
+
+  const std::uint32_t version = version_up_to(id, day);
+  const auto ad_libraries = select_ad_libraries(id, app.has_ads);
+  net::HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.headers["Content-Type"] = "application/vnd.android.package-archive";
+  response.headers["X-Apk-Version"] = std::to_string(version);
+  response.body = build_apk(id, version, ad_libraries);
+  return response;
+}
+
+net::HttpResponse AppstoreService::handle_comments(std::uint32_t id,
+                                                   const net::HttpRequest& request) const {
+  const market::Day day = day_.load(std::memory_order_relaxed);
+  const auto query = request.query();
+  std::uint64_t page = 0;
+  const std::uint64_t per_page = 200;
+  if (const auto it = query.find("page"); it != query.end()) {
+    if (!util::parse_u64(it->second, page)) {
+      return net::HttpResponse::text(400, "bad page");
+    }
+  }
+
+  const auto all = store_.comment_events();
+  JsonArray comments;
+  std::uint64_t visible = 0;
+  const std::uint64_t first = page * per_page;
+  for (const auto index : comment_index_[id]) {
+    const auto& comment = all[index];
+    if (comment.day > day) continue;
+    if (visible >= first && visible < first + per_page) {
+      comments.push_back(json_object({{"user", static_cast<std::uint64_t>(comment.user.value)},
+                                      {"day", static_cast<std::int64_t>(comment.day)},
+                                      {"ordinal", static_cast<std::uint64_t>(comment.ordinal)},
+                                      {"rating", static_cast<std::uint64_t>(comment.rating)}}));
+    }
+    ++visible;
+  }
+  return net::HttpResponse::json(200, json_object({{"app", static_cast<std::uint64_t>(id)},
+                                                   {"total", visible},
+                                                   {"page", page},
+                                                   {"comments", Json(std::move(comments))}})
+                                          .dump());
+}
+
+}  // namespace appstore::crawlersim

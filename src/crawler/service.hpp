@@ -1,0 +1,96 @@
+// The simulated appstore REST service (the "server side" of Fig. 1).
+//
+// Wraps a fully-generated market::AppStore behind an HTTP API exposing what
+// the real stores' websites exposed: a paginated app directory and per-app
+// statistics pages with *exact* download counts (the reason these four
+// stores were chosen, §2.1). The service advances through virtual crawl
+// days; responses reflect cumulative state up to the current day, so a
+// daily re-crawl observes the store exactly as the paper's crawlers did.
+//
+// Policy enforcement mirrors §2.2:
+//   * per-client token-bucket rate limiting (client = "X-Client-Id" header,
+//     i.e. the proxy identity) with 429 on violation;
+//   * optional region gating: a store configured as China-only answers 403
+//     to clients whose id is not tagged "cn" (the paper could reach the
+//     Chinese stores only through PlanetLab nodes in China);
+//   * optional random transient failures (500) to exercise crawler retries.
+//
+// Endpoints (all GET):
+//   /api/meta                         -> {store, day, total_apps}
+//   /api/apps?page=P&per_page=N      -> {page, total, ids:[...]}
+//   /api/app/<id>                     -> per-app statistics
+//   /api/app/<id>/comments?page=P    -> {total, comments:[...]}
+//   /api/app/<id>/apk                 -> the current version's APK blob
+//                                        (synthetic; see crawler/apk.hpp)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "market/store.hpp"
+#include "net/proxy.hpp"
+#include "net/rate_limiter.hpp"
+#include "net/server.hpp"
+#include "util/rng.hpp"
+
+namespace appstore::crawlersim {
+
+struct ServicePolicy {
+  double rate_per_second = 200.0;  ///< token refill per client
+  double burst = 50.0;             ///< bucket depth
+  bool china_only = false;         ///< 403 for non-"cn" clients
+  double failure_rate = 0.0;       ///< probability of a injected 500
+  std::uint64_t failure_seed = 7;
+};
+
+class AppstoreService {
+ public:
+  /// Starts serving `store` on 127.0.0.1:`port` (0 = ephemeral). The store
+  /// must outlive the service and is not mutated.
+  AppstoreService(const market::AppStore& store, ServicePolicy policy,
+                  std::uint16_t port = 0, net::TokenBucketLimiter::Clock clock = nullptr);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_->port(); }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return server_->requests_served();
+  }
+
+  /// Advances the virtual crawl day (thread-safe).
+  void set_day(market::Day day) noexcept { day_.store(day, std::memory_order_relaxed); }
+  [[nodiscard]] market::Day day() const noexcept {
+    return day_.load(std::memory_order_relaxed);
+  }
+
+  void stop() { server_->stop(); }
+
+ private:
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
+  [[nodiscard]] net::HttpResponse handle_meta() const;
+  [[nodiscard]] net::HttpResponse handle_apps(const net::HttpRequest& request) const;
+  [[nodiscard]] net::HttpResponse handle_app(std::uint32_t id) const;
+  [[nodiscard]] net::HttpResponse handle_comments(std::uint32_t id,
+                                                  const net::HttpRequest& request) const;
+  [[nodiscard]] net::HttpResponse handle_apk(std::uint32_t id) const;
+
+  /// Cumulative downloads of an app up to the current day (binary search
+  /// over the app's sorted event-day list).
+  [[nodiscard]] std::uint64_t downloads_up_to(std::uint32_t app, market::Day day) const;
+  [[nodiscard]] std::uint32_t version_up_to(std::uint32_t app, market::Day day) const;
+
+  const market::AppStore& store_;
+  ServicePolicy policy_;
+  std::atomic<market::Day> day_{0};
+  net::TokenBucketLimiter limiter_;
+  std::atomic<std::uint64_t> failure_state_;
+
+  /// Per-app sorted download-event days (built once at construction).
+  std::vector<std::vector<market::Day>> download_days_;
+  /// Per-app sorted comment indices (into store.comment_events()).
+  std::vector<std::vector<std::uint32_t>> comment_index_;
+
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace appstore::crawlersim

@@ -1,0 +1,132 @@
+#include "fit/sweep.hpp"
+
+#include "models/app_clustering_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/distance.hpp"
+#include "util/logging.hpp"
+
+namespace appstore::fit {
+
+namespace {
+
+constexpr std::string_view kComponent = "fit";
+
+[[nodiscard]] double measured_total(std::span<const double> measured) {
+  double total = 0.0;
+  for (const double d : measured) total += d;
+  return total;
+}
+
+}  // namespace
+
+double evaluate_distance(const models::DownloadModel& model,
+                         std::span<const double> measured_by_rank, std::uint64_t seed,
+                         bool analytic, std::vector<double>* simulated_out) {
+  std::vector<double> simulated;
+  if (analytic) {
+    simulated = model.expected_downloads();
+  } else {
+    util::Rng rng(seed);
+    simulated = model.generate(rng).counts();
+  }
+  std::sort(simulated.begin(), simulated.end(), std::greater<>());
+  simulated.resize(measured_by_rank.size(), 0.0);
+  const double distance = stats::mean_relative_error(measured_by_rank, simulated);
+  if (simulated_out != nullptr) *simulated_out = std::move(simulated);
+  return distance;
+}
+
+FitResult fit_model(models::ModelKind kind, std::span<const double> measured_by_rank,
+                    std::uint64_t users, std::uint32_t cluster_count,
+                    const SweepOptions& options) {
+  if (measured_by_rank.empty()) throw std::invalid_argument("fit_model: empty target");
+  if (users == 0) throw std::invalid_argument("fit_model: zero users");
+
+  FitResult result;
+  result.kind = kind;
+  result.distance = std::numeric_limits<double>::infinity();
+
+  models::ModelParams base;
+  base.app_count = static_cast<std::uint32_t>(measured_by_rank.size());
+  base.user_count = users;
+  base.downloads_per_user = measured_total(measured_by_rank) / static_cast<double>(users);
+  base.cluster_count = cluster_count;
+
+  const bool clustering = kind == models::ModelKind::kAppClustering;
+  const std::vector<double> unit = {0.0};
+  const auto& p_grid = clustering ? options.p_grid : unit;
+  const auto& zc_grid = clustering ? options.zc_grid : unit;
+
+  for (const double zr : options.zr_grid) {
+    for (const double p : p_grid) {
+      for (const double zc : zc_grid) {
+        models::ModelParams params = base;
+        params.zr = zr;
+        params.p = p;
+        params.zc = zc;
+        const auto model = models::make_model(kind, params);
+
+        std::vector<double> simulated;
+        const double distance = evaluate_distance(*model, measured_by_rank, options.seed,
+                                                  options.analytic, &simulated);
+        result.all.push_back(Candidate{params, distance});
+        util::log_debug(kComponent, "{} zr={} p={} zc={} -> distance {:.4f}",
+                        to_string(kind), zr, p, zc, distance);
+        if (distance < result.distance) {
+          result.distance = distance;
+          result.best = params;
+          result.simulated_by_rank = std::move(simulated);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<UsersSweepPoint> sweep_users(models::ModelKind kind,
+                                         std::span<const double> measured_by_rank,
+                                         const models::ModelParams& params,
+                                         std::span<const double> user_ratios,
+                                         std::uint64_t seed, bool analytic,
+                                         std::uint32_t replicates,
+                                         const models::ClusterLayout* layout) {
+  if (measured_by_rank.empty()) throw std::invalid_argument("sweep_users: empty target");
+  const double top_downloads = measured_by_rank.front();
+  const double total = measured_total(measured_by_rank);
+
+  std::vector<UsersSweepPoint> points;
+  points.reserve(user_ratios.size());
+  for (const double ratio : user_ratios) {
+    const auto users =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ratio * top_downloads));
+    models::ModelParams candidate = params;
+    candidate.app_count = static_cast<std::uint32_t>(measured_by_rank.size());
+    candidate.user_count = users;
+    candidate.downloads_per_user = total / static_cast<double>(users);
+    std::unique_ptr<models::DownloadModel> model;
+    if (kind == models::ModelKind::kAppClustering && layout != nullptr) {
+      model = std::make_unique<models::AppClusteringModel>(candidate, *layout);
+    } else {
+      model = models::make_model(kind, candidate);
+    }
+    double distance = 0.0;
+    const std::uint32_t runs = std::max<std::uint32_t>(1, replicates);
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      distance += evaluate_distance(*model, measured_by_rank, seed + r, analytic);
+      if (analytic) {  // deterministic: one evaluation suffices
+        distance *= runs;
+        break;
+      }
+    }
+    points.push_back(UsersSweepPoint{ratio, users, distance / runs});
+  }
+  return points;
+}
+
+}  // namespace appstore::fit

@@ -1,0 +1,55 @@
+// Domain entities: categories, developers, apps, users.
+//
+// These are plain aggregates (Core Guidelines C.1/C.7): all invariants that
+// span entities (ID validity, download counts vs events) are owned by
+// market::AppStore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "market/types.hpp"
+
+namespace appstore::market {
+
+/// Thematic app category ("games", "e-books", ...). Clusters in the
+/// APP-CLUSTERING model are identified with categories (§4, point A).
+struct Category {
+  CategoryId id;
+  std::string name;
+};
+
+struct Developer {
+  DeveloperId id;
+  std::string name;
+};
+
+/// Pricing model of an app. The paper's stores offer free and paid apps;
+/// SlideMe is the only monitored store with paid ones.
+enum class Pricing : std::uint8_t { kFree, kPaid };
+
+struct App {
+  AppId id;
+  std::string name;
+  DeveloperId developer;
+  CategoryId category;
+  Pricing pricing = Pricing::kFree;
+  /// Current list price; 0 for free apps. Prices may change over time — the
+  /// paper uses the average observed price, which AppStore tracks.
+  Cents price = 0;
+  /// Day the app first appeared in the store (0 for the initial snapshot).
+  Day released = 0;
+  /// Days on which the developer shipped an update (Fig. 4).
+  std::vector<Day> update_days;
+  /// Whether the APK embeds one of the top-20 ad libraries (§6.3, 67.7% of
+  /// free apps). Substitutes the paper's Androguard scan.
+  bool has_ads = false;
+};
+
+/// Users are anonymous in the dataset; we only track their download/comment
+/// streams, never any identity — matching the paper's privacy posture.
+struct User {
+  UserId id;
+};
+
+}  // namespace appstore::market

@@ -1,0 +1,50 @@
+// Timestamped event streams.
+//
+// Ordering within a day follows the order of generation/crawl; `ordinal`
+// breaks ties so that per-user streams have a total chronological order,
+// which the affinity metric (§4.2) requires.
+#pragma once
+
+#include <cstdint>
+
+#include "market/types.hpp"
+
+namespace appstore::market {
+
+struct DownloadEvent {
+  UserId user;
+  AppId app;
+  Day day = 0;
+  std::uint32_t ordinal = 0;  ///< within-day sequence number
+};
+
+/// A user comment with a rating — the paper treats a rated comment as strong
+/// evidence of a download and reconstructs download patterns from these.
+struct CommentEvent {
+  UserId user;
+  AppId app;
+  Day day = 0;
+  std::uint32_t ordinal = 0;
+  /// 1..5 stars; comments without ratings are excluded during analysis.
+  std::uint8_t rating = 0;
+};
+
+struct UpdateEvent {
+  AppId app;
+  Day day = 0;
+  /// Monotonically increasing version ordinal (1 = first update).
+  std::uint32_t version = 0;
+};
+
+/// Chronological comparison (day, then ordinal).
+[[nodiscard]] constexpr bool chronological(const DownloadEvent& a,
+                                           const DownloadEvent& b) noexcept {
+  return a.day != b.day ? a.day < b.day : a.ordinal < b.ordinal;
+}
+
+[[nodiscard]] constexpr bool chronological(const CommentEvent& a,
+                                           const CommentEvent& b) noexcept {
+  return a.day != b.day ? a.day < b.day : a.ordinal < b.ordinal;
+}
+
+}  // namespace appstore::market

@@ -1,0 +1,35 @@
+// AppStore persistence: save/load a fully-populated store as a directory of
+// CSV files (entities + event streams).
+//
+// Lets expensive paper-scale generations be produced once and re-analyzed
+// repeatedly, and gives the crawl pipeline a durable output format. Format:
+//
+//   <dir>/meta.csv        store name, user count
+//   <dir>/categories.csv  id,name
+//   <dir>/developers.csv  id,name
+//   <dir>/apps.csv        id,name,developer,category,paid,price_cents,
+//                         released,has_ads
+//   <dir>/downloads.csv   user,app,day
+//   <dir>/comments.csv    user,app,day,rating
+//   <dir>/updates.csv     app,day
+//
+// load_store() rebuilds through the public AppStore API, so all invariants
+// are re-established (and check_invariants() passes by construction).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "market/store.hpp"
+
+namespace appstore::market {
+
+/// Writes the store under `directory` (created if needed).
+/// Throws std::runtime_error on I/O failure.
+void save_store(const AppStore& store, const std::filesystem::path& directory);
+
+/// Reads a store previously written by save_store.
+/// Throws std::runtime_error on missing files or malformed content.
+[[nodiscard]] std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory);
+
+}  // namespace appstore::market

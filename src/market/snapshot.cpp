@@ -1,0 +1,72 @@
+#include "market/snapshot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace appstore::market {
+
+void SnapshotSeries::add(Snapshot snapshot) {
+  if (!snapshots_.empty() && snapshot.day <= snapshots_.back().day) {
+    throw std::invalid_argument("SnapshotSeries: days must be strictly increasing");
+  }
+  snapshots_.push_back(snapshot);
+}
+
+double SnapshotSeries::new_apps_per_day() const {
+  if (snapshots_.size() < 2) return 0.0;
+  const auto& a = snapshots_.front();
+  const auto& b = snapshots_.back();
+  const double days = static_cast<double>(b.day - a.day);
+  return (static_cast<double>(b.total_apps) - static_cast<double>(a.total_apps)) / days;
+}
+
+double SnapshotSeries::daily_downloads() const {
+  if (snapshots_.size() < 2) return 0.0;
+  const auto& a = snapshots_.front();
+  const auto& b = snapshots_.back();
+  const double days = static_cast<double>(b.day - a.day);
+  return (static_cast<double>(b.total_downloads) - static_cast<double>(a.total_downloads)) /
+         days;
+}
+
+DatasetSummary summarize(const std::string& store_name, const SnapshotSeries& series) {
+  DatasetSummary summary;
+  summary.store = store_name;
+  if (series.empty()) return summary;
+  summary.first_day = series.first().day;
+  summary.last_day = series.last().day;
+  summary.apps_first_day = series.first().total_apps;
+  summary.apps_last_day = series.last().total_apps;
+  summary.downloads_first_day = series.first().total_downloads;
+  summary.downloads_last_day = series.last().total_downloads;
+  summary.new_apps_per_day = series.new_apps_per_day();
+  summary.daily_downloads = series.daily_downloads();
+  return summary;
+}
+
+SnapshotSeries replay_snapshots(const AppStore& store, Day horizon) {
+  // Releases per day.
+  std::vector<std::uint64_t> releases(static_cast<std::size_t>(horizon) + 1, 0);
+  for (const auto& app : store.apps()) {
+    const Day day = std::clamp<Day>(app.released, 0, horizon);
+    ++releases[static_cast<std::size_t>(day)];
+  }
+  // Downloads per day.
+  std::vector<std::uint64_t> downloads(static_cast<std::size_t>(horizon) + 1, 0);
+  for (const auto& event : store.download_events()) {
+    const Day day = std::clamp<Day>(event.day, 0, horizon);
+    ++downloads[static_cast<std::size_t>(day)];
+  }
+
+  SnapshotSeries series;
+  std::uint64_t apps_so_far = 0;
+  std::uint64_t downloads_so_far = 0;
+  for (Day day = 0; day <= horizon; ++day) {
+    apps_so_far += releases[static_cast<std::size_t>(day)];
+    downloads_so_far += downloads[static_cast<std::size_t>(day)];
+    series.add(Snapshot{day, apps_so_far, downloads_so_far});
+  }
+  return series;
+}
+
+}  // namespace appstore::market

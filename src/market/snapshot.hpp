@@ -1,0 +1,67 @@
+// Daily snapshots and dataset summaries (Table 1).
+//
+// The crawl re-visits each store daily; a Snapshot captures the aggregate
+// state on one day, and SnapshotSeries derives the Table-1 columns:
+// total apps first/last day, average new apps per day, total downloads
+// first/last day, average daily downloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "market/store.hpp"
+#include "market/types.hpp"
+
+namespace appstore::market {
+
+struct Snapshot {
+  Day day = 0;
+  std::uint64_t total_apps = 0;
+  std::uint64_t total_downloads = 0;
+};
+
+class SnapshotSeries {
+ public:
+  SnapshotSeries() = default;
+
+  /// Appends a snapshot; days must be strictly increasing.
+  void add(Snapshot snapshot);
+
+  [[nodiscard]] std::span<const Snapshot> snapshots() const noexcept { return snapshots_; }
+  [[nodiscard]] bool empty() const noexcept { return snapshots_.empty(); }
+  [[nodiscard]] const Snapshot& first() const { return snapshots_.front(); }
+  [[nodiscard]] const Snapshot& last() const { return snapshots_.back(); }
+
+  /// Average newly-listed apps per day over the window.
+  [[nodiscard]] double new_apps_per_day() const;
+
+  /// Average downloads per day over the window.
+  [[nodiscard]] double daily_downloads() const;
+
+ private:
+  std::vector<Snapshot> snapshots_;
+};
+
+/// One Table-1 row.
+struct DatasetSummary {
+  std::string store;
+  Day first_day = 0;
+  Day last_day = 0;
+  std::uint64_t apps_first_day = 0;
+  std::uint64_t apps_last_day = 0;
+  double new_apps_per_day = 0.0;
+  std::uint64_t downloads_first_day = 0;
+  std::uint64_t downloads_last_day = 0;
+  double daily_downloads = 0.0;
+};
+
+[[nodiscard]] DatasetSummary summarize(const std::string& store_name,
+                                       const SnapshotSeries& series);
+
+/// Rebuilds the snapshot series of a fully-populated store by replaying its
+/// event streams day by day over [0, horizon].
+[[nodiscard]] SnapshotSeries replay_snapshots(const AppStore& store, Day horizon);
+
+}  // namespace appstore::market

@@ -1,0 +1,198 @@
+#include "market/store.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace appstore::market {
+
+CategoryId AppStore::add_category(std::string name) {
+  const CategoryId id{static_cast<std::uint32_t>(categories_.size())};
+  categories_.push_back(Category{id, std::move(name)});
+  return id;
+}
+
+DeveloperId AppStore::add_developer(std::string name) {
+  const DeveloperId id{static_cast<std::uint32_t>(developers_.size())};
+  developers_.push_back(Developer{id, std::move(name)});
+  return id;
+}
+
+UserId AppStore::add_user() { return add_users(1); }
+
+UserId AppStore::add_users(std::uint32_t count) {
+  const UserId first{user_count_};
+  user_count_ += count;
+  return first;
+}
+
+AppId AppStore::add_app(std::string name, DeveloperId developer, CategoryId category,
+                        Pricing pricing, Cents price, Day released) {
+  if (!developer.valid() || developer.index() >= developers_.size()) {
+    throw std::invalid_argument("add_app: invalid developer");
+  }
+  if (!category.valid() || category.index() >= categories_.size()) {
+    throw std::invalid_argument("add_app: invalid category");
+  }
+  if (pricing == Pricing::kFree && price != 0) {
+    throw std::invalid_argument("add_app: free app with nonzero price");
+  }
+  const AppId id{static_cast<std::uint32_t>(apps_.size())};
+  apps_.push_back(App{.id = id,
+                      .name = std::move(name),
+                      .developer = developer,
+                      .category = category,
+                      .pricing = pricing,
+                      .price = price,
+                      .released = released,
+                      .update_days = {},
+                      .has_ads = false});
+  downloads_.push_back(0);
+  price_sum_dollars_.push_back(pricing == Pricing::kPaid ? cents_to_dollars(price) : 0.0);
+  price_samples_.push_back(pricing == Pricing::kPaid ? 1u : 0u);
+  return id;
+}
+
+void AppStore::record_update(AppId app, Day day) {
+  auto& entry = apps_.at(app.index());
+  entry.update_days.push_back(day);
+  update_events_.push_back(
+      UpdateEvent{app, day, static_cast<std::uint32_t>(entry.update_days.size())});
+}
+
+void AppStore::record_download(UserId user, AppId app, Day day) {
+  if (user.index() >= user_count_) throw std::invalid_argument("record_download: invalid user");
+  ++downloads_.at(app.index());
+  ++total_downloads_;
+  download_events_.push_back(DownloadEvent{user, app, day, next_download_ordinal_++});
+}
+
+void AppStore::record_comment(UserId user, AppId app, Day day, std::uint8_t rating) {
+  if (user.index() >= user_count_) throw std::invalid_argument("record_comment: invalid user");
+  if (app.index() >= apps_.size()) throw std::invalid_argument("record_comment: invalid app");
+  comment_events_.push_back(CommentEvent{user, app, day, next_comment_ordinal_++, rating});
+}
+
+void AppStore::set_price(AppId app, Cents price, Day /*day*/) {
+  auto& entry = apps_.at(app.index());
+  if (entry.pricing != Pricing::kPaid) {
+    throw std::invalid_argument("set_price: app is not paid");
+  }
+  entry.price = price;
+  price_sum_dollars_.at(app.index()) += cents_to_dollars(price);
+  ++price_samples_.at(app.index());
+}
+
+void AppStore::set_has_ads(AppId app, bool has_ads) {
+  apps_.at(app.index()).has_ads = has_ads;
+}
+
+double AppStore::average_price_dollars(AppId id) const {
+  const std::uint32_t samples = price_samples_.at(id.index());
+  if (samples == 0) return 0.0;
+  return price_sum_dollars_.at(id.index()) / static_cast<double>(samples);
+}
+
+std::vector<std::uint32_t> AppStore::apps_per_category() const {
+  std::vector<std::uint32_t> counts(categories_.size(), 0);
+  for (const auto& app : apps_) ++counts[app.category.index()];
+  return counts;
+}
+
+std::vector<double> AppStore::download_counts() const {
+  std::vector<double> counts;
+  counts.reserve(downloads_.size());
+  for (const auto d : downloads_) counts.push_back(static_cast<double>(d));
+  return counts;
+}
+
+std::vector<double> AppStore::download_counts(Pricing pricing) const {
+  std::vector<double> counts;
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].pricing == pricing) counts.push_back(static_cast<double>(downloads_[i]));
+  }
+  return counts;
+}
+
+std::vector<double> AppStore::downloads_by_rank() const {
+  std::vector<double> counts = download_counts();
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  return counts;
+}
+
+std::vector<double> AppStore::downloads_by_rank(Pricing pricing) const {
+  std::vector<double> counts = download_counts(pricing);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  return counts;
+}
+
+std::vector<std::vector<CommentEvent>> AppStore::comment_streams() const {
+  std::vector<std::vector<CommentEvent>> streams(user_count_);
+  for (const auto& event : comment_events_) {
+    streams[event.user.index()].push_back(event);
+  }
+  for (auto& stream : streams) {
+    std::sort(stream.begin(), stream.end(),
+              [](const CommentEvent& a, const CommentEvent& b) { return chronological(a, b); });
+  }
+  return streams;
+}
+
+std::vector<std::vector<DownloadEvent>> AppStore::download_streams() const {
+  std::vector<std::vector<DownloadEvent>> streams(user_count_);
+  for (const auto& event : download_events_) {
+    streams[event.user.index()].push_back(event);
+  }
+  for (auto& stream : streams) {
+    std::sort(stream.begin(), stream.end(),
+              [](const DownloadEvent& a, const DownloadEvent& b) { return chronological(a, b); });
+  }
+  return streams;
+}
+
+void AppStore::check_invariants() const {
+  if (downloads_.size() != apps_.size()) {
+    throw std::logic_error("store invariant: download counter size mismatch");
+  }
+  std::uint64_t recomputed_total = 0;
+  std::vector<std::uint64_t> recomputed(apps_.size(), 0);
+  for (const auto& event : download_events_) {
+    if (event.app.index() >= apps_.size()) {
+      throw std::logic_error("store invariant: download event with invalid app");
+    }
+    if (event.user.index() >= user_count_) {
+      throw std::logic_error("store invariant: download event with invalid user");
+    }
+    ++recomputed[event.app.index()];
+    ++recomputed_total;
+  }
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (recomputed[i] != downloads_[i]) {
+      throw std::logic_error(util::format(
+          "store invariant: app {} counter {} != {} events", i, downloads_[i], recomputed[i]));
+    }
+  }
+  if (recomputed_total != total_downloads_) {
+    throw std::logic_error("store invariant: total download counter mismatch");
+  }
+  for (const auto& event : comment_events_) {
+    if (event.app.index() >= apps_.size() || event.user.index() >= user_count_) {
+      throw std::logic_error("store invariant: comment event with invalid id");
+    }
+  }
+  for (const auto& app : apps_) {
+    if (app.developer.index() >= developers_.size()) {
+      throw std::logic_error("store invariant: app with invalid developer");
+    }
+    if (app.category.index() >= categories_.size()) {
+      throw std::logic_error("store invariant: app with invalid category");
+    }
+    if (!std::is_sorted(app.update_days.begin(), app.update_days.end())) {
+      throw std::logic_error("store invariant: unsorted update days");
+    }
+  }
+}
+
+}  // namespace appstore::market

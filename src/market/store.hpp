@@ -1,0 +1,130 @@
+// AppStore: the in-memory marketplace database.
+//
+// Owns all entities and event streams for one monitored store, maintains
+// derived counters (per-app downloads, per-category app counts, average
+// prices) and enforces cross-entity invariants: every event references valid
+// IDs, download counts equal the number of download events, and per-user
+// streams are chronologically ordered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "market/entities.hpp"
+#include "market/events.hpp"
+#include "market/types.hpp"
+
+namespace appstore::market {
+
+class AppStore {
+ public:
+  explicit AppStore(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // --- construction -------------------------------------------------------
+
+  CategoryId add_category(std::string name);
+  DeveloperId add_developer(std::string name);
+  UserId add_user();
+  /// Adds `count` anonymous users at once; returns the first new id.
+  UserId add_users(std::uint32_t count);
+
+  /// Adds an app; `developer` and `category` must be valid.
+  AppId add_app(std::string name, DeveloperId developer, CategoryId category, Pricing pricing,
+                Cents price, Day released);
+
+  /// Records an app update on `day` (Fig. 4 series).
+  void record_update(AppId app, Day day);
+
+  /// Records a download; increments the per-app counter.
+  void record_download(UserId user, AppId app, Day day);
+
+  /// Records a rated comment (the affinity substrate, §4).
+  void record_comment(UserId user, AppId app, Day day, std::uint8_t rating);
+
+  /// Updates the list price of a paid app starting at `day`; the average
+  /// price (used by the revenue analysis) is tracked per observed day.
+  void set_price(AppId app, Cents price, Day day);
+
+  /// Marks ad-library presence for an app (§6.3).
+  void set_has_ads(AppId app, bool has_ads);
+
+  // --- access --------------------------------------------------------------
+
+  [[nodiscard]] std::span<const Category> categories() const noexcept { return categories_; }
+  [[nodiscard]] std::span<const Developer> developers() const noexcept { return developers_; }
+  [[nodiscard]] std::span<const App> apps() const noexcept { return apps_; }
+  [[nodiscard]] std::uint32_t user_count() const noexcept { return user_count_; }
+
+  [[nodiscard]] const Category& category(CategoryId id) const { return categories_.at(id.index()); }
+  [[nodiscard]] const Developer& developer(DeveloperId id) const {
+    return developers_.at(id.index());
+  }
+  [[nodiscard]] const App& app(AppId id) const { return apps_.at(id.index()); }
+
+  [[nodiscard]] std::uint64_t downloads_of(AppId id) const { return downloads_.at(id.index()); }
+  [[nodiscard]] std::uint64_t total_downloads() const noexcept { return total_downloads_; }
+
+  /// Mean of the price observations recorded via set_price/add_app — the
+  /// paper uses the average price over the measurement window (§6.1).
+  [[nodiscard]] double average_price_dollars(AppId id) const;
+
+  [[nodiscard]] std::span<const DownloadEvent> download_events() const noexcept {
+    return download_events_;
+  }
+  [[nodiscard]] std::span<const CommentEvent> comment_events() const noexcept {
+    return comment_events_;
+  }
+  [[nodiscard]] std::span<const UpdateEvent> update_events() const noexcept {
+    return update_events_;
+  }
+
+  /// Number of apps in each category (index = CategoryId).
+  [[nodiscard]] std::vector<std::uint32_t> apps_per_category() const;
+
+  /// Download counts per app (index = AppId), as doubles for the stats layer.
+  [[nodiscard]] std::vector<double> download_counts() const;
+
+  /// Download counts restricted to apps with the given pricing.
+  [[nodiscard]] std::vector<double> download_counts(Pricing pricing) const;
+
+  /// Download counts sorted descending — the rank–download curve of Fig. 3.
+  [[nodiscard]] std::vector<double> downloads_by_rank() const;
+  [[nodiscard]] std::vector<double> downloads_by_rank(Pricing pricing) const;
+
+  /// Chronological (day, ordinal) per-user comment streams; users without
+  /// comments get empty vectors. Index = UserId.
+  [[nodiscard]] std::vector<std::vector<CommentEvent>> comment_streams() const;
+
+  /// Chronological per-user download streams. Index = UserId.
+  [[nodiscard]] std::vector<std::vector<DownloadEvent>> download_streams() const;
+
+  /// Validates all invariants; throws std::logic_error with a description of
+  /// the first violation. Used by tests and after deserialization.
+  void check_invariants() const;
+
+ private:
+  std::string name_;
+  std::vector<Category> categories_;
+  std::vector<Developer> developers_;
+  std::vector<App> apps_;
+  std::uint32_t user_count_ = 0;
+
+  std::vector<std::uint64_t> downloads_;      // per app
+  std::uint64_t total_downloads_ = 0;
+  std::vector<double> price_sum_dollars_;     // per app, sum of observations
+  std::vector<std::uint32_t> price_samples_;  // per app
+
+  std::vector<DownloadEvent> download_events_;
+  std::vector<CommentEvent> comment_events_;
+  std::vector<UpdateEvent> update_events_;
+
+  std::uint32_t next_download_ordinal_ = 0;
+  std::uint32_t next_comment_ordinal_ = 0;
+};
+
+}  // namespace appstore::market

@@ -1,0 +1,67 @@
+// Strongly-typed identifiers and time units for the marketplace domain.
+//
+// IDs are dense indices (0-based) into the owning AppStore's tables; the
+// wrapper types exist so an AppId cannot be passed where a UserId is
+// expected. `Day` counts days since the start of the observation window,
+// mirroring the paper's daily crawl granularity.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace appstore::market {
+
+namespace detail {
+
+/// CRTP-free tagged index. Tag distinguishes otherwise-identical types.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  explicit constexpr Id(std::uint32_t v) noexcept : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+}  // namespace detail
+
+struct AppTag {};
+struct UserTag {};
+struct DeveloperTag {};
+struct CategoryTag {};
+
+using AppId = detail::Id<AppTag>;
+using UserId = detail::Id<UserTag>;
+using DeveloperId = detail::Id<DeveloperTag>;
+using CategoryId = detail::Id<CategoryTag>;
+
+/// Days since the first observed day (the paper's crawl step is one day).
+using Day = std::int32_t;
+
+/// Cents avoid accumulating floating-point error in revenue sums; the paper
+/// reports dollars, so conversion helpers are provided.
+using Cents = std::int64_t;
+
+[[nodiscard]] constexpr double cents_to_dollars(Cents cents) noexcept {
+  return static_cast<double>(cents) / 100.0;
+}
+
+[[nodiscard]] constexpr Cents dollars_to_cents(double dollars) noexcept {
+  return static_cast<Cents>(dollars * 100.0 + (dollars >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace appstore::market
+
+template <typename Tag>
+struct std::hash<appstore::market::detail::Id<Tag>> {
+  [[nodiscard]] std::size_t operator()(appstore::market::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,143 @@
+#include "models/app_clustering_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "models/zipf_amo_model.hpp"  // FetchedSet, draw_unfetched
+
+namespace appstore::models {
+
+namespace {
+
+class ClusteringSession final : public Session {
+ public:
+  explicit ClusteringSession(const AppClusteringModel& model) : model_(model) {}
+
+  [[nodiscard]] std::uint32_t next(util::Rng& rng) override {
+    const auto& layout = model_.layout();
+    std::uint32_t app = 0;
+    if (fetched_.size() == 0 || !rng.chance(model_.params().p)) {
+      // Step 1 / step 2.2: global ZG draw, fetch-at-most-once.
+      app = draw_unfetched(
+          rng, fetched_, model_.params().app_count,
+          [this](util::Rng& r) {
+            return static_cast<std::uint32_t>(model_.global_sampler().sample_index(r));
+          },
+          [](std::uint32_t index) { return index; });
+    } else {
+      // Step 2.1: revisit the cluster of a uniformly-chosen previous
+      // download. If that cluster is fully fetched, re-anchor on another
+      // previous download; after a few failures fall back to a global draw
+      // (the user has saturated their neighbourhoods).
+      app = model_.params().app_count;  // sentinel
+      for (int anchor_attempt = 0; anchor_attempt < 8; ++anchor_attempt) {
+        const std::uint32_t anchor =
+            fetched_.fetched[static_cast<std::size_t>(rng.below(fetched_.size()))];
+        const std::uint32_t cluster = layout.cluster_of(anchor);
+        const auto& members = layout.members(cluster);
+        if (fetched_in(members) >= members.size()) continue;
+        const auto& sampler =
+            model_.sampler_for_size(static_cast<std::uint32_t>(members.size()));
+        app = draw_unfetched(
+            rng, fetched_, static_cast<std::uint32_t>(members.size()),
+            [&sampler](util::Rng& r) {
+              return static_cast<std::uint32_t>(sampler.sample_index(r));
+            },
+            [&members](std::uint32_t index) { return members[index]; });
+        break;
+      }
+      if (app == model_.params().app_count) {
+        app = draw_unfetched(
+            rng, fetched_, model_.params().app_count,
+            [this](util::Rng& r) {
+              return static_cast<std::uint32_t>(model_.global_sampler().sample_index(r));
+            },
+            [](std::uint32_t index) { return index; });
+      }
+    }
+    fetched_.insert(app);
+    return app;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept override {
+    return fetched_.size() >= model_.params().app_count;
+  }
+
+ private:
+  [[nodiscard]] std::size_t fetched_in(const std::vector<std::uint32_t>& members) const {
+    // fetched_ is tiny (d entries); counting against it is cheaper than
+    // maintaining per-cluster tallies.
+    std::size_t count = 0;
+    for (const auto app : fetched_.fetched) {
+      for (const auto member : members) {
+        if (member == app) {
+          ++count;
+          break;
+        }
+      }
+    }
+    return count;
+  }
+
+  const AppClusteringModel& model_;
+  FetchedSet fetched_;
+};
+
+}  // namespace
+
+AppClusteringModel::AppClusteringModel(ModelParams params, ClusterLayout layout)
+    : params_(params), layout_(std::move(layout)) {
+  if (params_.app_count == 0) throw std::invalid_argument("AppClusteringModel: no apps");
+  if (layout_.app_count() != params_.app_count) {
+    throw std::invalid_argument("AppClusteringModel: layout/app_count mismatch");
+  }
+  if (params_.p < 0.0 || params_.p > 1.0) {
+    throw std::invalid_argument("AppClusteringModel: p outside [0,1]");
+  }
+  params_.cluster_count = layout_.cluster_count();
+  global_ = std::make_shared<const stats::ZipfSampler>(params_.app_count, params_.zr);
+}
+
+const stats::ZipfSampler& AppClusteringModel::sampler_for_size(std::uint32_t size) const {
+  auto it = by_size_.find(size);
+  if (it == by_size_.end()) {
+    it = by_size_
+             .emplace(size, std::make_unique<const stats::ZipfSampler>(size, params_.zc))
+             .first;
+  }
+  return *it->second;
+}
+
+std::unique_ptr<Session> AppClusteringModel::new_session() const {
+  return std::make_unique<ClusteringSession>(*this);
+}
+
+std::vector<double> AppClusteringModel::expected_downloads() const {
+  const stats::FiniteZipf global(params_.app_count, params_.zr);
+  // Per-cluster-size normalizers, cached by size.
+  std::map<std::uint32_t, double> harmonic_by_size;
+
+  std::vector<double> expected(params_.app_count);
+  const double users = static_cast<double>(params_.user_count);
+  const double global_draws = (1.0 - params_.p) * params_.downloads_per_user;
+  const double cluster_draws = params_.p * params_.downloads_per_user;
+
+  for (std::uint32_t app = 0; app < params_.app_count; ++app) {
+    const double pg = global.pmf(app + 1);  // global rank i = app index + 1
+
+    const std::uint32_t cluster = layout_.cluster_of(app);
+    const auto size = static_cast<std::uint32_t>(layout_.members(cluster).size());
+    auto it = harmonic_by_size.find(size);
+    if (it == harmonic_by_size.end()) {
+      it = harmonic_by_size.emplace(size, stats::generalized_harmonic(size, params_.zc)).first;
+    }
+    const double pc =
+        std::pow(static_cast<double>(layout_.within_rank(app)), -params_.zc) / it->second;
+
+    expected[app] = users * (1.0 - std::pow(1.0 - pg, global_draws) *
+                                       std::pow(1.0 - pc, cluster_draws));
+  }
+  return expected;
+}
+
+}  // namespace appstore::models

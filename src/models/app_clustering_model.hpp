@@ -1,0 +1,61 @@
+// APP-CLUSTERING: the paper's model of appstore downloads (§5.1).
+//
+// Per-user behaviour (Table 2 / algorithm of §5.1):
+//   1. The first download is drawn from the global Zipf ZG (exponent zr).
+//   2. Each subsequent download:
+//      2.1 with probability p comes from the cluster of a previously
+//          downloaded app — the anchor download is picked uniformly among
+//          the user's previous downloads, and the app within that cluster
+//          is drawn from the per-cluster Zipf Zc (exponent zc), rejecting
+//          already-fetched apps;
+//      2.2 with probability 1-p comes from ZG, again fetch-at-most-once.
+//
+// Combined with fetch-at-most-once this reproduces both truncations of
+// Fig. 3: the head flattens at ~U downloads, and the tail collapses because
+// most draws recirculate inside already-visited clusters.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "models/model.hpp"
+#include "models/params.hpp"
+#include "stats/zipf.hpp"
+
+namespace appstore::models {
+
+/// Not thread-safe: the per-size Zc sampler cache is built lazily on first
+/// use (sampler_for_size), so concurrent sessions of the SAME model instance
+/// require external synchronization or one model instance per thread.
+class AppClusteringModel final : public DownloadModel {
+ public:
+  /// `layout.app_count()` must equal `params.app_count`. `params.cluster_count`
+  /// is overwritten by the layout's cluster count.
+  AppClusteringModel(ModelParams params, ClusterLayout layout);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "APP-CLUSTERING"; }
+  [[nodiscard]] const ModelParams& params() const noexcept override { return params_; }
+  [[nodiscard]] const ClusterLayout& layout() const noexcept { return layout_; }
+
+  [[nodiscard]] std::unique_ptr<Session> new_session() const override;
+
+  /// Eq. 5: D(i,j) = U * [1 - (1-PG(i))^{(1-p)d} * (1-Pc(j))^{p*d}], where
+  /// PG is the ZG pmf at global rank i and Pc the Zc pmf at within-cluster
+  /// rank j over the app's actual cluster size.
+  [[nodiscard]] std::vector<double> expected_downloads() const override;
+
+  /// Global ZG sampler (shared by sessions).
+  [[nodiscard]] const stats::ZipfSampler& global_sampler() const noexcept { return *global_; }
+
+  /// Per-cluster Zc samplers, shared by size (round-robin layouts have at
+  /// most two distinct sizes; arbitrary layouts stay cheap via the cache).
+  [[nodiscard]] const stats::ZipfSampler& sampler_for_size(std::uint32_t size) const;
+
+ private:
+  ModelParams params_;
+  ClusterLayout layout_;
+  std::shared_ptr<const stats::ZipfSampler> global_;
+  mutable std::map<std::uint32_t, std::unique_ptr<const stats::ZipfSampler>> by_size_;
+};
+
+}  // namespace appstore::models

@@ -1,0 +1,61 @@
+#include "models/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "models/app_clustering_model.hpp"
+#include "models/zipf_amo_model.hpp"
+#include "models/zipf_model.hpp"
+
+namespace appstore::models {
+
+Workload DownloadModel::generate(util::Rng& rng, bool record_sequences) const {
+  const ModelParams& p = params();
+  Workload workload;
+  workload.downloads.assign(p.app_count, 0);
+  if (record_sequences) workload.user_sequences.resize(p.user_count);
+
+  for (std::uint64_t user = 0; user < p.user_count; ++user) {
+    const auto session = new_session();
+    const std::uint64_t count = realized_downloads(p.downloads_per_user, p.app_count, rng);
+    for (std::uint64_t k = 0; k < count && !session->exhausted(); ++k) {
+      const std::uint32_t app = session->next(rng);
+      ++workload.downloads[app];
+      if (record_sequences) workload.user_sequences[user].push_back(app);
+    }
+  }
+  return workload;
+}
+
+std::uint64_t DownloadModel::realized_downloads(double d, std::uint64_t cap,
+                                                util::Rng& rng) noexcept {
+  if (d <= 0.0) return 0;
+  const double whole = std::floor(d);
+  auto count = static_cast<std::uint64_t>(whole);
+  if (rng.uniform() < d - whole) ++count;
+  return std::min(count, cap);
+}
+
+std::string_view to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kZipf: return "ZIPF";
+    case ModelKind::kZipfAtMostOnce: return "ZIPF-at-most-once";
+    case ModelKind::kAppClustering: return "APP-CLUSTERING";
+  }
+  return "?";
+}
+
+std::unique_ptr<DownloadModel> make_model(ModelKind kind, const ModelParams& params) {
+  switch (kind) {
+    case ModelKind::kZipf:
+      return std::make_unique<ZipfModel>(params);
+    case ModelKind::kZipfAtMostOnce:
+      return std::make_unique<ZipfAtMostOnceModel>(params);
+    case ModelKind::kAppClustering:
+      return std::make_unique<AppClusteringModel>(
+          params, ClusterLayout::round_robin(params.app_count, params.cluster_count));
+  }
+  throw std::invalid_argument("make_model: unknown kind");
+}
+
+}  // namespace appstore::models

@@ -1,0 +1,59 @@
+#include "models/params.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace appstore::models {
+
+ClusterLayout ClusterLayout::round_robin(std::uint32_t app_count, std::uint32_t cluster_count) {
+  if (cluster_count == 0) throw std::invalid_argument("ClusterLayout: zero clusters");
+  std::vector<std::uint32_t> assignment(app_count);
+  for (std::uint32_t app = 0; app < app_count; ++app) assignment[app] = app % cluster_count;
+  return build(std::move(assignment), cluster_count);
+}
+
+ClusterLayout ClusterLayout::contiguous(std::uint32_t app_count, std::uint32_t cluster_count) {
+  if (cluster_count == 0) throw std::invalid_argument("ClusterLayout: zero clusters");
+  std::vector<std::uint32_t> assignment(app_count);
+  const std::uint32_t base = app_count / cluster_count;
+  const std::uint32_t remainder = app_count % cluster_count;
+  std::uint32_t app = 0;
+  for (std::uint32_t cluster = 0; cluster < cluster_count; ++cluster) {
+    const std::uint32_t size = base + (cluster < remainder ? 1 : 0);
+    for (std::uint32_t k = 0; k < size && app < app_count; ++k) assignment[app++] = cluster;
+  }
+  return build(std::move(assignment), cluster_count);
+}
+
+ClusterLayout ClusterLayout::random(std::uint32_t app_count, std::uint32_t cluster_count,
+                                    util::Rng& rng) {
+  if (cluster_count == 0) throw std::invalid_argument("ClusterLayout: zero clusters");
+  std::vector<std::uint32_t> assignment(app_count);
+  for (auto& cluster : assignment) {
+    cluster = static_cast<std::uint32_t>(rng.below(cluster_count));
+  }
+  return build(std::move(assignment), cluster_count);
+}
+
+ClusterLayout ClusterLayout::from_assignment(std::vector<std::uint32_t> app_cluster) {
+  std::uint32_t cluster_count = 0;
+  for (const auto cluster : app_cluster) cluster_count = std::max(cluster_count, cluster + 1);
+  if (cluster_count == 0) throw std::invalid_argument("ClusterLayout: empty assignment");
+  return build(std::move(app_cluster), cluster_count);
+}
+
+ClusterLayout ClusterLayout::build(std::vector<std::uint32_t> app_cluster,
+                                   std::uint32_t cluster_count) {
+  ClusterLayout out;
+  out.app_cluster_ = std::move(app_cluster);
+  out.within_rank_.resize(out.app_cluster_.size());
+  out.members_.assign(cluster_count, {});
+  for (std::uint32_t app = 0; app < out.app_cluster_.size(); ++app) {
+    auto& members = out.members_[out.app_cluster_[app]];
+    members.push_back(app);
+    out.within_rank_[app] = static_cast<std::uint32_t>(members.size());
+  }
+  return out;
+}
+
+}  // namespace appstore::models

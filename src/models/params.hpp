@@ -1,0 +1,93 @@
+// Parameters and cluster layouts for the download models of §5.
+//
+// Apps are identified by their 0-based *global popularity index*: index 0 is
+// the app with global rank i = 1 in the paper's notation. A ClusterLayout
+// maps each app to a cluster and a within-cluster rank j (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace appstore::models {
+
+/// Table 2 of the paper, in one struct. Models ignore the fields they do not
+/// use (e.g. ZIPF ignores p/zc/cluster_count).
+struct ModelParams {
+  std::uint32_t app_count = 0;        ///< A
+  std::uint64_t user_count = 0;       ///< U
+  double downloads_per_user = 0.0;    ///< d (fractional part realized per user)
+  double zr = 1.0;                    ///< global Zipf exponent (ZG)
+  double p = 0.0;                     ///< clustering probability
+  double zc = 1.0;                    ///< per-cluster Zipf exponent (Zc)
+  std::uint32_t cluster_count = 1;    ///< C
+
+  [[nodiscard]] double total_downloads() const noexcept {
+    return static_cast<double>(user_count) * downloads_per_user;
+  }
+};
+
+/// Assignment of apps to clusters. Within-cluster ranks follow global
+/// popularity order: if two apps share a cluster, the globally more popular
+/// one has the smaller within-cluster rank j — matching the paper's model
+/// where both rankings order by popularity.
+class ClusterLayout {
+ public:
+  ClusterLayout() = default;
+
+  /// Deals apps into clusters round-robin by global rank: app i goes to
+  /// cluster i mod C with within-rank floor(i/C)+1. All clusters have equal
+  /// size (±1), the paper's simplifying assumption (§5.1 "all C clusters
+  /// have the same size").
+  [[nodiscard]] static ClusterLayout round_robin(std::uint32_t app_count,
+                                                 std::uint32_t cluster_count);
+
+  /// Contiguous blocks of global ranks per cluster (ablation: clusters whose
+  /// whole content is popular vs unpopular).
+  [[nodiscard]] static ClusterLayout contiguous(std::uint32_t app_count,
+                                                std::uint32_t cluster_count);
+
+  /// Uniformly random assignment (ablation: unequal cluster sizes).
+  [[nodiscard]] static ClusterLayout random(std::uint32_t app_count,
+                                            std::uint32_t cluster_count, util::Rng& rng);
+
+  /// Builds from an explicit app→cluster map (e.g. a real store's category
+  /// assignment); within-cluster ranks follow the order of appearance, which
+  /// callers should make global popularity order.
+  [[nodiscard]] static ClusterLayout from_assignment(std::vector<std::uint32_t> app_cluster);
+
+  [[nodiscard]] std::uint32_t app_count() const noexcept {
+    return static_cast<std::uint32_t>(app_cluster_.size());
+  }
+  [[nodiscard]] std::uint32_t cluster_count() const noexcept {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+
+  /// Cluster of an app (0-based).
+  [[nodiscard]] std::uint32_t cluster_of(std::uint32_t app) const { return app_cluster_[app]; }
+
+  /// 1-based within-cluster rank j of an app.
+  [[nodiscard]] std::uint32_t within_rank(std::uint32_t app) const { return within_rank_[app]; }
+
+  /// Members of a cluster in within-rank order (index j-1 = rank j).
+  [[nodiscard]] const std::vector<std::uint32_t>& members(std::uint32_t cluster) const {
+    return members_[cluster];
+  }
+
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& all_members() const noexcept {
+    return members_;
+  }
+
+ private:
+  /// Shared builder: derives within-ranks and member lists from an
+  /// app→cluster assignment (ranks follow global order of appearance).
+  [[nodiscard]] static ClusterLayout build(std::vector<std::uint32_t> app_cluster,
+                                           std::uint32_t cluster_count);
+
+  std::vector<std::uint32_t> app_cluster_;
+  std::vector<std::uint32_t> within_rank_;
+  std::vector<std::vector<std::uint32_t>> members_;
+};
+
+}  // namespace appstore::models

@@ -1,0 +1,45 @@
+#include "models/stream.hpp"
+
+#include <limits>
+#include <memory>
+
+namespace appstore::models {
+
+std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng) {
+  return generate_stream(model, rng, std::numeric_limits<std::uint64_t>::max());
+}
+
+std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
+                                     std::uint64_t max_requests) {
+  const ModelParams& params = model.params();
+
+  // Slot multiset: user u appears once per download it will make. The cap is
+  // applied AFTER shuffling so that truncation drops a uniform sample of
+  // slots instead of silencing the later users entirely.
+  std::vector<std::uint32_t> slots;
+  slots.reserve(static_cast<std::size_t>(params.total_downloads() * 1.01) + 16);
+  for (std::uint64_t user = 0; user < params.user_count; ++user) {
+    const std::uint64_t count =
+        DownloadModel::realized_downloads(params.downloads_per_user, params.app_count, rng);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      slots.push_back(static_cast<std::uint32_t>(user));
+    }
+  }
+  rng.shuffle(std::span<std::uint32_t>(slots));
+  if (slots.size() > max_requests) slots.resize(max_requests);
+
+  // Sessions are created lazily: with a request cap many users never arrive.
+  std::vector<std::unique_ptr<Session>> sessions(params.user_count);
+
+  std::vector<Request> stream;
+  stream.reserve(slots.size());
+  for (const std::uint32_t user : slots) {
+    auto& session = sessions[user];
+    if (!session) session = model.new_session();
+    if (session->exhausted()) continue;
+    stream.push_back(Request{user, session->next(rng)});
+  }
+  return stream;
+}
+
+}  // namespace appstore::models

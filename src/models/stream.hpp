@@ -1,0 +1,35 @@
+// Global interleaved request streams.
+//
+// The cache study (§7 / Fig. 19) needs downloads in *arrival order* across
+// all users, not per-user batches: LRU behaviour depends on how one user's
+// category-local bursts interleave with everyone else's. We realize the
+// arrival order by building the multiset of download slots (user u appears
+// once per download it will make), shuffling it, and advancing each user's
+// model session one step per slot. Per-user history dependence (fetch-at-
+// most-once, cluster affinity) is preserved; arrival order is exchangeable
+// across users.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model.hpp"
+#include "util/rng.hpp"
+
+namespace appstore::models {
+
+struct Request {
+  std::uint32_t user;
+  std::uint32_t app;
+};
+
+/// Generates the full interleaved stream for `model`. The number of requests
+/// is the sum of per-user realized download counts (≈ U * d).
+[[nodiscard]] std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng);
+
+/// As generate_stream, but caps the total request count (the Fig. 19 setup
+/// fixes 2M downloads over 600k users rather than an exact per-user d).
+[[nodiscard]] std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
+                                                   std::uint64_t max_requests);
+
+}  // namespace appstore::models

@@ -1,0 +1,35 @@
+// The output of a download-model run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace appstore::models {
+
+/// Aggregate result of simulating every user's downloads.
+///
+/// `downloads[a]` is the number of downloads of the app with global
+/// popularity index a (global rank a+1). When sequences are recorded,
+/// `user_sequences[u]` is user u's downloads in chronological order.
+struct Workload {
+  std::vector<std::uint64_t> downloads;
+  std::vector<std::vector<std::uint32_t>> user_sequences;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto d : downloads) sum += d;
+    return sum;
+  }
+
+  /// Download counts as doubles in app-index order (NOT re-sorted): the
+  /// comparison against measured data in Fig. 8 matches app identity — both
+  /// curves are indexed by the app's true global popularity rank.
+  [[nodiscard]] std::vector<double> counts() const {
+    return {downloads.begin(), downloads.end()};
+  }
+
+  /// Download counts sorted descending (empirical rank–download curve).
+  [[nodiscard]] std::vector<double> by_rank() const;
+};
+
+}  // namespace appstore::models

@@ -1,0 +1,79 @@
+// ZIPF-at-most-once model (§5.2): downloads are drawn from the global Zipf
+// distribution ZG, but a user never downloads the same app twice —
+// already-fetched draws are rejected and redrawn (the "fetch-at-most-once"
+// property of [Gummadi et al., SOSP'03]).
+#pragma once
+
+#include <memory>
+
+#include "models/model.hpp"
+#include "stats/zipf.hpp"
+
+namespace appstore::models {
+
+class ZipfAtMostOnceModel final : public DownloadModel {
+ public:
+  explicit ZipfAtMostOnceModel(ModelParams params);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ZIPF-at-most-once";
+  }
+  [[nodiscard]] const ModelParams& params() const noexcept override { return params_; }
+  [[nodiscard]] std::unique_ptr<Session> new_session() const override;
+
+  /// E[D(i)] = U * (1 - (1 - pG(i))^d): each user fetches app i iff at least
+  /// one of d independent ZG draws hits it. This treats rejection-redraws as
+  /// fresh draws — exact in the d << A regime the paper (and we) simulate.
+  [[nodiscard]] std::vector<double> expected_downloads() const override;
+
+ private:
+  ModelParams params_;
+  std::shared_ptr<const stats::ZipfSampler> global_;
+};
+
+/// Shared helper: fetch-at-most-once rejection sampling with a bounded retry
+/// loop. After `max_retries` hits on already-fetched apps it falls back to a
+/// uniform draw over the not-yet-fetched set, guaranteeing termination even
+/// for pathological (tiny-A, huge-d) parameterizations. Exposed for tests.
+struct FetchedSet {
+  std::vector<std::uint32_t> fetched;  ///< in fetch order (small: d entries)
+
+  [[nodiscard]] bool contains(std::uint32_t app) const noexcept {
+    for (const auto f : fetched) {
+      if (f == app) return true;
+    }
+    return false;
+  }
+  void insert(std::uint32_t app) { fetched.push_back(app); }
+  [[nodiscard]] std::size_t size() const noexcept { return fetched.size(); }
+};
+
+/// Draws from `sample(rng)` until the result is not in `fetched`; falls back
+/// to uniform-over-complement after `max_retries` rejections. `universe` is
+/// the number of candidate apps the sampler can produce.
+template <typename SampleFn, typename MapFn>
+[[nodiscard]] std::uint32_t draw_unfetched(util::Rng& rng, const FetchedSet& fetched,
+                                           std::uint32_t universe, SampleFn&& sample,
+                                           MapFn&& map_index, int max_retries = 64) {
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    const std::uint32_t app = map_index(sample(rng));
+    if (!fetched.contains(app)) return app;
+  }
+  // Fallback: uniformly choose among the remaining apps by skip-counting.
+  // Counts fetched apps within this sampler's universe to size the complement.
+  std::uint32_t fetched_in_universe = 0;
+  for (std::uint32_t offset = 0; offset < universe; ++offset) {
+    if (fetched.contains(map_index(offset))) ++fetched_in_universe;
+  }
+  const std::uint32_t remaining = universe - fetched_in_universe;
+  std::uint32_t target = static_cast<std::uint32_t>(rng.below(remaining));
+  for (std::uint32_t offset = 0; offset < universe; ++offset) {
+    const std::uint32_t app = map_index(offset);
+    if (fetched.contains(app)) continue;
+    if (target == 0) return app;
+    --target;
+  }
+  return map_index(universe - 1);  // unreachable if remaining > 0
+}
+
+}  // namespace appstore::models

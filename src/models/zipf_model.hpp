@@ -1,0 +1,34 @@
+// Pure ZIPF model (§5.2): every download is an independent draw from the
+// global Zipf distribution ZG; repeats are allowed.
+#pragma once
+
+#include <memory>
+
+#include "models/model.hpp"
+#include "stats/zipf.hpp"
+
+namespace appstore::models {
+
+class ZipfModel final : public DownloadModel {
+ public:
+  explicit ZipfModel(ModelParams params);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "ZIPF"; }
+  [[nodiscard]] const ModelParams& params() const noexcept override { return params_; }
+  [[nodiscard]] std::unique_ptr<Session> new_session() const override;
+
+  /// E[D(i)] = U * d * pG(i): independent draws, no saturation.
+  [[nodiscard]] std::vector<double> expected_downloads() const override;
+
+  /// Direct aggregate generation without per-user bookkeeping; identical in
+  /// distribution to DownloadModel::generate but ~3x faster. Used by the
+  /// fitting sweeps where sequences are never needed.
+  [[nodiscard]] Workload generate(util::Rng& rng, bool record_sequences = false) const override;
+
+ private:
+  friend class ZipfSession;
+  ModelParams params_;
+  std::shared_ptr<const stats::ZipfSampler> global_;
+};
+
+}  // namespace appstore::models

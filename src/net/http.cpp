@@ -1,0 +1,209 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::net {
+
+bool HeaderLess::operator()(std::string_view a, std::string_view b) const noexcept {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      [](char x, char y) {
+                                        return std::tolower(static_cast<unsigned char>(x)) <
+                                               std::tolower(static_cast<unsigned char>(y));
+                                      });
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t question = target.find('?');
+  return question == std::string::npos ? target : target.substr(0, question);
+}
+
+std::map<std::string, std::string> HttpRequest::query() const {
+  std::map<std::string, std::string> parameters;
+  const std::size_t question = target.find('?');
+  if (question == std::string::npos) return parameters;
+  const std::string_view query_string = std::string_view(target).substr(question + 1);
+  for (const auto pair : util::split(query_string, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      parameters.emplace(std::string(pair), "");
+    } else {
+      parameters.emplace(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+    }
+  }
+  return parameters;
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = util::format("{} {} HTTP/1.1\r\n", method, target);
+  for (const auto& [name, value] : headers) {
+    out += util::format("{}: {}\r\n", name, value);
+  }
+  if (!body.empty() && !headers.contains("Content-Length")) {
+    out += util::format("Content-Length: {}\r\n", body.size());
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = util::format("HTTP/1.1 {} {}\r\n", status, reason);
+  for (const auto& [name, value] : headers) {
+    out += util::format("{}: {}\r\n", name, value);
+  }
+  if (!headers.contains("Content-Length")) {
+    out += util::format("Content-Length: {}\r\n", body.size());
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = status == 200   ? "OK"
+                    : status == 404 ? "Not Found"
+                    : status == 400 ? "Bad Request"
+                    : status == 403 ? "Forbidden"
+                    : status == 429 ? "Too Many Requests"
+                                    : "Status";
+  response.headers["Content-Type"] = "text/plain";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse response = text(status, std::move(body));
+  response.headers["Content-Type"] = "application/json";
+  return response;
+}
+
+namespace {
+
+bool parse_headers(std::string_view block, Headers& headers) {
+  while (!block.empty()) {
+    const std::size_t eol = block.find("\r\n");
+    const std::string_view line = eol == std::string_view::npos ? block : block.substr(0, eol);
+    block.remove_prefix(eol == std::string_view::npos ? block.size() : eol + 2);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    headers.emplace(std::string(util::trim(line.substr(0, colon))),
+                    std::string(util::trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_request_head(std::string_view head, HttpRequest& out) {
+  const std::size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) return false;
+  const std::string_view request_line = head.substr(0, eol);
+
+  const auto parts = util::split(request_line, ' ');
+  if (parts.size() != 3) return false;
+  if (!parts[2].starts_with("HTTP/1.")) return false;
+  out.method = std::string(parts[0]);
+  out.target = std::string(parts[1]);
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/') return false;
+  return parse_headers(head.substr(eol + 2), out.headers);
+}
+
+bool parse_response_head(std::string_view head, HttpResponse& out) {
+  const std::size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) return false;
+  const std::string_view status_line = head.substr(0, eol);
+
+  if (!status_line.starts_with("HTTP/1.")) return false;
+  const std::size_t first_space = status_line.find(' ');
+  if (first_space == std::string_view::npos) return false;
+  const std::size_t second_space = status_line.find(' ', first_space + 1);
+  const std::string_view code =
+      status_line.substr(first_space + 1, second_space == std::string_view::npos
+                                              ? std::string_view::npos
+                                              : second_space - first_space - 1);
+  std::uint64_t parsed = 0;
+  if (!util::parse_u64(code, parsed) || parsed < 100 || parsed > 599) return false;
+  out.status = static_cast<int>(parsed);
+  out.reason = second_space == std::string_view::npos
+                   ? ""
+                   : std::string(status_line.substr(second_space + 1));
+  return parse_headers(head.substr(eol + 2), out.headers);
+}
+
+bool HttpReader::fill() {
+  std::byte chunk[4096];
+  const std::size_t n = stream_.read_some(chunk);
+  if (n == 0) return false;
+  buffer_.append(reinterpret_cast<const char*>(chunk), n);
+  return true;
+}
+
+std::optional<std::string> HttpReader::read_head() {
+  for (;;) {
+    const std::size_t end = buffer_.find("\r\n\r\n", consumed_);
+    if (end != std::string::npos) {
+      std::string head = buffer_.substr(consumed_, end - consumed_ + 2);  // keep last CRLF
+      consumed_ = end + 4;
+      return head;
+    }
+    if (buffer_.size() - consumed_ > max_head_) {
+      throw std::runtime_error("HttpReader: header block too large");
+    }
+    if (!fill()) {
+      if (buffer_.size() == consumed_) return std::nullopt;  // clean EOF
+      throw std::runtime_error("HttpReader: EOF inside header block");
+    }
+  }
+}
+
+std::string HttpReader::read_body(const Headers& headers) {
+  const auto it = headers.find("Content-Length");
+  if (it == headers.end()) return {};
+  std::uint64_t length = 0;
+  if (!util::parse_u64(it->second, length)) {
+    throw std::runtime_error("HttpReader: bad Content-Length");
+  }
+  if (length > max_body_) throw std::runtime_error("HttpReader: body too large");
+  while (buffer_.size() - consumed_ < length) {
+    if (!fill()) throw std::runtime_error("HttpReader: EOF inside body");
+  }
+  std::string body = buffer_.substr(consumed_, length);
+  consumed_ += length;
+  // Compact the buffer so long-lived connections don't grow it unboundedly.
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  return body;
+}
+
+std::optional<HttpRequest> HttpReader::read_request() {
+  const auto head = read_head();
+  if (!head.has_value()) return std::nullopt;
+  HttpRequest request;
+  if (!parse_request_head(*head, request)) {
+    throw std::runtime_error("HttpReader: malformed request head");
+  }
+  request.body = read_body(request.headers);
+  return request;
+}
+
+std::optional<HttpResponse> HttpReader::read_response() {
+  const auto head = read_head();
+  if (!head.has_value()) return std::nullopt;
+  HttpResponse response;
+  if (!parse_response_head(*head, response)) {
+    throw std::runtime_error("HttpReader: malformed response head");
+  }
+  response.body = read_body(response.headers);
+  return response;
+}
+
+}  // namespace appstore::net

@@ -1,0 +1,84 @@
+// Minimal HTTP/1.1 message handling.
+//
+// Supports the subset the crawler pipeline needs: request line + headers +
+// optional Content-Length body, "Connection: close" semantics, and query
+// string parsing. Chunked transfer encoding and pipelining are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace appstore::net {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+struct HeaderLess {
+  using is_transparent = void;
+  [[nodiscard]] bool operator()(std::string_view a, std::string_view b) const noexcept;
+};
+
+using Headers = std::map<std::string, std::string, HeaderLess>;
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";  ///< path + optional query string
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] std::string path() const;
+  /// Decoded query parameters (no %-decoding beyond '+' — targets are ASCII).
+  [[nodiscard]] std::map<std::string, std::string> query() const;
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+
+  [[nodiscard]] static HttpResponse text(int status, std::string body);
+  [[nodiscard]] static HttpResponse json(int status, std::string body);
+};
+
+/// Incremental reader for one HTTP message off a TcpStream. Enforces limits
+/// on header and body sizes (a crawler must survive a misbehaving server and
+/// a server a misbehaving client).
+class HttpReader {
+ public:
+  explicit HttpReader(TcpStream& stream, std::size_t max_head = 64 * 1024,
+                      std::size_t max_body = 8 * 1024 * 1024)
+      : stream_(stream), max_head_(max_head), max_body_(max_body) {}
+
+  /// Reads one request. nullopt on clean EOF before any byte.
+  /// Throws std::runtime_error on malformed input or limit violations.
+  [[nodiscard]] std::optional<HttpRequest> read_request();
+
+  /// Reads one response. nullopt on clean EOF before any byte.
+  [[nodiscard]] std::optional<HttpResponse> read_response();
+
+ private:
+  [[nodiscard]] std::optional<std::string> read_head();
+  [[nodiscard]] std::string read_body(const Headers& headers);
+  [[nodiscard]] bool fill();
+
+  TcpStream& stream_;
+  std::size_t max_head_;
+  std::size_t max_body_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// Parses a status line + headers block (exposed for tests).
+[[nodiscard]] bool parse_request_head(std::string_view head, HttpRequest& out);
+[[nodiscard]] bool parse_response_head(std::string_view head, HttpResponse& out);
+
+}  // namespace appstore::net

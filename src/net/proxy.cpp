@@ -1,0 +1,68 @@
+#include "net/proxy.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace appstore::net {
+
+std::string_view to_string(Region region) noexcept {
+  switch (region) {
+    case Region::kChina: return "cn";
+    case Region::kEurope: return "eu";
+    case Region::kUsa: return "us";
+  }
+  return "?";
+}
+
+ProxyPool::ProxyPool(std::size_t count, std::vector<Region> regions) {
+  if (regions.empty()) throw std::invalid_argument("ProxyPool: no regions");
+  proxies_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Region region = regions[i % regions.size()];
+    proxies_.push_back(Proxy{util::format("proxy-{}-{}", to_string(region), i), region, 0,
+                             false, 0});
+  }
+}
+
+std::optional<std::size_t> ProxyPool::pick(util::Rng& rng, std::optional<Region> region) {
+  std::vector<std::size_t> eligible;
+  eligible.reserve(proxies_.size());
+  for (std::size_t i = 0; i < proxies_.size(); ++i) {
+    const Proxy& proxy = proxies_[i];
+    if (proxy.quarantined) continue;
+    if (region.has_value() && proxy.region != *region) continue;
+    eligible.push_back(i);
+  }
+  if (eligible.empty()) return std::nullopt;
+  const std::size_t choice = eligible[static_cast<std::size_t>(rng.below(eligible.size()))];
+  ++proxies_[choice].requests;
+  return choice;
+}
+
+void ProxyPool::report_success(std::size_t index) {
+  proxies_.at(index).consecutive_failures = 0;
+}
+
+void ProxyPool::report_failure(std::size_t index, std::uint32_t max_failures) {
+  Proxy& proxy = proxies_.at(index);
+  if (++proxy.consecutive_failures >= max_failures) proxy.quarantined = true;
+}
+
+void ProxyPool::reinstate(std::size_t index) {
+  Proxy& proxy = proxies_.at(index);
+  proxy.quarantined = false;
+  proxy.consecutive_failures = 0;
+}
+
+std::size_t ProxyPool::healthy_count(std::optional<Region> region) const {
+  std::size_t count = 0;
+  for (const auto& proxy : proxies_) {
+    if (proxy.quarantined) continue;
+    if (region.has_value() && proxy.region != *region) continue;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace appstore::net

@@ -1,0 +1,58 @@
+// Proxy pool with health tracking (§2.2 / Fig. 1).
+//
+// The paper routed crawl requests through ~100 PlanetLab nodes to avoid IP
+// blacklisting, using only nodes located in China for the Chinese stores.
+// We model each proxy as a distinct client identity with a region tag; the
+// crawler picks a random healthy proxy per request (as the paper's crawlers
+// did) and quarantines proxies that keep failing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace appstore::net {
+
+enum class Region : std::uint8_t { kChina, kEurope, kUsa };
+
+[[nodiscard]] std::string_view to_string(Region region) noexcept;
+
+struct Proxy {
+  std::string id;       ///< client identity presented to the service
+  Region region = Region::kEurope;
+  std::uint32_t consecutive_failures = 0;
+  bool quarantined = false;
+  std::uint64_t requests = 0;
+};
+
+class ProxyPool {
+ public:
+  /// Builds `count` proxies round-robining over `regions`.
+  ProxyPool(std::size_t count, std::vector<Region> regions);
+
+  /// Picks a random non-quarantined proxy, optionally restricted to a
+  /// region (Chinese stores only accept Chinese proxies). nullopt if none.
+  [[nodiscard]] std::optional<std::size_t> pick(util::Rng& rng,
+                                                std::optional<Region> region = std::nullopt);
+
+  /// Outcome reporting: failures quarantine a proxy after `max_failures`
+  /// consecutive errors; any success resets the counter.
+  void report_success(std::size_t index);
+  void report_failure(std::size_t index, std::uint32_t max_failures = 3);
+
+  /// Returns a quarantined proxy to service (operator intervention).
+  void reinstate(std::size_t index);
+
+  [[nodiscard]] const Proxy& proxy(std::size_t index) const { return proxies_.at(index); }
+  [[nodiscard]] std::size_t size() const noexcept { return proxies_.size(); }
+  [[nodiscard]] std::size_t healthy_count(std::optional<Region> region = std::nullopt) const;
+
+ private:
+  std::vector<Proxy> proxies_;
+};
+
+}  // namespace appstore::net

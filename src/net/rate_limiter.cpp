@@ -1,0 +1,49 @@
+#include "net/rate_limiter.hpp"
+
+#include <algorithm>
+
+namespace appstore::net {
+
+TokenBucketLimiter::TokenBucketLimiter(double rate_per_second, double burst, Clock clock)
+    : rate_(rate_per_second), burst_(burst), clock_(std::move(clock)) {
+  if (!clock_) clock_ = [] { return std::chrono::steady_clock::now(); };
+}
+
+TokenBucketLimiter::Bucket& TokenBucketLimiter::refill(
+    const std::string& key, std::chrono::steady_clock::time_point now) {
+  auto [it, inserted] = buckets_.try_emplace(key, Bucket{burst_, now});
+  if (!inserted) {
+    Bucket& bucket = it->second;
+    const std::chrono::duration<double> elapsed = now - bucket.last_refill;
+    bucket.tokens = std::min(burst_, bucket.tokens + elapsed.count() * rate_);
+    bucket.last_refill = now;
+  }
+  return it->second;
+}
+
+bool TokenBucketLimiter::allow(const std::string& key) {
+  const auto now = clock_();
+  const std::lock_guard lock(mutex_);
+  Bucket& bucket = refill(key, now);
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucketLimiter::available(const std::string& key) {
+  const auto now = clock_();
+  const std::lock_guard lock(mutex_);
+  return refill(key, now).tokens;
+}
+
+void TokenBucketLimiter::evict_idle(std::chrono::seconds idle) {
+  const auto now = clock_();
+  const std::lock_guard lock(mutex_);
+  std::erase_if(buckets_, [&](const auto& entry) {
+    return now - entry.second.last_refill > idle;
+  });
+}
+
+}  // namespace appstore::net

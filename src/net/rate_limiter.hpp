@@ -1,0 +1,54 @@
+// Token-bucket rate limiting keyed by client identity.
+//
+// The monitored Chinese appstores rate-limit by source IP (§2.2: "The
+// Chinese appstores apply rate limiting to hosts away from China"); the
+// simulated appstore service enforces the same policy, and the crawler's
+// proxy rotation exists to work around it — exactly the dynamics of the
+// paper's PlanetLab setup.
+//
+// Time is injected (a Clock function) so tests and the deterministic crawl
+// simulation can drive it with virtual time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace appstore::net {
+
+class TokenBucketLimiter {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// `rate_per_second` tokens refill continuously up to `burst`.
+  TokenBucketLimiter(double rate_per_second, double burst, Clock clock = nullptr);
+
+  /// Consumes one token for `key`; false = rate limited.
+  [[nodiscard]] bool allow(const std::string& key);
+
+  /// Tokens currently available for `key` (for tests/metrics).
+  [[nodiscard]] double available(const std::string& key);
+
+  /// Drops per-key state older than `idle` (housekeeping for long runs).
+  void evict_idle(std::chrono::seconds idle);
+
+ private:
+  struct Bucket {
+    double tokens;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  [[nodiscard]] Bucket& refill(const std::string& key,
+                               std::chrono::steady_clock::time_point now);
+
+  double rate_;
+  double burst_;
+  Clock clock_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace appstore::net

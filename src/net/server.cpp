@@ -1,0 +1,196 @@
+#include "net/server.hpp"
+
+#include <sys/socket.h>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::net {
+
+namespace {
+constexpr std::string_view kComponent = "http";
+}
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler, std::size_t max_connections)
+    : listener_(port), handler_(std::move(handler)), max_connections_(max_connections) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+  util::log_info(kComponent, "listening on 127.0.0.1:{} (max {} connections)",
+                 listener_.port(), max_connections);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  const std::lock_guard lock(connections_mutex_);
+  for (auto& connection : connections_) {
+    // Unblock any thread parked in recv() on a keep-alive connection.
+    const int fd = connection->fd.load(std::memory_order_acquire);
+    if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  connections_.clear();
+}
+
+void HttpServer::reap_finished() {
+  const std::lock_guard lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto stream = listener_.accept(std::chrono::milliseconds(50));
+    reap_finished();
+    if (!stream.has_value()) continue;
+
+    std::size_t active = 0;
+    {
+      const std::lock_guard lock(connections_mutex_);
+      active = connections_.size();
+    }
+    if (active >= max_connections_) {
+      // Load shedding: close immediately; the client sees a reset/EOF and
+      // retries (the crawler treats it as a transient failure).
+      continue;
+    }
+
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    connection->thread = std::thread(
+        [this, raw](TcpStream accepted) {
+          serve_connection(std::move(accepted), raw);
+        },
+        std::move(*stream));
+    const std::lock_guard lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
+  connection->fd.store(stream.native_handle(), std::memory_order_release);
+  struct DoneGuard {
+    Connection* connection;
+    ~DoneGuard() {
+      connection->fd.store(-1, std::memory_order_release);
+      connection->done.store(true, std::memory_order_release);
+    }
+  } guard{connection};
+
+  try {
+    stream.set_timeout(std::chrono::milliseconds(5000));
+    HttpReader reader(stream);
+    for (;;) {
+      // Stop serving keep-alive connections when the server shuts down.
+      if (!running_.load(std::memory_order_relaxed)) return;
+      const auto request = reader.read_request();
+      if (!request.has_value()) return;  // client closed
+
+      HttpResponse response;
+      try {
+        response = handler_(*request);
+      } catch (const std::exception& error) {
+        util::log_warn(kComponent, "handler threw: {}", error.what());
+        response = HttpResponse::text(500, "internal error");
+      }
+      const bool close_requested = [&] {
+        const auto it = request->headers.find("Connection");
+        return it != request->headers.end() && util::equals_ci(it->second, "close");
+      }();
+      if (close_requested) response.headers["Connection"] = "close";
+      // Count before writing: a client that has the response must observe
+      // the incremented counter.
+      ++requests_served_;
+      stream.write_all(response.serialize());
+      if (close_requested) return;
+    }
+  } catch (const std::exception& error) {
+    // Connection-level failures (timeouts, resets, malformed input) only
+    // terminate this connection.
+    util::log_debug(kComponent, "connection ended: {}", error.what());
+  }
+}
+
+HttpResponse HttpClient::send(HttpRequest request) {
+  TcpStream stream = TcpStream::connect(host_, port_);
+  stream.set_timeout(timeout_);
+  request.headers["Host"] = host_;
+  request.headers["Connection"] = "close";
+  stream.write_all(request.serialize());
+  HttpReader reader(stream);
+  auto response = reader.read_response();
+  if (!response.has_value()) {
+    throw std::runtime_error("HttpClient: empty response");
+  }
+  return std::move(*response);
+}
+
+HttpResponse HttpClient::get(std::string target, Headers headers) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::move(target);
+  request.headers = std::move(headers);
+  return send(std::move(request));
+}
+
+void PersistentHttpClient::reset() noexcept {
+  reader_.reset();
+  stream_.close();
+}
+
+void PersistentHttpClient::ensure_connected() {
+  if (stream_.valid()) return;
+  stream_ = TcpStream::connect(host_, port_);
+  stream_.set_timeout(timeout_);
+  reader_ = std::make_unique<HttpReader>(stream_);
+  ++connections_opened_;
+}
+
+HttpResponse PersistentHttpClient::send_once(const HttpRequest& request) {
+  ensure_connected();
+  stream_.write_all(request.serialize());
+  auto response = reader_->read_response();
+  if (!response.has_value()) {
+    throw std::runtime_error("PersistentHttpClient: connection closed by peer");
+  }
+  const auto connection = response->headers.find("Connection");
+  if (connection != response->headers.end() && util::equals_ci(connection->second, "close")) {
+    reset();
+  }
+  return std::move(*response);
+}
+
+HttpResponse PersistentHttpClient::send(HttpRequest request) {
+  request.headers["Host"] = host_;
+  const bool had_connection = stream_.valid();
+  try {
+    return send_once(request);
+  } catch (const std::exception&) {
+    // A stale kept-alive connection (server timed it out between requests)
+    // fails on first use; retry once on a fresh connection. A failure on a
+    // brand-new connection is a real error and propagates.
+    reset();
+    if (!had_connection) throw;
+  }
+  return send_once(request);
+}
+
+HttpResponse PersistentHttpClient::get(std::string target, Headers headers) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::move(target);
+  request.headers = std::move(headers);
+  return send(std::move(request));
+}
+
+}  // namespace appstore::net

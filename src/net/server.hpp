@@ -1,0 +1,133 @@
+// Threaded HTTP/1.1 server over loopback TCP.
+//
+// One acceptor thread polls the listener and spawns a thread per
+// connection (finished connection threads are reaped as new ones arrive).
+// Connections are keep-alive until the client sends "Connection: close",
+// half-closes, errors, or stays idle past the read timeout — so long-lived
+// persistent clients never starve newcomers, unlike a fixed worker pool.
+// Designed for the test and crawler workloads of this library (hundreds of
+// concurrent loopback connections), not for the open internet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/http.hpp"
+#include "net/socket.hpp"
+
+namespace appstore::net {
+
+/// Handler: request -> response. Called concurrently from connection
+/// threads; must be thread-safe.
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts serving.
+  /// `max_connections` bounds concurrently-served connections; excess
+  /// connections are accepted and immediately closed (load shedding).
+  HttpServer(std::uint16_t port, Handler handler, std::size_t max_connections = 256);
+
+  /// Stops accepting and joins every connection thread.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Total requests served so far (across all connections).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+    /// Socket fd of the connection while it is being served (-1 otherwise);
+    /// stop() shuts it down to unblock a thread waiting in recv().
+    std::atomic<int> fd{-1};
+  };
+
+  void accept_loop();
+  void serve_connection(TcpStream stream, Connection* connection);
+  void reap_finished();
+
+  TcpListener listener_;
+  Handler handler_;
+  std::size_t max_connections_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::thread acceptor_;
+};
+
+/// Blocking single-request HTTP client ("Connection: close" per request).
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+      : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+  /// Sends the request and waits for the response.
+  /// Throws std::system_error / std::runtime_error on transport failures.
+  [[nodiscard]] HttpResponse send(HttpRequest request);
+
+  /// GET convenience.
+  [[nodiscard]] HttpResponse get(std::string target, Headers headers = {});
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  std::chrono::milliseconds timeout_;
+};
+
+/// Keep-alive HTTP client: reuses one TCP connection across requests
+/// (HTTP/1.1 persistent connections), reconnecting transparently when the
+/// server closes it. Crawling a directory page-by-page over one connection
+/// avoids per-request handshakes — the crawler uses one per proxy identity.
+/// Not thread-safe; use one instance per thread.
+class PersistentHttpClient {
+ public:
+  PersistentHttpClient(std::string host, std::uint16_t port,
+                       std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
+      : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+  /// Sends a request over the persistent connection; reconnects once if the
+  /// connection was closed by the peer since the last exchange.
+  [[nodiscard]] HttpResponse send(HttpRequest request);
+
+  [[nodiscard]] HttpResponse get(std::string target, Headers headers = {});
+
+  /// Number of TCP connections established so far (1 = fully reused).
+  [[nodiscard]] std::uint64_t connections_opened() const noexcept {
+    return connections_opened_;
+  }
+
+  /// Drops the current connection (next request reconnects).
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] HttpResponse send_once(const HttpRequest& request);
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  std::chrono::milliseconds timeout_;
+  TcpStream stream_;
+  std::unique_ptr<HttpReader> reader_;
+  std::uint64_t connections_opened_ = 0;
+};
+
+}  // namespace appstore::net

@@ -1,0 +1,140 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace appstore::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(), "inet_pton");
+  }
+  return address;
+}
+
+}  // namespace
+
+FileDescriptor::~FileDescriptor() { reset(); }
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+void FileDescriptor::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const sockaddr_in address = loopback_address(host, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw_errno("connect");
+  }
+  // Request/response exchanges are small; disable Nagle for latency.
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::set_timeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+  }
+}
+
+std::size_t TcpStream::read_some(std::span<std::byte> buffer) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void TcpStream::write_all(std::span<const std::byte> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::write_all(std::string_view text) {
+  write_all(std::as_bytes(std::span<const char>(text.data(), text.size())));
+}
+
+void TcpStream::shutdown_write() noexcept { (void)::shutdown(fd_.get(), SHUT_WR); }
+
+void TcpStream::shutdown_both() noexcept { (void)::shutdown(fd_.get(), SHUT_RDWR); }
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in address = loopback_address("127.0.0.1", port);
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd_.get(), backlog) != 0) throw_errno("listen");
+
+  socklen_t length = sizeof address;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(address.sin_port);
+}
+
+std::optional<TcpStream> TcpListener::accept(std::chrono::milliseconds timeout) {
+  if (!fd_.valid()) return std::nullopt;
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno("poll");
+  }
+  if (ready == 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
+
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept");
+  }
+  return TcpStream(FileDescriptor(fd));
+}
+
+void TcpListener::close() noexcept { fd_.reset(); }
+
+}  // namespace appstore::net

@@ -1,0 +1,107 @@
+// RAII TCP sockets (blocking I/O, IPv4 loopback-oriented).
+//
+// The crawler substrate runs a real HTTP/1.1 service over these sockets so
+// the crawl pipeline (rate limiting, proxy rotation, retries, pagination)
+// is exercised as genuine client/server interaction. Errors surface as
+// std::system_error with the errno category (Core Guidelines E.14).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace appstore::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) noexcept : fd_(fd) {}
+  ~FileDescriptor();
+
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+  FileDescriptor(FileDescriptor&& other) noexcept : fd_(other.release()) {}
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FileDescriptor fd) noexcept : fd_(std::move(fd)) {}
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  /// Throws std::system_error on failure.
+  [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Sets receive/send timeouts. 0 disables (blocking forever).
+  void set_timeout(std::chrono::milliseconds timeout);
+
+  /// Reads up to buffer.size() bytes; returns 0 on orderly shutdown.
+  /// Throws std::system_error on errors (including timeout: EAGAIN).
+  [[nodiscard]] std::size_t read_some(std::span<std::byte> buffer);
+
+  /// Writes the whole buffer (looping over partial writes).
+  void write_all(std::span<const std::byte> data);
+  void write_all(std::string_view text);
+
+  /// Half-closes the write side (signals EOF to the peer).
+  void shutdown_write() noexcept;
+
+  /// Shuts down both directions (unblocks a reader in another thread).
+  void shutdown_both() noexcept;
+
+  /// Underlying fd (for wakeup bookkeeping); -1 when closed.
+  [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
+
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  FileDescriptor fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  /// Throws std::system_error on failure.
+  explicit TcpListener(std::uint16_t port, int backlog = 64);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to `timeout` for a connection and accepts it. Returns nullopt
+  /// on timeout or if the listener is closed — the server loop polls this so
+  /// shutdown never races a blocking accept. Throws on other errors.
+  [[nodiscard]] std::optional<TcpStream> accept(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(100));
+
+  /// Unblocks accept() and closes the socket.
+  void close() noexcept;
+
+  [[nodiscard]] bool closed() const noexcept { return !fd_.valid(); }
+
+ private:
+  FileDescriptor fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace appstore::net

@@ -1,0 +1,139 @@
+#include "pricing/breakeven.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "pricing/income.hpp"
+
+namespace appstore::pricing {
+
+namespace {
+
+/// Average paid income per paid app and average downloads per ad-supported
+/// free app, optionally restricted to one category and/or computed from
+/// cumulative downloads up to `day`.
+struct Sides {
+  double paid_income_sum = 0.0;
+  std::size_t paid_apps = 0;
+  double free_download_sum = 0.0;
+  std::size_t free_apps = 0;
+
+  [[nodiscard]] std::optional<double> breakeven() const {
+    if (paid_apps == 0 || free_apps == 0 || free_download_sum <= 0.0) return std::nullopt;
+    const double avg_paid = paid_income_sum / static_cast<double>(paid_apps);
+    const double avg_free = free_download_sum / static_cast<double>(free_apps);
+    return avg_paid / avg_free;
+  }
+};
+
+Sides accumulate(const market::AppStore& store, const std::vector<std::uint64_t>* at_day,
+                 std::optional<market::CategoryId> category) {
+  Sides sides;
+  for (const auto& app : store.apps()) {
+    if (category.has_value() && app.category != *category) continue;
+    const double downloads =
+        at_day != nullptr ? static_cast<double>((*at_day)[app.id.index()])
+                          : static_cast<double>(store.downloads_of(app.id));
+    if (app.pricing == market::Pricing::kPaid) {
+      sides.paid_income_sum += downloads * store.average_price_dollars(app.id);
+      ++sides.paid_apps;
+    } else if (app.has_ads) {
+      sides.free_download_sum += downloads;
+      ++sides.free_apps;
+    }
+  }
+  return sides;
+}
+
+/// Break-even per popularity tier: free apps sorted by downloads descending,
+/// split 20/50/30 (Fig. 17's "most popular / medium / unpopular" tiers).
+std::optional<TierBreakeven> tiers_from(const market::AppStore& store,
+                                        const std::vector<std::uint64_t>* at_day) {
+  const Sides all = accumulate(store, at_day, std::nullopt);
+  if (all.paid_apps == 0 || all.free_apps == 0) return std::nullopt;
+  const double avg_paid = all.paid_income_sum / static_cast<double>(all.paid_apps);
+
+  std::vector<double> free_downloads;
+  for (const auto& app : store.apps()) {
+    if (app.pricing != market::Pricing::kFree || !app.has_ads) continue;
+    free_downloads.push_back(at_day != nullptr
+                                 ? static_cast<double>((*at_day)[app.id.index()])
+                                 : static_cast<double>(store.downloads_of(app.id)));
+  }
+  std::sort(free_downloads.begin(), free_downloads.end(), std::greater<>());
+
+  const auto tier_average = [&](double from_fraction, double to_fraction) {
+    const auto from = static_cast<std::size_t>(from_fraction *
+                                               static_cast<double>(free_downloads.size()));
+    auto to = static_cast<std::size_t>(to_fraction * static_cast<double>(free_downloads.size()));
+    to = std::min(to, free_downloads.size());
+    if (from >= to) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = from; i < to; ++i) sum += free_downloads[i];
+    return sum / static_cast<double>(to - from);
+  };
+
+  TierBreakeven tiers;
+  const double avg_all = tier_average(0.0, 1.0);
+  const double avg_popular = tier_average(0.0, 0.2);
+  const double avg_medium = tier_average(0.2, 0.7);
+  const double avg_unpopular = tier_average(0.7, 1.0);
+  tiers.average = avg_all > 0.0 ? avg_paid / avg_all : 0.0;
+  tiers.popular = avg_popular > 0.0 ? avg_paid / avg_popular : 0.0;
+  tiers.medium = avg_medium > 0.0 ? avg_paid / avg_medium : 0.0;
+  tiers.unpopular = avg_unpopular > 0.0 ? avg_paid / avg_unpopular : 0.0;
+  return tiers;
+}
+
+}  // namespace
+
+std::optional<double> breakeven_ad_income(const market::AppStore& store) {
+  return accumulate(store, nullptr, std::nullopt).breakeven();
+}
+
+std::optional<TierBreakeven> breakeven_by_tier(const market::AppStore& store) {
+  return tiers_from(store, nullptr);
+}
+
+std::vector<BreakevenPoint> breakeven_over_time(const market::AppStore& store,
+                                                market::Day first_day, market::Day last_day,
+                                                market::Day step) {
+  // One pass per sampled day would rescan all events; instead accumulate
+  // day-bucketed deltas once and walk forward.
+  std::vector<BreakevenPoint> series;
+  std::vector<std::uint64_t> cumulative(store.apps().size(), 0);
+
+  // Sorted (day, app) pairs let the cursor advance monotonically.
+  std::vector<std::pair<market::Day, std::uint32_t>> events;
+  events.reserve(store.download_events().size());
+  for (const auto& event : store.download_events()) {
+    events.emplace_back(event.day, event.app.value);
+  }
+  std::sort(events.begin(), events.end());
+
+  std::size_t cursor = 0;
+  for (market::Day day = first_day; day <= last_day; day += step) {
+    while (cursor < events.size() && events[cursor].first <= day) {
+      ++cumulative[events[cursor].second];
+      ++cursor;
+    }
+    const auto tiers = tiers_from(store, &cumulative);
+    if (tiers.has_value()) series.push_back(BreakevenPoint{day, *tiers});
+  }
+  return series;
+}
+
+std::vector<CategoryBreakeven> breakeven_by_category(const market::AppStore& store) {
+  std::vector<CategoryBreakeven> rows;
+  for (const auto& category : store.categories()) {
+    const auto value = accumulate(store, nullptr, category.id).breakeven();
+    if (!value.has_value()) continue;
+    rows.push_back(CategoryBreakeven{category.id, category.name, *value});
+  }
+  std::sort(rows.begin(), rows.end(), [](const CategoryBreakeven& a, const CategoryBreakeven& b) {
+    return a.breakeven_dollars > b.breakeven_dollars;
+  });
+  return rows;
+}
+
+}  // namespace appstore::pricing

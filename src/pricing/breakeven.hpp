@@ -1,0 +1,60 @@
+// Break-even ad income per download (Eq. 7, §6.3).
+//
+//   AdIncome = [ sum_paid downloads(i) * price(i) / N_paid ]
+//              / [ sum_free downloads(j) / N_free ]
+//
+// i.e. the per-download ad revenue a free app must earn to match the income
+// of an average paid app. Only free apps with ads are considered. Variants:
+// per popularity tier (top 20% / middle 50% / bottom 30% of free apps by
+// downloads), per app category, and over time (using cumulative downloads
+// up to a given day).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "market/store.hpp"
+#include "market/types.hpp"
+
+namespace appstore::pricing {
+
+/// Store-wide break-even ad income per download (dollars). nullopt when the
+/// store has no paid apps or no ad-supported free downloads.
+[[nodiscard]] std::optional<double> breakeven_ad_income(const market::AppStore& store);
+
+/// Fig. 17 tiers.
+struct TierBreakeven {
+  double popular = 0.0;    ///< top 20% of free apps by downloads
+  double medium = 0.0;     ///< next 50%
+  double unpopular = 0.0;  ///< bottom 30%
+  double average = 0.0;    ///< all ad-supported free apps
+};
+
+[[nodiscard]] std::optional<TierBreakeven> breakeven_by_tier(const market::AppStore& store);
+
+/// Fig. 17 time series: break-even values computed from cumulative
+/// downloads up to each sampled day.
+struct BreakevenPoint {
+  market::Day day = 0;
+  TierBreakeven tiers;
+};
+
+[[nodiscard]] std::vector<BreakevenPoint> breakeven_over_time(const market::AppStore& store,
+                                                              market::Day first_day,
+                                                              market::Day last_day,
+                                                              market::Day step = 1);
+
+/// Fig. 18: break-even per category (paid average income of the category
+/// vs free ad-supported downloads of the same category). Categories lacking
+/// either side are omitted.
+struct CategoryBreakeven {
+  market::CategoryId category;
+  std::string name;
+  double breakeven_dollars = 0.0;
+};
+
+[[nodiscard]] std::vector<CategoryBreakeven> breakeven_by_category(
+    const market::AppStore& store);
+
+}  // namespace appstore::pricing

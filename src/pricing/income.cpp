@@ -1,0 +1,116 @@
+#include "pricing/income.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/correlation.hpp"
+#include "stats/histogram.hpp"
+
+namespace appstore::pricing {
+
+double app_revenue_dollars(const market::AppStore& store, market::AppId app) {
+  if (store.app(app).pricing != market::Pricing::kPaid) return 0.0;
+  return static_cast<double>(store.downloads_of(app)) * store.average_price_dollars(app);
+}
+
+std::vector<DeveloperIncome> developer_incomes(const market::AppStore& store) {
+  std::vector<DeveloperIncome> incomes(store.developers().size());
+  for (std::size_t d = 0; d < incomes.size(); ++d) {
+    incomes[d].developer = market::DeveloperId{static_cast<std::uint32_t>(d)};
+  }
+  for (const auto& app : store.apps()) {
+    auto& entry = incomes[app.developer.index()];
+    if (app.pricing == market::Pricing::kPaid) {
+      ++entry.paid_apps;
+      entry.income_dollars += app_revenue_dollars(store, app.id);
+    } else {
+      ++entry.free_apps;
+    }
+  }
+  // Keep only developers with at least one paid app — income from paid apps
+  // is undefined for pure-free developers.
+  std::erase_if(incomes, [](const DeveloperIncome& entry) { return entry.paid_apps == 0; });
+  return incomes;
+}
+
+double income_app_count_correlation(const std::vector<DeveloperIncome>& incomes) {
+  std::vector<double> apps;
+  std::vector<double> income;
+  apps.reserve(incomes.size());
+  income.reserve(incomes.size());
+  for (const auto& entry : incomes) {
+    apps.push_back(static_cast<double>(entry.paid_apps));
+    income.push_back(entry.income_dollars);
+  }
+  return stats::pearson(apps, income);
+}
+
+std::vector<CategoryRevenue> category_revenue_breakdown(const market::AppStore& store) {
+  const std::size_t categories = store.categories().size();
+  std::vector<double> revenue(categories, 0.0);
+  std::vector<double> apps(categories, 0.0);
+  std::vector<std::set<std::uint32_t>> developers(categories);
+
+  double total_revenue = 0.0;
+  double total_apps = 0.0;
+  for (const auto& app : store.apps()) {
+    if (app.pricing != market::Pricing::kPaid) continue;
+    const double r = app_revenue_dollars(store, app.id);
+    revenue[app.category.index()] += r;
+    apps[app.category.index()] += 1.0;
+    developers[app.category.index()].insert(app.developer.value);
+    total_revenue += r;
+    total_apps += 1.0;
+  }
+  std::set<std::uint32_t> all_developers;
+  for (const auto& per_category : developers) {
+    all_developers.insert(per_category.begin(), per_category.end());
+  }
+
+  std::vector<CategoryRevenue> breakdown;
+  breakdown.reserve(categories);
+  for (std::size_t c = 0; c < categories; ++c) {
+    CategoryRevenue row;
+    row.category = market::CategoryId{static_cast<std::uint32_t>(c)};
+    row.name = store.categories()[c].name;
+    if (total_revenue > 0.0) row.revenue_percent = 100.0 * revenue[c] / total_revenue;
+    if (total_apps > 0.0) row.apps_percent = 100.0 * apps[c] / total_apps;
+    if (!all_developers.empty()) {
+      row.developers_percent = 100.0 * static_cast<double>(developers[c].size()) /
+                               static_cast<double>(all_developers.size());
+    }
+    breakdown.push_back(std::move(row));
+  }
+  std::sort(breakdown.begin(), breakdown.end(),
+            [](const CategoryRevenue& a, const CategoryRevenue& b) {
+              return a.revenue_percent > b.revenue_percent;
+            });
+  return breakdown;
+}
+
+PricePopularity price_popularity(const market::AppStore& store) {
+  PricePopularity result;
+  for (const auto& app : store.apps()) {
+    if (app.pricing != market::Pricing::kPaid) continue;
+    result.prices.push_back(store.average_price_dollars(app.id));
+    result.downloads.push_back(static_cast<double>(store.downloads_of(app.id)));
+  }
+  if (result.prices.size() < 2) return result;
+  result.price_download_correlation = stats::pearson(result.prices, result.downloads);
+
+  // Price vs number of apps: one-dollar bins, correlate bin center with the
+  // number of apps in the bin (Fig. 12, lower panel).
+  stats::LinearHistogram bins(0.0, 50.0, 1.0);
+  for (const auto price : result.prices) bins.add(price);
+  std::vector<double> centers;
+  std::vector<double> counts;
+  for (const auto& bin : bins.bins()) {
+    centers.push_back(bin.center());
+    counts.push_back(static_cast<double>(bin.count));
+  }
+  result.price_app_count_correlation = stats::pearson(centers, counts);
+  return result;
+}
+
+}  // namespace appstore::pricing

@@ -1,0 +1,61 @@
+// Developer income from paid apps (§6.2).
+//
+// Income of a paid app = total downloads (purchases) × average observed
+// price; a developer's income is the sum over their paid apps. As in the
+// paper, the store commission (SlideMe: 5%) is ignored — developers are
+// credited the full price.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "market/store.hpp"
+
+namespace appstore::pricing {
+
+struct DeveloperIncome {
+  market::DeveloperId developer;
+  double income_dollars = 0.0;
+  std::uint32_t paid_apps = 0;
+  std::uint32_t free_apps = 0;
+};
+
+/// Income for every developer that offers at least one paid app.
+[[nodiscard]] std::vector<DeveloperIncome> developer_incomes(const market::AppStore& store);
+
+/// Revenue of a single paid app (downloads × average price).
+[[nodiscard]] double app_revenue_dollars(const market::AppStore& store, market::AppId app);
+
+/// Pearson correlation between the number of paid apps a developer offers
+/// and their total income (Fig. 14: ≈0.008 — quality beats quantity).
+[[nodiscard]] double income_app_count_correlation(
+    const std::vector<DeveloperIncome>& incomes);
+
+/// Fig. 15 rows: per-category share of total paid revenue, of paid apps, and
+/// of developers (a developer counts in a category if they have >= 1 paid
+/// app there).
+struct CategoryRevenue {
+  market::CategoryId category;
+  std::string name;
+  double revenue_percent = 0.0;
+  double apps_percent = 0.0;
+  double developers_percent = 0.0;
+};
+
+[[nodiscard]] std::vector<CategoryRevenue> category_revenue_breakdown(
+    const market::AppStore& store);
+
+/// Fig. 12 support: per-app (average price, downloads) for paid apps, plus
+/// the two Pearson correlations the paper reports: price↔downloads (per
+/// app) and price↔app-count (per one-dollar price bin).
+struct PricePopularity {
+  std::vector<double> prices;      ///< average price per paid app (dollars)
+  std::vector<double> downloads;   ///< downloads of the same app
+  double price_download_correlation = 0.0;
+  double price_app_count_correlation = 0.0;
+};
+
+[[nodiscard]] PricePopularity price_popularity(const market::AppStore& store);
+
+}  // namespace appstore::pricing

@@ -1,0 +1,62 @@
+#include "pricing/strategies.hpp"
+
+#include <set>
+
+namespace appstore::pricing {
+
+std::vector<double> apps_per_developer(const market::AppStore& store, market::Pricing pricing) {
+  std::vector<std::uint32_t> counts(store.developers().size(), 0);
+  for (const auto& app : store.apps()) {
+    if (app.pricing == pricing) ++counts[app.developer.index()];
+  }
+  std::vector<double> result;
+  for (const auto count : counts) {
+    if (count > 0) result.push_back(static_cast<double>(count));
+  }
+  return result;
+}
+
+std::vector<double> categories_per_developer(const market::AppStore& store,
+                                             market::Pricing pricing) {
+  std::vector<std::set<std::uint32_t>> categories(store.developers().size());
+  for (const auto& app : store.apps()) {
+    if (app.pricing == pricing) categories[app.developer.index()].insert(app.category.value);
+  }
+  std::vector<double> result;
+  for (const auto& set : categories) {
+    if (!set.empty()) result.push_back(static_cast<double>(set.size()));
+  }
+  return result;
+}
+
+StrategyShares strategy_shares(const market::AppStore& store) {
+  std::vector<std::uint8_t> has_free(store.developers().size(), 0);
+  std::vector<std::uint8_t> has_paid(store.developers().size(), 0);
+  for (const auto& app : store.apps()) {
+    (app.pricing == market::Pricing::kFree ? has_free : has_paid)[app.developer.index()] = 1;
+  }
+  StrategyShares shares;
+  std::size_t free_only = 0;
+  std::size_t paid_only = 0;
+  std::size_t both = 0;
+  for (std::size_t d = 0; d < store.developers().size(); ++d) {
+    if (has_free[d] == 0 && has_paid[d] == 0) continue;  // devs without apps
+    ++shares.developers;
+    if (has_free[d] != 0 && has_paid[d] != 0) {
+      ++both;
+    } else if (has_free[d] != 0) {
+      ++free_only;
+    } else {
+      ++paid_only;
+    }
+  }
+  if (shares.developers > 0) {
+    const auto total = static_cast<double>(shares.developers);
+    shares.free_only = static_cast<double>(free_only) / total;
+    shares.paid_only = static_cast<double>(paid_only) / total;
+    shares.both = static_cast<double>(both) / total;
+  }
+  return shares;
+}
+
+}  // namespace appstore::pricing

@@ -1,0 +1,36 @@
+// Developer strategy analysis (§6.3, Fig. 16).
+//
+// How many apps does each developer offer per pricing model, how many
+// categories do they focus on, and which pricing strategy (free-only,
+// paid-only, mixed) do they follow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "market/store.hpp"
+
+namespace appstore::pricing {
+
+/// Apps per developer, restricted to one pricing model; developers with no
+/// apps of that pricing are excluded (Fig. 16a plots free and paid curves
+/// over their respective developer populations).
+[[nodiscard]] std::vector<double> apps_per_developer(const market::AppStore& store,
+                                                     market::Pricing pricing);
+
+/// Distinct categories per developer, restricted to one pricing model
+/// (Fig. 16b).
+[[nodiscard]] std::vector<double> categories_per_developer(const market::AppStore& store,
+                                                           market::Pricing pricing);
+
+/// §6.3 headline: shares of developers that are free-only / paid-only / both.
+struct StrategyShares {
+  double free_only = 0.0;
+  double paid_only = 0.0;
+  double both = 0.0;
+  std::size_t developers = 0;
+};
+
+[[nodiscard]] StrategyShares strategy_shares(const market::AppStore& store);
+
+}  // namespace appstore::pricing

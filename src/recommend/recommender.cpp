@@ -1,0 +1,248 @@
+#include "recommend/recommender.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace appstore::recommend {
+
+namespace {
+
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+[[nodiscard]] std::vector<std::uint64_t> download_counts(const Dataset& dataset) {
+  std::vector<std::uint64_t> counts(dataset.app_count, 0);
+  for (const auto& sequence : dataset.user_sequences) {
+    for (const auto app : sequence) ++counts[app];
+  }
+  return counts;
+}
+
+[[nodiscard]] std::vector<std::uint32_t> order_by_popularity(
+    std::span<const std::uint64_t> counts) {
+  std::vector<std::uint32_t> order(counts.size());
+  for (std::uint32_t a = 0; a < counts.size(); ++a) order[a] = a;
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return counts[a] > counts[b];
+  });
+  return order;
+}
+
+[[nodiscard]] bool in_history(std::span<const std::uint32_t> history, std::uint32_t app) {
+  return std::find(history.begin(), history.end(), app) != history.end();
+}
+
+/// Fills `out` from `ranked` (already preference-ordered), skipping history
+/// and duplicates, until k items or the source is exhausted.
+void fill_from(std::vector<std::uint32_t>& out, std::span<const std::uint32_t> ranked,
+               std::span<const std::uint32_t> history, std::size_t k) {
+  for (const auto app : ranked) {
+    if (out.size() >= k) return;
+    if (in_history(history, app)) continue;
+    if (std::find(out.begin(), out.end(), app) != out.end()) continue;
+    out.push_back(app);
+  }
+}
+
+}  // namespace
+
+// ---- POPULARITY ----------------------------------------------------------------
+
+void PopularityRecommender::train(const Dataset& dataset) {
+  by_popularity_ = order_by_popularity(download_counts(dataset));
+}
+
+std::vector<std::uint32_t> PopularityRecommender::recommend(
+    std::span<const std::uint32_t> history, std::size_t k) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  fill_from(out, by_popularity_, history, k);
+  return out;
+}
+
+// ---- CATEGORY ------------------------------------------------------------------
+
+void CategoryRecommender::train(const Dataset& dataset) {
+  app_category_ = dataset.app_category;
+  const auto counts = download_counts(dataset);
+  by_popularity_ = order_by_popularity(counts);
+
+  std::uint32_t categories = 0;
+  for (const auto c : app_category_) categories = std::max(categories, c + 1);
+  category_by_popularity_.assign(categories, {});
+  for (const auto app : by_popularity_) {
+    category_by_popularity_[app_category_[app]].push_back(app);
+  }
+}
+
+std::vector<std::uint32_t> CategoryRecommender::recommend(
+    std::span<const std::uint32_t> history, std::size_t k) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (!history.empty()) {
+    const std::uint32_t recent_category = app_category_[history.back()];
+    fill_from(out, category_by_popularity_[recent_category], history, k);
+  }
+  fill_from(out, by_popularity_, history, k);  // pad with global top
+  return out;
+}
+
+// ---- ITEM-CF --------------------------------------------------------------------
+
+void ItemCfRecommender::train(const Dataset& dataset) {
+  const auto counts = download_counts(dataset);
+  by_popularity_ = order_by_popularity(counts);
+
+  // Co-download counts via per-user pairs. Sequences are short (d apps), so
+  // the pair loop is O(sum d^2) — fine for the evaluation scales here.
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> co(dataset.app_count);
+  for (const auto& sequence : dataset.user_sequences) {
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      for (std::size_t j = i + 1; j < sequence.size(); ++j) {
+        const std::uint32_t a = sequence[i];
+        const std::uint32_t b = sequence[j];
+        if (a == b) continue;
+        ++co[a][b];
+        ++co[b][a];
+      }
+    }
+  }
+
+  similar_.assign(dataset.app_count, {});
+  for (std::uint32_t app = 0; app < dataset.app_count; ++app) {
+    auto& neighbors = similar_[app];
+    neighbors.reserve(co[app].size());
+    for (const auto& [other, pair_count] : co[app]) {
+      const double denominator = std::sqrt(static_cast<double>(counts[app]) *
+                                           static_cast<double>(counts[other]));
+      if (denominator <= 0.0) continue;
+      neighbors.push_back(
+          Neighbor{other, static_cast<float>(static_cast<double>(pair_count) / denominator)});
+    }
+    std::sort(neighbors.begin(), neighbors.end(), [](const Neighbor& a, const Neighbor& b) {
+      return a.similarity > b.similarity;
+    });
+    if (neighbors.size() > neighbors_) neighbors.resize(neighbors_);
+  }
+}
+
+std::vector<std::uint32_t> ItemCfRecommender::recommend(
+    std::span<const std::uint32_t> history, std::size_t k) const {
+  std::unordered_map<std::uint32_t, float> scores;
+  for (const auto item : history) {
+    if (item >= similar_.size()) continue;
+    for (const auto& neighbor : similar_[item]) {
+      if (in_history(history, neighbor.app)) continue;
+      scores[neighbor.app] += neighbor.similarity;
+    }
+  }
+  std::vector<std::pair<std::uint32_t, float>> ranked(scores.begin(), scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (const auto& [app, score] : ranked) {
+    if (out.size() >= k) break;
+    out.push_back(app);
+  }
+  fill_from(out, by_popularity_, history, k);
+  return out;
+}
+
+// ---- HYBRID ---------------------------------------------------------------------
+
+void HybridRecommender::train(const Dataset& dataset) {
+  item_cf_.train(dataset);
+  app_category_ = dataset.app_category;
+  const auto counts = download_counts(dataset);
+  const auto order = order_by_popularity(counts);
+  std::uint32_t categories = 0;
+  for (const auto c : app_category_) categories = std::max(categories, c + 1);
+  category_by_popularity_.assign(categories, {});
+  for (const auto app : order) {
+    category_by_popularity_[app_category_[app]].push_back(app);
+  }
+}
+
+std::vector<std::uint32_t> HybridRecommender::recommend(
+    std::span<const std::uint32_t> history, std::size_t k) const {
+  // Recent categories (the clustering effect's temporal locality).
+  std::vector<std::uint32_t> recent_categories;
+  const std::size_t window = std::min(recent_window_, history.size());
+  for (std::size_t i = history.size() - window; i < history.size(); ++i) {
+    recent_categories.push_back(app_category_[history[i]]);
+  }
+  const auto is_recent_category = [&](std::uint32_t app) {
+    return std::find(recent_categories.begin(), recent_categories.end(),
+                     app_category_[app]) != recent_categories.end();
+  };
+
+  // Over-fetch CF candidates, re-rank with the category boost.
+  const auto candidates = item_cf_.recommend(history, k * 4);
+  std::vector<std::pair<std::uint32_t, float>> ranked;
+  ranked.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    // CF rank as a proxy score (highest first), boosted by recency.
+    float score = static_cast<float>(candidates.size() - i);
+    if (is_recent_category(candidates[i])) score *= recency_boost_;
+    ranked.emplace_back(candidates[i], score);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (const auto& [app, score] : ranked) {
+    if (out.size() >= k) break;
+    out.push_back(app);
+  }
+  // Pad with popular apps of the most recent category, then global top.
+  if (!recent_categories.empty()) {
+    fill_from(out, category_by_popularity_[recent_categories.back()], history, k);
+  }
+  return out;
+}
+
+// ---- evaluation -------------------------------------------------------------------
+
+Dataset leave_last_out(const Dataset& dataset, std::vector<std::uint32_t>& held_out) {
+  Dataset truncated;
+  truncated.app_count = dataset.app_count;
+  truncated.app_category = dataset.app_category;
+  truncated.user_sequences.reserve(dataset.user_sequences.size());
+  held_out.assign(dataset.user_sequences.size(), kNone);
+
+  for (std::size_t u = 0; u < dataset.user_sequences.size(); ++u) {
+    auto sequence = dataset.user_sequences[u];
+    if (sequence.size() >= 2) {
+      held_out[u] = sequence.back();
+      sequence.pop_back();
+    }
+    truncated.user_sequences.push_back(std::move(sequence));
+  }
+  return truncated;
+}
+
+EvalResult evaluate(const Recommender& recommender, const Dataset& truncated,
+                    std::span<const std::uint32_t> held_out, std::size_t k) {
+  EvalResult result;
+  for (std::size_t u = 0; u < truncated.user_sequences.size(); ++u) {
+    if (held_out[u] == kNone) continue;
+    ++result.users_evaluated;
+    const auto recommendations =
+        recommender.recommend(truncated.user_sequences[u], k);
+    if (std::find(recommendations.begin(), recommendations.end(), held_out[u]) !=
+        recommendations.end()) {
+      ++result.hits;
+    }
+  }
+  return result;
+}
+
+}  // namespace appstore::recommend

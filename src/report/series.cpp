@@ -1,0 +1,38 @@
+#include "report/series.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+
+namespace appstore::report {
+
+std::filesystem::path write_csv(const Series& series, const std::filesystem::path& directory) {
+  std::string file_name = series.name;
+  std::replace(file_name.begin(), file_name.end(), '/', '-');
+  std::replace(file_name.begin(), file_name.end(), ' ', '_');
+  const std::filesystem::path path = directory / (file_name + ".csv");
+
+  util::CsvWriter writer(path);
+  std::vector<std::string> header(series.columns.begin(), series.columns.end());
+  writer.write_row(header);
+  for (const auto& row : series.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const double value : row) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.10g", value);
+      cells.emplace_back(buffer);
+    }
+    writer.write_row(cells);
+  }
+  writer.flush();
+  return path;
+}
+
+void export_all(const std::vector<Series>& series, const std::string& experiment,
+                const std::filesystem::path& results_root) {
+  const std::filesystem::path directory = results_root / experiment;
+  for (const auto& one : series) (void)write_csv(one, directory);
+}
+
+}  // namespace appstore::report

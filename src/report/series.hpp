@@ -1,0 +1,30 @@
+// Named data series with CSV export.
+//
+// Every bench prints the figure's series to stdout AND writes them under
+// results/<experiment>/<series>.csv so plots can be regenerated without
+// rerunning the binary.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace appstore::report {
+
+struct Series {
+  std::string name;
+  std::vector<std::string> columns;           ///< column names
+  std::vector<std::vector<double>> rows;      ///< one vector per row
+
+  void add(std::vector<double> row) { rows.push_back(std::move(row)); }
+};
+
+/// Writes one series to `directory/name.csv` (slashes in the name become
+/// dashes). Creates directories as needed; returns the written path.
+std::filesystem::path write_csv(const Series& series, const std::filesystem::path& directory);
+
+/// Convenience: writes all series under results_root/experiment/.
+void export_all(const std::vector<Series>& series, const std::string& experiment,
+                const std::filesystem::path& results_root = "results");
+
+}  // namespace appstore::report

@@ -1,0 +1,77 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/format.hpp"
+
+namespace appstore::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+[[nodiscard]] bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (const char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != ',' && c != 'e' && c != 'E' && c != ' ' && c != 'K' && c != 'M' &&
+        c != 'B' && c != '$' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (align_numeric && looks_numeric(cells[c])) {
+        out.append(pad, ' ');
+        out += cells[c];
+      } else {
+        out += cells[c];
+        out.append(pad, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+
+  emit_row(header_, false);
+  std::size_t total_width = header_.size() >= 1 ? 2 * (header_.size() - 1) : 0;
+  for (const auto w : widths) total_width += w;
+  out.append(total_width, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row, true);
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  return util::format(util::format("{{:.{}f}}", digits), value);
+}
+
+std::string percent(double fraction, int digits) {
+  return fixed(100.0 * fraction, digits) + "%";
+}
+
+}  // namespace appstore::report

@@ -1,0 +1,36 @@
+// ASCII table rendering for bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace appstore::report {
+
+/// Column-aligned text table. Usage:
+///   Table t({"store", "apps", "downloads"});
+///   t.row({"Anzhi", "60196", "2816 M"});
+///   std::fputs(t.render().c_str(), stdout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Renders with a header underline; numeric-looking cells right-align.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals (helper for bench rows).
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
+/// Formats a percentage with 1 decimal: 0.905 -> "90.5%".
+[[nodiscard]] std::string percent(double fraction, int digits = 1);
+
+}  // namespace appstore::report

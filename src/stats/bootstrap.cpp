@@ -1,0 +1,33 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace appstore::stats {
+
+Interval normal_ci(std::span<const double> sample, double z) {
+  const double m = mean(sample);
+  const double se = stderr_mean(sample);
+  return Interval{m - z * se, m + z * se};
+}
+
+Interval bootstrap_mean_ci(std::span<const double> sample, util::Rng& rng,
+                           std::size_t resamples, double confidence) {
+  if (sample.empty()) return Interval{};
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      total += sample[static_cast<std::size_t>(rng.below(sample.size()))];
+    }
+    means.push_back(total / static_cast<double>(sample.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  return Interval{quantile_sorted(means, alpha), quantile_sorted(means, 1.0 - alpha)};
+}
+
+}  // namespace appstore::stats

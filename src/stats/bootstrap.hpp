@@ -1,0 +1,30 @@
+// Confidence intervals.
+//
+// Fig. 6 plots per-group average affinity with 95% confidence intervals.
+// We provide both the normal-approximation interval (what the paper's
+// error bars almost certainly are) and a percentile bootstrap for small
+// groups where normality is doubtful.
+#pragma once
+
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace appstore::stats {
+
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+  [[nodiscard]] double width() const noexcept { return upper - lower; }
+  [[nodiscard]] bool contains(double v) const noexcept { return v >= lower && v <= upper; }
+};
+
+/// mean ± z * stderr; z defaults to 1.96 (95%).
+[[nodiscard]] Interval normal_ci(std::span<const double> sample, double z = 1.96);
+
+/// Percentile bootstrap CI for the mean.
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> sample, util::Rng& rng,
+                                         std::size_t resamples = 1000,
+                                         double confidence = 0.95);
+
+}  // namespace appstore::stats

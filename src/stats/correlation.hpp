@@ -1,0 +1,18 @@
+// Correlation coefficients.
+//
+// The paper reports Pearson correlations for price–downloads (−0.229),
+// price–#apps (−0.240), income–#apps (0.008), and the per-category revenue
+// relationships (§6.2). Spearman is included for robustness checks.
+#pragma once
+
+#include <span>
+
+namespace appstore::stats {
+
+/// Pearson product-moment correlation; 0 if either side is constant.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace appstore::stats

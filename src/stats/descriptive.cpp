@@ -1,0 +1,132 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace appstore::stats {
+
+double sum(std::span<const double> values) noexcept {
+  // Kahan summation: benches aggregate millions of download counts and the
+  // compensated sum keeps Eq.-6 distances stable across orderings.
+  double total = 0.0;
+  double compensation = 0.0;
+  for (const double v : values) {
+    const double y = v - compensation;
+    const double t = total + y;
+    compensation = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n - 1);
+}
+
+double stddev(std::span<const double> values) noexcept { return std::sqrt(variance(values)); }
+
+double stderr_mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return stddev(values) / std::sqrt(static_cast<double>(values.size()));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto low = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(low);
+  if (low + 1 >= sorted.size()) return sorted.back();
+  return sorted[low] * (1.0 - fraction) + sorted[low + 1] * fraction;
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double min_value(std::span<const double> values) noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (const double v : values) best = std::min(best, v);
+  return best;
+}
+
+double max_value(std::span<const double> values) noexcept {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const double v : values) best = std::max(best, v);
+  return best;
+}
+
+double gini(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double dn = static_cast<double>(n);
+  return (2.0 * weighted) / (dn * total) - (dn + 1.0) / dn;
+}
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+}  // namespace appstore::stats

@@ -1,0 +1,58 @@
+// Descriptive statistics over contiguous numeric data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace appstore::stats {
+
+[[nodiscard]] double sum(std::span<const double> values) noexcept;
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> values) noexcept;
+[[nodiscard]] double stddev(std::span<const double> values) noexcept;
+
+/// Standard error of the mean.
+[[nodiscard]] double stderr_mean(std::span<const double> values) noexcept;
+
+/// Linear-interpolated quantile, q in [0,1]. Sorts a copy; O(n log n).
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Quantile over data the caller has already sorted ascending; O(1).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+[[nodiscard]] double median(std::span<const double> values);
+
+[[nodiscard]] double min_value(std::span<const double> values) noexcept;
+[[nodiscard]] double max_value(std::span<const double> values) noexcept;
+
+/// Gini coefficient of a non-negative distribution (0 = equal, →1 = skewed).
+/// Used to characterize income skew across developers (§6.2).
+[[nodiscard]] double gini(std::span<const double> values);
+
+/// Welford-style streaming accumulator for one-pass mean/variance.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace appstore::stats

@@ -1,0 +1,49 @@
+#include "stats/distance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace appstore::stats {
+
+double mean_relative_error(std::span<const double> observed,
+                           std::span<const double> simulated) {
+  if (observed.size() != simulated.size()) {
+    throw std::invalid_argument("mean_relative_error: size mismatch");
+  }
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] <= 0.0) continue;
+    total += std::fabs(observed[i] - simulated[i]) / observed[i];
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double smape(std::span<const double> observed, std::span<const double> simulated) {
+  if (observed.size() != simulated.size()) throw std::invalid_argument("smape: size mismatch");
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double denom = std::fabs(observed[i]) + std::fabs(simulated[i]);
+    if (denom == 0.0) continue;
+    total += 2.0 * std::fabs(observed[i] - simulated[i]) / denom;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double log_rmse(std::span<const double> observed, std::span<const double> simulated) {
+  if (observed.size() != simulated.size()) throw std::invalid_argument("log_rmse: size mismatch");
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] <= 0.0 || simulated[i] <= 0.0) continue;
+    const double d = std::log10(observed[i]) - std::log10(simulated[i]);
+    total += d * d;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : std::sqrt(total / static_cast<double>(counted));
+}
+
+}  // namespace appstore::stats

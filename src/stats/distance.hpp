@@ -1,0 +1,27 @@
+// Distribution distance measures.
+//
+// Eq. 6 of the paper: the fit quality between observed and simulated
+// rank–download curves is the mean relative error
+//   distance = (1/A) * sum_i |Do(i) - Ds(i)| / Do(i)
+// taken over apps ranked by observed downloads.
+#pragma once
+
+#include <span>
+
+namespace appstore::stats {
+
+/// Mean relative error (Eq. 6). Ranks where observed == 0 are skipped (the
+/// paper's stores always report >= 1 download for listed apps; synthetic
+/// tails can contain zeros).
+[[nodiscard]] double mean_relative_error(std::span<const double> observed,
+                                         std::span<const double> simulated);
+
+/// Symmetric mean absolute percentage error — a bounded alternative used in
+/// ablation benches to confirm rankings are not an artifact of Eq. 6.
+[[nodiscard]] double smape(std::span<const double> observed, std::span<const double> simulated);
+
+/// Root mean squared error in log10 space (skips non-positive pairs).
+[[nodiscard]] double log_rmse(std::span<const double> observed,
+                              std::span<const double> simulated);
+
+}  // namespace appstore::stats

@@ -1,0 +1,52 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace appstore::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto index = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())) - 1.0);
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+std::vector<double> Ecdf::evaluate(std::span<const double> points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const double p : points) out.push_back(at(p));
+  return out;
+}
+
+std::vector<Ecdf::Point> Ecdf::steps() const {
+  std::vector<Point> points;
+  const std::size_t n = sorted_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Emit only the last occurrence of each distinct value.
+    if (i + 1 < n && sorted_[i + 1] == sorted_[i]) continue;
+    points.push_back(Point{sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  return points;
+}
+
+double ks_statistic(const Ecdf& a, const Ecdf& b) noexcept {
+  double best = 0.0;
+  for (const double x : a.sorted()) best = std::max(best, std::fabs(a.at(x) - b.at(x)));
+  for (const double x : b.sorted()) best = std::max(best, std::fabs(a.at(x) - b.at(x)));
+  return best;
+}
+
+}  // namespace appstore::stats

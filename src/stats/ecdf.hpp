@@ -1,0 +1,48 @@
+// Empirical cumulative distribution functions.
+//
+// Most of the paper's figures are ECDFs (Figs. 2, 4, 5, 7, 13, 16); this
+// class is the single representation benches use to print/export them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace appstore::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+
+  /// Builds from a sample; stores a sorted copy.
+  explicit Ecdf(std::span<const double> sample);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// F(x) = P[X <= x] (right-continuous step function).
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// Smallest sample value v with F(v) >= q (inverse CDF / quantile).
+  [[nodiscard]] double inverse(double q) const noexcept;
+
+  /// Underlying sorted sample.
+  [[nodiscard]] std::span<const double> sorted() const noexcept { return sorted_; }
+
+  /// Evaluates F at each of the given points.
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> points) const;
+
+  /// (x, F(x)) pairs at every distinct sample value — ready for plotting.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> steps() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup |F1 - F2|.
+[[nodiscard]] double ks_statistic(const Ecdf& a, const Ecdf& b) noexcept;
+
+}  // namespace appstore::stats

@@ -1,0 +1,54 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace appstore::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, double width) : lo_(lo), width_(width) {
+  if (!(hi > lo) || !(width > 0)) {
+    throw std::invalid_argument("LinearHistogram: need hi > lo and width > 0");
+  }
+  const auto count = static_cast<std::size_t>(std::ceil((hi - lo) / width));
+  bins_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bins_.push_back(Bin{lo + width * static_cast<double>(i),
+                        lo + width * static_cast<double>(i + 1), 0, 0.0});
+  }
+}
+
+void LinearHistogram::add(double x, double weight) noexcept {
+  if (bins_.empty()) return;
+  auto index = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  index = std::clamp<std::ptrdiff_t>(index, 0, static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  auto& bin = bins_[static_cast<std::size_t>(index)];
+  ++bin.count;
+  bin.sum += weight;
+  ++total_;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bin_count) {
+  if (!(lo > 0) || !(hi > lo) || bin_count == 0) {
+    throw std::invalid_argument("LogHistogram: need hi > lo > 0 and bins > 0");
+  }
+  log_lo_ = std::log(lo);
+  log_step_ = (std::log(hi) - log_lo_) / static_cast<double>(bin_count);
+  bins_.reserve(bin_count);
+  for (std::size_t i = 0; i < bin_count; ++i) {
+    bins_.push_back(Bin{std::exp(log_lo_ + log_step_ * static_cast<double>(i)),
+                        std::exp(log_lo_ + log_step_ * static_cast<double>(i + 1)), 0, 0.0});
+  }
+}
+
+void LogHistogram::add(double x, double weight) noexcept {
+  if (bins_.empty() || !(x > 0)) return;
+  auto index = static_cast<std::ptrdiff_t>(std::floor((std::log(x) - log_lo_) / log_step_));
+  index = std::clamp<std::ptrdiff_t>(index, 0, static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  auto& bin = bins_[static_cast<std::size_t>(index)];
+  ++bin.count;
+  bin.sum += weight;
+  ++total_;
+}
+
+}  // namespace appstore::stats

@@ -1,0 +1,59 @@
+// Linear- and logarithmic-binned histograms.
+//
+// Fig. 12 bins paid apps by one-dollar price ranges (linear bins); the
+// rank–download plots use log-spaced bins when down-sampling for export.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace appstore::stats {
+
+struct Bin {
+  double lower;          ///< inclusive
+  double upper;          ///< exclusive
+  std::uint64_t count;   ///< number of samples in the bin
+  double sum;            ///< sum of an associated weight/value per sample
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  [[nodiscard]] double center() const noexcept { return 0.5 * (lower + upper); }
+};
+
+/// Fixed-width histogram over [lo, hi) with the given bin width.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, double width);
+
+  /// Adds a sample; out-of-range samples are clamped into the edge bins.
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::span<const Bin> bins() const noexcept { return bins_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<Bin> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram with logarithmically spaced bin edges over [lo, hi), lo > 0.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::span<const Bin> bins() const noexcept { return bins_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+
+ private:
+  double log_lo_;
+  double log_step_;
+  std::vector<Bin> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace appstore::stats

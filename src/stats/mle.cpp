@@ -1,0 +1,91 @@
+#include "stats/mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace appstore::stats {
+
+namespace {
+
+/// KS distance between the empirical distribution of `tail` (sorted
+/// ascending, all >= xmin) and the continuous power-law CDF
+/// F(x) = 1 - (x/xmin)^(1-alpha).
+double ks_distance(std::span<const double> tail, double xmin, double alpha) {
+  const double n = static_cast<double>(tail.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const double model = 1.0 - std::pow(tail[i] / xmin, 1.0 - alpha);
+    const double empirical_high = static_cast<double>(i + 1) / n;
+    const double empirical_low = static_cast<double>(i) / n;
+    worst = std::max(worst, std::fabs(model - empirical_high));
+    worst = std::max(worst, std::fabs(model - empirical_low));
+  }
+  return worst;
+}
+
+}  // namespace
+
+MleFit fit_power_law_mle(std::span<const double> values, double xmin,
+                         bool discrete) {
+  if (xmin <= 0.0) throw std::invalid_argument("fit_power_law_mle: xmin must be > 0");
+  std::vector<double> tail;
+  for (const double v : values) {
+    if (v >= xmin) tail.push_back(v);
+  }
+  MleFit fit;
+  fit.xmin = xmin;
+  fit.tail_samples = tail.size();
+  if (tail.size() < 2) return fit;
+  std::sort(tail.begin(), tail.end());
+
+  const double shifted_min =
+      discrete ? std::max(xmin - 0.5, 0.5) : xmin;  // continuity correction
+  double log_sum = 0.0;
+  for (const double v : tail) log_sum += std::log(v / shifted_min);
+  if (log_sum <= 0.0) return fit;
+
+  const double n = static_cast<double>(tail.size());
+  fit.alpha = 1.0 + n / log_sum;
+  fit.alpha_stderr = (fit.alpha - 1.0) / std::sqrt(n);
+  fit.ks = ks_distance(tail, xmin, fit.alpha);
+  return fit;
+}
+
+MleFit fit_power_law_mle_auto(std::span<const double> values,
+                              std::size_t max_candidates, bool discrete) {
+  // Candidate xmins: up to max_candidates distinct positive values, spread
+  // evenly over the sorted distinct range so large cutoffs are considered.
+  std::vector<double> distinct;
+  for (const double v : values) {
+    if (v > 0.0) distinct.push_back(v);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  if (distinct.empty()) return MleFit{};
+  if (distinct.size() > max_candidates) {
+    std::vector<double> sampled;
+    sampled.reserve(max_candidates);
+    const double step =
+        static_cast<double>(distinct.size() - 1) / static_cast<double>(max_candidates - 1);
+    for (std::size_t k = 0; k < max_candidates; ++k) {
+      sampled.push_back(distinct[static_cast<std::size_t>(step * static_cast<double>(k))]);
+    }
+    distinct = std::move(sampled);
+  }
+
+  MleFit best;
+  bool found = false;
+  for (const double xmin : distinct) {
+    const MleFit fit = fit_power_law_mle(values, xmin, discrete);
+    if (fit.tail_samples < 10) continue;  // too little tail to judge
+    if (!found || fit.ks < best.ks) {
+      best = fit;
+      found = true;
+    }
+  }
+  return found ? best : fit_power_law_mle(values, distinct.front(), discrete);
+}
+
+}  // namespace appstore::stats

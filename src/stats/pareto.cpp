@@ -1,0 +1,87 @@
+#include "stats/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace appstore::stats {
+
+namespace {
+
+/// Descending-sorted copy with its prefix sums; shared by all three queries.
+struct Prefix {
+  std::vector<double> sorted;
+  std::vector<double> cumulative;  // cumulative[i] = sum of top i+1 values
+  double total = 0.0;
+};
+
+Prefix build_prefix(std::span<const double> counts) {
+  Prefix p;
+  p.sorted.assign(counts.begin(), counts.end());
+  std::sort(p.sorted.begin(), p.sorted.end(), std::greater<>());
+  p.cumulative.resize(p.sorted.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < p.sorted.size(); ++i) {
+    run += p.sorted[i];
+    p.cumulative[i] = run;
+  }
+  p.total = run;
+  return p;
+}
+
+}  // namespace
+
+std::vector<ShareCurvePoint> share_curve(std::span<const double> counts,
+                                         std::span<const double> rank_percents) {
+  const Prefix p = build_prefix(counts);
+  std::vector<ShareCurvePoint> curve;
+  curve.reserve(rank_percents.size());
+  for (const double percent : rank_percents) {
+    ShareCurvePoint point{percent, 0.0};
+    if (!p.sorted.empty() && p.total > 0.0 && percent > 0.0) {
+      auto k = static_cast<std::size_t>(
+          std::ceil(percent / 100.0 * static_cast<double>(p.sorted.size())));
+      k = std::clamp<std::size_t>(k, 1, p.sorted.size());
+      point.download_percent = 100.0 * p.cumulative[k - 1] / p.total;
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double top_share(std::span<const double> counts, double top_fraction) {
+  const Prefix p = build_prefix(counts);
+  if (p.sorted.empty() || p.total <= 0.0 || top_fraction <= 0.0) return 0.0;
+  auto k = static_cast<std::size_t>(
+      std::ceil(top_fraction * static_cast<double>(p.sorted.size())));
+  k = std::clamp<std::size_t>(k, 1, p.sorted.size());
+  return p.cumulative[k - 1] / p.total;
+}
+
+std::vector<LorenzPoint> lorenz_curve(std::span<const double> counts, std::size_t resolution) {
+  std::vector<double> ascending(counts.begin(), counts.end());
+  std::sort(ascending.begin(), ascending.end());
+  double total = 0.0;
+  for (const double v : ascending) total += v;
+
+  std::vector<LorenzPoint> curve;
+  curve.reserve(resolution + 1);
+  curve.push_back(LorenzPoint{0.0, 0.0});
+  if (ascending.empty() || total <= 0.0) return curve;
+
+  double run = 0.0;
+  std::size_t consumed = 0;
+  for (std::size_t step = 1; step <= resolution; ++step) {
+    const auto target = static_cast<std::size_t>(
+        std::round(static_cast<double>(step) / static_cast<double>(resolution) *
+                   static_cast<double>(ascending.size())));
+    while (consumed < target && consumed < ascending.size()) {
+      run += ascending[consumed++];
+    }
+    curve.push_back(LorenzPoint{static_cast<double>(consumed) /
+                                    static_cast<double>(ascending.size()),
+                                run / total});
+  }
+  return curve;
+}
+
+}  // namespace appstore::stats

@@ -1,0 +1,127 @@
+#include "stats/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace appstore::stats {
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_line: size mismatch");
+  LineFit fit;
+  fit.points = x.size();
+  if (x.size() < 2) return fit;
+
+  const double n = static_cast<double>(x.size());
+  double sum_x = 0.0, sum_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double PowerLawFit::predict(double rank) const noexcept {
+  return std::pow(10.0, log10_constant - exponent * std::log10(rank));
+}
+
+PowerLawFit fit_power_law(std::span<const double> downloads_by_rank, std::size_t first_rank,
+                          std::size_t last_rank) {
+  if (downloads_by_rank.empty()) throw std::invalid_argument("fit_power_law: empty data");
+  first_rank = std::max<std::size_t>(first_rank, 1);
+  last_rank = std::min(last_rank, downloads_by_rank.size());
+  if (first_rank > last_rank) throw std::invalid_argument("fit_power_law: empty rank range");
+
+  std::vector<double> log_rank;
+  std::vector<double> log_downloads;
+  log_rank.reserve(last_rank - first_rank + 1);
+  log_downloads.reserve(last_rank - first_rank + 1);
+  for (std::size_t rank = first_rank; rank <= last_rank; ++rank) {
+    const double d = downloads_by_rank[rank - 1];
+    if (d <= 0.0) continue;
+    log_rank.push_back(std::log10(static_cast<double>(rank)));
+    log_downloads.push_back(std::log10(d));
+  }
+
+  PowerLawFit fit;
+  fit.first_rank = first_rank;
+  fit.last_rank = last_rank;
+  const LineFit line = fit_line(log_rank, log_downloads);
+  fit.exponent = -line.slope;
+  fit.log10_constant = line.intercept;
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+PowerLawFit fit_power_law_trunk(std::span<const double> downloads_by_rank) {
+  if (downloads_by_rank.empty()) throw std::invalid_argument("fit_power_law_trunk: empty data");
+  // Last rank with a positive download count: ranks past it carry no signal.
+  std::size_t last_nonzero = downloads_by_rank.size();
+  while (last_nonzero > 0 && downloads_by_rank[last_nonzero - 1] <= 0.0) --last_nonzero;
+  if (last_nonzero < 3) return fit_power_law(downloads_by_rank, 1, downloads_by_rank.size());
+
+  // Candidate trims: drop the flattened head (fetch-at-most-once plateau) and
+  // the collapsing tail (clustering effect), keeping at least half a decade
+  // of ranks. The grid is coarse on purpose — the trunk is broad and the fit
+  // is insensitive to the exact cut.
+  constexpr double kHeadFractions[] = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
+  constexpr double kTailFractions[] = {0.0, 0.05, 0.10, 0.20, 0.30};
+
+  PowerLawFit best;
+  double best_score = -1.0;
+  for (const double head : kHeadFractions) {
+    for (const double tail : kTailFractions) {
+      const auto first =
+          std::max<std::size_t>(1, static_cast<std::size_t>(head * static_cast<double>(last_nonzero)) + 1);
+      const auto last = last_nonzero -
+                        static_cast<std::size_t>(tail * static_cast<double>(last_nonzero));
+      if (last <= first + 10) continue;
+      const PowerLawFit fit = fit_power_law(downloads_by_rank, first, last);
+      // Prefer high R²; break ties toward wider ranges (more data).
+      const double width_bonus =
+          0.01 * std::log10(static_cast<double>(last - first + 1));
+      const double score = fit.r_squared + width_bonus;
+      if (score > best_score) {
+        best_score = score;
+        best = fit;
+      }
+    }
+  }
+  if (best_score < 0.0) return fit_power_law(downloads_by_rank, 1, last_nonzero);
+  return best;
+}
+
+TruncationReport analyze_truncation(std::span<const double> downloads_by_rank) {
+  TruncationReport report;
+  report.trunk = fit_power_law_trunk(downloads_by_rank);
+
+  std::size_t last_nonzero = downloads_by_rank.size();
+  while (last_nonzero > 0 && downloads_by_rank[last_nonzero - 1] <= 0.0) --last_nonzero;
+
+  if (!downloads_by_rank.empty() && downloads_by_rank.front() > 0.0) {
+    report.head_ratio = downloads_by_rank.front() / report.trunk.predict(1.0);
+  }
+  if (last_nonzero > 0) {
+    report.tail_ratio = downloads_by_rank[last_nonzero - 1] /
+                        report.trunk.predict(static_cast<double>(last_nonzero));
+  }
+  return report;
+}
+
+}  // namespace appstore::stats

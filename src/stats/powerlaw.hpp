@@ -1,0 +1,63 @@
+// Power-law (Zipf) fitting on rank–frequency data.
+//
+// Fig. 3 reports the slope of the "main trunk" of each appstore's log–log
+// rank–download curve (1.42, 1.51, 0.92, 0.90) with the truncated head and
+// tail excluded. We provide a least-squares slope fit on log–log data, plus
+// automatic trunk detection that trims the flattened head and the collapsing
+// tail before fitting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace appstore::stats {
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t points = 0;
+};
+
+/// Ordinary least squares y = intercept + slope * x.
+[[nodiscard]] LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+struct PowerLawFit {
+  /// Zipf exponent (positive; downloads ~ rank^{-exponent}).
+  double exponent = 0.0;
+  /// log10 of the scale constant: log10(downloads) = c - exponent*log10(rank).
+  double log10_constant = 0.0;
+  double r_squared = 0.0;
+  /// 1-based rank range [first_rank, last_rank] used for the fit.
+  std::size_t first_rank = 1;
+  std::size_t last_rank = 1;
+
+  /// Model prediction at a given rank.
+  [[nodiscard]] double predict(double rank) const noexcept;
+};
+
+/// Fits downloads ~ rank^{-z} over the given 1-based rank range.
+/// `downloads_by_rank[i]` is the downloads of the app with rank i+1 (sorted
+/// descending). Zero entries are skipped (log undefined).
+[[nodiscard]] PowerLawFit fit_power_law(std::span<const double> downloads_by_rank,
+                                        std::size_t first_rank, std::size_t last_rank);
+
+/// Trunk-detecting fit for truncated Zipf curves (Fig. 3): trims the
+/// head fraction and tail fraction whose removal maximizes R² over a small
+/// candidate grid, then fits the remaining trunk.
+[[nodiscard]] PowerLawFit fit_power_law_trunk(std::span<const double> downloads_by_rank);
+
+/// Evaluates how far a curve deviates from its own trunk fit at head/tail —
+/// used to quantify the "truncated at both ends" observation.
+struct TruncationReport {
+  PowerLawFit trunk;
+  /// measured/predicted at rank 1 (<1 means head truncation: measured below fit).
+  double head_ratio = 1.0;
+  /// measured/predicted at the last nonzero rank (<1 means tail truncation).
+  double tail_ratio = 1.0;
+};
+
+[[nodiscard]] TruncationReport analyze_truncation(std::span<const double> downloads_by_rank);
+
+}  // namespace appstore::stats

@@ -1,0 +1,68 @@
+#include "stats/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace appstore::stats {
+
+double generalized_harmonic(std::uint64_t n, double s) noexcept {
+  // Sum smallest terms first to reduce floating-point error.
+  double total = 0.0;
+  for (std::uint64_t k = n; k >= 1; --k) {
+    total += std::pow(static_cast<double>(k), -s);
+  }
+  return total;
+}
+
+FiniteZipf::FiniteZipf(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("FiniteZipf: n must be >= 1");
+  if (s < 0.0) throw std::invalid_argument("FiniteZipf: exponent must be >= 0");
+  harmonic_ = generalized_harmonic(n, s);
+}
+
+double FiniteZipf::pmf(std::uint64_t rank) const noexcept {
+  if (rank < 1 || rank > n_) return 0.0;
+  return std::pow(static_cast<double>(rank), -s_) / harmonic_;
+}
+
+double FiniteZipf::cdf(std::uint64_t rank) const noexcept {
+  if (rank == 0) return 0.0;
+  if (rank >= n_) return 1.0;
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= rank; ++k) {
+    total += std::pow(static_cast<double>(k), -s_);
+  }
+  return total / harmonic_;
+}
+
+std::vector<double> FiniteZipf::probabilities() const {
+  std::vector<double> probabilities(n_);
+  for (std::uint64_t k = 1; k <= n_; ++k) {
+    probabilities[k - 1] = std::pow(static_cast<double>(k), -s_) / harmonic_;
+  }
+  return probabilities;
+}
+
+std::vector<double> FiniteZipf::expected_counts(double draws) const {
+  std::vector<double> counts = probabilities();
+  for (double& c : counts) c *= draws;
+  return counts;
+}
+
+namespace {
+
+std::vector<double> zipf_weights(std::uint64_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  std::vector<double> weights(n);
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    weights[k - 1] = std::pow(static_cast<double>(k), -s);
+  }
+  return weights;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+    : n_(n), s_(s), table_(zipf_weights(n, s)) {}
+
+}  // namespace appstore::stats

@@ -1,0 +1,74 @@
+// Finite Zipf (zeta) distribution over ranks 1..N with exponent s:
+//   P[rank = k] = (1/k^s) / H_{N,s},   H_{N,s} = sum_{k=1..N} 1/k^s.
+//
+// This is the building block of all three download models in §5: the global
+// distribution ZG (exponent zr) and the per-cluster distributions Zc
+// (exponent zc) are finite Zipfs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/alias.hpp"
+#include "util/rng.hpp"
+
+namespace appstore::stats {
+
+/// Generalized harmonic number H_{n,s} = sum_{k=1..n} k^{-s}.
+[[nodiscard]] double generalized_harmonic(std::uint64_t n, double s) noexcept;
+
+class FiniteZipf {
+ public:
+  /// n >= 1 ranks, any real exponent s >= 0 (s = 0 is uniform).
+  FiniteZipf(std::uint64_t n, double s);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+  /// P[rank = k], k in [1, n].
+  [[nodiscard]] double pmf(std::uint64_t rank) const noexcept;
+
+  /// P[rank <= k].
+  [[nodiscard]] double cdf(std::uint64_t rank) const noexcept;
+
+  /// All n probabilities in rank order (1-indexed rank k at index k-1).
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Expected downloads per rank for `draws` independent draws.
+  [[nodiscard]] std::vector<double> expected_counts(double draws) const;
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  double harmonic_;
+};
+
+/// O(1) sampler over a finite Zipf using an alias table.
+/// Construction is O(n); intended to be built once per distribution and
+/// shared across millions of draws.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Returns a rank in [1, n].
+  [[nodiscard]] std::uint64_t sample(util::Rng& rng) const noexcept {
+    return static_cast<std::uint64_t>(table_.sample(rng)) + 1;
+  }
+
+  /// Returns a 0-based index in [0, n).
+  [[nodiscard]] std::size_t sample_index(util::Rng& rng) const noexcept {
+    return table_.sample(rng);
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+  [[nodiscard]] const AliasTable& table() const noexcept { return table_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  AliasTable table_;
+};
+
+}  // namespace appstore::stats

@@ -1,0 +1,107 @@
+#include "synth/profile.hpp"
+
+namespace appstore::synth {
+
+// Paper-scale calibration sources:
+//   * app counts, crawl windows, download totals: Table 1;
+//   * model kinds/exponents: Fig. 8 (best-fit APP-CLUSTERING parameters) and
+//     Fig. 11 (SlideMe free trunk ~0.85, paid pure Zipf ~1.72);
+//   * user counts: Fig. 10 (U ≈ downloads of the most popular app);
+//   * comment coverage: §4.1 (361,282 commenting users, 34 categories).
+
+StoreProfile anzhi() {
+  StoreProfile profile;
+  profile.name = "Anzhi";
+  profile.apps_first = 58'423;
+  profile.apps_last = 60'196;
+  profile.crawl_days = 60;
+  profile.category_count = 34;
+  profile.commenter_fraction = 0.016;
+  profile.free_segment = SegmentSpec{.downloads_first = 1'396'000'000,
+                                     .downloads_last = 2'816'000'000,
+                                     .top_app_share = 0.008,
+                                     .kind = models::ModelKind::kAppClustering,
+                                     .zr = 1.5,
+                                     .zc = 1.4,
+                                     .p = 0.9};
+  return profile;
+}
+
+StoreProfile appchina() {
+  StoreProfile profile;
+  profile.name = "AppChina";
+  profile.apps_first = 33'183;
+  profile.apps_last = 55'357;
+  profile.crawl_days = 65;
+  profile.category_count = 30;
+  profile.free_segment = SegmentSpec{.downloads_first = 1'033'000'000,
+                                     .downloads_last = 2'623'000'000,
+                                     .top_app_share = 0.01,
+                                     .kind = models::ModelKind::kAppClustering,
+                                     .zr = 1.7,
+                                     .zc = 1.4,
+                                     .p = 0.9};
+  return profile;
+}
+
+StoreProfile one_mobile() {
+  StoreProfile profile;
+  profile.name = "1Mobile";
+  profile.apps_first = 128'455;
+  profile.apps_last = 156'221;
+  profile.crawl_days = 133;
+  profile.category_count = 32;
+  profile.free_segment = SegmentSpec{.downloads_first = 367'000'000,
+                                     .downloads_last = 453'000'000,
+                                     .top_app_share = 0.01,
+                                     .kind = models::ModelKind::kAppClustering,
+                                     .zr = 1.7,
+                                     .zc = 1.5,
+                                     .p = 0.95};
+  return profile;
+}
+
+StoreProfile slideme() {
+  StoreProfile profile;
+  profile.name = "SlideMe";
+  // Table 1 lists SlideMe free and paid separately; both cover 153 days.
+  profile.apps_first = 12'296 + 4'606;
+  profile.apps_last = 16'578 + 5'606;
+  profile.crawl_days = 153;
+  profile.paid_fraction = 0.253;  // §2.3
+  profile.category_count = 20;
+  profile.named_categories = true;
+  profile.free_segment = SegmentSpec{.downloads_first = 63'000'000,
+                                     .downloads_last = 96'000'000,
+                                     .top_app_share = 0.01,
+                                     .kind = models::ModelKind::kAppClustering,
+                                     .zr = 1.1,
+                                     .zc = 1.2,
+                                     .p = 0.9};
+  // Paid apps: clean power law (Fig. 11b), slope ~1.72. Users are more
+  // selective; downloads ≈ purchases.
+  profile.paid_segment = SegmentSpec{.downloads_first = 111'000,
+                                     .downloads_last = 914'000,
+                                     .top_app_share = 0.02,
+                                     .kind = models::ModelKind::kZipf,
+                                     .zr = 1.72,
+                                     .zc = 0.0,
+                                     .p = 0.0};
+  return profile;
+}
+
+StoreProfile slideme_fig17() {
+  StoreProfile profile = slideme();
+  profile.name = "SlideMe-fig17";
+  // Paid downloads mostly predate the window (mature segment); free
+  // downloads keep growing faster per app — Fig. 17's premise.
+  profile.paid_segment.downloads_first = 800'000;
+  profile.free_segment.downloads_first = 55'000'000;
+  return profile;
+}
+
+std::vector<StoreProfile> all_profiles() {
+  return {anzhi(), appchina(), one_mobile(), slideme()};
+}
+
+}  // namespace appstore::synth

@@ -1,0 +1,172 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/format.hpp"
+
+
+#include "util/strings.hpp"
+
+namespace appstore::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::shared_ptr<std::uint64_t> Cli::u64(std::string name, std::uint64_t default_value,
+                                        std::string help) {
+  auto value = std::make_shared<std::uint64_t>(default_value);
+  options_.push_back(Option{.name = std::move(name),
+                            .help = std::move(help),
+                            .kind = Kind::kU64,
+                            .u64_value = value,
+                            .f64_value = {},
+                            .str_value = {},
+                            .bool_value = {},
+                            .default_text = std::to_string(default_value)});
+  return value;
+}
+
+std::shared_ptr<double> Cli::f64(std::string name, double default_value, std::string help) {
+  auto value = std::make_shared<double>(default_value);
+  options_.push_back(Option{.name = std::move(name),
+                            .help = std::move(help),
+                            .kind = Kind::kF64,
+                            .u64_value = {},
+                            .f64_value = value,
+                            .str_value = {},
+                            .bool_value = {},
+                            .default_text = util::format("{:g}", default_value)});
+  return value;
+}
+
+std::shared_ptr<std::string> Cli::str(std::string name, std::string default_value,
+                                      std::string help) {
+  auto value = std::make_shared<std::string>(default_value);
+  options_.push_back(Option{.name = std::move(name),
+                            .help = std::move(help),
+                            .kind = Kind::kStr,
+                            .u64_value = {},
+                            .f64_value = {},
+                            .str_value = value,
+                            .bool_value = {},
+                            .default_text = std::move(default_value)});
+  return value;
+}
+
+std::shared_ptr<bool> Cli::flag(std::string name, std::string help) {
+  auto value = std::make_shared<bool>(false);
+  options_.push_back(Option{.name = std::move(name),
+                            .help = std::move(help),
+                            .kind = Kind::kBool,
+                            .u64_value = {},
+                            .f64_value = {},
+                            .str_value = {},
+                            .bool_value = value,
+                            .default_text = "false"});
+  return value;
+}
+
+Cli::Option* Cli::find(std::string_view name) noexcept {
+  for (auto& option : options_) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+std::string Cli::try_parse(std::vector<std::string_view> args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string_view arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return {};
+    }
+    if (!arg.starts_with("--")) {
+      return util::format("unexpected positional argument '{}'", arg);
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Option* option = find(name);
+    if (option == nullptr) {
+      return util::format("unknown flag '--{}'", name);
+    }
+    if (option->kind == Kind::kBool) {
+      if (has_value) {
+        if (value == "true" || value == "1") {
+          *option->bool_value = true;
+        } else if (value == "false" || value == "0") {
+          *option->bool_value = false;
+        } else {
+          return util::format("bad boolean for --{}: '{}'", name, value);
+        }
+      } else {
+        *option->bool_value = true;
+      }
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= args.size()) {
+        return util::format("flag --{} needs a value", name);
+      }
+      value = args[++i];
+    }
+    switch (option->kind) {
+      case Kind::kU64: {
+        std::uint64_t parsed = 0;
+        if (!parse_u64(value, parsed)) {
+          return util::format("bad integer for --{}: '{}'", name, value);
+        }
+        *option->u64_value = parsed;
+        break;
+      }
+      case Kind::kF64: {
+        double parsed = 0;
+        if (!parse_double(value, parsed)) {
+          return util::format("bad number for --{}: '{}'", name, value);
+        }
+        *option->f64_value = parsed;
+        break;
+      }
+      case Kind::kStr:
+        *option->str_value = std::string(value);
+        break;
+      case Kind::kBool:
+        break;  // handled above
+    }
+  }
+  return {};
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  std::vector<std::string_view> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  const std::string error = try_parse(std::move(args));
+  if (help_requested_) {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), error.c_str(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+std::string Cli::usage() const {
+  std::string out = util::format("{} — {}\n\nFlags:\n", program_, description_);
+  for (const auto& option : options_) {
+    out += util::format("  --{:<18} {} (default: {})\n", option.name, option.help,
+                       option.default_text);
+  }
+  out += "  --help               show this message\n";
+  return out;
+}
+
+}  // namespace appstore::util

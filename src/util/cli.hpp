@@ -1,0 +1,66 @@
+// Tiny declarative command-line flag parser used by every example and bench.
+//
+//   util::Cli cli("bench_fig19_cache", "LRU cache hit ratio under 3 models");
+//   auto seed  = cli.u64("seed", 13, "PRNG seed");
+//   auto scale = cli.f64("scale", 0.1, "fraction of paper-scale workload");
+//   cli.parse(argc, argv);         // exits on --help or bad input
+//   run(*seed, *scale);
+//
+// Flags are "--name=value" or "--name value"; bools accept bare "--name".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appstore::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register flags; the returned shared_ptr holds the parsed value.
+  [[nodiscard]] std::shared_ptr<std::uint64_t> u64(std::string name, std::uint64_t default_value,
+                                                   std::string help);
+  [[nodiscard]] std::shared_ptr<double> f64(std::string name, double default_value,
+                                            std::string help);
+  [[nodiscard]] std::shared_ptr<std::string> str(std::string name, std::string default_value,
+                                                 std::string help);
+  [[nodiscard]] std::shared_ptr<bool> flag(std::string name, std::string help);
+
+  /// Parses argv; on --help prints usage and exits(0); on errors prints the
+  /// problem and exits(2).
+  void parse(int argc, const char* const* argv);
+
+  /// Testable core: returns empty string on success, error text on failure.
+  /// Recognizing --help sets help_requested() without consuming other flags.
+  [[nodiscard]] std::string try_parse(std::vector<std::string_view> args);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kU64, kF64, kStr, kBool };
+
+  struct Option {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::shared_ptr<std::uint64_t> u64_value;
+    std::shared_ptr<double> f64_value;
+    std::shared_ptr<std::string> str_value;
+    std::shared_ptr<bool> bool_value;
+    std::string default_text;
+  };
+
+  [[nodiscard]] Option* find(std::string_view name) noexcept;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  bool help_requested_ = false;
+};
+
+}  // namespace appstore::util

@@ -1,0 +1,132 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace appstore::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path, char delimiter)
+    : delimiter_(delimiter) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+void CsvWriter::write_row(std::span<const std::string> fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_.put(delimiter_);
+    out_ << escape(fields[i]);
+  }
+  out_.put('\n');
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  std::size_t i = 0;
+  for (const auto field : fields) {
+    if (i++ != 0) out_.put(delimiter_);
+    out_ << escape(field);
+  }
+  out_.put('\n');
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+std::string CsvWriter::escape(std::string_view field) const {
+  const bool needs_quotes = field.find_first_of("\"\r\n") != std::string_view::npos ||
+                            field.find(delimiter_) != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::size_t CsvTable::column(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+namespace {
+
+/// State-machine CSV parser (RFC 4180 subset).
+std::vector<std::vector<std::string>> parse_rows(std::string_view text, char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    row_started = true;
+    if (c == '"' && cell.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      end_cell();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  if (row_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text, char delimiter) {
+  CsvTable table;
+  auto rows = parse_rows(text, delimiter);
+  if (rows.empty()) return table;
+  table.header = std::move(rows.front());
+  table.rows.assign(std::make_move_iterator(rows.begin() + 1),
+                    std::make_move_iterator(rows.end()));
+  return table;
+}
+
+CsvTable read_csv(const std::filesystem::path& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str(), delimiter);
+}
+
+}  // namespace appstore::util

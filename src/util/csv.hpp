@@ -1,0 +1,72 @@
+// CSV/TSV writing and reading.
+//
+// Benches emit every figure's series as a CSV under results/ so plots can be
+// regenerated outside the binary; the reader exists so tests can round-trip
+// and so saved crawl databases can be reloaded.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appstore::util {
+
+/// Streaming CSV writer. Quotes fields only when needed (comma, quote,
+/// newline). Throws std::runtime_error if the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path, char delimiter = ',');
+
+  /// Writes one row; each field is escaped independently.
+  void write_row(std::span<const std::string> fields);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats arithmetic values with std::to_string semantics.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    write_row(cells);
+  }
+
+  void flush();
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(value));
+    } else if constexpr (std::is_floating_point_v<T>) {
+      char buffer[64];
+      const int written = std::snprintf(buffer, sizeof buffer, "%.10g", static_cast<double>(value));
+      return std::string(buffer, static_cast<std::size_t>(written));
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  [[nodiscard]] std::string escape(std::string_view field) const;
+
+  std::ofstream out_;
+  char delimiter_;
+};
+
+/// Fully-parsed CSV: header + rows of strings. Handles quoted fields with
+/// embedded delimiters/quotes/newlines.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or npos.
+  [[nodiscard]] std::size_t column(std::string_view name) const noexcept;
+};
+
+[[nodiscard]] CsvTable read_csv(const std::filesystem::path& path, char delimiter = ',');
+[[nodiscard]] CsvTable parse_csv(std::string_view text, char delimiter = ',');
+
+}  // namespace appstore::util

@@ -1,0 +1,132 @@
+#include "util/format.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace appstore::util::detail {
+
+Spec parse_spec(std::string_view text) {
+  Spec spec;
+  if (text.empty()) return spec;
+  if (text.front() != ':') {
+    throw std::invalid_argument("format: bad spec '" + std::string(text) + "'");
+  }
+  text.remove_prefix(1);
+
+  // [fill]align
+  if (text.size() >= 2 && (text[1] == '<' || text[1] == '>')) {
+    spec.fill = text[0];
+    spec.align = text[1];
+    text.remove_prefix(2);
+  } else if (!text.empty() && (text[0] == '<' || text[0] == '>')) {
+    spec.align = text[0];
+    text.remove_prefix(1);
+  }
+
+  // width
+  while (!text.empty() && std::isdigit(static_cast<unsigned char>(text[0]))) {
+    spec.width = spec.width * 10 + (text[0] - '0');
+    text.remove_prefix(1);
+  }
+
+  // .precision
+  if (!text.empty() && text[0] == '.') {
+    text.remove_prefix(1);
+    spec.precision = 0;
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+      throw std::invalid_argument("format: missing precision digits");
+    }
+    while (!text.empty() && std::isdigit(static_cast<unsigned char>(text[0]))) {
+      spec.precision = spec.precision * 10 + (text[0] - '0');
+      text.remove_prefix(1);
+    }
+  }
+
+  // type
+  if (!text.empty()) {
+    const char t = text[0];
+    if (t != 'd' && t != 'f' && t != 'g' && t != 'e' && t != 'x' && t != 's') {
+      throw std::invalid_argument(std::string("format: unknown type '") + t + "'");
+    }
+    spec.type = t;
+    text.remove_prefix(1);
+  }
+  if (!text.empty()) {
+    throw std::invalid_argument("format: trailing spec characters");
+  }
+  return spec;
+}
+
+std::string apply_padding(std::string value, const Spec& spec, bool numeric) {
+  const auto width = static_cast<std::size_t>(spec.width);
+  if (value.size() >= width) return value;
+  const std::size_t pad = width - value.size();
+  char align = spec.align;
+  if (align == 0) align = numeric ? '>' : '<';
+  if (align == '>') {
+    return std::string(pad, spec.fill) + value;
+  }
+  return value + std::string(pad, spec.fill);
+}
+
+std::string format_double(double value, const Spec& spec) {
+  char pattern[16];
+  const char type = spec.type == 0 || spec.type == 'd' || spec.type == 's' ? 'g' : spec.type;
+  const int precision = spec.precision >= 0 ? spec.precision : (type == 'g' ? 6 : 6);
+  std::snprintf(pattern, sizeof pattern, "%%.%d%c", precision, type);
+  char buffer[512];
+  const int written = std::snprintf(buffer, sizeof buffer, pattern, value);
+  return apply_padding(std::string(buffer, static_cast<std::size_t>(written)), spec, true);
+}
+
+std::string format_signed(long long value, const Spec& spec) {
+  if (spec.type == 'f' || spec.type == 'g' || spec.type == 'e') {
+    return format_double(static_cast<double>(value), spec);
+  }
+  char buffer[32];
+  const int written =
+      spec.type == 'x' ? std::snprintf(buffer, sizeof buffer, "%llx", value)
+                       : std::snprintf(buffer, sizeof buffer, "%lld", value);
+  return apply_padding(std::string(buffer, static_cast<std::size_t>(written)), spec, true);
+}
+
+std::string format_unsigned(unsigned long long value, const Spec& spec) {
+  if (spec.type == 'f' || spec.type == 'g' || spec.type == 'e') {
+    return format_double(static_cast<double>(value), spec);
+  }
+  char buffer[32];
+  const int written =
+      spec.type == 'x' ? std::snprintf(buffer, sizeof buffer, "%llx", value)
+                       : std::snprintf(buffer, sizeof buffer, "%llu", value);
+  return apply_padding(std::string(buffer, static_cast<std::size_t>(written)), spec, true);
+}
+
+std::string format_string(std::string_view value, const Spec& spec) {
+  std::string out(value);
+  if (spec.precision >= 0 && out.size() > static_cast<std::size_t>(spec.precision)) {
+    out.resize(static_cast<std::size_t>(spec.precision));
+  }
+  return apply_padding(std::move(out), spec, false);
+}
+
+void format_impl(std::string& out, std::string_view fmt) {
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    const char c = fmt[i];
+    if (c == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out.push_back('{');
+      i += 2;
+      continue;
+    }
+    if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out.push_back('}');
+      i += 2;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+}
+
+}  // namespace appstore::util::detail

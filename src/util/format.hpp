@@ -1,0 +1,108 @@
+// Minimal std::format-like string formatting.
+//
+// The toolchain this library targets (GCC 12 / libstdc++) does not ship
+// <format>, so we provide the small subset the library needs:
+//
+//   format("{} of {}", 3, 7)            -> "3 of 7"
+//   format("{:.2f}", 3.14159)           -> "3.14"
+//   format("{:>8}", "hi")               -> "      hi"
+//   format("{:<6}x", 42)                -> "42    x"
+//   format("{:g}", 0.00012)             -> "0.00012"
+//   "{{" and "}}"                        -> literal braces
+//
+// Spec grammar (subset): "{" [":" [fill? align] [width] ["." precision]
+// [type] ] "}" with align in {<, >}, type in {d, f, g, e, x, s}. Arguments
+// are consumed left to right; excess "{}" render as "{}". Unknown spec
+// characters throw std::invalid_argument so typos fail loudly in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace appstore::util {
+
+namespace detail {
+
+struct Spec {
+  char fill = ' ';
+  char align = 0;       // 0 = default (right for numbers, left for strings)
+  int width = 0;
+  int precision = -1;   // -1 = unspecified
+  char type = 0;        // 0 = default
+};
+
+[[nodiscard]] Spec parse_spec(std::string_view text);
+[[nodiscard]] std::string apply_padding(std::string value, const Spec& spec, bool numeric);
+
+[[nodiscard]] std::string format_double(double value, const Spec& spec);
+[[nodiscard]] std::string format_signed(long long value, const Spec& spec);
+[[nodiscard]] std::string format_unsigned(unsigned long long value, const Spec& spec);
+[[nodiscard]] std::string format_string(std::string_view value, const Spec& spec);
+
+template <typename T>
+[[nodiscard]] std::string format_value(const T& value, const Spec& spec) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return format_string(value ? "true" : "false", spec);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_double(static_cast<double>(value), spec);
+  } else if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+    return format_signed(static_cast<long long>(value), spec);
+  } else if constexpr (std::is_integral_v<T>) {
+    return format_unsigned(static_cast<unsigned long long>(value), spec);
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    return format_string(std::string_view(value), spec);
+  } else {
+    static_assert(std::is_arithmetic_v<T> || std::is_convertible_v<T, std::string_view>,
+                  "appstore::util::format: unsupported argument type");
+    return {};
+  }
+}
+
+/// Appends `fmt` to `out`, replacing the first unformatted "{...}" with the
+/// head argument, then recursing on the tail.
+void format_impl(std::string& out, std::string_view fmt);
+
+template <typename T, typename... Rest>
+void format_impl(std::string& out, std::string_view fmt, const T& first, const Rest&... rest) {
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out.push_back('{');
+        i += 2;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        out.append(fmt.substr(i));
+        return;
+      }
+      const Spec spec = parse_spec(fmt.substr(i + 1, close - i - 1));
+      out += format_value(first, spec);
+      format_impl(out, fmt.substr(close + 1), rest...);
+      return;
+    }
+    if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out.push_back('}');
+      i += 2;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::string out;
+  out.reserve(fmt.size() + 16 * sizeof...(args));
+  detail::format_impl(out, fmt, args...);
+  return out;
+}
+
+}  // namespace appstore::util

@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace appstore::util {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+
+[[nodiscard]] const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(Level level, std::string_view component, std::string_view message) {
+  const std::lock_guard lock(g_sink_mutex);
+  std::fprintf(stderr, "%-5s %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace appstore::util

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The library itself is quiet by default (Level::kWarn); examples and
+// benches raise the level via --verbose. Logging is synchronous and
+// thread-safe (a single mutex) — adequate for a measurement/simulation
+// library where logging is never on the hot path.
+#pragma once
+
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace appstore::util {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(Level level) noexcept;
+[[nodiscard]] Level log_level() noexcept;
+
+/// Core sink: writes "LEVEL component: message" to stderr.
+void log_message(Level level, std::string_view component, std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (log_level() <= Level::kDebug) {
+    log_message(Level::kDebug, component, format(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void log_info(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (log_level() <= Level::kInfo) {
+    log_message(Level::kInfo, component, format(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (log_level() <= Level::kWarn) {
+    log_message(Level::kWarn, component, format(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void log_error(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (log_level() <= Level::kError) {
+    log_message(Level::kError, component, format(fmt, args...));
+  }
+}
+
+}  // namespace appstore::util

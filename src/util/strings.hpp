@@ -1,0 +1,36 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appstore::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] bool starts_with_ci(std::string_view text, std::string_view prefix) noexcept;
+
+/// Case-insensitive ASCII equality (for HTTP header names).
+[[nodiscard]] bool equals_ci(std::string_view a, std::string_view b) noexcept;
+
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Parses a non-negative integer; returns false on any non-digit or overflow.
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out) noexcept;
+
+/// Parses a double via std::from_chars; returns false on trailing junk.
+[[nodiscard]] bool parse_double(std::string_view text, double& out) noexcept;
+
+/// Human-readable count: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_thousands(std::uint64_t value);
+
+/// Compact magnitude: 23'700'000 -> "23.7 M", 651'500 -> "651.5 K".
+[[nodiscard]] std::string human_count(double value);
+
+}  // namespace appstore::util

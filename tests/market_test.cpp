@@ -1,0 +1,224 @@
+// Unit tests for appstore::market — domain model, store invariants, snapshots.
+#include <gtest/gtest.h>
+
+#include "market/snapshot.hpp"
+#include "market/store.hpp"
+
+namespace appstore::market {
+namespace {
+
+/// Builds a minimal 2-category, 2-developer, 3-app store used across tests.
+AppStore make_small_store() {
+  AppStore store("test-store");
+  const CategoryId games = store.add_category("games");
+  const CategoryId books = store.add_category("e-books");
+  const DeveloperId alice = store.add_developer("alice");
+  const DeveloperId bob = store.add_developer("bob");
+  store.add_users(10);
+  (void)store.add_app("free-game", alice, games, Pricing::kFree, 0, 0);
+  (void)store.add_app("paid-game", alice, games, Pricing::kPaid, 199, 0);
+  (void)store.add_app("book", bob, books, Pricing::kFree, 0, 2);
+  return store;
+}
+
+TEST(Types, IdsAreDistinctTypes) {
+  const AppId app{3};
+  const UserId user{3};
+  EXPECT_EQ(app.index(), user.index());  // same value, different types compile-time
+  EXPECT_TRUE(app.valid());
+  EXPECT_FALSE(AppId{}.valid());
+}
+
+TEST(Types, CentsConversionRoundTrips) {
+  EXPECT_EQ(dollars_to_cents(1.99), 199);
+  EXPECT_DOUBLE_EQ(cents_to_dollars(199), 1.99);
+  EXPECT_EQ(dollars_to_cents(0.0), 0);
+  EXPECT_EQ(dollars_to_cents(49.99), 4999);
+}
+
+TEST(Store, ConstructionCounts) {
+  const AppStore store = make_small_store();
+  EXPECT_EQ(store.categories().size(), 2u);
+  EXPECT_EQ(store.developers().size(), 2u);
+  EXPECT_EQ(store.apps().size(), 3u);
+  EXPECT_EQ(store.user_count(), 10u);
+  EXPECT_EQ(store.name(), "test-store");
+}
+
+TEST(Store, AddAppValidation) {
+  AppStore store("s");
+  const CategoryId category = store.add_category("c");
+  const DeveloperId developer = store.add_developer("d");
+  EXPECT_THROW((void)store.add_app("x", DeveloperId{99}, category, Pricing::kFree, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)store.add_app("x", developer, CategoryId{99}, Pricing::kFree, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)store.add_app("x", developer, category, Pricing::kFree, 100, 0),
+               std::invalid_argument);
+}
+
+TEST(Store, DownloadCounting) {
+  AppStore store = make_small_store();
+  store.record_download(UserId{0}, AppId{0}, 1);
+  store.record_download(UserId{1}, AppId{0}, 1);
+  store.record_download(UserId{0}, AppId{2}, 2);
+  EXPECT_EQ(store.downloads_of(AppId{0}), 2u);
+  EXPECT_EQ(store.downloads_of(AppId{1}), 0u);
+  EXPECT_EQ(store.downloads_of(AppId{2}), 1u);
+  EXPECT_EQ(store.total_downloads(), 3u);
+  store.check_invariants();
+}
+
+TEST(Store, DownloadRejectsInvalidUser) {
+  AppStore store = make_small_store();
+  EXPECT_THROW(store.record_download(UserId{999}, AppId{0}, 0), std::invalid_argument);
+}
+
+TEST(Store, CommentValidation) {
+  AppStore store = make_small_store();
+  store.record_comment(UserId{0}, AppId{0}, 1, 5);
+  EXPECT_THROW(store.record_comment(UserId{999}, AppId{0}, 1, 5), std::invalid_argument);
+  EXPECT_THROW(store.record_comment(UserId{0}, AppId{999}, 1, 5), std::invalid_argument);
+  EXPECT_EQ(store.comment_events().size(), 1u);
+}
+
+TEST(Store, AveragePriceTracksObservations) {
+  AppStore store = make_small_store();
+  const AppId paid{1};
+  EXPECT_DOUBLE_EQ(store.average_price_dollars(paid), 1.99);
+  store.set_price(paid, 299, 10);
+  EXPECT_DOUBLE_EQ(store.average_price_dollars(paid), (1.99 + 2.99) / 2.0);
+}
+
+TEST(Store, SetPriceOnFreeAppThrows) {
+  AppStore store = make_small_store();
+  EXPECT_THROW(store.set_price(AppId{0}, 100, 0), std::invalid_argument);
+}
+
+TEST(Store, DownloadsByRankSortedDescending) {
+  AppStore store = make_small_store();
+  store.record_download(UserId{0}, AppId{2}, 0);
+  store.record_download(UserId{1}, AppId{2}, 0);
+  store.record_download(UserId{2}, AppId{0}, 0);
+  const auto ranks = store.downloads_by_rank();
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 0.0);
+}
+
+TEST(Store, PricingFilteredCounts) {
+  AppStore store = make_small_store();
+  store.record_download(UserId{0}, AppId{1}, 0);  // paid app
+  const auto paid = store.download_counts(Pricing::kPaid);
+  const auto free = store.download_counts(Pricing::kFree);
+  ASSERT_EQ(paid.size(), 1u);
+  ASSERT_EQ(free.size(), 2u);
+  EXPECT_DOUBLE_EQ(paid[0], 1.0);
+}
+
+TEST(Store, CommentStreamsChronological) {
+  AppStore store = make_small_store();
+  store.record_comment(UserId{3}, AppId{0}, 5, 4);
+  store.record_comment(UserId{3}, AppId{1}, 2, 5);
+  store.record_comment(UserId{3}, AppId{2}, 2, 3);
+  const auto streams = store.comment_streams();
+  ASSERT_EQ(streams.size(), 10u);
+  const auto& stream = streams[3];
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream[0].day, 2);
+  EXPECT_EQ(stream[1].day, 2);
+  EXPECT_LT(stream[0].ordinal, stream[1].ordinal);  // within-day order by ordinal
+  EXPECT_EQ(stream[2].day, 5);
+}
+
+TEST(Store, UpdatesRecorded) {
+  AppStore store = make_small_store();
+  store.record_update(AppId{0}, 3);
+  store.record_update(AppId{0}, 7);
+  EXPECT_EQ(store.app(AppId{0}).update_days.size(), 2u);
+  EXPECT_EQ(store.update_events().size(), 2u);
+  EXPECT_EQ(store.update_events()[1].version, 2u);
+  store.check_invariants();
+}
+
+TEST(Store, AppsPerCategory) {
+  const AppStore store = make_small_store();
+  const auto counts = store.apps_per_category();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);  // games
+  EXPECT_EQ(counts[1], 1u);  // e-books
+}
+
+TEST(Store, HasAdsFlag) {
+  AppStore store = make_small_store();
+  store.set_has_ads(AppId{0}, true);
+  EXPECT_TRUE(store.app(AppId{0}).has_ads);
+  EXPECT_FALSE(store.app(AppId{2}).has_ads);
+}
+
+// ---- snapshots -----------------------------------------------------------------
+
+TEST(Snapshot, SeriesRequiresIncreasingDays) {
+  SnapshotSeries series;
+  series.add(Snapshot{0, 10, 100});
+  series.add(Snapshot{1, 12, 130});
+  EXPECT_THROW(series.add(Snapshot{1, 13, 140}), std::invalid_argument);
+  EXPECT_THROW(series.add(Snapshot{0, 13, 140}), std::invalid_argument);
+}
+
+TEST(Snapshot, DerivedRates) {
+  SnapshotSeries series;
+  series.add(Snapshot{0, 100, 1000});
+  series.add(Snapshot{10, 200, 6000});
+  EXPECT_DOUBLE_EQ(series.new_apps_per_day(), 10.0);
+  EXPECT_DOUBLE_EQ(series.daily_downloads(), 500.0);
+}
+
+TEST(Snapshot, SummaryFields) {
+  SnapshotSeries series;
+  series.add(Snapshot{0, 100, 1000});
+  series.add(Snapshot{60, 160, 7000});
+  const DatasetSummary summary = summarize("Anzhi", series);
+  EXPECT_EQ(summary.store, "Anzhi");
+  EXPECT_EQ(summary.apps_first_day, 100u);
+  EXPECT_EQ(summary.apps_last_day, 160u);
+  EXPECT_DOUBLE_EQ(summary.new_apps_per_day, 1.0);
+  EXPECT_DOUBLE_EQ(summary.daily_downloads, 100.0);
+}
+
+TEST(Snapshot, ReplayAccumulates) {
+  AppStore store = make_small_store();  // apps released on days 0,0,2
+  store.record_download(UserId{0}, AppId{0}, 0);
+  store.record_download(UserId{1}, AppId{0}, 1);
+  store.record_download(UserId{2}, AppId{2}, 3);
+  const SnapshotSeries series = replay_snapshots(store, 3);
+  ASSERT_EQ(series.snapshots().size(), 4u);
+  EXPECT_EQ(series.snapshots()[0].total_apps, 2u);      // two apps on day 0
+  EXPECT_EQ(series.snapshots()[2].total_apps, 3u);      // third released day 2
+  EXPECT_EQ(series.snapshots()[0].total_downloads, 1u);
+  EXPECT_EQ(series.snapshots()[3].total_downloads, 3u);
+}
+
+TEST(Snapshot, ReplayClampsPreCrawlHistory) {
+  AppStore store("s");
+  const CategoryId c = store.add_category("c");
+  const DeveloperId d = store.add_developer("d");
+  store.add_users(1);
+  (void)store.add_app("old", d, c, Pricing::kFree, 0, -1);  // pre-crawl release
+  store.record_download(UserId{0}, AppId{0}, -1);           // pre-crawl download
+  const SnapshotSeries series = replay_snapshots(store, 2);
+  EXPECT_EQ(series.snapshots()[0].total_apps, 1u);
+  EXPECT_EQ(series.snapshots()[0].total_downloads, 1u);
+}
+
+TEST(Store, InvariantCheckerCatchesCorruption) {
+  AppStore store = make_small_store();
+  store.record_download(UserId{0}, AppId{0}, 0);
+  store.check_invariants();  // healthy
+  // (Corruption cannot be introduced through the public API — the checker
+  // exists for deserialization paths; here we only verify it passes.)
+}
+
+}  // namespace
+}  // namespace appstore::market

@@ -1,0 +1,313 @@
+// Unit + integration tests for the networking substrate: HTTP parsing,
+// client/server over real loopback sockets, rate limiting, proxy pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/http.hpp"
+#include "net/proxy.hpp"
+#include "net/rate_limiter.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace appstore::net {
+namespace {
+
+// ---- HTTP parsing --------------------------------------------------------------
+
+TEST(Http, ParseRequestHead) {
+  HttpRequest request;
+  ASSERT_TRUE(parse_request_head(
+      "GET /api/apps?page=2 HTTP/1.1\r\nHost: x\r\nX-Client-Id: p1\r\n", request));
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/api/apps?page=2");
+  EXPECT_EQ(request.headers.at("host"), "x");  // case-insensitive lookup
+  EXPECT_EQ(request.headers.at("X-CLIENT-ID"), "p1");
+}
+
+TEST(Http, ParseRequestRejectsGarbage) {
+  HttpRequest request;
+  EXPECT_FALSE(parse_request_head("NOT-HTTP\r\n", request));
+  EXPECT_FALSE(parse_request_head("GET /x HTTP/2.0junk\r\n", request));
+  EXPECT_FALSE(parse_request_head("GET  HTTP/1.1\r\n", request));
+  EXPECT_FALSE(parse_request_head("GET nopath HTTP/1.1\r\n", request));
+}
+
+TEST(Http, ParseResponseHead) {
+  HttpResponse response;
+  ASSERT_TRUE(parse_response_head(
+      "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 0\r\n", response));
+  EXPECT_EQ(response.status, 429);
+  EXPECT_EQ(response.reason, "Too Many Requests");
+}
+
+TEST(Http, ParseResponseRejectsBadStatus) {
+  HttpResponse response;
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 9999 X\r\n", response));
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 abc X\r\n", response));
+}
+
+TEST(Http, SerializeParseRoundTrip) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/api/app/7";
+  request.headers["X-Client-Id"] = "proxy-cn-3";
+  request.body = "payload";
+  const std::string wire = request.serialize();
+  EXPECT_NE(wire.find("Content-Length: 7"), std::string::npos);
+
+  HttpRequest parsed;
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  ASSERT_TRUE(parse_request_head(wire.substr(0, head_end + 2), parsed));
+  EXPECT_EQ(parsed.target, "/api/app/7");
+}
+
+TEST(Http, QueryParsing) {
+  HttpRequest request;
+  request.target = "/api/apps?page=3&per_page=100&flag";
+  const auto query = request.query();
+  EXPECT_EQ(query.at("page"), "3");
+  EXPECT_EQ(query.at("per_page"), "100");
+  EXPECT_EQ(query.at("flag"), "");
+  EXPECT_EQ(request.path(), "/api/apps");
+}
+
+TEST(Http, NoQueryString) {
+  HttpRequest request;
+  request.target = "/api/meta";
+  EXPECT_TRUE(request.query().empty());
+  EXPECT_EQ(request.path(), "/api/meta");
+}
+
+// ---- sockets + server integration -------------------------------------------------
+
+TEST(Server, EchoRoundTrip) {
+  HttpServer server(0, [](const HttpRequest& request) {
+    return HttpResponse::text(200, "echo:" + request.target);
+  });
+  HttpClient client("127.0.0.1", server.port());
+  const HttpResponse response = client.get("/hello");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "echo:/hello");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Server, HandlerExceptionBecomes500) {
+  HttpServer server(0, [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  HttpClient client("127.0.0.1", server.port());
+  const HttpResponse response = client.get("/x");
+  EXPECT_EQ(response.status, 500);
+}
+
+TEST(Server, ConcurrentClients) {
+  std::atomic<int> handled{0};
+  HttpServer server(0, [&](const HttpRequest&) {
+    ++handled;
+    return HttpResponse::text(200, "ok");
+  });
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        try {
+          if (client.get("/x").status != 200) ++failures;
+        } catch (...) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(handled.load(), kThreads * kRequestsPerThread);
+}
+
+TEST(Server, StopIsIdempotent) {
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse::text(200, ""); });
+  server.stop();
+  server.stop();  // second stop is a no-op
+}
+
+TEST(Server, LargeBodyRoundTrip) {
+  const std::string large(512 * 1024, 'x');
+  HttpServer server(0, [&](const HttpRequest&) { return HttpResponse::text(200, large); });
+  HttpClient client("127.0.0.1", server.port());
+  const HttpResponse response = client.get("/big");
+  EXPECT_EQ(response.body.size(), large.size());
+}
+
+TEST(Sockets, ListenerEphemeralPortAssigned) {
+  TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(Sockets, AcceptTimesOutWithoutClient) {
+  TcpListener listener(0);
+  const auto stream = listener.accept(std::chrono::milliseconds(30));
+  EXPECT_FALSE(stream.has_value());
+}
+
+TEST(Sockets, ConnectToClosedPortFails) {
+  // Bind and immediately close to find a (very likely) dead port.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW((void)TcpStream::connect("127.0.0.1", dead_port), std::system_error);
+}
+
+
+TEST(PersistentClient, ReusesOneConnection) {
+  HttpServer server(0, [](const HttpRequest& request) {
+    return HttpResponse::text(200, "echo:" + request.target);
+  });
+  PersistentHttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 20; ++i) {
+    const HttpResponse response = client.get("/r" + std::to_string(i));
+    EXPECT_EQ(response.status, 200);
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+}
+
+TEST(PersistentClient, ReconnectsAfterServerClose) {
+  HttpServer server(0, [](const HttpRequest&) {
+    HttpResponse response = HttpResponse::text(200, "ok");
+    response.headers["Connection"] = "close";
+    return response;
+  });
+  PersistentHttpClient client("127.0.0.1", server.port());
+  // The server closes after each exchange; every request needs a new
+  // connection, but all of them succeed.
+  EXPECT_EQ(client.get("/a").status, 200);
+  EXPECT_EQ(client.get("/b").status, 200);
+  EXPECT_EQ(client.get("/c").status, 200);
+  EXPECT_EQ(client.connections_opened(), 3u);
+}
+
+TEST(PersistentClient, ResetForcesReconnect) {
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse::text(200, "ok"); });
+  PersistentHttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/one").status, 200);
+  client.reset();
+  EXPECT_EQ(client.get("/two").status, 200);
+  EXPECT_EQ(client.connections_opened(), 2u);
+}
+
+TEST(PersistentClient, FailsCleanlyOnDeadServer) {
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  PersistentHttpClient client("127.0.0.1", dead_port);
+  EXPECT_THROW((void)client.get("/x"), std::system_error);
+}
+
+// ---- rate limiter -------------------------------------------------------------------
+
+TEST(RateLimiter, BurstThenBlocked) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(1.0, 3.0, [&] { return now; });
+  EXPECT_TRUE(limiter.allow("client"));
+  EXPECT_TRUE(limiter.allow("client"));
+  EXPECT_TRUE(limiter.allow("client"));
+  EXPECT_FALSE(limiter.allow("client"));
+}
+
+TEST(RateLimiter, RefillsOverTime) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(2.0, 2.0, [&] { return now; });
+  EXPECT_TRUE(limiter.allow("c"));
+  EXPECT_TRUE(limiter.allow("c"));
+  EXPECT_FALSE(limiter.allow("c"));
+  now += std::chrono::milliseconds(600);  // 1.2 tokens refill
+  EXPECT_TRUE(limiter.allow("c"));
+  EXPECT_FALSE(limiter.allow("c"));
+}
+
+TEST(RateLimiter, KeysAreIndependent) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(1.0, 1.0, [&] { return now; });
+  EXPECT_TRUE(limiter.allow("a"));
+  EXPECT_FALSE(limiter.allow("a"));
+  EXPECT_TRUE(limiter.allow("b"));  // fresh bucket
+}
+
+TEST(RateLimiter, RefillCapsAtBurst) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(100.0, 2.0, [&] { return now; });
+  now += std::chrono::hours(1);
+  EXPECT_NEAR(limiter.available("c"), 2.0, 1e-9);
+}
+
+TEST(RateLimiter, EvictIdleDropsState) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(1.0, 1.0, [&] { return now; });
+  EXPECT_TRUE(limiter.allow("old"));
+  now += std::chrono::seconds(100);
+  limiter.evict_idle(std::chrono::seconds(50));
+  // After eviction the key starts fresh with a full bucket.
+  EXPECT_TRUE(limiter.allow("old"));
+}
+
+// ---- proxy pool ------------------------------------------------------------------------
+
+TEST(ProxyPool, RegionFiltering) {
+  ProxyPool pool(6, {Region::kChina, Region::kEurope});
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto index = pool.pick(rng, Region::kChina);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(pool.proxy(*index).region, Region::kChina);
+    EXPECT_NE(pool.proxy(*index).id.find("-cn-"), std::string::npos);
+  }
+}
+
+TEST(ProxyPool, QuarantineAfterConsecutiveFailures) {
+  ProxyPool pool(2, {Region::kUsa});
+  pool.report_failure(0);
+  pool.report_failure(0);
+  EXPECT_EQ(pool.healthy_count(), 2u);
+  pool.report_failure(0);  // third consecutive -> quarantined
+  EXPECT_EQ(pool.healthy_count(), 1u);
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const auto index = pool.pick(rng);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(*index, 1u);
+  }
+}
+
+TEST(ProxyPool, SuccessResetsFailureCount) {
+  ProxyPool pool(1, {Region::kUsa});
+  pool.report_failure(0);
+  pool.report_failure(0);
+  pool.report_success(0);
+  pool.report_failure(0);
+  pool.report_failure(0);
+  EXPECT_EQ(pool.healthy_count(), 1u);  // never hit 3 consecutive
+}
+
+TEST(ProxyPool, ReinstateRestoresService) {
+  ProxyPool pool(1, {Region::kChina});
+  pool.report_failure(0, 1);
+  util::Rng rng(3);
+  EXPECT_FALSE(pool.pick(rng).has_value());
+  pool.reinstate(0);
+  EXPECT_TRUE(pool.pick(rng).has_value());
+}
+
+TEST(ProxyPool, EmptyRegionsThrow) {
+  EXPECT_THROW(ProxyPool(3, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace appstore::net

@@ -1,0 +1,224 @@
+// Tests for the pricing/revenue analyses (§6, Figs. 12-18).
+#include <gtest/gtest.h>
+
+#include "pricing/breakeven.hpp"
+#include "pricing/income.hpp"
+#include "pricing/strategies.hpp"
+#include "synth/generator.hpp"
+
+namespace appstore::pricing {
+namespace {
+
+/// Hand-built store with known revenue arithmetic:
+///   dev0: paid app A ($2.00, 10 downloads) + free app C (ads, 100 downloads)
+///   dev1: paid app B ($5.00, 2 downloads)
+///   dev2: free app D (no ads, 50 downloads)
+market::AppStore make_revenue_store() {
+  market::AppStore store("revenue");
+  const auto games = store.add_category("games");
+  const auto music = store.add_category("music");
+  const auto dev0 = store.add_developer("dev0");
+  const auto dev1 = store.add_developer("dev1");
+  const auto dev2 = store.add_developer("dev2");
+  store.add_users(200);
+
+  const auto app_a = store.add_app("A", dev0, games, market::Pricing::kPaid, 200, 0);
+  const auto app_b = store.add_app("B", dev1, music, market::Pricing::kPaid, 500, 0);
+  const auto app_c = store.add_app("C", dev0, games, market::Pricing::kFree, 0, 0);
+  const auto app_d = store.add_app("D", dev2, music, market::Pricing::kFree, 0, 0);
+  store.set_has_ads(app_c, true);
+
+  for (std::uint32_t u = 0; u < 10; ++u) store.record_download(market::UserId{u}, app_a, 1);
+  for (std::uint32_t u = 0; u < 2; ++u) store.record_download(market::UserId{u}, app_b, 1);
+  for (std::uint32_t u = 0; u < 100; ++u) store.record_download(market::UserId{u}, app_c, 1);
+  for (std::uint32_t u = 0; u < 50; ++u) store.record_download(market::UserId{u}, app_d, 1);
+  return store;
+}
+
+// ---- income ------------------------------------------------------------------
+
+TEST(Income, AppRevenueExact) {
+  const auto store = make_revenue_store();
+  EXPECT_DOUBLE_EQ(app_revenue_dollars(store, market::AppId{0}), 20.0);  // 10 x $2
+  EXPECT_DOUBLE_EQ(app_revenue_dollars(store, market::AppId{1}), 10.0);  // 2 x $5
+  EXPECT_DOUBLE_EQ(app_revenue_dollars(store, market::AppId{2}), 0.0);   // free
+}
+
+TEST(Income, DeveloperIncomesOnlyPaidDevelopers) {
+  const auto store = make_revenue_store();
+  const auto incomes = developer_incomes(store);
+  ASSERT_EQ(incomes.size(), 2u);  // dev2 has no paid apps
+  EXPECT_DOUBLE_EQ(incomes[0].income_dollars, 20.0);
+  EXPECT_EQ(incomes[0].paid_apps, 1u);
+  EXPECT_EQ(incomes[0].free_apps, 1u);
+  EXPECT_DOUBLE_EQ(incomes[1].income_dollars, 10.0);
+}
+
+TEST(Income, AveragePriceUsedForRevenue) {
+  auto store = make_revenue_store();
+  store.set_price(market::AppId{0}, 400, 5);  // average price now $3
+  EXPECT_DOUBLE_EQ(app_revenue_dollars(store, market::AppId{0}), 30.0);
+}
+
+TEST(Income, CorrelationDefinedOnTwoPlusDevelopers) {
+  const auto store = make_revenue_store();
+  const auto incomes = developer_incomes(store);
+  const double correlation = income_app_count_correlation(incomes);
+  EXPECT_GE(correlation, -1.0);
+  EXPECT_LE(correlation, 1.0);
+}
+
+TEST(Income, CategoryBreakdownSumsTo100) {
+  const auto store = make_revenue_store();
+  const auto breakdown = category_revenue_breakdown(store);
+  double revenue_total = 0.0;
+  double apps_total = 0.0;
+  for (const auto& row : breakdown) {
+    revenue_total += row.revenue_percent;
+    apps_total += row.apps_percent;
+  }
+  EXPECT_NEAR(revenue_total, 100.0, 1e-9);
+  EXPECT_NEAR(apps_total, 100.0, 1e-9);
+  // games: $20 of $30 revenue.
+  EXPECT_EQ(breakdown[0].name, "games");
+  EXPECT_NEAR(breakdown[0].revenue_percent, 100.0 * 20.0 / 30.0, 1e-9);
+}
+
+TEST(Income, PricePopularityCorrelations) {
+  const auto store = make_revenue_store();
+  const auto result = price_popularity(store);
+  ASSERT_EQ(result.prices.size(), 2u);
+  // Cheaper app A has more downloads than pricier B: negative correlation.
+  EXPECT_LT(result.price_download_correlation, 0.0);
+}
+
+// ---- break-even (Eq. 7) ----------------------------------------------------------
+
+TEST(Breakeven, ExactOnHandBuiltStore) {
+  const auto store = make_revenue_store();
+  // avg paid income = (20 + 10) / 2 = 15; avg ad-free downloads = 100 (only C).
+  const auto value = breakeven_ad_income(store);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_NEAR(*value, 15.0 / 100.0, 1e-12);
+}
+
+TEST(Breakeven, NulloptWithoutPaidApps) {
+  market::AppStore store("free-only");
+  const auto c = store.add_category("c");
+  const auto d = store.add_developer("d");
+  store.add_users(1);
+  const auto app = store.add_app("x", d, c, market::Pricing::kFree, 0, 0);
+  store.set_has_ads(app, true);
+  store.record_download(market::UserId{0}, app, 0);
+  EXPECT_FALSE(breakeven_ad_income(store).has_value());
+}
+
+TEST(Breakeven, IgnoresAdFreeApps) {
+  auto store = make_revenue_store();
+  // App D has no ads: adding downloads to it must not change the result.
+  const auto before = breakeven_ad_income(store);
+  for (std::uint32_t u = 100; u < 150; ++u) {
+    store.record_download(market::UserId{u}, market::AppId{3}, 2);
+  }
+  const auto after = breakeven_ad_income(store);
+  EXPECT_DOUBLE_EQ(*before, *after);
+}
+
+TEST(Breakeven, TierOrdering) {
+  // Popular apps need LESS ad income per download than unpopular ones.
+  synth::GeneratorConfig config;
+  config.app_scale = 0.10;
+  config.download_scale = 2e-4;
+  const auto generated = synth::generate(synth::slideme(), config);
+  const auto tiers = breakeven_by_tier(*generated.store);
+  ASSERT_TRUE(tiers.has_value());
+  EXPECT_LT(tiers->popular, tiers->average);
+  EXPECT_LT(tiers->average, tiers->unpopular);
+  EXPECT_GT(tiers->popular, 0.0);
+}
+
+TEST(Breakeven, OverTimeSeriesDecreasesAsFreeDownloadsGrow) {
+  // Uses the Fig.-17 reconciliation profile (see slideme_fig17 docs): free
+  // per-app downloads outgrow paid per-app downloads across the window, so
+  // the break-even ad income declines — the figure's headline dynamic.
+  synth::GeneratorConfig config;
+  config.app_scale = 0.10;
+  config.download_scale = 2e-4;
+  const auto generated = synth::generate(synth::slideme_fig17(), config);
+  const auto series = breakeven_over_time(*generated.store, 0, 150, 30);
+  ASSERT_GE(series.size(), 4u);
+  EXPECT_LT(series.back().tiers.average, series.front().tiers.average);
+  for (const auto& point : series) {
+    EXPECT_GT(point.tiers.average, 0.0);
+  }
+}
+
+TEST(Breakeven, PerCategorySpread) {
+  synth::GeneratorConfig config;
+  config.app_scale = 0.12;
+  config.download_scale = 3e-4;
+  const auto generated = synth::generate(synth::slideme(), config);
+  const auto rows = breakeven_by_category(*generated.store);
+  ASSERT_GT(rows.size(), 5u);
+  // Sorted descending and music should be near the top (Fig. 18).
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].breakeven_dollars, rows[i].breakeven_dollars);
+  }
+  std::size_t music_position = rows.size();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].name == "music") music_position = i;
+  }
+  ASSERT_LT(music_position, rows.size());
+  EXPECT_LT(music_position, 4u);
+}
+
+// ---- strategies --------------------------------------------------------------------
+
+TEST(Strategies, AppsPerDeveloperFiltered) {
+  const auto store = make_revenue_store();
+  const auto paid = apps_per_developer(store, market::Pricing::kPaid);
+  const auto free = apps_per_developer(store, market::Pricing::kFree);
+  EXPECT_EQ(paid.size(), 2u);
+  EXPECT_EQ(free.size(), 2u);
+}
+
+TEST(Strategies, CategoriesPerDeveloper) {
+  const auto store = make_revenue_store();
+  const auto counts = categories_per_developer(store, market::Pricing::kPaid);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+}
+
+TEST(Strategies, SharesOnHandBuiltStore) {
+  const auto store = make_revenue_store();
+  const auto shares = strategy_shares(store);
+  EXPECT_EQ(shares.developers, 3u);
+  EXPECT_NEAR(shares.both, 1.0 / 3.0, 1e-12);       // dev0
+  EXPECT_NEAR(shares.paid_only, 1.0 / 3.0, 1e-12);  // dev1
+  EXPECT_NEAR(shares.free_only, 1.0 / 3.0, 1e-12);  // dev2
+}
+
+TEST(Strategies, GeneratedSlidemeMatchesCalibration) {
+  synth::GeneratorConfig config;
+  config.app_scale = 0.10;
+  config.download_scale = 1e-4;
+  const auto generated = synth::generate(synth::slideme(), config);
+  const auto shares = strategy_shares(*generated.store);
+  // §6.3: 75% free-only, 15% paid-only, 10% both (per-developer strategy
+  // draws; tolerate sampling noise and capacity effects).
+  EXPECT_NEAR(shares.free_only, 0.75, 0.08);
+  EXPECT_NEAR(shares.paid_only, 0.15, 0.06);
+  EXPECT_NEAR(shares.both, 0.10, 0.06);
+
+  const auto apps_free = apps_per_developer(*generated.store, market::Pricing::kFree);
+  std::size_t singles = 0;
+  for (const double count : apps_free) {
+    if (count == 1.0) ++singles;
+  }
+  // Fig. 16a: ~60% of free developers have exactly one app.
+  EXPECT_NEAR(static_cast<double>(singles) / static_cast<double>(apps_free.size()), 0.62,
+              0.12);
+}
+
+}  // namespace
+}  // namespace appstore::pricing

@@ -1,0 +1,77 @@
+// Tests for the report helpers (tables + series CSV export).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "report/series.hpp"
+#include "report/table.hpp"
+#include "util/csv.hpp"
+
+namespace appstore::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"store", "apps"});
+  table.row({"Anzhi", "60196"});
+  table.row({"SlideMe", "22184"});
+  const std::string text = table.render();
+  // Header present, underline present, rows present.
+  EXPECT_NE(text.find("store"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("Anzhi"), std::string::npos);
+  // Numeric cells right-align: "60196" should be preceded by at least one space.
+  EXPECT_NE(text.find(" 60196"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NO_THROW((void)table.render());
+}
+
+TEST(Table, FixedAndPercentHelpers) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(percent(0.905), "90.5%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Series, WriteCsvRoundTrip) {
+  Series series;
+  series.name = "fig2/pareto anzhi";
+  series.columns = {"rank_percent", "download_percent"};
+  series.add({1.0, 70.5});
+  series.add({10.0, 90.25});
+
+  const auto directory = std::filesystem::temp_directory_path() / "appstore_report_test";
+  const auto path = write_csv(series, directory);
+  EXPECT_EQ(path.filename().string(), "fig2-pareto_anzhi.csv");
+
+  const auto table = util::read_csv(path);
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "rank_percent");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "90.25");
+  std::filesystem::remove_all(directory);
+}
+
+TEST(Series, ExportAllWritesUnderExperiment) {
+  Series a;
+  a.name = "one";
+  a.columns = {"x"};
+  a.add({1.0});
+  Series b;
+  b.name = "two";
+  b.columns = {"y"};
+  b.add({2.0});
+
+  const auto root = std::filesystem::temp_directory_path() / "appstore_export_test";
+  export_all({a, b}, "fig9", root);
+  EXPECT_TRUE(std::filesystem::exists(root / "fig9" / "one.csv"));
+  EXPECT_TRUE(std::filesystem::exists(root / "fig9" / "two.csv"));
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace appstore::report

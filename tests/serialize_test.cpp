@@ -1,0 +1,171 @@
+// Tests for AppStore persistence (save/load round trip) and the
+// prefetching cache wrapper + power-law MLE added with the §7 extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "cache/prefetch.hpp"
+#include "market/serialize.hpp"
+#include "stats/mle.hpp"
+#include "synth/generator.hpp"
+#include "util/rng.hpp"
+
+namespace appstore {
+namespace {
+
+// ---- serialize ---------------------------------------------------------------
+
+class SerializeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() / "appstore_serialize_test";
+    std::filesystem::remove_all(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+
+  std::filesystem::path directory_;
+};
+
+TEST_F(SerializeFixture, RoundTripPreservesEverything) {
+  synth::GeneratorConfig config;
+  config.app_scale = 0.01;
+  config.download_scale = 1e-5;
+  config.comments = true;
+  synth::StoreProfile profile = synth::slideme();  // mixed free/paid store
+  profile.commenter_fraction = 0.2;
+  const auto generated = synth::generate(profile, config);
+  const market::AppStore& original = *generated.store;
+
+  market::save_store(original, directory_);
+  const auto loaded = market::load_store(directory_);
+
+  EXPECT_EQ(loaded->name(), original.name());
+  EXPECT_EQ(loaded->user_count(), original.user_count());
+  ASSERT_EQ(loaded->apps().size(), original.apps().size());
+  ASSERT_EQ(loaded->categories().size(), original.categories().size());
+  ASSERT_EQ(loaded->developers().size(), original.developers().size());
+  EXPECT_EQ(loaded->total_downloads(), original.total_downloads());
+  EXPECT_EQ(loaded->comment_events().size(), original.comment_events().size());
+  EXPECT_EQ(loaded->update_events().size(), original.update_events().size());
+
+  for (std::size_t a = 0; a < original.apps().size(); ++a) {
+    const auto id = market::AppId{static_cast<std::uint32_t>(a)};
+    const auto& lhs = original.app(id);
+    const auto& rhs = loaded->app(id);
+    EXPECT_EQ(lhs.name, rhs.name);
+    EXPECT_EQ(lhs.pricing, rhs.pricing);
+    EXPECT_EQ(lhs.price, rhs.price);
+    EXPECT_EQ(lhs.category, rhs.category);
+    EXPECT_EQ(lhs.developer, rhs.developer);
+    EXPECT_EQ(lhs.released, rhs.released);
+    EXPECT_EQ(lhs.has_ads, rhs.has_ads);
+    EXPECT_EQ(lhs.update_days, rhs.update_days);
+    EXPECT_EQ(original.downloads_of(id), loaded->downloads_of(id));
+  }
+}
+
+TEST_F(SerializeFixture, LoadedStorePassesInvariants) {
+  synth::GeneratorConfig config;
+  config.app_scale = 0.005;
+  config.download_scale = 5e-6;
+  const auto generated = synth::generate(synth::anzhi(), config);
+  market::save_store(*generated.store, directory_);
+  const auto loaded = market::load_store(directory_);
+  loaded->check_invariants();  // throws on violation
+}
+
+TEST_F(SerializeFixture, MissingFileThrows) {
+  std::filesystem::create_directories(directory_);
+  EXPECT_THROW((void)market::load_store(directory_), std::runtime_error);
+}
+
+TEST_F(SerializeFixture, QuotedNamesSurvive) {
+  market::AppStore store("weird \"store\", inc.");
+  const auto category = store.add_category("games, \"best\" ones");
+  const auto developer = store.add_developer("dev\nwith newline");
+  store.add_users(1);
+  (void)store.add_app("app, quoted \"x\"", developer, category, market::Pricing::kFree, 0, 0);
+  market::save_store(store, directory_);
+  const auto loaded = market::load_store(directory_);
+  EXPECT_EQ(loaded->name(), store.name());
+  EXPECT_EQ(loaded->categories()[0].name, store.categories()[0].name);
+  EXPECT_EQ(loaded->developers()[0].name, store.developers()[0].name);
+  EXPECT_EQ(loaded->apps()[0].name, store.apps()[0].name);
+}
+
+// ---- prefetch ------------------------------------------------------------------
+
+TEST(Prefetch, AdmitsCategoryHeadOnAccess) {
+  // Apps 0..5 in two categories; round-robin assignment 0,1,0,1,...
+  std::vector<std::uint32_t> app_category = {0, 1, 0, 1, 0, 1};
+  cache::PrefetchingCache cache(std::make_unique<cache::LruCache>(4), app_category, 2);
+
+  (void)cache.access(4);  // category 0; prefetch the top-2 category-0 apps (0, 2)
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.prefetched(), 2u);
+}
+
+TEST(Prefetch, ReturnValueOnlyReflectsDemandHit) {
+  std::vector<std::uint32_t> app_category = {0, 0, 0};
+  cache::PrefetchingCache cache(std::make_unique<cache::LruCache>(3), app_category, 2);
+  EXPECT_FALSE(cache.access(2));  // miss; prefetches 0 and 1
+  EXPECT_TRUE(cache.access(0));   // hit thanks to prefetch
+  EXPECT_TRUE(cache.access(2));
+}
+
+TEST(Prefetch, CapacityStillEnforced) {
+  std::vector<std::uint32_t> app_category(100, 0);
+  cache::PrefetchingCache cache(std::make_unique<cache::LruCache>(5), app_category, 3);
+  for (std::uint32_t a = 0; a < 100; ++a) {
+    (void)cache.access(a);
+    EXPECT_LE(cache.size(), 5u);
+  }
+}
+
+TEST(Prefetch, NullInnerThrows) {
+  EXPECT_THROW(cache::PrefetchingCache(nullptr, {0}, 1), std::invalid_argument);
+}
+
+// ---- MLE -----------------------------------------------------------------------
+
+TEST(Mle, RecoversExponentFromSyntheticParetoSample) {
+  // Inverse-CDF sampling of a continuous Pareto with alpha = 2.5, xmin = 1.
+  util::Rng rng(17);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) {
+    sample.push_back(std::pow(1.0 - rng.uniform(), -1.0 / 1.5));  // alpha-1 = 1.5
+  }
+  const auto fit = stats::fit_power_law_mle(sample, 1.0, /*discrete=*/false);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.2);
+  EXPECT_EQ(fit.tail_samples, sample.size());
+  EXPECT_GT(fit.alpha_stderr, 0.0);
+  EXPECT_LT(fit.ks, 0.1);
+}
+
+TEST(Mle, AutoXminPrefersCleanTail) {
+  // Body noise below 10, clean power law above.
+  util::Rng rng(19);
+  std::vector<double> sample;
+  for (int i = 0; i < 3000; ++i) sample.push_back(rng.uniform(1.0, 10.0));  // junk body
+  for (int i = 0; i < 3000; ++i) {
+    sample.push_back(10.0 * std::pow(1.0 - rng.uniform(), -1.0 / 1.4));
+  }
+  const auto fit = stats::fit_power_law_mle_auto(sample, 50, /*discrete=*/false);
+  EXPECT_GE(fit.xmin, 5.0);  // cutoff pushed past (most of) the junk body
+  EXPECT_NEAR(fit.alpha, 2.4, 0.35);
+}
+
+TEST(Mle, DegenerateInputs) {
+  EXPECT_THROW((void)stats::fit_power_law_mle(std::vector<double>{1, 2}, 0.0),
+               std::invalid_argument);
+  const auto fit = stats::fit_power_law_mle(std::vector<double>{5.0}, 1.0);
+  EXPECT_EQ(fit.tail_samples, 1u);
+  EXPECT_DOUBLE_EQ(fit.alpha, 0.0);  // too few samples: no estimate
+}
+
+}  // namespace
+}  // namespace appstore

@@ -1,0 +1,315 @@
+// Tests for the synthetic marketplace generator: structural invariants,
+// Table-1 calibration, popularity shapes, and determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "affinity/metric.hpp"
+#include "affinity/strings.hpp"
+#include "market/snapshot.hpp"
+#include "stats/pareto.hpp"
+#include "stats/powerlaw.hpp"
+#include "synth/generator.hpp"
+
+namespace appstore::synth {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 0x5eed) {
+  GeneratorConfig config;
+  config.app_scale = 0.03;
+  config.download_scale = 3e-5;
+  config.comments = true;
+  config.seed = seed;
+  return config;
+}
+
+class GeneratedAnzhi : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StoreProfile profile = anzhi();
+    // At test scale the faithful 1.6% commenter share yields too few users
+    // for the affinity statistics; raise it (affinity is per-user and does
+    // not depend on how many users comment).
+    profile.commenter_fraction = 0.10;
+    generated_ = new GeneratedStore(generate(profile, small_config()));
+  }
+  static void TearDownTestSuite() {
+    delete generated_;
+    generated_ = nullptr;
+  }
+  static GeneratedStore* generated_;
+};
+
+GeneratedStore* GeneratedAnzhi::generated_ = nullptr;
+
+TEST_F(GeneratedAnzhi, StoreInvariantsHold) {
+  generated_->store->check_invariants();
+}
+
+TEST_F(GeneratedAnzhi, AppAndCategoryCountsScale) {
+  const auto& store = *generated_->store;
+  EXPECT_EQ(store.categories().size(), 34u);
+  // 60196 * 0.03 ≈ 1806
+  EXPECT_NEAR(static_cast<double>(store.apps().size()), 60196 * 0.03, 5.0);
+  EXPECT_GT(store.developers().size(), store.apps().size() / 10);
+}
+
+TEST_F(GeneratedAnzhi, DownloadTotalsScale) {
+  // 2.816e9 * 3e-5 ≈ 84,480
+  EXPECT_NEAR(static_cast<double>(generated_->store->total_downloads()), 2.816e9 * 3e-5,
+              2.816e9 * 3e-5 * 0.02);
+}
+
+TEST_F(GeneratedAnzhi, SnapshotSeriesMatchesTableOneShape) {
+  const auto series = market::replay_snapshots(*generated_->store, anzhi().crawl_days);
+  const auto summary = market::summarize("Anzhi", series);
+  // First-day app count ≈ scaled 58423.
+  EXPECT_NEAR(static_cast<double>(summary.apps_first_day), 58423 * 0.03, 10.0);
+  EXPECT_GT(summary.apps_last_day, summary.apps_first_day);
+  EXPECT_GT(summary.new_apps_per_day, 0.0);
+  // Downloads on the first day ≈ scaled 1.396e9 (pre-crawl history).
+  EXPECT_NEAR(static_cast<double>(summary.downloads_first_day), 1.396e9 * 3e-5,
+              1.396e9 * 3e-5 * 0.05);
+  EXPECT_GT(summary.daily_downloads, 0.0);
+}
+
+TEST_F(GeneratedAnzhi, ParetoEffectPresent) {
+  const auto counts = generated_->store->download_counts();
+  const double top10 = stats::top_share(counts, 0.10);
+  // Paper: ~90% at paper scale; scaled-down runs concentrate slightly less.
+  EXPECT_GT(top10, 0.45);
+  EXPECT_GT(stats::top_share(counts, 0.01), 0.10);
+}
+
+TEST_F(GeneratedAnzhi, PowerLawTrunkNearCalibration) {
+  const auto ranks = generated_->store->downloads_by_rank();
+  const auto fit = stats::fit_power_law_trunk(ranks);
+  EXPECT_NEAR(fit.exponent, 1.4, 0.35);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST_F(GeneratedAnzhi, BothTruncationsPresent) {
+  const auto report = stats::analyze_truncation(generated_->store->downloads_by_rank());
+  EXPECT_LT(report.head_ratio, 0.8);  // fetch-at-most-once plateau
+  EXPECT_LT(report.tail_ratio, 0.8);  // clustering-starved tail
+}
+
+TEST_F(GeneratedAnzhi, MostAppsNeverUpdate) {
+  std::size_t zero_updates = 0;
+  for (const auto& app : generated_->store->apps()) {
+    if (app.update_days.empty()) ++zero_updates;
+  }
+  const double fraction =
+      static_cast<double>(zero_updates) / static_cast<double>(generated_->store->apps().size());
+  EXPECT_GT(fraction, 0.75);
+  EXPECT_LT(fraction, 0.92);
+}
+
+TEST_F(GeneratedAnzhi, CommentStreamsShowClusteringAffinity) {
+  const auto& store = *generated_->store;
+  std::vector<std::uint32_t> app_category;
+  for (const auto& app : store.apps()) app_category.push_back(app.category.value);
+
+  std::vector<std::vector<std::uint32_t>> category_strings;
+  for (const auto& stream : store.comment_streams()) {
+    if (stream.empty()) continue;
+    const auto apps = affinity::app_string(stream);
+    category_strings.push_back(affinity::category_string(apps, app_category));
+  }
+  ASSERT_GT(category_strings.size(), 20u);
+
+  const auto values = affinity::per_user_affinity(category_strings, 1);
+  ASSERT_GT(values.size(), 10u);
+  double total = 0.0;
+  for (const double v : values) total += v;
+  const double mean_affinity = total / static_cast<double>(values.size());
+
+  const auto counts32 = store.apps_per_category();
+  const std::vector<std::uint64_t> counts(counts32.begin(), counts32.end());
+  const double random_walk = affinity::random_walk_affinity(counts, 1);
+  EXPECT_GT(mean_affinity, random_walk * 3.0);
+}
+
+TEST_F(GeneratedAnzhi, UsersReceivedDownloads) {
+  EXPECT_EQ(generated_->paid_rank_order.size(), 0u);  // Anzhi is free-only
+  EXPECT_EQ(generated_->free_rank_order.size(), generated_->store->apps().size());
+  EXPECT_GT(generated_->free_params.user_count, 0u);
+}
+
+class GeneratedSlideme : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.app_scale = 0.10;        // SlideMe is small: keep enough paid apps
+    config.download_scale = 2e-4;
+    config.comments = false;
+    generated_ = new GeneratedStore(generate(slideme(), config));
+  }
+  static void TearDownTestSuite() {
+    delete generated_;
+    generated_ = nullptr;
+  }
+  static GeneratedStore* generated_;
+};
+
+GeneratedStore* GeneratedSlideme::generated_ = nullptr;
+
+TEST_F(GeneratedSlideme, PaidFractionApproximatelyCalibrated) {
+  std::size_t paid = 0;
+  for (const auto& app : generated_->store->apps()) {
+    if (app.pricing == market::Pricing::kPaid) ++paid;
+  }
+  const double fraction =
+      static_cast<double>(paid) / static_cast<double>(generated_->store->apps().size());
+  EXPECT_NEAR(fraction, 0.253, 0.04);
+}
+
+TEST_F(GeneratedSlideme, AdFractionOnFreeApps) {
+  std::size_t with_ads = 0;
+  std::size_t free = 0;
+  for (const auto& app : generated_->store->apps()) {
+    if (app.pricing != market::Pricing::kFree) continue;
+    ++free;
+    if (app.has_ads) ++with_ads;
+  }
+  EXPECT_NEAR(static_cast<double>(with_ads) / static_cast<double>(free), 0.677, 0.05);
+}
+
+TEST_F(GeneratedSlideme, PaidPricesWithinRange) {
+  for (const auto& app : generated_->store->apps()) {
+    if (app.pricing != market::Pricing::kPaid) continue;
+    const double price = market::cents_to_dollars(app.price);
+    EXPECT_GE(price, 0.49);
+    EXPECT_LE(price, 49.99);
+  }
+}
+
+TEST_F(GeneratedSlideme, PaidFollowsCleanerPowerLaw) {
+  const auto paid_ranks = generated_->store->downloads_by_rank(market::Pricing::kPaid);
+  const auto free_ranks = generated_->store->downloads_by_rank(market::Pricing::kFree);
+  const auto paid_fit = stats::fit_power_law_trunk(paid_ranks);
+  const auto free_fit = stats::fit_power_law_trunk(free_ranks);
+  // Fig. 11: paid ~1.72 steep and clean; free much shallower (~0.85).
+  EXPECT_GT(paid_fit.exponent, free_fit.exponent);
+  EXPECT_GT(paid_fit.exponent, 1.2);
+  EXPECT_LT(free_fit.exponent, 1.2);
+}
+
+TEST_F(GeneratedSlideme, NamedCategoriesUsed) {
+  EXPECT_EQ(generated_->store->categories().size(), slideme_categories().size());
+  EXPECT_EQ(generated_->store->categories()[0].name, "music");
+}
+
+TEST_F(GeneratedSlideme, SegmentsUseSeparateUserPools) {
+  EXPECT_GT(generated_->paid_user_offset, 0u);
+  EXPECT_EQ(generated_->paid_user_offset, generated_->free_params.user_count);
+  EXPECT_EQ(generated_->store->user_count(),
+            generated_->free_params.user_count + generated_->paid_params.user_count);
+}
+
+
+TEST(Generator, RankAtDayExcludesUnreleasedApps) {
+  const auto generated = generate(anzhi(), small_config(5));
+  const auto day0 = downloads_by_rank_at_day(*generated.store, 0, market::Pricing::kFree);
+  const auto day60 = downloads_by_rank_at_day(*generated.store, 60, market::Pricing::kFree);
+  // Day 0 lists only the initial catalog; day 60 includes every release.
+  EXPECT_LT(day0.size(), day60.size());
+  EXPECT_EQ(day60.size(), generated.store->apps().size());
+  std::size_t released_day0 = 0;
+  for (const auto& app : generated.store->apps()) {
+    if (app.released <= 0) ++released_day0;
+  }
+  EXPECT_EQ(day0.size(), released_day0);
+}
+
+TEST(Generator, PaidDownloadScaleResolvesPaidSegment) {
+  GeneratorConfig coarse;
+  coarse.app_scale = 0.05;
+  coarse.download_scale = 1e-4;
+  GeneratorConfig fine = coarse;
+  fine.paid_download_scale = 0.01;
+
+  const auto low = generate(slideme(), coarse);
+  const auto high = generate(slideme(), fine);
+  std::uint64_t low_paid = 0;
+  std::uint64_t high_paid = 0;
+  for (const auto& app : low.store->apps()) {
+    if (app.pricing == market::Pricing::kPaid) low_paid += low.store->downloads_of(app.id);
+  }
+  for (const auto& app : high.store->apps()) {
+    if (app.pricing == market::Pricing::kPaid) high_paid += high.store->downloads_of(app.id);
+  }
+  EXPECT_GT(high_paid, low_paid * 10);
+}
+
+TEST(Generator, Fig17VariantMaturesPaidSegment) {
+  const StoreProfile base = slideme();
+  const StoreProfile fig17 = slideme_fig17();
+  EXPECT_GT(fig17.paid_segment.downloads_first, base.paid_segment.downloads_first);
+  EXPECT_EQ(fig17.paid_segment.downloads_last, base.paid_segment.downloads_last);
+}
+
+// ---- determinism / cross-profile ----------------------------------------------------
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate(anzhi(), small_config(7));
+  const auto b = generate(anzhi(), small_config(7));
+  EXPECT_EQ(a.store->total_downloads(), b.store->total_downloads());
+  EXPECT_EQ(a.store->apps().size(), b.store->apps().size());
+  EXPECT_EQ(a.store->comment_events().size(), b.store->comment_events().size());
+  for (std::size_t i = 0; i < 10 && i < a.store->apps().size(); ++i) {
+    EXPECT_EQ(a.store->downloads_of(market::AppId{static_cast<std::uint32_t>(i)}),
+              b.store->downloads_of(market::AppId{static_cast<std::uint32_t>(i)}));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate(anzhi(), small_config(1));
+  const auto b = generate(anzhi(), small_config(2));
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 50 && i < a.store->apps().size(); ++i) {
+    if (a.store->downloads_of(market::AppId{static_cast<std::uint32_t>(i)}) !=
+        b.store->downloads_of(market::AppId{static_cast<std::uint32_t>(i)})) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, AllProfilesGenerate) {
+  GeneratorConfig config;
+  config.app_scale = 0.01;
+  config.download_scale = 5e-6;
+  config.comments = false;
+  for (const auto& profile : all_profiles()) {
+    const auto generated = generate(profile, config);
+    generated.store->check_invariants();
+    EXPECT_GT(generated.store->total_downloads(), 0u) << profile.name;
+    EXPECT_GT(generated.store->apps().size(), 0u) << profile.name;
+  }
+}
+
+TEST(Generator, DownloadsAtDayMonotone) {
+  const auto generated = generate(anzhi(), small_config(3));
+  const auto early = downloads_at_day(*generated.store, 0);
+  const auto late = downloads_at_day(*generated.store, 60);
+  std::uint64_t early_total = 0;
+  std::uint64_t late_total = 0;
+  for (std::size_t a = 0; a < early.size(); ++a) {
+    EXPECT_LE(early[a], late[a]);
+    early_total += early[a];
+    late_total += late[a];
+  }
+  EXPECT_LT(early_total, late_total);
+  EXPECT_EQ(late_total, generated.store->total_downloads());
+}
+
+TEST(Generator, NoDownloadsBeforeRelease) {
+  const auto generated = generate(anzhi(), small_config(4));
+  for (const auto& event : generated.store->download_events()) {
+    EXPECT_GE(event.day, generated.store->app(event.app).released);
+  }
+}
+
+}  // namespace
+}  // namespace appstore::synth

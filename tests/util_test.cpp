@@ -1,0 +1,391 @@
+// Unit tests for appstore::util — PRNG, formatting, strings, CSV, CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::util {
+namespace {
+
+// ---- Rng ----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(19);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBound)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kSamples / kBound, kSamples / kBound * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(29);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_squares += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_squares / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(31);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(37);
+  for (const double mean : {0.5, 3.0, 100.0}) {
+    double sum = 0.0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kSamples, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(41);
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / kSamples, (1 - p) / p, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<std::uint32_t> values(100);
+  for (std::uint32_t i = 0; i < 100; ++i) values[i] = i;
+  rng.shuffle(std::span<std::uint32_t>(values));
+  std::set<std::uint32_t> seen(values.begin(), values.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.fork();
+  // The child should not reproduce the parent's next outputs.
+  Rng parent_copy(47);
+  (void)parent_copy();  // same consumption as fork()
+  EXPECT_NE(child(), parent_copy());
+}
+
+TEST(Rng, Hash64StableAndDistinct) {
+  EXPECT_EQ(hash64("anzhi"), hash64("anzhi"));
+  EXPECT_NE(hash64("anzhi"), hash64("appchina"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ---- format ----------------------------------------------------------------
+
+TEST(Format, PlainPlaceholders) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("hello {}", "world"), "hello world");
+  EXPECT_EQ(format("{}", true), "true");
+  EXPECT_EQ(format("{}", false), "false");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.7), "3");
+  EXPECT_EQ(format("{:.3f}", -1.0), "-1.000");
+}
+
+TEST(Format, GeneralFloat) {
+  EXPECT_EQ(format("{:g}", 0.5), "0.5");
+  EXPECT_EQ(format("{:.3g}", 1234.5678), "1.23e+03");
+}
+
+TEST(Format, WidthAndAlignment) {
+  EXPECT_EQ(format("{:>6}", "ab"), "    ab");
+  EXPECT_EQ(format("{:<6}!", "ab"), "ab    !");
+  EXPECT_EQ(format("{:6}", 42), "    42");    // numbers right-align by default
+  EXPECT_EQ(format("{:<6}", 42), "42    ");
+  EXPECT_EQ(format("{:06}", 7), "     7");    // no zero-fill support: width only
+}
+
+TEST(Format, HexAndLiteralBraces) {
+  EXPECT_EQ(format("{:x}", 255), "ff");
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("a {{ b }} c"), "a { b } c");
+}
+
+TEST(Format, ExcessPlaceholdersRenderVerbatim) {
+  EXPECT_EQ(format("{} {}", 1), "1 {}");
+}
+
+TEST(Format, BadSpecThrows) {
+  EXPECT_THROW((void)format("{:q}", 1), std::invalid_argument);
+  EXPECT_THROW((void)format("{:.f}", 1.0), std::invalid_argument);
+}
+
+TEST(Format, StringPrecisionTruncates) {
+  EXPECT_EQ(format("{:.3}", "abcdef"), "abc");
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, EqualsCi) {
+  EXPECT_TRUE(equals_ci("Content-Length", "content-length"));
+  EXPECT_TRUE(equals_ci("", ""));
+  EXPECT_FALSE(equals_ci("abc", "abd"));
+  EXPECT_FALSE(equals_ci("abc", "ab"));
+}
+
+TEST(Strings, StartsWithCi) {
+  EXPECT_TRUE(starts_with_ci("HTTP/1.1 200", "http/"));
+  EXPECT_FALSE(starts_with_ci("HT", "http"));
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("12345", value));
+  EXPECT_EQ(value, 12345u);
+  EXPECT_FALSE(parse_u64("", value));
+  EXPECT_FALSE(parse_u64("12a", value));
+  EXPECT_FALSE(parse_u64("-1", value));
+  EXPECT_FALSE(parse_u64("99999999999999999999999", value));  // overflow
+}
+
+TEST(Strings, ParseDouble) {
+  double value = 0;
+  EXPECT_TRUE(parse_double("3.25", value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(parse_double("-1e3", value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+  EXPECT_FALSE(parse_double("x", value));
+  EXPECT_FALSE(parse_double("1.5x", value));
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(human_count(500), "500");
+  EXPECT_EQ(human_count(23'700'000), "23.7 M");
+  EXPECT_EQ(human_count(651'500), "651.5 K");
+  EXPECT_EQ(human_count(2'816'000'000.0), "2.8 B");
+}
+
+// ---- csv ----------------------------------------------------------------------
+
+TEST(Csv, RoundTripWithQuoting) {
+  const auto path = std::filesystem::temp_directory_path() / "appstore_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row({"name", "value", "note"});
+    writer.write_row({"plain", "1", "no quoting"});
+    writer.write_row({"comma,inside", "2", "quote\"inside"});
+    writer.write_row({"new\nline", "3", ""});
+    writer.flush();
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 3u);
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.rows[1][0], "comma,inside");
+  EXPECT_EQ(table.rows[1][2], "quote\"inside");
+  EXPECT_EQ(table.rows[2][0], "new\nline");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ColumnLookup) {
+  const CsvTable table = parse_csv("a,b,c\n1,2,3\n");
+  EXPECT_EQ(table.column("b"), 1u);
+  EXPECT_EQ(table.column("missing"), static_cast<std::size_t>(-1));
+}
+
+TEST(Csv, ParseEmptyAndCrlf) {
+  EXPECT_TRUE(parse_csv("").header.empty());
+  const CsvTable table = parse_csv("x,y\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(Csv, NumericRowHelper) {
+  const auto path = std::filesystem::temp_directory_path() / "appstore_csv_num.csv";
+  {
+    CsvWriter writer(path);
+    writer.row("rank", "downloads");
+    writer.row(1, 2816000000.0);
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+  EXPECT_EQ(table.rows[0][1], "2816000000");
+  std::filesystem::remove(path);
+}
+
+// ---- cli -----------------------------------------------------------------------
+
+TEST(Cli, ParsesAllTypes) {
+  Cli cli("prog", "test");
+  auto seed = cli.u64("seed", 1, "seed");
+  auto scale = cli.f64("scale", 0.5, "scale");
+  auto name = cli.str("name", "x", "name");
+  auto verbose = cli.flag("verbose", "verbose");
+  EXPECT_EQ(cli.try_parse({"--seed=99", "--scale", "0.25", "--name=anzhi", "--verbose"}), "");
+  EXPECT_EQ(*seed, 99u);
+  EXPECT_DOUBLE_EQ(*scale, 0.25);
+  EXPECT_EQ(*name, "anzhi");
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(Cli, DefaultsHoldWithoutFlags) {
+  Cli cli("prog", "test");
+  auto seed = cli.u64("seed", 7, "seed");
+  auto verbose = cli.flag("verbose", "verbose");
+  EXPECT_EQ(cli.try_parse({}), "");
+  EXPECT_EQ(*seed, 7u);
+  EXPECT_FALSE(*verbose);
+}
+
+TEST(Cli, ReportsUnknownFlag) {
+  Cli cli("prog", "test");
+  EXPECT_NE(cli.try_parse({"--nope"}), "");
+}
+
+TEST(Cli, ReportsBadValues) {
+  Cli cli("prog", "test");
+  (void)cli.u64("n", 0, "n");
+  (void)cli.f64("x", 0, "x");
+  EXPECT_NE(cli.try_parse({"--n=abc"}), "");
+  Cli cli2("prog", "test");
+  (void)cli2.f64("x", 0, "x");
+  EXPECT_NE(cli2.try_parse({"--x=1..2"}), "");
+}
+
+TEST(Cli, MissingValueIsError) {
+  Cli cli("prog", "test");
+  (void)cli.u64("n", 0, "n");
+  EXPECT_NE(cli.try_parse({"--n"}), "");
+}
+
+TEST(Cli, BooleanExplicitForms) {
+  Cli cli("prog", "test");
+  auto flag = cli.flag("on", "x");
+  EXPECT_EQ(cli.try_parse({"--on=false"}), "");
+  EXPECT_FALSE(*flag);
+  EXPECT_EQ(cli.try_parse({"--on=1"}), "");
+  EXPECT_TRUE(*flag);
+  EXPECT_NE(cli.try_parse({"--on=maybe"}), "");
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli("prog", "test");
+  EXPECT_EQ(cli.try_parse({"--help"}), "");
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage().find("prog"), std::string::npos);
+}
+
+TEST(Cli, PositionalRejected) {
+  Cli cli("prog", "test");
+  EXPECT_NE(cli.try_parse({"positional"}), "");
+}
+
+}  // namespace
+}  // namespace appstore::util

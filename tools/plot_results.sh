@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Regenerates the paper's figures as PNGs from the CSVs the bench suite
+# writes under results/. Requires gnuplot.
+#
+#   ./tools/plot_results.sh [results_dir] [output_dir]
+#
+# Only plots for experiments whose CSVs exist; run the bench suite first:
+#   for b in build/bench/*; do $b; done
+set -euo pipefail
+
+RESULTS="${1:-results}"
+OUT="${2:-plots}"
+mkdir -p "$OUT"
+
+have() { [ -f "$1" ]; }
+say() { printf '%s\n' "$*"; }
+
+command -v gnuplot >/dev/null || { say "gnuplot not found"; exit 1; }
+
+# ---- Fig. 2: Pareto CDF ------------------------------------------------------
+if have "$RESULTS/fig2/pareto_Anzhi.csv"; then
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output '$OUT/fig2_pareto.png'
+set title 'Fig. 2 — downloads CDF vs normalized app rank'
+set xlabel 'Normalized app ranking (%)'
+set ylabel 'Percentage of downloads (CDF)'
+set key bottom right
+plot for [store in "Anzhi AppChina 1Mobile SlideMe"] \
+  sprintf('$RESULTS/fig2/pareto_%s.csv', store) using 1:2 skip 1 \
+  with lines lw 2 title store
+EOF
+  say "wrote $OUT/fig2_pareto.png"
+fi
+
+# ---- Fig. 3: rank-download log-log -------------------------------------------
+for store in Anzhi AppChina 1Mobile SlideMe; do
+  csv="$RESULTS/fig3/rank_downloads_$store.csv"
+  if have "$csv"; then
+    gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 700,550
+set output '$OUT/fig3_$store.png'
+set title 'Fig. 3 — $store downloads vs rank'
+set logscale xy
+set xlabel 'App rank'
+set ylabel 'Downloads'
+plot '$csv' using 1:(\$2 > 0 ? \$2 : NaN) skip 1 with points pt 7 ps 0.4 notitle
+EOF
+    say "wrote $OUT/fig3_$store.png"
+  fi
+done
+
+# ---- Fig. 7: affinity CDFs -----------------------------------------------------
+if have "$RESULTS/fig7/affinity_cdf_depth1.csv"; then
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output '$OUT/fig7_affinity_cdf.png'
+set title 'Fig. 7 — per-user temporal affinity CDF'
+set xlabel 'Affinity probability'
+set ylabel 'Users (CDF)'
+set key bottom right
+plot for [d=1:3] sprintf('$RESULTS/fig7/affinity_cdf_depth%d.csv', d) \
+  using 1:2 skip 1 with lines lw 2 title sprintf('depth %d', d)
+EOF
+  say "wrote $OUT/fig7_affinity_cdf.png"
+fi
+
+# ---- Fig. 8: model fits ---------------------------------------------------------
+for store in Anzhi AppChina 1Mobile; do
+  csv="$RESULTS/fig8/fit_curves_$store.csv"
+  if have "$csv"; then
+    gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output '$OUT/fig8_$store.png'
+set title 'Fig. 8 — $store: predicted vs measured popularity'
+set logscale xy
+set xlabel 'App rank'
+set ylabel 'Downloads'
+set key top right
+plot '$csv' using 1:(\$2>0?\$2:NaN) skip 1 with points pt 7 ps 0.4 title 'measured', \
+     '$csv' using 1:(\$3>0?\$3:NaN) skip 1 with lines lw 2 title 'ZIPF', \
+     '$csv' using 1:(\$4>0?\$4:NaN) skip 1 with lines lw 2 title 'ZIPF-at-most-once', \
+     '$csv' using 1:(\$5>0?\$5:NaN) skip 1 with lines lw 2 title 'APP-CLUSTERING'
+EOF
+    say "wrote $OUT/fig8_$store.png"
+  fi
+done
+
+# ---- Fig. 13: income CDF ---------------------------------------------------------
+if have "$RESULTS/fig13/income_cdf.csv"; then
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 700,550
+set output '$OUT/fig13_income_cdf.png'
+set title 'Fig. 13 — developer income CDF'
+set logscale x
+set xlabel 'Total income per developer (dollars)'
+set ylabel 'Developers (CDF)'
+plot '$RESULTS/fig13/income_cdf.csv' using (\$1>0?\$1:NaN):2 skip 1 with steps lw 2 notitle
+EOF
+  say "wrote $OUT/fig13_income_cdf.png"
+fi
+
+# ---- Fig. 17: break-even over time ------------------------------------------------
+if have "$RESULTS/fig17/breakeven_time.csv"; then
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output '$OUT/fig17_breakeven.png'
+set title 'Fig. 17 — break-even ad income per download'
+set logscale y
+set xlabel 'Day'
+set ylabel 'Necessary ad income (dollars)'
+set key top right
+plot '$RESULTS/fig17/breakeven_time.csv' using 1:2 skip 1 with lines lw 2 title 'average', \
+     '' using 1:3 skip 1 with lines lw 2 title 'popular (top 20%)', \
+     '' using 1:4 skip 1 with lines lw 2 title 'medium (next 50%)', \
+     '' using 1:5 skip 1 with lines lw 2 title 'unpopular (last 30%)'
+EOF
+  say "wrote $OUT/fig17_breakeven.png"
+fi
+
+# ---- Fig. 19: cache hit ratios ------------------------------------------------------
+if have "$RESULTS/fig19/lru_hit_ratio.csv"; then
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output '$OUT/fig19_cache.png'
+set title 'Fig. 19 — LRU hit ratio by workload model'
+set xlabel 'Cache size (% of total apps)'
+set ylabel 'Cache hit ratio'
+set yrange [0:1]
+set key bottom right
+plot '$RESULTS/fig19/lru_hit_ratio.csv' using 1:2 skip 1 with linespoints lw 2 title 'ZIPF', \
+     '' using 1:3 skip 1 with linespoints lw 2 title 'ZIPF-at-most-once', \
+     '' using 1:4 skip 1 with linespoints lw 2 title 'APP-CLUSTERING'
+EOF
+  say "wrote $OUT/fig19_cache.png"
+fi
+
+say "done."
