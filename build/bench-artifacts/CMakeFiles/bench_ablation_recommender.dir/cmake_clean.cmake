@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_recommender"
+  "../bench/bench_ablation_recommender.pdb"
+  "CMakeFiles/bench_ablation_recommender.dir/bench_ablation_recommender.cpp.o"
+  "CMakeFiles/bench_ablation_recommender.dir/bench_ablation_recommender.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_paid_free"
+  "../bench/bench_fig11_paid_free.pdb"
+  "CMakeFiles/bench_fig11_paid_free.dir/bench_fig11_paid_free.cpp.o"
+  "CMakeFiles/bench_fig11_paid_free.dir/bench_fig11_paid_free.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_paid_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_price_popularity"
+  "../bench/bench_fig12_price_popularity.pdb"
+  "CMakeFiles/bench_fig12_price_popularity.dir/bench_fig12_price_popularity.cpp.o"
+  "CMakeFiles/bench_fig12_price_popularity.dir/bench_fig12_price_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_price_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_income_vs_apps.cpp" "bench-artifacts/CMakeFiles/bench_fig14_income_vs_apps.dir/bench_fig14_income_vs_apps.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_fig14_income_vs_apps.dir/bench_fig14_income_vs_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/appstore_crawlersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/recommend/CMakeFiles/appstore_recommend.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/appstore_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/affinity/CMakeFiles/appstore_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/appstore_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/appstore_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/appstore_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appstore_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/appstore_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/appstore_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appstore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

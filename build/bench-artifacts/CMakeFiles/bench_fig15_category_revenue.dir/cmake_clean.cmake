@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_category_revenue"
+  "../bench/bench_fig15_category_revenue.pdb"
+  "CMakeFiles/bench_fig15_category_revenue.dir/bench_fig15_category_revenue.cpp.o"
+  "CMakeFiles/bench_fig15_category_revenue.dir/bench_fig15_category_revenue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_category_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_developer_strategies"
+  "../bench/bench_fig16_developer_strategies.pdb"
+  "CMakeFiles/bench_fig16_developer_strategies.dir/bench_fig16_developer_strategies.cpp.o"
+  "CMakeFiles/bench_fig16_developer_strategies.dir/bench_fig16_developer_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_developer_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_breakeven_category"
+  "../bench/bench_fig18_breakeven_category.pdb"
+  "CMakeFiles/bench_fig18_breakeven_category.dir/bench_fig18_breakeven_category.cpp.o"
+  "CMakeFiles/bench_fig18_breakeven_category.dir/bench_fig18_breakeven_category.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_breakeven_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_powerlaw"
+  "../bench/bench_fig3_powerlaw.pdb"
+  "CMakeFiles/bench_fig3_powerlaw.dir/bench_fig3_powerlaw.cpp.o"
+  "CMakeFiles/bench_fig3_powerlaw.dir/bench_fig3_powerlaw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_updates"
+  "../bench/bench_fig4_updates.pdb"
+  "CMakeFiles/bench_fig4_updates.dir/bench_fig4_updates.cpp.o"
+  "CMakeFiles/bench_fig4_updates.dir/bench_fig4_updates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

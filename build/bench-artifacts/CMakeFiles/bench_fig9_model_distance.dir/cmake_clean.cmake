@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_model_distance"
+  "../bench/bench_fig9_model_distance.pdb"
+  "CMakeFiles/bench_fig9_model_distance.dir/bench_fig9_model_distance.cpp.o"
+  "CMakeFiles/bench_fig9_model_distance.dir/bench_fig9_model_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_model_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

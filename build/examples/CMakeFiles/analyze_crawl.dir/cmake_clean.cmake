@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_crawl.dir/analyze_crawl.cpp.o"
+  "CMakeFiles/analyze_crawl.dir/analyze_crawl.cpp.o.d"
+  "analyze_crawl"
+  "analyze_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_pipeline.dir/crawl_pipeline.cpp.o"
+  "CMakeFiles/crawl_pipeline.dir/crawl_pipeline.cpp.o.d"
+  "crawl_pipeline"
+  "crawl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

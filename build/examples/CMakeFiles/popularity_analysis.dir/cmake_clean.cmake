@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popularity_analysis.dir/popularity_analysis.cpp.o"
+  "CMakeFiles/popularity_analysis.dir/popularity_analysis.cpp.o.d"
+  "popularity_analysis"
+  "popularity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popularity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

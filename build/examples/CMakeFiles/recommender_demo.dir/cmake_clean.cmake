@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_demo.dir/recommender_demo.cpp.o"
+  "CMakeFiles/recommender_demo.dir/recommender_demo.cpp.o.d"
+  "recommender_demo"
+  "recommender_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

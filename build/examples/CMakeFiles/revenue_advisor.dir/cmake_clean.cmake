@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revenue_advisor.dir/revenue_advisor.cpp.o"
+  "CMakeFiles/revenue_advisor.dir/revenue_advisor.cpp.o.d"
+  "revenue_advisor"
+  "revenue_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revenue_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

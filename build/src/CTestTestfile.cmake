@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("market")
+subdirs("models")
+subdirs("affinity")
+subdirs("synth")
+subdirs("pricing")
+subdirs("recommend")
+subdirs("cache")
+subdirs("fit")
+subdirs("net")
+subdirs("crawler")
+subdirs("report")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affinity/metric.cpp" "src/affinity/CMakeFiles/appstore_affinity.dir/metric.cpp.o" "gcc" "src/affinity/CMakeFiles/appstore_affinity.dir/metric.cpp.o.d"
+  "/root/repo/src/affinity/strings.cpp" "src/affinity/CMakeFiles/appstore_affinity.dir/strings.cpp.o" "gcc" "src/affinity/CMakeFiles/appstore_affinity.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/appstore_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

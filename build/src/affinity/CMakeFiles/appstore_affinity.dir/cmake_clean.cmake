@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_affinity.dir/metric.cpp.o"
+  "CMakeFiles/appstore_affinity.dir/metric.cpp.o.d"
+  "CMakeFiles/appstore_affinity.dir/strings.cpp.o"
+  "CMakeFiles/appstore_affinity.dir/strings.cpp.o.d"
+  "libappstore_affinity.a"
+  "libappstore_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_cache.dir/policy.cpp.o"
+  "CMakeFiles/appstore_cache.dir/policy.cpp.o.d"
+  "CMakeFiles/appstore_cache.dir/prefetch.cpp.o"
+  "CMakeFiles/appstore_cache.dir/prefetch.cpp.o.d"
+  "CMakeFiles/appstore_cache.dir/sim.cpp.o"
+  "CMakeFiles/appstore_cache.dir/sim.cpp.o.d"
+  "libappstore_cache.a"
+  "libappstore_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

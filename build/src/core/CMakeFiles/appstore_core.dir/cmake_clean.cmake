@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_core.dir/study.cpp.o"
+  "CMakeFiles/appstore_core.dir/study.cpp.o.d"
+  "libappstore_core.a"
+  "libappstore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

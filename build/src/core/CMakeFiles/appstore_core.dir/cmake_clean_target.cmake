@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libappstore_core.a"
+)

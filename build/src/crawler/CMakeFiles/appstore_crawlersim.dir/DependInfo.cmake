@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawler/apk.cpp" "src/crawler/CMakeFiles/appstore_crawlersim.dir/apk.cpp.o" "gcc" "src/crawler/CMakeFiles/appstore_crawlersim.dir/apk.cpp.o.d"
+  "/root/repo/src/crawler/crawler.cpp" "src/crawler/CMakeFiles/appstore_crawlersim.dir/crawler.cpp.o" "gcc" "src/crawler/CMakeFiles/appstore_crawlersim.dir/crawler.cpp.o.d"
+  "/root/repo/src/crawler/database.cpp" "src/crawler/CMakeFiles/appstore_crawlersim.dir/database.cpp.o" "gcc" "src/crawler/CMakeFiles/appstore_crawlersim.dir/database.cpp.o.d"
+  "/root/repo/src/crawler/db_io.cpp" "src/crawler/CMakeFiles/appstore_crawlersim.dir/db_io.cpp.o" "gcc" "src/crawler/CMakeFiles/appstore_crawlersim.dir/db_io.cpp.o.d"
+  "/root/repo/src/crawler/json.cpp" "src/crawler/CMakeFiles/appstore_crawlersim.dir/json.cpp.o" "gcc" "src/crawler/CMakeFiles/appstore_crawlersim.dir/json.cpp.o.d"
+  "/root/repo/src/crawler/service.cpp" "src/crawler/CMakeFiles/appstore_crawlersim.dir/service.cpp.o" "gcc" "src/crawler/CMakeFiles/appstore_crawlersim.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/appstore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/appstore_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_crawlersim.dir/apk.cpp.o"
+  "CMakeFiles/appstore_crawlersim.dir/apk.cpp.o.d"
+  "CMakeFiles/appstore_crawlersim.dir/crawler.cpp.o"
+  "CMakeFiles/appstore_crawlersim.dir/crawler.cpp.o.d"
+  "CMakeFiles/appstore_crawlersim.dir/database.cpp.o"
+  "CMakeFiles/appstore_crawlersim.dir/database.cpp.o.d"
+  "CMakeFiles/appstore_crawlersim.dir/db_io.cpp.o"
+  "CMakeFiles/appstore_crawlersim.dir/db_io.cpp.o.d"
+  "CMakeFiles/appstore_crawlersim.dir/json.cpp.o"
+  "CMakeFiles/appstore_crawlersim.dir/json.cpp.o.d"
+  "CMakeFiles/appstore_crawlersim.dir/service.cpp.o"
+  "CMakeFiles/appstore_crawlersim.dir/service.cpp.o.d"
+  "libappstore_crawlersim.a"
+  "libappstore_crawlersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_crawlersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

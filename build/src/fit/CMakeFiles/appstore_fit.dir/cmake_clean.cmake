@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_fit.dir/sweep.cpp.o"
+  "CMakeFiles/appstore_fit.dir/sweep.cpp.o.d"
+  "libappstore_fit.a"
+  "libappstore_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

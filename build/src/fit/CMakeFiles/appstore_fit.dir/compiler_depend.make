@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appstore_fit.
+# This may be replaced when dependencies are built.

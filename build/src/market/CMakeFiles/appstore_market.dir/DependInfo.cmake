@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/serialize.cpp" "src/market/CMakeFiles/appstore_market.dir/serialize.cpp.o" "gcc" "src/market/CMakeFiles/appstore_market.dir/serialize.cpp.o.d"
+  "/root/repo/src/market/snapshot.cpp" "src/market/CMakeFiles/appstore_market.dir/snapshot.cpp.o" "gcc" "src/market/CMakeFiles/appstore_market.dir/snapshot.cpp.o.d"
+  "/root/repo/src/market/store.cpp" "src/market/CMakeFiles/appstore_market.dir/store.cpp.o" "gcc" "src/market/CMakeFiles/appstore_market.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

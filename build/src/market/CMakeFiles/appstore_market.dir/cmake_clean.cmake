@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_market.dir/serialize.cpp.o"
+  "CMakeFiles/appstore_market.dir/serialize.cpp.o.d"
+  "CMakeFiles/appstore_market.dir/snapshot.cpp.o"
+  "CMakeFiles/appstore_market.dir/snapshot.cpp.o.d"
+  "CMakeFiles/appstore_market.dir/store.cpp.o"
+  "CMakeFiles/appstore_market.dir/store.cpp.o.d"
+  "libappstore_market.a"
+  "libappstore_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/app_clustering_model.cpp" "src/models/CMakeFiles/appstore_models.dir/app_clustering_model.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/app_clustering_model.cpp.o.d"
+  "/root/repo/src/models/model.cpp" "src/models/CMakeFiles/appstore_models.dir/model.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/model.cpp.o.d"
+  "/root/repo/src/models/params.cpp" "src/models/CMakeFiles/appstore_models.dir/params.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/params.cpp.o.d"
+  "/root/repo/src/models/stream.cpp" "src/models/CMakeFiles/appstore_models.dir/stream.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/stream.cpp.o.d"
+  "/root/repo/src/models/workload.cpp" "src/models/CMakeFiles/appstore_models.dir/workload.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/workload.cpp.o.d"
+  "/root/repo/src/models/zipf_amo_model.cpp" "src/models/CMakeFiles/appstore_models.dir/zipf_amo_model.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/zipf_amo_model.cpp.o.d"
+  "/root/repo/src/models/zipf_model.cpp" "src/models/CMakeFiles/appstore_models.dir/zipf_model.cpp.o" "gcc" "src/models/CMakeFiles/appstore_models.dir/zipf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

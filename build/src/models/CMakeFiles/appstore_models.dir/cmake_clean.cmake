@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_models.dir/app_clustering_model.cpp.o"
+  "CMakeFiles/appstore_models.dir/app_clustering_model.cpp.o.d"
+  "CMakeFiles/appstore_models.dir/model.cpp.o"
+  "CMakeFiles/appstore_models.dir/model.cpp.o.d"
+  "CMakeFiles/appstore_models.dir/params.cpp.o"
+  "CMakeFiles/appstore_models.dir/params.cpp.o.d"
+  "CMakeFiles/appstore_models.dir/stream.cpp.o"
+  "CMakeFiles/appstore_models.dir/stream.cpp.o.d"
+  "CMakeFiles/appstore_models.dir/workload.cpp.o"
+  "CMakeFiles/appstore_models.dir/workload.cpp.o.d"
+  "CMakeFiles/appstore_models.dir/zipf_amo_model.cpp.o"
+  "CMakeFiles/appstore_models.dir/zipf_amo_model.cpp.o.d"
+  "CMakeFiles/appstore_models.dir/zipf_model.cpp.o"
+  "CMakeFiles/appstore_models.dir/zipf_model.cpp.o.d"
+  "libappstore_models.a"
+  "libappstore_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_net.dir/http.cpp.o"
+  "CMakeFiles/appstore_net.dir/http.cpp.o.d"
+  "CMakeFiles/appstore_net.dir/proxy.cpp.o"
+  "CMakeFiles/appstore_net.dir/proxy.cpp.o.d"
+  "CMakeFiles/appstore_net.dir/rate_limiter.cpp.o"
+  "CMakeFiles/appstore_net.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/appstore_net.dir/server.cpp.o"
+  "CMakeFiles/appstore_net.dir/server.cpp.o.d"
+  "CMakeFiles/appstore_net.dir/socket.cpp.o"
+  "CMakeFiles/appstore_net.dir/socket.cpp.o.d"
+  "libappstore_net.a"
+  "libappstore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

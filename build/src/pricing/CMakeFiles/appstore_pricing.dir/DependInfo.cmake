@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/breakeven.cpp" "src/pricing/CMakeFiles/appstore_pricing.dir/breakeven.cpp.o" "gcc" "src/pricing/CMakeFiles/appstore_pricing.dir/breakeven.cpp.o.d"
+  "/root/repo/src/pricing/income.cpp" "src/pricing/CMakeFiles/appstore_pricing.dir/income.cpp.o" "gcc" "src/pricing/CMakeFiles/appstore_pricing.dir/income.cpp.o.d"
+  "/root/repo/src/pricing/strategies.cpp" "src/pricing/CMakeFiles/appstore_pricing.dir/strategies.cpp.o" "gcc" "src/pricing/CMakeFiles/appstore_pricing.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/appstore_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

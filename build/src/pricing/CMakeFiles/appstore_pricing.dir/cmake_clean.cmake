@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_pricing.dir/breakeven.cpp.o"
+  "CMakeFiles/appstore_pricing.dir/breakeven.cpp.o.d"
+  "CMakeFiles/appstore_pricing.dir/income.cpp.o"
+  "CMakeFiles/appstore_pricing.dir/income.cpp.o.d"
+  "CMakeFiles/appstore_pricing.dir/strategies.cpp.o"
+  "CMakeFiles/appstore_pricing.dir/strategies.cpp.o.d"
+  "libappstore_pricing.a"
+  "libappstore_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_recommend.dir/recommender.cpp.o"
+  "CMakeFiles/appstore_recommend.dir/recommender.cpp.o.d"
+  "libappstore_recommend.a"
+  "libappstore_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_report.dir/series.cpp.o"
+  "CMakeFiles/appstore_report.dir/series.cpp.o.d"
+  "CMakeFiles/appstore_report.dir/table.cpp.o"
+  "CMakeFiles/appstore_report.dir/table.cpp.o.d"
+  "libappstore_report.a"
+  "libappstore_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

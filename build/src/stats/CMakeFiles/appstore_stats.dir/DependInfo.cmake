@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/alias.cpp" "src/stats/CMakeFiles/appstore_stats.dir/alias.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/alias.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/appstore_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/appstore_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/appstore_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distance.cpp" "src/stats/CMakeFiles/appstore_stats.dir/distance.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/distance.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/appstore_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/appstore_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/mle.cpp" "src/stats/CMakeFiles/appstore_stats.dir/mle.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/mle.cpp.o.d"
+  "/root/repo/src/stats/pareto.cpp" "src/stats/CMakeFiles/appstore_stats.dir/pareto.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/pareto.cpp.o.d"
+  "/root/repo/src/stats/powerlaw.cpp" "src/stats/CMakeFiles/appstore_stats.dir/powerlaw.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/powerlaw.cpp.o.d"
+  "/root/repo/src/stats/zipf.cpp" "src/stats/CMakeFiles/appstore_stats.dir/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/appstore_stats.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_stats.dir/alias.cpp.o"
+  "CMakeFiles/appstore_stats.dir/alias.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/appstore_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/correlation.cpp.o"
+  "CMakeFiles/appstore_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/appstore_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/distance.cpp.o"
+  "CMakeFiles/appstore_stats.dir/distance.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/appstore_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/histogram.cpp.o"
+  "CMakeFiles/appstore_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/mle.cpp.o"
+  "CMakeFiles/appstore_stats.dir/mle.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/pareto.cpp.o"
+  "CMakeFiles/appstore_stats.dir/pareto.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/appstore_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/appstore_stats.dir/zipf.cpp.o"
+  "CMakeFiles/appstore_stats.dir/zipf.cpp.o.d"
+  "libappstore_stats.a"
+  "libappstore_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_synth.dir/generator.cpp.o"
+  "CMakeFiles/appstore_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/appstore_synth.dir/profile.cpp.o"
+  "CMakeFiles/appstore_synth.dir/profile.cpp.o.d"
+  "libappstore_synth.a"
+  "libappstore_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

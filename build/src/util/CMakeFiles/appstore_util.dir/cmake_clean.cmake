@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_util.dir/cli.cpp.o"
+  "CMakeFiles/appstore_util.dir/cli.cpp.o.d"
+  "CMakeFiles/appstore_util.dir/csv.cpp.o"
+  "CMakeFiles/appstore_util.dir/csv.cpp.o.d"
+  "CMakeFiles/appstore_util.dir/format.cpp.o"
+  "CMakeFiles/appstore_util.dir/format.cpp.o.d"
+  "CMakeFiles/appstore_util.dir/logging.cpp.o"
+  "CMakeFiles/appstore_util.dir/logging.cpp.o.d"
+  "CMakeFiles/appstore_util.dir/rng.cpp.o"
+  "CMakeFiles/appstore_util.dir/rng.cpp.o.d"
+  "CMakeFiles/appstore_util.dir/strings.cpp.o"
+  "CMakeFiles/appstore_util.dir/strings.cpp.o.d"
+  "libappstore_util.a"
+  "libappstore_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

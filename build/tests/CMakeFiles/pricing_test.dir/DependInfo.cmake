@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pricing_test.cpp" "tests/CMakeFiles/pricing_test.dir/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/pricing_test.dir/pricing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pricing/CMakeFiles/appstore_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appstore_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/appstore_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/appstore_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appstore_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
