@@ -10,6 +10,8 @@
 #include "models/zipf_amo_model.hpp"
 #include "models/zipf_model.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
 #include "stats/zipf.hpp"
 
 namespace {
@@ -115,6 +117,42 @@ void BM_HttpRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HttpRoundTrip);
+
+// Same round-trip with the metrics registry attached: the delta against
+// BM_HttpRoundTrip is the full per-request instrumentation cost (acceptance
+// bound: <= 5% of the uninstrumented round-trip).
+void BM_HttpRoundTripInstrumented(benchmark::State& state) {
+  obs::Registry registry;
+  net::HttpServer server(net::ServerOptions{.metrics = &registry},
+                         [](const net::HttpRequest&) {
+                           return net::HttpResponse::text(200, "pong");
+                         });
+  net::HttpClient client("127.0.0.1", server.port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("/ping"));
+  }
+}
+BENCHMARK(BM_HttpRoundTripInstrumented);
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram histogram;
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram.observe(value);
+    value = value < 1.0 ? value * 1.0001 : 1e-6;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramObserve);
 
 }  // namespace
 

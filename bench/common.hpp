@@ -10,6 +10,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"
 #include "synth/generator.hpp"
@@ -36,7 +38,9 @@ class BenchCli {
         dl_scale_(cli_.f64("dl-scale", default_dl_scale,
                            "fraction of paper-scale download totals")),
         comments_(cli_.flag("comments", "generate comment streams")),
-        verbose_(cli_.flag("verbose", "info-level logging")) {}
+        verbose_(cli_.flag("verbose", "info-level logging")),
+        metrics_out_(cli_.str("metrics-out", "",
+                              "write the bench's metrics registry as JSON to this file")) {}
 
   void parse(int argc, const char* const* argv) {
     cli_.parse(argc, argv);
@@ -55,6 +59,17 @@ class BenchCli {
   [[nodiscard]] std::uint64_t seed() const noexcept { return *seed_; }
   [[nodiscard]] util::Cli& raw() noexcept { return cli_; }
 
+  /// Registry instrumented code should record into; pass `&metrics()` down to
+  /// the layers the bench exercises.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+
+  /// Writes the registry as JSON to --metrics-out (no-op when the flag is
+  /// unset). Call once at the end of main so BENCH_*.json trajectories can
+  /// track counters, not just wall time.
+  void dump_metrics() const {
+    if (!metrics_out_->empty()) obs::write_json_file(metrics_, *metrics_out_);
+  }
+
  private:
   util::Cli cli_;
   std::shared_ptr<std::uint64_t> seed_;
@@ -62,6 +77,8 @@ class BenchCli {
   std::shared_ptr<double> dl_scale_;
   std::shared_ptr<bool> comments_;
   std::shared_ptr<bool> verbose_;
+  std::shared_ptr<std::string> metrics_out_;
+  obs::Registry metrics_;
 };
 
 inline void print_heading(std::string_view experiment, std::string_view paper_claim) {

@@ -27,6 +27,7 @@ bool LruCache::access(std::uint32_t app) {
   if (index_.size() >= capacity_) {
     index_.erase(order_.back());
     order_.pop_back();
+    ++evictions_;
   }
   order_.push_front(app);
   index_.emplace(app, order_.begin());
@@ -45,6 +46,7 @@ bool FifoCache::access(std::uint32_t app) {
   if (index_.size() >= capacity_) {
     index_.erase(order_.back());
     order_.pop_back();
+    ++evictions_;
   }
   order_.push_front(app);
   index_.emplace(app, order_.begin());
@@ -83,6 +85,7 @@ void LfuCache::evict() {
     if (less_frequent || tie_older) victim = it;
   }
   entries_.erase(victim);
+  ++evictions_;
 }
 
 // ---- RANDOM ------------------------------------------------------------------
@@ -99,6 +102,7 @@ bool RandomCache::access(std::uint32_t app) {
   if (slots_.size() >= capacity_) {
     const std::size_t victim_slot = static_cast<std::size_t>(rng_.below(slots_.size()));
     index_.erase(slots_[victim_slot]);
+    ++evictions_;
     slots_[victim_slot] = app;
     index_.emplace(app, victim_slot);
     return false;
@@ -160,6 +164,7 @@ void ClusterLruCache::evict() {
     index_.erase(state.order.back());
     state.order.pop_back();
     --size_;
+    ++evictions_;
     return;
   }
 }

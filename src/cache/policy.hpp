@@ -39,6 +39,12 @@ class CachePolicy {
   virtual void warm(std::span<const std::uint32_t> apps);
 
   [[nodiscard]] virtual bool contains(std::uint32_t app) const = 0;
+
+  /// Total victims evicted to make room (admissions past capacity).
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ protected:
+  std::uint64_t evictions_ = 0;  ///< implementations bump this per victim
 };
 
 /// Least-recently-used: classic list + hash index, O(1) per access.

@@ -5,16 +5,28 @@
 namespace appstore::cache {
 
 SimResult simulate(CachePolicy& policy, std::span<const models::Request> requests,
-                   std::size_t warm_top_n) {
-  if (warm_top_n > 0) {
-    std::vector<std::uint32_t> top(warm_top_n);
+                   const SimOptions& options) {
+  if (options.warm_top_n > 0) {
+    std::vector<std::uint32_t> top(options.warm_top_n);
     std::iota(top.begin(), top.end(), 0U);
     policy.warm(top);
   }
+  const std::uint64_t evictions_before = policy.evictions();
   SimResult result;
   for (const auto& request : requests) {
     ++result.requests;
     if (policy.access(request.app)) ++result.hits;
+  }
+  result.evictions = policy.evictions() - evictions_before;
+
+  if (options.metrics != nullptr) {
+    obs::Registry& registry = *options.metrics;
+    const std::string_view label = policy.name();
+    registry.counter("cache_requests_total", label).inc(result.requests);
+    registry.counter("cache_hits_total", label).inc(result.hits);
+    registry.counter("cache_misses_total", label).inc(result.requests - result.hits);
+    registry.counter("cache_evictions_total", label).inc(result.evictions);
+    registry.gauge("cache_hit_ratio", label).set(result.hit_ratio());
   }
   return result;
 }
@@ -22,12 +34,13 @@ SimResult simulate(CachePolicy& policy, std::span<const models::Request> request
 std::vector<SweepPoint> sweep_cache_sizes(PolicyKind kind, std::span<const std::size_t> sizes,
                                           std::span<const models::Request> requests,
                                           std::vector<std::uint32_t> app_category,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed, obs::Registry* metrics) {
   std::vector<SweepPoint> points;
   points.reserve(sizes.size());
   for (const auto size : sizes) {
     const auto policy = make_policy(kind, size, app_category, seed);
-    const SimResult result = simulate(*policy, requests, size);
+    const SimResult result =
+        simulate(*policy, requests, SimOptions{.warm_top_n = size, .metrics = metrics});
     points.push_back(SweepPoint{size, result.hit_ratio()});
   }
   return points;

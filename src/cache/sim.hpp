@@ -3,29 +3,47 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "cache/policy.hpp"
 #include "models/stream.hpp"
+#include "obs/registry.hpp"
 
 namespace appstore::cache {
 
 struct SimResult {
   std::uint64_t requests = 0;
   std::uint64_t hits = 0;
+  std::uint64_t evictions = 0;
 
   [[nodiscard]] double hit_ratio() const noexcept {
     return requests == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(requests);
   }
 };
 
-/// Runs every request through the policy. If `warm_top_n > 0`, the cache is
-/// pre-populated with apps 0..warm_top_n-1 (the globally most popular apps,
-/// as in the paper's setup: "the cache was initialized with the respective
-/// number of most popular apps").
+/// Options for simulate() (the Options-struct API).
+struct SimOptions {
+  /// If > 0, the cache is pre-populated with apps 0..warm_top_n-1 (the
+  /// globally most popular apps, as in the paper's setup: "the cache was
+  /// initialized with the respective number of most popular apps").
+  std::size_t warm_top_n = 0;
+  /// Optional metrics sink: records cache_requests_total / cache_hits_total
+  /// / cache_misses_total / cache_evictions_total, labeled by policy name.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Runs every request through the policy.
 [[nodiscard]] SimResult simulate(CachePolicy& policy,
                                  std::span<const models::Request> requests,
-                                 std::size_t warm_top_n = 0);
+                                 const SimOptions& options);
+
+/// Deprecated positional form; forwards to the SimOptions overload.
+[[nodiscard]] inline SimResult simulate(CachePolicy& policy,
+                                        std::span<const models::Request> requests,
+                                        std::size_t warm_top_n = 0) {
+  return simulate(policy, requests, SimOptions{.warm_top_n = warm_top_n});
+}
 
 /// Hit ratio of one policy kind at several cache sizes over the same stream.
 struct SweepPoint {
@@ -36,6 +54,6 @@ struct SweepPoint {
 [[nodiscard]] std::vector<SweepPoint> sweep_cache_sizes(
     PolicyKind kind, std::span<const std::size_t> sizes,
     std::span<const models::Request> requests, std::vector<std::uint32_t> app_category = {},
-    std::uint64_t seed = 0);
+    std::uint64_t seed = 0, obs::Registry* metrics = nullptr);
 
 }  // namespace appstore::cache

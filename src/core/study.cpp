@@ -86,7 +86,7 @@ market::DatasetSummary EcosystemStudy::dataset_summary() const {
 }
 
 CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::PolicyKind policy,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, obs::Registry* metrics) {
   // §7 setup: 60,000 apps in 30 categories, 600,000 users, 2M downloads,
   // zr = 1.7, zc = 1.4, p = 0.9; cache sizes 1%..20% of apps.
   models::ModelParams params;
@@ -100,7 +100,7 @@ CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::Policy
 
   const auto model = models::make_model(kind, params);
   util::Rng rng(seed);
-  const auto stream = models::generate_stream(*model, rng);
+  const auto stream = models::generate_stream(*model, rng, models::StreamOptions{.metrics = metrics});
 
   std::vector<std::uint32_t> app_category(params.app_count);
   for (std::uint32_t a = 0; a < params.app_count; ++a) {
@@ -116,7 +116,7 @@ CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::Policy
 
   CacheStudyResult result;
   result.model = kind;
-  result.points = cache::sweep_cache_sizes(policy, sizes, stream, app_category, seed);
+  result.points = cache::sweep_cache_sizes(policy, sizes, stream, app_category, seed, metrics);
   return result;
 }
 

@@ -87,7 +87,10 @@ struct CacheStudyResult {
   std::vector<cache::SweepPoint> points;
 };
 
+/// `metrics`, when set, receives the model-layer draw counters and the
+/// per-policy cache hit/miss/eviction families for the whole sweep.
 [[nodiscard]] CacheStudyResult cache_study(models::ModelKind kind, double scale,
-                                           cache::PolicyKind policy, std::uint64_t seed);
+                                           cache::PolicyKind policy, std::uint64_t seed,
+                                           obs::Registry* metrics = nullptr);
 
 }  // namespace appstore::core

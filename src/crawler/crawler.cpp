@@ -5,6 +5,7 @@
 
 #include "crawler/apk.hpp"
 #include "crawler/json.hpp"
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"
 
@@ -14,25 +15,47 @@ namespace {
 constexpr std::string_view kComponent = "crawler";
 }
 
-Crawler::Crawler(CrawlerConfig config, CrawlDatabase& database)
-    : config_(std::move(config)),
+Crawler::Crawler(CrawlerOptions options, CrawlDatabase& database)
+    : options_(std::move(options)),
       database_(database),
-      proxies_(config_.proxy_count, config_.proxy_regions),
-      rng_(config_.seed) {
+      proxies_(options_.proxy_count, options_.proxy_regions),
+      rng_(options_.seed) {
   clients_.resize(proxies_.size());
+  if (options_.metrics != nullptr) {
+    obs::Registry& registry = *options_.metrics;
+    registry.describe("crawler_requests_total", "HTTP exchanges completed (incl. retries)");
+    registry.describe("crawler_retries_total", "Fetch attempts beyond the first");
+    registry.describe("crawler_pages_total", "Directory pages enumerated");
+    registry.describe("crawler_apps_observed_total", "App statistics pages recorded");
+    registry.describe("crawler_apk_bytes_total", "Bytes of APK payload downloaded");
+    registry.describe("crawler_responses_total", "Non-200 responses by cause");
+    registry.describe("crawler_fetch_seconds", "Wall time of one fetch (incl. retries)");
+    metrics_.requests = &registry.counter("crawler_requests_total");
+    metrics_.retries = &registry.counter("crawler_retries_total");
+    metrics_.pages = &registry.counter("crawler_pages_total");
+    metrics_.apps = &registry.counter("crawler_apps_observed_total");
+    metrics_.apk_bytes = &registry.counter("crawler_apk_bytes_total");
+    metrics_.by_status[0] = &registry.counter("crawler_responses_total", "429");
+    metrics_.by_status[1] = &registry.counter("crawler_responses_total", "403");
+    metrics_.by_status[2] = &registry.counter("crawler_responses_total", "5xx");
+    metrics_.by_status[3] = &registry.counter("crawler_responses_total", "404");
+    metrics_.fetch_seconds = &registry.histogram("crawler_fetch_seconds");
+  }
 }
 
 net::PersistentHttpClient& Crawler::client_for(std::size_t proxy_index) {
   auto& client = clients_.at(proxy_index);
   if (!client) {
-    client = std::make_unique<net::PersistentHttpClient>(config_.host, config_.port);
+    client = std::make_unique<net::PersistentHttpClient>(options_.host, options_.port);
   }
   return *client;
 }
 
 std::optional<std::string> Crawler::fetch(const std::string& target, CrawlStats& stats) {
-  auto backoff = config_.rate_limit_backoff;
-  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+  const obs::ScopedTimer timer(metrics_.fetch_seconds);
+  auto backoff = options_.rate_limit_backoff;
+  for (std::uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0 && metrics_.retries != nullptr) metrics_.retries->inc();
     const auto proxy_index = proxies_.pick(rng_);
     if (!proxy_index.has_value()) {
       util::log_warn(kComponent, "no healthy proxies left");
@@ -45,36 +68,43 @@ std::optional<std::string> Crawler::fetch(const std::string& target, CrawlStats&
       const net::HttpResponse response =
           client_for(*proxy_index).get(target, std::move(headers));
       ++stats.requests;
+      if (metrics_.requests != nullptr) metrics_.requests->inc();
 
       if (response.status == 200) {
         proxies_.report_success(*proxy_index);
         return response.body;
       }
       if (response.status == 404) {
+        if (metrics_.by_status[3] != nullptr) metrics_.by_status[3]->inc();
         proxies_.report_success(*proxy_index);
         return std::nullopt;  // not an infrastructure problem
       }
       if (response.status == 429) {
         ++stats.rate_limited;
+        if (metrics_.by_status[0] != nullptr) metrics_.by_status[0]->inc();
         // The proxy identity is saturated: wait for its token bucket to
         // refill, then retry (usually through a different proxy). Not a
         // proxy failure — no quarantine.
         std::this_thread::sleep_for(backoff);
-        backoff = std::min(backoff * 2, config_.rate_limit_backoff * 16);
+        backoff = std::min(backoff * 2, options_.rate_limit_backoff * 16);
         continue;
       }
       if (response.status == 403) {
         ++stats.region_blocked;
+        if (metrics_.by_status[1] != nullptr) metrics_.by_status[1]->inc();
         // Wrong region for this store: quarantine so the pool converges on
         // usable (e.g. Chinese) proxies, as the paper's setup did.
         proxies_.report_failure(*proxy_index, 1);
         continue;
       }
       ++stats.transient_failures;
+      if (metrics_.by_status[2] != nullptr) metrics_.by_status[2]->inc();
       proxies_.report_failure(*proxy_index);
     } catch (const std::exception& error) {
       ++stats.requests;
       ++stats.transient_failures;
+      if (metrics_.requests != nullptr) metrics_.requests->inc();
+      if (metrics_.by_status[2] != nullptr) metrics_.by_status[2]->inc();
       proxies_.report_failure(*proxy_index);
       util::log_debug(kComponent, "transport error via {}: {}", proxy.id, error.what());
     }
@@ -83,30 +113,36 @@ std::optional<std::string> Crawler::fetch(const std::string& target, CrawlStats&
 }
 
 CrawlStats Crawler::crawl_day(market::Day day) {
+  const obs::TraceSpan day_span(options_.metrics, "crawl_day");
   CrawlStats stats;
 
   // 1. Enumerate the directory.
   std::vector<std::uint32_t> ids;
-  std::uint64_t page = 0;
-  for (;;) {
-    const auto body = fetch(
-        util::format("/api/apps?page={}&per_page={}", page, config_.per_page), stats);
-    if (!body.has_value()) {
-      if (page == 0) throw std::runtime_error("crawl_day: cannot enumerate directory");
-      break;
+  {
+    const obs::TraceSpan directory_span(options_.metrics, "directory");
+    std::uint64_t page = 0;
+    for (;;) {
+      const auto body = fetch(
+          util::format("/api/apps?page={}&per_page={}", page, options_.per_page), stats);
+      if (!body.has_value()) {
+        if (page == 0) throw std::runtime_error("crawl_day: cannot enumerate directory");
+        break;
+      }
+      if (metrics_.pages != nullptr) metrics_.pages->inc();
+      const auto parsed = parse_json(*body);
+      if (!parsed.has_value()) throw std::runtime_error("crawl_day: bad directory JSON");
+      const auto& id_array = parsed->at("ids").as_array();
+      for (const auto& id : id_array) {
+        ids.push_back(static_cast<std::uint32_t>(id.as_u64()));
+      }
+      const std::uint64_t total = parsed->at("total").as_u64();
+      ++page;
+      if (page * options_.per_page >= total || id_array.empty()) break;
     }
-    const auto parsed = parse_json(*body);
-    if (!parsed.has_value()) throw std::runtime_error("crawl_day: bad directory JSON");
-    const auto& id_array = parsed->at("ids").as_array();
-    for (const auto& id : id_array) {
-      ids.push_back(static_cast<std::uint32_t>(id.as_u64()));
-    }
-    const std::uint64_t total = parsed->at("total").as_u64();
-    ++page;
-    if (page * config_.per_page >= total || id_array.empty()) break;
   }
 
   // 2. Fetch per-app statistics.
+  const obs::TraceSpan apps_span(options_.metrics, "apps");
   for (const auto id : ids) {
     const auto body = fetch(util::format("/api/app/{}", id), stats);
     if (!body.has_value()) continue;
@@ -128,12 +164,14 @@ CrawlStats Crawler::crawl_day(market::Day day) {
 
     database_.record(metadata, day, observation);
     ++stats.apps_observed;
+    if (metrics_.apps != nullptr) metrics_.apps->inc();
 
     // APKs: fetched at most once per (app, version) across all crawl days —
     // the paper's "we download each app version only once".
-    if (config_.fetch_apks && !database_.apk_scanned(id, observation.version)) {
+    if (options_.fetch_apks && !database_.apk_scanned(id, observation.version)) {
       const auto apk = fetch(util::format("/api/app/{}/apk", id), stats);
       if (apk.has_value()) {
+        if (metrics_.apk_bytes != nullptr) metrics_.apk_bytes->inc(apk->size());
         const auto scan = scan_apk(*apk);
         if (scan.has_value()) {
           database_.record_apk_scan(id, scan->header.version, scan->has_ads());
@@ -142,7 +180,7 @@ CrawlStats Crawler::crawl_day(market::Day day) {
       }
     }
 
-    if (config_.fetch_comments) {
+    if (options_.fetch_comments) {
       std::uint64_t comment_page = 0;
       for (;;) {
         const auto comments_body =

@@ -16,11 +16,14 @@
 #include "crawler/database.hpp"
 #include "net/proxy.hpp"
 #include "net/server.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace appstore::crawlersim {
 
-struct CrawlerConfig {
+/// Aggregate construction options for Crawler (the Options-struct API: new
+/// knobs land here without touching the constructor signature).
+struct CrawlerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   /// Proxies to rotate over; Chinese stores need kChina proxies available.
@@ -41,7 +44,13 @@ struct CrawlerConfig {
   /// Also fetch and scan APKs — once per (app, version), as in the paper's
   /// pipeline. Feeds the §6.3 ad-library analysis.
   bool fetch_apks = false;
+  /// Optional metrics sink (crawler_* families, trace spans; see
+  /// docs/observability.md). Must outlive the crawler.
+  obs::Registry* metrics = nullptr;
 };
+
+/// Deprecated name for CrawlerOptions (pre-Options-struct API).
+using CrawlerConfig = CrawlerOptions;
 
 struct CrawlStats {
   std::uint64_t requests = 0;
@@ -55,7 +64,7 @@ struct CrawlStats {
 
 class Crawler {
  public:
-  Crawler(CrawlerConfig config, CrawlDatabase& database);
+  Crawler(CrawlerOptions options, CrawlDatabase& database);
 
   /// Crawls the store once for `day` (the service must be set to that day).
   /// Returns per-day statistics; throws std::runtime_error if the directory
@@ -66,6 +75,17 @@ class Crawler {
   [[nodiscard]] const CrawlStats& totals() const noexcept { return totals_; }
 
  private:
+  /// Lock-free handles into options_.metrics; all nullptr when disabled.
+  struct Metrics {
+    obs::Counter* requests = nullptr;        ///< crawler_requests_total
+    obs::Counter* retries = nullptr;         ///< crawler_retries_total
+    obs::Counter* pages = nullptr;           ///< crawler_pages_total (directory pages)
+    obs::Counter* apps = nullptr;            ///< crawler_apps_observed_total
+    obs::Counter* apk_bytes = nullptr;       ///< crawler_apk_bytes_total
+    obs::Counter* by_status[4] = {};         ///< crawler_responses_total{429,403,5xx,404}
+    obs::Histogram* fetch_seconds = nullptr; ///< crawler_fetch_seconds
+  };
+
   /// One GET with proxy rotation and bounded retries. Returns the body on
   /// HTTP 200, nullopt when attempts are exhausted or the target 404s.
   [[nodiscard]] std::optional<std::string> fetch(const std::string& target,
@@ -75,11 +95,12 @@ class Crawler {
   /// similarly kept sessions per PlanetLab node); lazily opened.
   [[nodiscard]] net::PersistentHttpClient& client_for(std::size_t proxy_index);
 
-  CrawlerConfig config_;
+  CrawlerOptions options_;
   CrawlDatabase& database_;
   net::ProxyPool proxies_;
   util::Rng rng_;
   CrawlStats totals_;
+  Metrics metrics_;
   std::vector<std::unique_ptr<net::PersistentHttpClient>> clients_;
 };
 

@@ -4,6 +4,8 @@
 
 #include "crawler/apk.hpp"
 #include "crawler/json.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
 
@@ -25,12 +27,50 @@ constexpr std::size_t kMaxPerPage = 500;
 
 }  // namespace
 
+std::string_view to_string(AppstoreService::Endpoint endpoint) noexcept {
+  switch (endpoint) {
+    case AppstoreService::Endpoint::kMeta: return "meta";
+    case AppstoreService::Endpoint::kApps: return "apps";
+    case AppstoreService::Endpoint::kApp: return "app";
+    case AppstoreService::Endpoint::kComments: return "comments";
+    case AppstoreService::Endpoint::kApk: return "apk";
+    case AppstoreService::Endpoint::kMetrics: return "metrics";
+    case AppstoreService::Endpoint::kOther: return "other";
+  }
+  return "?";
+}
+
+AppstoreService::Endpoint AppstoreService::classify(std::string_view path) noexcept {
+  if (path == "/api/meta") return Endpoint::kMeta;
+  if (path == "/api/apps") return Endpoint::kApps;
+  if (path == "/api/metrics") return Endpoint::kMetrics;
+  if (path.starts_with("/api/app/")) {
+    if (path.ends_with("/comments")) return Endpoint::kComments;
+    if (path.ends_with("/apk")) return Endpoint::kApk;
+    return Endpoint::kApp;
+  }
+  return Endpoint::kOther;
+}
+
 AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy policy,
                                  std::uint16_t port, net::TokenBucketLimiter::Clock clock)
     : store_(store),
       policy_(policy),
       limiter_(policy.rate_per_second, policy.burst, std::move(clock)),
       failure_state_(policy.failure_seed) {
+  registry_.describe("service_requests_total", "Requests by endpoint class");
+  registry_.describe("service_request_seconds", "Handler latency by endpoint class");
+  registry_.describe("service_injected_failures_total", "Injected 500 responses");
+  registry_.describe("service_region_blocked_total", "403 responses (region gating)");
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    const std::string_view label = to_string(static_cast<Endpoint>(i));
+    endpoint_requests_[i] = &registry_.counter("service_requests_total", label);
+    endpoint_latency_[i] = &registry_.histogram("service_request_seconds", label);
+  }
+  injected_failures_ = &registry_.counter("service_injected_failures_total");
+  region_blocked_ = &registry_.counter("service_region_blocked_total");
+  limiter_.attach_metrics(registry_);
+
   download_days_.resize(store_.apps().size());
   for (const auto& event : store_.download_events()) {
     download_days_[event.app.index()].push_back(event.day);
@@ -43,8 +83,11 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
     comment_index_[comments[i].app.index()].push_back(i);
   }
 
+  net::ServerOptions server_options;
+  server_options.port = port;
+  server_options.metrics = &registry_;
   server_ = std::make_unique<net::HttpServer>(
-      port, [this](const net::HttpRequest& request) { return handle(request); });
+      server_options, [this](const net::HttpRequest& request) { return handle(request); });
 }
 
 std::uint64_t AppstoreService::downloads_up_to(std::uint32_t app, market::Day day) const {
@@ -60,9 +103,21 @@ std::uint32_t AppstoreService::version_up_to(std::uint32_t app, market::Day day)
 }
 
 net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
+  const std::string path = request.path();
+  const Endpoint endpoint = classify(path);
+  const auto slot = static_cast<std::size_t>(endpoint);
+  endpoint_requests_[slot]->inc();
+  const obs::ScopedTimer timer(endpoint_latency_[slot]);
+
+  // The metrics endpoint is operational, not part of the simulated store:
+  // it bypasses region gating, rate limiting and failure injection so a
+  // scrape can never be throttled by (or perturb) the workload under study.
+  if (endpoint == Endpoint::kMetrics) return handle_metrics(request);
+
   const std::string client = client_of(request);
 
   if (policy_.china_only && !is_china_client(client)) {
+    region_blocked_->inc();
     return net::HttpResponse::text(403, "region blocked");
   }
   if (!limiter_.allow(client)) {
@@ -73,21 +128,21 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
     std::uint64_t state = failure_state_.fetch_add(1, std::memory_order_relaxed);
     util::Rng rng(util::splitmix64(state));
     if (rng.chance(policy_.failure_rate)) {
+      injected_failures_->inc();
       return net::HttpResponse::text(500, "transient failure (injected)");
     }
   }
 
   if (request.method != "GET") return net::HttpResponse::text(400, "only GET supported");
 
-  const std::string path = request.path();
-  if (path == "/api/meta") return handle_meta();
-  if (path == "/api/apps") return handle_apps(request);
+  if (endpoint == Endpoint::kMeta) return handle_meta();
+  if (endpoint == Endpoint::kApps) return handle_apps(request);
 
   constexpr std::string_view kAppPrefix = "/api/app/";
   if (path.starts_with(kAppPrefix)) {
     std::string_view rest = std::string_view(path).substr(kAppPrefix.size());
-    const bool comments = rest.ends_with("/comments");
-    const bool apk = rest.ends_with("/apk");
+    const bool comments = endpoint == Endpoint::kComments;
+    const bool apk = endpoint == Endpoint::kApk;
     if (comments) rest.remove_suffix(std::string_view("/comments").size());
     if (apk) rest.remove_suffix(std::string_view("/apk").size());
     std::uint64_t id = 0;
@@ -99,6 +154,15 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
     return handle_app(static_cast<std::uint32_t>(id));
   }
   return net::HttpResponse::text(404, "no such endpoint");
+}
+
+net::HttpResponse AppstoreService::handle_metrics(const net::HttpRequest& request) const {
+  const auto query = request.query();
+  const auto it = query.find("fmt");
+  if (it != query.end() && it->second == "text") {
+    return net::HttpResponse::text(200, obs::to_text(registry_));
+  }
+  return net::HttpResponse::json(200, obs::to_json(registry_));
 }
 
 net::HttpResponse AppstoreService::handle_meta() const {

@@ -22,6 +22,15 @@
 //   /api/app/<id>/comments?page=P    -> {total, comments:[...]}
 //   /api/app/<id>/apk                 -> the current version's APK blob
 //                                        (synthetic; see crawler/apk.hpp)
+//   /api/metrics[?fmt=text]          -> observability snapshot (JSON by
+//                                        default; exempt from rate limiting
+//                                        and region gating)
+//
+// Every instance owns an obs::Registry populated with per-endpoint request
+// and latency families (service_requests_total{endpoint},
+// service_request_seconds{endpoint}), policy counters
+// (service_injected_failures_total, service_region_blocked_total,
+// rate_limiter_*_total), and the underlying HttpServer's http_* families.
 #pragma once
 
 #include <atomic>
@@ -33,6 +42,7 @@
 #include "net/proxy.hpp"
 #include "net/rate_limiter.hpp"
 #include "net/server.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace appstore::crawlersim {
@@ -47,6 +57,18 @@ struct ServicePolicy {
 
 class AppstoreService {
  public:
+  /// Endpoint classes used as metric labels (docs/observability.md).
+  enum class Endpoint : std::uint8_t {
+    kMeta = 0,
+    kApps,
+    kApp,
+    kComments,
+    kApk,
+    kMetrics,
+    kOther,
+  };
+  static constexpr std::size_t kEndpointCount = 7;
+
   /// Starts serving `store` on 127.0.0.1:`port` (0 = ephemeral). The store
   /// must outlive the service and is not mutated.
   AppstoreService(const market::AppStore& store, ServicePolicy policy,
@@ -57,6 +79,10 @@ class AppstoreService {
     return server_->requests_served();
   }
 
+  /// The service's metrics registry (also served at /api/metrics).
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return registry_; }
+  [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
+
   /// Advances the virtual crawl day (thread-safe).
   void set_day(market::Day day) noexcept { day_.store(day, std::memory_order_relaxed); }
   [[nodiscard]] market::Day day() const noexcept {
@@ -66,6 +92,8 @@ class AppstoreService {
   void stop() { server_->stop(); }
 
  private:
+  [[nodiscard]] static Endpoint classify(std::string_view path) noexcept;
+
   [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
   [[nodiscard]] net::HttpResponse handle_meta() const;
   [[nodiscard]] net::HttpResponse handle_apps(const net::HttpRequest& request) const;
@@ -73,6 +101,7 @@ class AppstoreService {
   [[nodiscard]] net::HttpResponse handle_comments(std::uint32_t id,
                                                   const net::HttpRequest& request) const;
   [[nodiscard]] net::HttpResponse handle_apk(std::uint32_t id) const;
+  [[nodiscard]] net::HttpResponse handle_metrics(const net::HttpRequest& request) const;
 
   /// Cumulative downloads of an app up to the current day (binary search
   /// over the app's sorted event-day list).
@@ -82,8 +111,15 @@ class AppstoreService {
   const market::AppStore& store_;
   ServicePolicy policy_;
   std::atomic<market::Day> day_{0};
+  obs::Registry registry_;
   net::TokenBucketLimiter limiter_;
   std::atomic<std::uint64_t> failure_state_;
+
+  /// Lock-free per-endpoint handles into registry_, resolved at construction.
+  obs::Counter* endpoint_requests_[kEndpointCount] = {};
+  obs::Histogram* endpoint_latency_[kEndpointCount] = {};
+  obs::Counter* injected_failures_ = nullptr;
+  obs::Counter* region_blocked_ = nullptr;
 
   /// Per-app sorted download-event days (built once at construction).
   std::vector<std::vector<market::Day>> download_days_;
@@ -92,5 +128,8 @@ class AppstoreService {
 
   std::unique_ptr<net::HttpServer> server_;
 };
+
+/// Metric label for an endpoint class ("meta", "apps", ...).
+[[nodiscard]] std::string_view to_string(AppstoreService::Endpoint endpoint) noexcept;
 
 }  // namespace appstore::crawlersim

@@ -34,6 +34,7 @@ class AppClusteringModel final : public DownloadModel {
   AppClusteringModel(ModelParams params, ClusterLayout layout);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "APP-CLUSTERING"; }
+  [[nodiscard]] ModelKind kind() const noexcept override { return ModelKind::kAppClustering; }
   [[nodiscard]] const ModelParams& params() const noexcept override { return params_; }
   [[nodiscard]] const ClusterLayout& layout() const noexcept { return layout_; }
 

@@ -36,6 +36,12 @@ std::uint64_t DownloadModel::realized_downloads(double d, std::uint64_t cap,
   return std::min(count, cap);
 }
 
+std::span<const ModelKind> all_model_kinds() noexcept {
+  static constexpr ModelKind kKinds[] = {ModelKind::kZipf, ModelKind::kZipfAtMostOnce,
+                                         ModelKind::kAppClustering};
+  return kKinds;
+}
+
 std::string_view to_string(ModelKind kind) noexcept {
   switch (kind) {
     case ModelKind::kZipf: return "ZIPF";

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -33,11 +34,17 @@ class Session {
   [[nodiscard]] virtual bool exhausted() const noexcept = 0;
 };
 
+enum class ModelKind : std::uint8_t { kZipf, kZipfAtMostOnce, kAppClustering };
+
 class DownloadModel {
  public:
   virtual ~DownloadModel() = default;
 
+  /// Display/metric-label name ("ZIPF", "ZIPF-at-most-once", "APP-CLUSTERING");
+  /// always equal to to_string(kind()), so callers can label series without
+  /// per-type switch statements.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual ModelKind kind() const noexcept = 0;
   [[nodiscard]] virtual const ModelParams& params() const noexcept = 0;
 
   /// Simulates all users; records per-user sequences when requested.
@@ -57,9 +64,16 @@ class DownloadModel {
                                                         util::Rng& rng) noexcept;
 };
 
-enum class ModelKind : std::uint8_t { kZipf, kZipfAtMostOnce, kAppClustering };
+/// Uniform alias: every §5 generator is reachable through this interface
+/// (make_model + kind()/name()), so benches and metric families never need
+/// per-type switch statements.
+using Model = DownloadModel;
 
 [[nodiscard]] std::string_view to_string(ModelKind kind) noexcept;
+
+/// All three §5 model kinds, in paper order — for benches that sweep every
+/// model uniformly.
+[[nodiscard]] std::span<const ModelKind> all_model_kinds() noexcept;
 
 /// Factory. APP-CLUSTERING uses a round-robin layout built from
 /// params.cluster_count; the dedicated constructor accepts custom layouts.

@@ -1,16 +1,24 @@
 #include "models/stream.hpp"
 
+#include <chrono>
 #include <limits>
 #include <memory>
 
 namespace appstore::models {
 
 std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng) {
-  return generate_stream(model, rng, std::numeric_limits<std::uint64_t>::max());
+  return generate_stream(model, rng, StreamOptions{});
 }
 
 std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
                                      std::uint64_t max_requests) {
+  return generate_stream(model, rng, StreamOptions{.max_requests = max_requests});
+}
+
+std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
+                                     const StreamOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t max_requests = options.max_requests;
   const ModelParams& params = model.params();
 
   // Slot multiset: user u appears once per download it will make. The cap is
@@ -38,6 +46,19 @@ std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
     if (!session) session = model.new_session();
     if (session->exhausted()) continue;
     stream.push_back(Request{user, session->next(rng)});
+  }
+
+  if (options.metrics != nullptr) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    obs::Registry& registry = *options.metrics;
+    const std::string_view label = model.name();
+    registry.counter("model_draws_total", label).inc(stream.size());
+    registry.histogram("model_generate_seconds", label).observe(seconds);
+    if (seconds > 0.0) {
+      registry.gauge("model_draws_per_second", label)
+          .set(static_cast<double>(stream.size()) / seconds);
+    }
   }
   return stream;
 }

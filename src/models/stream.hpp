@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "models/model.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace appstore::models {
@@ -23,12 +24,25 @@ struct Request {
   std::uint32_t app;
 };
 
+/// Options for generate_stream (the Options-struct API).
+struct StreamOptions {
+  /// Caps the total request count (the Fig. 19 setup fixes 2M downloads
+  /// over 600k users rather than an exact per-user d).
+  std::uint64_t max_requests = UINT64_MAX;
+  /// Optional metrics sink: records model_draws_total{<model name>},
+  /// model_generate_seconds{<name>} and the model_draws_per_second{<name>}
+  /// gauge for each generation run.
+  obs::Registry* metrics = nullptr;
+};
+
 /// Generates the full interleaved stream for `model`. The number of requests
 /// is the sum of per-user realized download counts (≈ U * d).
+[[nodiscard]] std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
+                                                   const StreamOptions& options);
+
 [[nodiscard]] std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng);
 
-/// As generate_stream, but caps the total request count (the Fig. 19 setup
-/// fixes 2M downloads over 600k users rather than an exact per-user d).
+/// Deprecated positional form; forwards to the StreamOptions overload.
 [[nodiscard]] std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
                                                    std::uint64_t max_requests);
 

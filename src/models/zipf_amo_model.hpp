@@ -18,6 +18,9 @@ class ZipfAtMostOnceModel final : public DownloadModel {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ZIPF-at-most-once";
   }
+  [[nodiscard]] ModelKind kind() const noexcept override {
+    return ModelKind::kZipfAtMostOnce;
+  }
   [[nodiscard]] const ModelParams& params() const noexcept override { return params_; }
   [[nodiscard]] std::unique_ptr<Session> new_session() const override;
 

@@ -14,6 +14,7 @@ class ZipfModel final : public DownloadModel {
   explicit ZipfModel(ModelParams params);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "ZIPF"; }
+  [[nodiscard]] ModelKind kind() const noexcept override { return ModelKind::kZipf; }
   [[nodiscard]] const ModelParams& params() const noexcept override { return params_; }
   [[nodiscard]] std::unique_ptr<Session> new_session() const override;
 

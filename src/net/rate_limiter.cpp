@@ -21,15 +21,32 @@ TokenBucketLimiter::Bucket& TokenBucketLimiter::refill(
   return it->second;
 }
 
+void TokenBucketLimiter::attach_metrics(obs::Registry& registry) {
+  registry.describe("rate_limiter_allowed_total", "Admitted allow() decisions");
+  registry.describe("rate_limiter_throttled_total", "Rate-limited allow() decisions");
+  allowed_counter_ = &registry.counter("rate_limiter_allowed_total");
+  throttled_counter_ = &registry.counter("rate_limiter_throttled_total");
+}
+
 bool TokenBucketLimiter::allow(const std::string& key) {
   const auto now = clock_();
-  const std::lock_guard lock(mutex_);
-  Bucket& bucket = refill(key, now);
-  if (bucket.tokens >= 1.0) {
-    bucket.tokens -= 1.0;
-    return true;
+  bool admitted = false;
+  {
+    const std::lock_guard lock(mutex_);
+    Bucket& bucket = refill(key, now);
+    if (bucket.tokens >= 1.0) {
+      bucket.tokens -= 1.0;
+      admitted = true;
+    }
   }
-  return false;
+  if (admitted) {
+    allowed_.fetch_add(1, std::memory_order_relaxed);
+    if (allowed_counter_ != nullptr) allowed_counter_->inc();
+  } else {
+    throttled_.fetch_add(1, std::memory_order_relaxed);
+    if (throttled_counter_ != nullptr) throttled_counter_->inc();
+  }
+  return admitted;
 }
 
 double TokenBucketLimiter::available(const std::string& key) {

@@ -10,12 +10,15 @@
 // simulation can drive it with virtual time.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "obs/registry.hpp"
 
 namespace appstore::net {
 
@@ -26,8 +29,21 @@ class TokenBucketLimiter {
   /// `rate_per_second` tokens refill continuously up to `burst`.
   TokenBucketLimiter(double rate_per_second, double burst, Clock clock = nullptr);
 
+  /// Mirrors decisions into `rate_limiter_allowed_total` /
+  /// `rate_limiter_throttled_total` counters of `registry` (which must
+  /// outlive the limiter). Call once, before traffic.
+  void attach_metrics(obs::Registry& registry);
+
   /// Consumes one token for `key`; false = rate limited.
   [[nodiscard]] bool allow(const std::string& key);
+
+  /// Total allow() calls that were rate limited / admitted.
+  [[nodiscard]] std::uint64_t throttled() const noexcept {
+    return throttled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t allowed() const noexcept {
+    return allowed_.load(std::memory_order_relaxed);
+  }
 
   /// Tokens currently available for `key` (for tests/metrics).
   [[nodiscard]] double available(const std::string& key);
@@ -47,6 +63,10 @@ class TokenBucketLimiter {
   double rate_;
   double burst_;
   Clock clock_;
+  std::atomic<std::uint64_t> allowed_{0};
+  std::atomic<std::uint64_t> throttled_{0};
+  obs::Counter* allowed_counter_ = nullptr;
+  obs::Counter* throttled_counter_ = nullptr;
   std::mutex mutex_;
   std::unordered_map<std::string, Bucket> buckets_;
 };

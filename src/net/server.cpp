@@ -8,14 +8,40 @@
 namespace appstore::net {
 
 namespace {
+
 constexpr std::string_view kComponent = "http";
+
+constexpr std::string_view kStatusClasses[5] = {"1xx", "2xx", "3xx", "4xx", "5xx"};
+
+/// status -> 0..4 (status/100 - 1); out-of-range statuses count as 5xx.
+[[nodiscard]] std::size_t status_class(int status) noexcept {
+  const int band = status / 100 - 1;
+  return band < 0 || band > 4 ? 4 : static_cast<std::size_t>(band);
 }
 
-HttpServer::HttpServer(std::uint16_t port, Handler handler, std::size_t max_connections)
-    : listener_(port), handler_(std::move(handler)), max_connections_(max_connections) {
+}  // namespace
+
+HttpServer::HttpServer(ServerOptions options, Handler handler)
+    : listener_(options.port), handler_(std::move(handler)), options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::Registry& registry = *options_.metrics;
+    registry.describe("http_requests_total", "Responses by status class");
+    registry.describe("http_request_seconds", "Handler + write latency by status class");
+    registry.describe("http_accepted_total", "Accepted connections");
+    registry.describe("http_shed_total", "Connections refused with 503 (load shedding)");
+    registry.describe("http_active_connections", "Connections currently being served");
+    for (std::size_t i = 0; i < 5; ++i) {
+      metrics_.requests_by_class[i] = &registry.counter("http_requests_total", kStatusClasses[i]);
+      metrics_.latency_by_class[i] =
+          &registry.histogram("http_request_seconds", kStatusClasses[i]);
+    }
+    metrics_.accepted = &registry.counter("http_accepted_total");
+    metrics_.shed = &registry.counter("http_shed_total");
+    metrics_.active = &registry.gauge("http_active_connections");
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
   util::log_info(kComponent, "listening on 127.0.0.1:{} (max {} connections)",
-                 listener_.port(), max_connections);
+                 listener_.port(), options_.max_connections);
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -48,6 +74,25 @@ void HttpServer::reap_finished() {
   }
 }
 
+void HttpServer::shed_connection(TcpStream stream) {
+  // Load shedding: tell the client explicitly rather than slamming the
+  // connection shut — a bare close looks like a transport failure and
+  // makes well-behaved clients retry immediately; a 503 lets them back
+  // off. Best-effort: a client that already hung up just loses the write.
+  ++connections_shed_;
+  if (metrics_.shed != nullptr) metrics_.shed->inc();
+  try {
+    stream.set_timeout(std::chrono::milliseconds(250));
+    HttpResponse response = HttpResponse::text(503, "server busy");
+    response.reason = "Service Unavailable";
+    response.headers["Connection"] = "close";
+    response.headers["Retry-After"] = "1";
+    stream.write_all(response.serialize());
+  } catch (const std::exception&) {
+    // The shed response is advisory; dropping it is fine.
+  }
+}
+
 void HttpServer::accept_loop() {
   while (running_.load(std::memory_order_relaxed)) {
     auto stream = listener_.accept(std::chrono::milliseconds(50));
@@ -59,11 +104,11 @@ void HttpServer::accept_loop() {
       const std::lock_guard lock(connections_mutex_);
       active = connections_.size();
     }
-    if (active >= max_connections_) {
-      // Load shedding: close immediately; the client sees a reset/EOF and
-      // retries (the crawler treats it as a transient failure).
+    if (active >= options_.max_connections) {
+      shed_connection(std::move(*stream));
       continue;
     }
+    if (metrics_.accepted != nullptr) metrics_.accepted->inc();
 
     auto connection = std::make_unique<Connection>();
     Connection* raw = connection.get();
@@ -79,16 +124,19 @@ void HttpServer::accept_loop() {
 
 void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
   connection->fd.store(stream.native_handle(), std::memory_order_release);
+  if (metrics_.active != nullptr) metrics_.active->add(1.0);
   struct DoneGuard {
     Connection* connection;
+    obs::Gauge* active;
     ~DoneGuard() {
+      if (active != nullptr) active->sub(1.0);
       connection->fd.store(-1, std::memory_order_release);
       connection->done.store(true, std::memory_order_release);
     }
-  } guard{connection};
+  } guard{connection, metrics_.active};
 
   try {
-    stream.set_timeout(std::chrono::milliseconds(5000));
+    stream.set_timeout(options_.read_timeout);
     HttpReader reader(stream);
     for (;;) {
       // Stop serving keep-alive connections when the server shuts down.
@@ -96,6 +144,7 @@ void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
       const auto request = reader.read_request();
       if (!request.has_value()) return;  // client closed
 
+      const auto handle_start = std::chrono::steady_clock::now();
       HttpResponse response;
       try {
         response = handler_(*request);
@@ -111,7 +160,16 @@ void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
       // Count before writing: a client that has the response must observe
       // the incremented counter.
       ++requests_served_;
+      const std::size_t band = status_class(response.status);
+      if (metrics_.requests_by_class[band] != nullptr) {
+        metrics_.requests_by_class[band]->inc();
+      }
       stream.write_all(response.serialize());
+      if (metrics_.latency_by_class[band] != nullptr) {
+        metrics_.latency_by_class[band]->observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - handle_start)
+                .count());
+      }
       if (close_requested) return;
     }
   } catch (const std::exception& error) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -19,6 +20,7 @@
 
 #include "net/http.hpp"
 #include "net/socket.hpp"
+#include "obs/registry.hpp"
 
 namespace appstore::net {
 
@@ -26,12 +28,37 @@ namespace appstore::net {
 /// threads; must be thread-safe.
 using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// Aggregate construction options for HttpServer (the Options-struct API:
+/// new knobs land here without another positional parameter).
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1 (0 = ephemeral).
+  std::uint16_t port = 0;
+  /// Bounds concurrently-served connections; excess connections receive a
+  /// minimal "503 Service Unavailable" and are closed (load shedding).
+  std::size_t max_connections = 256;
+  /// Per-connection read timeout; an idle keep-alive connection past this
+  /// is closed.
+  std::chrono::milliseconds read_timeout = std::chrono::milliseconds(5000);
+  /// Optional metrics sink. When set the server registers, under the
+  /// conventions of docs/observability.md:
+  ///   http_requests_total{1xx..5xx}     responses by status class
+  ///   http_request_seconds{1xx..5xx}    handler+write latency by class
+  ///   http_accepted_total               accepted connections
+  ///   http_shed_total                   load-shed connections
+  ///   http_active_connections (gauge)   currently served connections
+  /// Must outlive the server.
+  obs::Registry* metrics = nullptr;
+};
+
 class HttpServer {
  public:
-  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts serving.
-  /// `max_connections` bounds concurrently-served connections; excess
-  /// connections are accepted and immediately closed (load shedding).
-  HttpServer(std::uint16_t port, Handler handler, std::size_t max_connections = 256);
+  /// Binds to 127.0.0.1:`options.port` and starts serving.
+  HttpServer(ServerOptions options, Handler handler);
+
+  /// Deprecated positional form; forwards to the ServerOptions constructor.
+  HttpServer(std::uint16_t port, Handler handler, std::size_t max_connections = 256)
+      : HttpServer(ServerOptions{.port = port, .max_connections = max_connections},
+                   std::move(handler)) {}
 
   /// Stops accepting and joins every connection thread.
   ~HttpServer();
@@ -46,6 +73,11 @@ class HttpServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Connections turned away with a 503 because max_connections was reached.
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return connections_shed_.load(std::memory_order_relaxed);
+  }
+
   void stop();
 
  private:
@@ -57,15 +89,28 @@ class HttpServer {
     std::atomic<int> fd{-1};
   };
 
+  /// Lock-free handles into options_.metrics, resolved once at
+  /// construction; all nullptr when metrics are disabled.
+  struct Metrics {
+    obs::Counter* requests_by_class[5] = {};   ///< index = status/100 - 1
+    obs::Histogram* latency_by_class[5] = {};  ///< same indexing
+    obs::Counter* accepted = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Gauge* active = nullptr;
+  };
+
   void accept_loop();
   void serve_connection(TcpStream stream, Connection* connection);
+  void shed_connection(TcpStream stream);
   void reap_finished();
 
   TcpListener listener_;
   Handler handler_;
-  std::size_t max_connections_;
+  ServerOptions options_;
+  Metrics metrics_;
   std::atomic<bool> running_{true};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
 
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;

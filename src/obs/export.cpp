@@ -1,0 +1,188 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace appstore::obs {
+
+namespace {
+
+constexpr std::string_view kComponent = "obs";
+
+/// JSON string escaping (quotes, backslashes, control characters).
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest-round-trip double rendering; non-finite values (which JSON
+/// cannot represent) degrade to 0.
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim to the shortest representation that still parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) {
+      out += candidate;
+      return;
+    }
+  }
+  out += buffer;
+}
+
+void append_name_label(std::string& out, const std::string& name, const std::string& label) {
+  out += "\"name\":";
+  append_escaped(out, name);
+  out += ",\"label\":";
+  append_escaped(out, label);
+}
+
+void append_text_line(std::string& out, const std::string& name, const std::string& label,
+                      const std::string& suffix, double value) {
+  out += name;
+  if (!suffix.empty()) {
+    out += '_';
+    out += suffix;
+  }
+  if (!label.empty()) {
+    out += "{label=\"";
+    out += label;
+    out += "\"}";
+  }
+  out.push_back(' ');
+  append_double(out, value);
+  out.push_back('\n');
+}
+
+void append_text_help(std::string& out, const Registry* help_from, const std::string& name,
+                      std::string_view type, std::string& last_family) {
+  if (name == last_family) return;
+  last_family = name;
+  if (help_from != nullptr) {
+    const std::string help = help_from->help_for(name);
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string to_text(const Snapshot& snapshot, const Registry* help_from) {
+  std::string out;
+  std::string last_family;
+  for (const auto& sample : snapshot.counters) {
+    append_text_help(out, help_from, sample.name, "counter", last_family);
+    append_text_line(out, sample.name, sample.label, "", static_cast<double>(sample.value));
+  }
+  for (const auto& sample : snapshot.gauges) {
+    append_text_help(out, help_from, sample.name, "gauge", last_family);
+    append_text_line(out, sample.name, sample.label, "", sample.value);
+  }
+  for (const auto& sample : snapshot.histograms) {
+    append_text_help(out, help_from, sample.name, "histogram", last_family);
+    append_text_line(out, sample.name, sample.label, "count", static_cast<double>(sample.count));
+    append_text_line(out, sample.name, sample.label, "sum", sample.sum);
+    append_text_line(out, sample.name, sample.label, "p50", sample.p50);
+    append_text_line(out, sample.name, sample.label, "p90", sample.p90);
+    append_text_line(out, sample.name, sample.label, "p99", sample.p99);
+  }
+  return out;
+}
+
+std::string to_text(const Registry& registry) { return to_text(registry.snapshot(), &registry); }
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + 96 * (snapshot.counters.size() + snapshot.gauges.size() +
+                          2 * snapshot.histograms.size()));
+  out += "{\"counters\":[";
+  bool first = true;
+  for (const auto& sample : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    append_name_label(out, sample.name, sample.label);
+    out += ",\"value\":";
+    out += std::to_string(sample.value);
+    out.push_back('}');
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& sample : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    append_name_label(out, sample.name, sample.label);
+    out += ",\"value\":";
+    append_double(out, sample.value);
+    out.push_back('}');
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& sample : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    append_name_label(out, sample.name, sample.label);
+    out += ",\"count\":";
+    out += std::to_string(sample.count);
+    for (const auto& [key, value] :
+         {std::pair<const char*, double>{"sum", sample.sum},
+          {"min", sample.min},
+          {"max", sample.max},
+          {"p50", sample.p50},
+          {"p90", sample.p90},
+          {"p99", sample.p99}}) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      append_double(out, value);
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(const Registry& registry) { return to_json(registry.snapshot()); }
+
+bool write_json_file(const Registry& registry, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    util::log_warn(kComponent, "cannot open metrics file {}", path);
+    return false;
+  }
+  const std::string json = to_json(registry);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  if (!ok) util::log_warn(kComponent, "short write to metrics file {}", path);
+  return ok;
+}
+
+}  // namespace appstore::obs

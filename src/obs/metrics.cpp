@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace appstore::obs {
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      inv_log_growth_(1.0 / std::log(options.growth)),
+      buckets_(new std::atomic<std::uint64_t>[options.bucket_count + 1]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i <= options_.bucket_count; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  if (!(value > options_.least_bound)) return 0;  // also catches NaN
+  // Smallest i with least*growth^i >= value, i.e. ceil(log_g(value/least)).
+  const double raw = std::log(value / options_.least_bound) * inv_log_growth_;
+  const auto i = static_cast<std::size_t>(std::ceil(raw - 1e-12));
+  return std::min(i, options_.bucket_count);  // last slot = overflow
+}
+
+void Histogram::observe(double value) noexcept {
+  if (std::isnan(value)) return;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen && !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::bucket_bound(std::size_t i) const noexcept {
+  if (i >= options_.bucket_count) return max();
+  return options_.least_bound * std::pow(options_.growth, static_cast<double>(i));
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank with rounding).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= options_.bucket_count; ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The rank lands in bucket i: interpolate within (lower, upper].
+    double lower = i == 0 ? 0.0 : bucket_bound(i - 1);
+    double upper = bucket_bound(i);
+    // Clip to the actually observed range so tiny samples aren't smeared
+    // across a whole bucket.
+    lower = std::max(lower, min());
+    upper = i >= options_.bucket_count ? max() : std::min(upper, max());
+    if (upper < lower) upper = lower;
+    const double fraction =
+        in_bucket == 0
+            ? 1.0
+            : static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    return lower + fraction * (upper - lower);
+  }
+  return max();  // unreachable: ranks are <= total
+}
+
+}  // namespace appstore::obs

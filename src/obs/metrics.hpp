@@ -1,0 +1,116 @@
+// Lock-cheap metric primitives (the observability layer's data plane).
+//
+// Counters, gauges and histograms are plain atomics: the increment/observe
+// hot paths take no locks and use relaxed memory ordering, so sprinkling
+// them through the HTTP server or the model samplers costs a handful of
+// nanoseconds per event. Aggregation (quantiles, snapshots, exporters) is
+// the slow path and tolerates the mild raciness of relaxed reads — a
+// scrape concurrent with traffic sees a value that was true at *some*
+// instant during the scrape, which is all any metrics pipeline promises.
+//
+// Histograms use log-spaced buckets: bucket i covers
+// (least*growth^(i-1), least*growth^i], chosen so one parameterization
+// spans nanoseconds to minutes with bounded relative quantile error
+// (growth 2.0 -> every estimate within 2x, interpolated much closer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace appstore::obs {
+
+/// Monotonically increasing event count. Increment is one relaxed
+/// fetch_add; safe to call from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, draws/sec, resident bytes).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept {
+    // fetch_add on atomic<double> is C++20; relaxed like the rest.
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  void sub(double v) noexcept { add(-v); }
+
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout for Histogram. Defaults span 1 µs .. ~1100 s when values
+/// are seconds (31 buckets, growth 2), fitting every latency this library
+/// measures; override `least_bound`/`growth` for byte- or count-valued
+/// histograms.
+struct HistogramOptions {
+  double least_bound = 1e-6;  ///< upper bound of the first bucket
+  double growth = 2.0;        ///< geometric bucket-width factor (> 1)
+  std::size_t bucket_count = 31;  ///< log-spaced buckets plus one overflow
+};
+
+/// Fixed-bucket log-spaced histogram with atomic counts.
+///
+/// observe() is wait-free: one bucket index computation plus three relaxed
+/// atomic updates (bucket, count, sum). min/max use relaxed CAS loops that
+/// almost never retry. Quantiles are estimated by rank-walking a snapshot
+/// of the buckets and interpolating linearly inside the winning bucket.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observed value; 0 when empty.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Estimated q-quantile (q in [0, 1]); 0 when empty. Error is bounded by
+  /// the width of the bucket the quantile lands in.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] const HistogramOptions& options() const noexcept { return options_; }
+  /// Upper bound of bucket `i` (the overflow bucket reports max()).
+  [[nodiscard]] double bucket_bound(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return options_.bucket_count + 1; }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+
+  HistogramOptions options_;
+  double inv_log_growth_;  ///< 1 / ln(growth), precomputed for bucket_index
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bucket_count + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+}  // namespace appstore::obs

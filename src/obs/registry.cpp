@@ -1,0 +1,97 @@
+#include "obs/registry.hpp"
+
+namespace appstore::obs {
+
+namespace {
+
+template <typename Map, typename... Args>
+auto& find_or_create(Map& map, std::string_view name, std::string_view label,
+                     Args&&... args) {
+  const auto it = map.find(std::pair(std::string(name), std::string(label)));
+  if (it != map.end()) return *it->second;
+  auto [inserted, _] =
+      map.emplace(std::pair(std::string(name), std::string(label)),
+                  std::make_unique<typename Map::mapped_type::element_type>(
+                      std::forward<Args>(args)...));
+  return *inserted->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, std::string_view label) {
+  const std::lock_guard lock(mutex_);
+  return find_or_create(counters_, name, label);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view label) {
+  const std::lock_guard lock(mutex_);
+  return find_or_create(gauges_, name, label);
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view label,
+                               HistogramOptions options) {
+  const std::lock_guard lock(mutex_);
+  return find_or_create(histograms_, name, label, options);
+}
+
+void Registry::describe(std::string_view name, std::string_view help) {
+  const std::lock_guard lock(mutex_);
+  help_.insert_or_assign(std::string(name), std::string(help));
+}
+
+std::string Registry::help_for(std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [key, metric] : counters_) {
+    out.counters.push_back(CounterSample{key.first, key.second, metric->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [key, metric] : gauges_) {
+    out.gauges.push_back(GaugeSample{key.first, key.second, metric->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [key, metric] : histograms_) {
+    HistogramSample sample;
+    sample.name = key.first;
+    sample.label = key.second;
+    sample.count = metric->count();
+    sample.sum = metric->sum();
+    sample.min = metric->min();
+    sample.max = metric->max();
+    sample.p50 = metric->quantile(0.50);
+    sample.p90 = metric->quantile(0.90);
+    sample.p99 = metric->quantile(0.99);
+    out.histograms.push_back(std::move(sample));
+  }
+  return out;
+}
+
+const CounterSample* Snapshot::find_counter(std::string_view name,
+                                            std::string_view label) const noexcept {
+  for (const auto& sample : counters) {
+    if (sample.name == name && sample.label == label) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* Snapshot::find_histogram(std::string_view name,
+                                                std::string_view label) const noexcept {
+  for (const auto& sample : histograms) {
+    if (sample.name == name && sample.label == label) return &sample;
+  }
+  return nullptr;
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace appstore::obs

@@ -1,0 +1,104 @@
+// Metric registry: named, labeled families of counters/gauges/histograms.
+//
+// A family is a metric name ("http_requests_total") plus a set of labeled
+// members ("2xx", "5xx", ...). Registration takes a mutex and returns a
+// reference that stays valid for the registry's lifetime, so instrumented
+// code registers once at construction and touches only the lock-free
+// metric on the hot path:
+//
+//   obs::Registry registry;
+//   obs::Counter& hits = registry.counter("cache_hits_total", "LRU");
+//   ...
+//   hits.inc();                      // relaxed atomic add, no lock
+//
+// Exporters (obs/export.hpp) consume Registry::snapshot(), which walks the
+// families in deterministic (name, label) order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace appstore::obs {
+
+/// Point-in-time view of one metric, produced by Registry::snapshot().
+struct CounterSample {
+  std::string name;
+  std::string label;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string label;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string label;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter lookup by (name, label); nullptr when absent. For tests and
+  /// the bench reporters; O(n).
+  [[nodiscard]] const CounterSample* find_counter(std::string_view name,
+                                                  std::string_view label = {}) const noexcept;
+  [[nodiscard]] const HistogramSample* find_histogram(
+      std::string_view name, std::string_view label = {}) const noexcept;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the metric for (name, label), creating it on first use. The
+  /// label may be empty for singleton families. References remain valid
+  /// for the registry's lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view label = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view label = {});
+  /// `options` applies only on first registration of (name, label);
+  /// subsequent calls return the existing histogram unchanged.
+  [[nodiscard]] Histogram& histogram(std::string_view name, std::string_view label = {},
+                                     HistogramOptions options = {});
+
+  /// Attaches help text to a family (shown by the text exporter).
+  void describe(std::string_view name, std::string_view help);
+  [[nodiscard]] std::string help_for(std::string_view name) const;
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  ///< (family, label)
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
+};
+
+/// Process-global registry for code without an obvious owner (CLI tools,
+/// ad-hoc instrumentation). Library classes prefer an injected Registry* so
+/// tests and multi-instance setups stay isolated.
+[[nodiscard]] Registry& default_registry();
+
+}  // namespace appstore::obs

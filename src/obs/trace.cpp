@@ -1,0 +1,34 @@
+#include "obs/trace.hpp"
+
+namespace appstore::obs {
+
+namespace {
+thread_local TraceSpan* t_current_span = nullptr;
+}
+
+TraceSpan::TraceSpan(Registry* registry, std::string_view name)
+    : registry_(registry),
+      parent_(t_current_span),
+      start_(std::chrono::steady_clock::now()) {
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + name.size());
+    path_ = parent_->path_;
+    path_ += '/';
+  }
+  path_ += name;
+  t_current_span = this;
+}
+
+TraceSpan::~TraceSpan() {
+  t_current_span = parent_;
+  if (registry_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  registry_->histogram(kFamily, path_).observe(seconds);
+}
+
+std::string TraceSpan::current_path() {
+  return t_current_span == nullptr ? std::string() : t_current_span->path_;
+}
+
+}  // namespace appstore::obs

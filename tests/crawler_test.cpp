@@ -7,6 +7,7 @@
 #include "crawler/database.hpp"
 #include "crawler/json.hpp"
 #include "crawler/service.hpp"
+#include "obs/registry.hpp"
 #include "synth/generator.hpp"
 #include "util/format.hpp"
 
@@ -379,6 +380,87 @@ TEST_F(ServiceFixture, CrawlerSurvivesInjectedFailures) {
   EXPECT_GT(stats.transient_failures, 0u);  // failures actually happened
   // Retries should still recover nearly all apps.
   EXPECT_GT(database.app_count(), generated_->store->apps().size() * 9 / 10);
+}
+
+TEST_F(ServiceFixture, MetricsEndpointMatchesCrawlerTallies) {
+  ServicePolicy policy;
+  policy.failure_rate = 0.1;  // exercise the injected-failure counter
+  AppstoreService service(*generated_->store, policy);
+  service.set_day(60);
+
+  CrawlDatabase database;
+  obs::Registry crawler_metrics;
+  CrawlerOptions options;
+  options.port = service.port();
+  options.proxy_count = 12;
+  options.max_attempts = 8;
+  options.metrics = &crawler_metrics;
+  Crawler crawler(options, database);
+  const CrawlStats stats = crawler.crawl_day(60);
+  ASSERT_GT(stats.requests, 0u);
+  EXPECT_GT(stats.transient_failures, 0u);
+
+  // The crawler's own registry mirrors its CrawlStats tallies exactly.
+  const auto crawler_snapshot = crawler_metrics.snapshot();
+  EXPECT_EQ(crawler_snapshot.find_counter("crawler_requests_total")->value, stats.requests);
+  EXPECT_EQ(crawler_snapshot.find_counter("crawler_responses_total", "429")->value,
+            stats.rate_limited);
+  EXPECT_EQ(crawler_snapshot.find_counter("crawler_responses_total", "5xx")->value,
+            stats.transient_failures);
+
+  // Scrape the service's own registry. /api/metrics bypasses region gating,
+  // rate limiting and failure injection, so the scrape always succeeds.
+  net::HttpClient client("127.0.0.1", service.port());
+  net::Headers headers;
+  headers["X-Client-Id"] = "proxy-eu-1";
+  const auto response = client.get("/api/metrics", headers);
+  ASSERT_EQ(response.status, 200);
+  const auto parsed = parse_json(response.body);
+  ASSERT_TRUE(parsed.has_value());
+
+  const auto find_counter = [&](std::string_view name,
+                                std::string_view label) -> std::uint64_t {
+    for (const auto& counter : parsed->at("counters").as_array()) {
+      if (counter.at("name").as_string() == name && counter.at("label").as_string() == label) {
+        return counter.at("value").as_u64();
+      }
+    }
+    return 0;
+  };
+
+  // Per-endpoint request counters increment before every policy gate, so
+  // their sum (excluding this scrape itself) equals the crawler's attempt
+  // count — on loopback no request is lost in transport.
+  std::uint64_t service_requests = 0;
+  for (const auto& counter : parsed->at("counters").as_array()) {
+    if (counter.at("name").as_string() == "service_requests_total" &&
+        counter.at("label").as_string() != "metrics") {
+      service_requests += counter.at("value").as_u64();
+    }
+  }
+  EXPECT_EQ(service_requests, stats.requests);
+  EXPECT_EQ(find_counter("rate_limiter_throttled_total", ""), stats.rate_limited);
+  EXPECT_EQ(find_counter("service_injected_failures_total", ""), stats.transient_failures);
+  EXPECT_EQ(find_counter("service_region_blocked_total", ""), stats.region_blocked);
+
+  // Latency histograms expose p50/p99 per endpoint.
+  bool found_latency = false;
+  for (const auto& histogram : parsed->at("histograms").as_array()) {
+    if (histogram.at("name").as_string() == "service_request_seconds" &&
+        histogram.at("label").as_string() == "app") {
+      found_latency = true;
+      EXPECT_GT(histogram.at("count").as_u64(), 0u);
+      EXPECT_GT(histogram.at("p50").as_number(), 0.0);
+      EXPECT_GE(histogram.at("p99").as_number(), histogram.at("p50").as_number());
+    }
+  }
+  EXPECT_TRUE(found_latency);
+
+  // The text exporter is reachable with ?fmt=text.
+  const auto text_response = client.get("/api/metrics?fmt=text", headers);
+  ASSERT_EQ(text_response.status, 200);
+  EXPECT_NE(text_response.body.find("# TYPE service_requests_total counter"),
+            std::string::npos);
 }
 
 TEST_F(ServiceFixture, CrawlerConvergesOnChineseProxies) {

@@ -10,6 +10,7 @@
 #include "net/rate_limiter.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/registry.hpp"
 
 namespace appstore::net {
 namespace {
@@ -143,6 +144,53 @@ TEST(Server, LargeBodyRoundTrip) {
   EXPECT_EQ(response.body.size(), large.size());
 }
 
+TEST(Server, OptionsStructRecordsMetrics) {
+  obs::Registry registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  HttpServer server(options, [](const HttpRequest& request) {
+    if (request.target == "/fail") return HttpResponse::text(500, "boom");
+    return HttpResponse::text(200, "ok");
+  });
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/a").status, 200);
+  EXPECT_EQ(client.get("/b").status, 200);
+  EXPECT_EQ(client.get("/fail").status, 500);
+
+  const auto snapshot = registry.snapshot();
+  const auto* ok = snapshot.find_counter("http_requests_total", "2xx");
+  const auto* err = snapshot.find_counter("http_requests_total", "5xx");
+  ASSERT_NE(ok, nullptr);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(ok->value, 2u);
+  EXPECT_EQ(err->value, 1u);
+  const auto* latency = snapshot.find_histogram("http_request_seconds", "2xx");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 2u);
+  EXPECT_GT(latency->p50, 0.0);
+}
+
+TEST(Server, ShedsWith503WhenSaturated) {
+  obs::Registry registry;
+  ServerOptions options;
+  options.max_connections = 1;
+  options.metrics = &registry;
+  HttpServer server(options,
+                    [](const HttpRequest&) { return HttpResponse::text(200, "ok"); });
+  // A keep-alive client occupies the single connection slot...
+  PersistentHttpClient holder("127.0.0.1", server.port());
+  EXPECT_EQ(holder.get("/hold").status, 200);
+  // ...so the next connection must be shed with an explicit 503, not a
+  // silent close.
+  HttpClient overflow("127.0.0.1", server.port());
+  const HttpResponse response = overflow.get("/x");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_GE(server.connections_shed(), 1u);
+  const auto* shed = registry.snapshot().find_counter("http_shed_total");
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(shed->value, server.connections_shed());
+}
+
 TEST(Sockets, ListenerEphemeralPortAssigned) {
   TcpListener listener(0);
   EXPECT_GT(listener.port(), 0);
@@ -256,6 +304,25 @@ TEST(RateLimiter, EvictIdleDropsState) {
   limiter.evict_idle(std::chrono::seconds(50));
   // After eviction the key starts fresh with a full bucket.
   EXPECT_TRUE(limiter.allow("old"));
+}
+
+TEST(RateLimiter, MetricsCountAllowedAndThrottled) {
+  obs::Registry registry;
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(1.0, 2.0, [&] { return now; });
+  limiter.attach_metrics(registry);
+  EXPECT_TRUE(limiter.allow("c"));
+  EXPECT_TRUE(limiter.allow("c"));
+  EXPECT_FALSE(limiter.allow("c"));
+  EXPECT_EQ(limiter.allowed(), 2u);
+  EXPECT_EQ(limiter.throttled(), 1u);
+  const auto snapshot = registry.snapshot();
+  const auto* allowed = snapshot.find_counter("rate_limiter_allowed_total");
+  const auto* throttled = snapshot.find_counter("rate_limiter_throttled_total");
+  ASSERT_NE(allowed, nullptr);
+  ASSERT_NE(throttled, nullptr);
+  EXPECT_EQ(allowed->value, 2u);
+  EXPECT_EQ(throttled->value, 1u);
 }
 
 // ---- proxy pool ------------------------------------------------------------------------
