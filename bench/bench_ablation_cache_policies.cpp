@@ -24,11 +24,16 @@ int main(int argc, char** argv) {
       cache::PolicyKind::kLru, cache::PolicyKind::kFifo, cache::PolicyKind::kLfu,
       cache::PolicyKind::kRandom, cache::PolicyKind::kClusterLru};
 
-  std::vector<core::CacheStudyResult> results;
-  for (const auto policy : policies) {
-    results.push_back(
-        core::cache_study(models::ModelKind::kAppClustering, *scale, policy, cli.seed()));
-  }
+  // One shared APP-CLUSTERING stream, every policy×size simulation its own
+  // task (core::cache_policy_study) — the stream is no longer regenerated
+  // per policy.
+  core::CacheStudyOptions study_options;
+  study_options.scale = *scale;
+  study_options.seed = cli.seed();
+  study_options.metrics = &cli.metrics();
+  study_options.threads = cli.threads();
+  const auto results =
+      core::cache_policy_study(models::ModelKind::kAppClustering, policies, study_options);
 
   std::vector<std::string> header = {"cache size %"};
   for (const auto policy : policies) header.emplace_back(to_string(policy));
@@ -48,5 +53,6 @@ int main(int argc, char** argv) {
   }
   benchx::print_table(table);
   report::export_all({series}, "ablation_cache_policies");
+  cli.dump_metrics();
   return 0;
 }

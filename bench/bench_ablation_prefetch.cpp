@@ -46,7 +46,10 @@ int main(int argc, char** argv) {
                           models::ModelKind::kAppClustering}) {
     const auto model = models::make_model(kind, params);
     util::Rng rng(cli.seed());
-    const auto stream = models::generate_stream(*model, rng);
+    models::StreamOptions stream_options;
+    stream_options.metrics = &cli.metrics();
+    stream_options.threads = cli.threads();
+    const auto stream = models::generate_stream(*model, rng, stream_options);
 
     for (const int percent : {1, 5, 10}) {
       const std::size_t size = std::max<std::size_t>(
@@ -71,5 +74,6 @@ int main(int argc, char** argv) {
   }
   benchx::print_table(table);
   report::export_all({series}, "ablation_prefetch");
+  cli.dump_metrics();
   return 0;
 }

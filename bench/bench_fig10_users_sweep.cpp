@@ -45,9 +45,14 @@ int main(int argc, char** argv) {
         if (app.released <= day) assignment.push_back(app.category.value);
       }
       const auto layout = models::ClusterLayout::from_assignment(std::move(assignment));
+      fit::UsersSweepOptions sweep_options;
+      sweep_options.seed = cli.seed() + 3;
+      sweep_options.analytic = false;
+      sweep_options.replicates = 3;
+      sweep_options.layout = &layout;
+      sweep_options.threads = cli.threads();
       const auto points = fit::sweep_users(models::ModelKind::kAppClustering, measured,
-                                           params, ratios, cli.seed() + 3,
-                                           /*analytic=*/false, /*replicates=*/3, &layout);
+                                           params, ratios, sweep_options);
 
       std::size_t best = 0;
       for (std::size_t i = 1; i < points.size(); ++i) {

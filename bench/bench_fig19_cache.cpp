@@ -25,8 +25,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> headers{"cache size %"};
   std::vector<std::string> columns{"cache_percent"};
   for (const auto kind : models::all_model_kinds()) {
-    results.push_back(
-        core::cache_study(kind, *scale, cache::PolicyKind::kLru, cli.seed(), &cli.metrics()));
+    core::CacheStudyOptions study_options;
+    study_options.scale = *scale;
+    study_options.policy = cache::PolicyKind::kLru;
+    study_options.seed = cli.seed();
+    study_options.metrics = &cli.metrics();
+    study_options.threads = cli.threads();
+    results.push_back(core::cache_study(kind, study_options));
     headers.emplace_back(models::to_string(kind));
     std::string column(models::to_string(kind));
     for (auto& c : column) c = (c == '-') ? '_' : static_cast<char>(std::tolower(c));

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   options.p_grid = {0.85, 0.9, 0.95};
   options.zc_grid = {1.2, 1.4, 1.6};
   options.seed = cli.seed() + 1;
+  options.threads = cli.threads();
 
   report::Table table({"store", "model", "best zr", "best p", "best zc", "distance"});
   std::vector<report::Series> all_series;

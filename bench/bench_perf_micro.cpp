@@ -1,17 +1,30 @@
 // Performance microbenchmarks (google-benchmark): the hot paths that bound
 // simulation throughput — Zipf/alias sampling, model session steps, cache
-// operations, affinity computation, JSON handling and HTTP round-trips.
+// operations, affinity computation, JSON handling, HTTP round-trips, and the
+// src/par scaling sweeps (stream generation, fit sweep, bootstrap at 1/2/4/8
+// threads). `--metrics-out=FILE` writes per-benchmark wall times and derived
+// par_speedup gauges as a metrics JSON (results/BENCH_parallel.json is the
+// checked-in baseline).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "affinity/metric.hpp"
 #include "cache/policy.hpp"
 #include "crawler/json.hpp"
+#include "fit/sweep.hpp"
 #include "models/app_clustering_model.hpp"
+#include "models/stream.hpp"
 #include "models/zipf_amo_model.hpp"
 #include "models/zipf_model.hpp"
 #include "net/server.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
+#include "stats/bootstrap.hpp"
 #include "stats/zipf.hpp"
 
 namespace {
@@ -154,6 +167,158 @@ void BM_HistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramObserve);
 
+// ---- src/par scaling sweeps ------------------------------------------------
+// Each bench takes the worker-thread count as its argument. Outputs are
+// thread-count-invariant (see docs/performance.md), so the arg only changes
+// wall time; main() below turns the measured times into par_speedup gauges.
+
+/// Fig.-19 §7 workload: 60k apps, 30 categories, 600k users, 2M downloads.
+models::ModelParams fig19_params() {
+  models::ModelParams params;
+  params.app_count = 60'000;
+  params.user_count = 600'000;
+  params.downloads_per_user = 2'000'000.0 / 600'000.0;
+  params.zr = 1.7;
+  params.zc = 1.4;
+  params.p = 0.9;
+  params.cluster_count = 30;
+  return params;
+}
+
+void BM_StreamGenerateParallel(benchmark::State& state) {
+  const auto model =
+      models::make_model(models::ModelKind::kAppClustering, fig19_params());
+  models::StreamOptions options;
+  options.max_requests = 2'000'000;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(6);
+    benchmark::DoNotOptimize(models::generate_stream(*model, rng, options));
+  }
+}
+BENCHMARK(BM_StreamGenerateParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_FitSweepParallel(benchmark::State& state) {
+  // Fig.-8-sized (zr, p, zc) grid against a once-simulated measured curve.
+  models::ModelParams params;
+  params.app_count = 2'000;
+  params.user_count = 5'000;
+  params.downloads_per_user = 10.0;
+  params.zr = 1.6;
+  params.zc = 1.4;
+  params.p = 0.9;
+  params.cluster_count = 30;
+  const auto truth = models::make_model(models::ModelKind::kAppClustering, params);
+  util::Rng rng(7);
+  const auto measured = truth->generate(rng, false).by_rank();
+
+  fit::SweepOptions options;
+  options.zr_grid = {1.2, 1.4, 1.6, 1.8};
+  options.p_grid = {0.85, 0.9, 0.95};
+  options.zc_grid = {1.2, 1.4, 1.6};
+  options.seed = 8;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_model(models::ModelKind::kAppClustering, measured,
+                                            params.user_count, params.cluster_count,
+                                            options));
+  }
+}
+BENCHMARK(BM_FitSweepParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_BootstrapParallel(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<double> sample(20'000);
+  for (auto& v : sample) v = rng.lognormal(0.0, 1.5);
+  stats::BootstrapOptions options;
+  options.resamples = 2'000;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng run_rng(10);
+    benchmark::DoNotOptimize(stats::bootstrap_mean_ci(sample, run_rng, options));
+  }
+}
+BENCHMARK(BM_BootstrapParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// Console reporter that also records every run's real time into a metrics
+/// registry (gauge bench_real_seconds{<name>/<arg>}), so --metrics-out ships
+/// the raw scaling curve alongside the derived speedups.
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MetricsReporter(obs::Registry* registry) : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.error_occurred) continue;
+      const double iterations =
+          std::max<double>(1.0, static_cast<double>(run.iterations));
+      // Drop the "/iterations:N" suffix so labels are "BM_Name/arg".
+      std::string name = run.benchmark_name();
+      if (const auto pos = name.find("/iterations:"); pos != std::string::npos) {
+        name.resize(pos);
+      }
+      registry_->gauge("bench_real_seconds", name)
+          .set(run.real_accumulated_time / iterations);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  obs::Registry* registry_;
+};
+
+/// Folds bench_real_seconds{BM_Xxx/N} gauges into par_speedup{BM_Xxx/N}
+/// = t(threads=1) / t(threads=N) for the */1-argumented scaling benches.
+void record_speedups(obs::Registry& registry) {
+  const auto snapshot = registry.snapshot();
+  for (const auto& base : snapshot.gauges) {
+    if (base.name != "bench_real_seconds") continue;
+    const std::string_view label = base.label;
+    if (!label.ends_with("/1")) continue;
+    const auto family = label.substr(0, label.size() - 2);
+    for (const auto& other : snapshot.gauges) {
+      if (other.name != "bench_real_seconds" || other.value <= 0.0) continue;
+      const std::string_view other_label = other.label;
+      const auto slash = other_label.rfind('/');
+      if (slash == std::string_view::npos || other_label.substr(0, slash) != family) {
+        continue;
+      }
+      registry.gauge("par_speedup", other.label).set(base.value / other.value);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --metrics-out=FILE (ours) before google-benchmark parses flags.
+  std::string metrics_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--metrics-out=")) {
+      metrics_out = std::string(arg.substr(std::string_view("--metrics-out=").size()));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+
+  obs::Registry registry;
+  MetricsReporter reporter(&registry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  record_speedups(registry);
+  if (!metrics_out.empty()) obs::write_json_file(registry, metrics_out);
+  return 0;
+}

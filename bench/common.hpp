@@ -40,7 +40,9 @@ class BenchCli {
         comments_(cli_.flag("comments", "generate comment streams")),
         verbose_(cli_.flag("verbose", "info-level logging")),
         metrics_out_(cli_.str("metrics-out", "",
-                              "write the bench's metrics registry as JSON to this file")) {}
+                              "write the bench's metrics registry as JSON to this file")),
+        threads_(cli_.u64("threads", 0,
+                          "worker threads for parallelized paths (0 = all cores)")) {}
 
   void parse(int argc, const char* const* argv) {
     cli_.parse(argc, argv);
@@ -57,6 +59,13 @@ class BenchCli {
   }
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return *seed_; }
+
+  /// --threads for every parallelized path (src/par); 0 = all cores. Outputs
+  /// are thread-count-invariant, so this only changes wall time.
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return static_cast<std::size_t>(*threads_);
+  }
+
   [[nodiscard]] util::Cli& raw() noexcept { return cli_; }
 
   /// Registry instrumented code should record into; pass `&metrics()` down to
@@ -78,6 +87,7 @@ class BenchCli {
   std::shared_ptr<bool> comments_;
   std::shared_ptr<bool> verbose_;
   std::shared_ptr<std::string> metrics_out_;
+  std::shared_ptr<std::uint64_t> threads_;
   obs::Registry metrics_;
 };
 

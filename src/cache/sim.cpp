@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "par/parallel.hpp"
+
 namespace appstore::cache {
 
 SimResult simulate(CachePolicy& policy, std::span<const models::Request> requests,
@@ -34,16 +36,16 @@ SimResult simulate(CachePolicy& policy, std::span<const models::Request> request
 std::vector<SweepPoint> sweep_cache_sizes(PolicyKind kind, std::span<const std::size_t> sizes,
                                           std::span<const models::Request> requests,
                                           std::vector<std::uint32_t> app_category,
-                                          std::uint64_t seed, obs::Registry* metrics) {
-  std::vector<SweepPoint> points;
-  points.reserve(sizes.size());
-  for (const auto size : sizes) {
+                                          std::uint64_t seed, obs::Registry* metrics,
+                                          std::size_t threads) {
+  const par::Options par_options{.threads = threads, .grain = 1, .metrics = metrics};
+  return par::parallel_map<SweepPoint>(sizes.size(), par_options, [&](std::uint64_t i) {
+    const auto size = sizes[static_cast<std::size_t>(i)];
     const auto policy = make_policy(kind, size, app_category, seed);
     const SimResult result =
         simulate(*policy, requests, SimOptions{.warm_top_n = size, .metrics = metrics});
-    points.push_back(SweepPoint{size, result.hit_ratio()});
-  }
-  return points;
+    return SweepPoint{size, result.hit_ratio()};
+  });
 }
 
 }  // namespace appstore::cache

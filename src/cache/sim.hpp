@@ -51,9 +51,13 @@ struct SweepPoint {
   double hit_ratio = 0.0;
 };
 
+/// One independent simulation task per cache size (each size owns a private
+/// policy instance over the shared read-only stream), so the sweep
+/// parallelizes across sizes; results are identical at every thread count.
+/// `threads`: 0 = hardware_concurrency.
 [[nodiscard]] std::vector<SweepPoint> sweep_cache_sizes(
     PolicyKind kind, std::span<const std::size_t> sizes,
     std::span<const models::Request> requests, std::vector<std::uint32_t> app_category = {},
-    std::uint64_t seed = 0, obs::Registry* metrics = nullptr);
+    std::uint64_t seed = 0, obs::Registry* metrics = nullptr, std::size_t threads = 0);
 
 }  // namespace appstore::cache

@@ -6,6 +6,7 @@
 
 #include "affinity/strings.hpp"
 #include "models/stream.hpp"
+#include "par/parallel.hpp"
 
 namespace appstore::core {
 
@@ -85,13 +86,23 @@ market::DatasetSummary EcosystemStudy::dataset_summary() const {
   return market::summarize(store().name(), series);
 }
 
-CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::PolicyKind policy,
-                             std::uint64_t seed, obs::Registry* metrics) {
-  // §7 setup: 60,000 apps in 30 categories, 600,000 users, 2M downloads,
-  // zr = 1.7, zc = 1.4, p = 0.9; cache sizes 1%..20% of apps.
+namespace {
+
+/// §7 setup: 60,000 apps in 30 categories, 600,000 users, 2M downloads,
+/// zr = 1.7, zc = 1.4, p = 0.9; cache sizes 1%..20% of apps.
+struct Fig19Workload {
   models::ModelParams params;
-  params.app_count = static_cast<std::uint32_t>(std::max(100.0, 60'000.0 * scale));
-  params.user_count = static_cast<std::uint64_t>(std::max(100.0, 600'000.0 * scale));
+  std::vector<models::Request> stream;
+  std::vector<std::uint32_t> app_category;
+  std::vector<std::size_t> sizes;
+};
+
+[[nodiscard]] Fig19Workload fig19_workload(models::ModelKind kind,
+                                           const CacheStudyOptions& options) {
+  Fig19Workload workload;
+  models::ModelParams& params = workload.params;
+  params.app_count = static_cast<std::uint32_t>(std::max(100.0, 60'000.0 * options.scale));
+  params.user_count = static_cast<std::uint64_t>(std::max(100.0, 600'000.0 * options.scale));
   params.downloads_per_user = 2'000'000.0 / 600'000.0;
   params.zr = 1.7;
   params.zc = 1.4;
@@ -99,25 +110,80 @@ CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::Policy
   params.cluster_count = 30;
 
   const auto model = models::make_model(kind, params);
-  util::Rng rng(seed);
-  const auto stream = models::generate_stream(*model, rng, models::StreamOptions{.metrics = metrics});
+  util::Rng rng(options.seed);
+  workload.stream = models::generate_stream(
+      *model, rng,
+      models::StreamOptions{.metrics = options.metrics, .threads = options.threads});
 
-  std::vector<std::uint32_t> app_category(params.app_count);
+  workload.app_category.resize(params.app_count);
   for (std::uint32_t a = 0; a < params.app_count; ++a) {
-    app_category[a] = a % params.cluster_count;  // round-robin layout
+    workload.app_category[a] = a % params.cluster_count;  // round-robin layout
   }
 
-  std::vector<std::size_t> sizes;
   for (int percent = 1; percent <= 20; ++percent) {
-    sizes.push_back(std::max<std::size_t>(
+    workload.sizes.push_back(std::max<std::size_t>(
         1, static_cast<std::size_t>(params.app_count) * static_cast<std::size_t>(percent) /
                100));
   }
+  return workload;
+}
 
+}  // namespace
+
+CacheStudyResult cache_study(models::ModelKind kind, const CacheStudyOptions& options) {
+  const Fig19Workload workload = fig19_workload(kind, options);
   CacheStudyResult result;
   result.model = kind;
-  result.points = cache::sweep_cache_sizes(policy, sizes, stream, app_category, seed, metrics);
+  result.points =
+      cache::sweep_cache_sizes(options.policy, workload.sizes, workload.stream,
+                               workload.app_category, options.seed, options.metrics,
+                               options.threads);
   return result;
+}
+
+CacheStudyResult cache_study(models::ModelKind kind, double scale, cache::PolicyKind policy,
+                             std::uint64_t seed, obs::Registry* metrics) {
+  return cache_study(kind, CacheStudyOptions{.scale = scale,
+                                             .policy = policy,
+                                             .seed = seed,
+                                             .metrics = metrics});
+}
+
+std::vector<PolicyStudyResult> cache_policy_study(models::ModelKind kind,
+                                                  std::span<const cache::PolicyKind> policies,
+                                                  const CacheStudyOptions& options) {
+  const Fig19Workload workload = fig19_workload(kind, options);
+  const std::size_t size_count = workload.sizes.size();
+
+  // One simulation task per policy×size cell over the shared stream (the
+  // stream is generated once, not once per policy).
+  const par::Options par_options{.threads = options.threads, .grain = 1,
+                                 .metrics = options.metrics};
+  const std::vector<double> ratios = par::parallel_map<double>(
+      policies.size() * size_count, par_options, [&](std::uint64_t task) {
+        const cache::PolicyKind policy = policies[static_cast<std::size_t>(task / size_count)];
+        const std::size_t size = workload.sizes[static_cast<std::size_t>(task % size_count)];
+        const auto instance =
+            cache::make_policy(policy, size, workload.app_category, options.seed);
+        return cache::simulate(*instance, workload.stream,
+                               cache::SimOptions{.warm_top_n = size,
+                                                 .metrics = options.metrics})
+            .hit_ratio();
+      });
+
+  std::vector<PolicyStudyResult> results;
+  results.reserve(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    PolicyStudyResult result;
+    result.policy = policies[p];
+    result.points.reserve(size_count);
+    for (std::size_t s = 0; s < size_count; ++s) {
+      result.points.push_back(
+          cache::SweepPoint{workload.sizes[s], ratios[p * size_count + s]});
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace appstore::core

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,10 +88,39 @@ struct CacheStudyResult {
   std::vector<cache::SweepPoint> points;
 };
 
-/// `metrics`, when set, receives the model-layer draw counters and the
-/// per-policy cache hit/miss/eviction families for the whole sweep.
+/// Options for cache_study / cache_policy_study (the Options-struct API).
+struct CacheStudyOptions {
+  /// Fraction of the paper's 60k-app / 600k-user §7 setup.
+  double scale = 0.05;
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  std::uint64_t seed = 0x5eed;
+  /// Receives the model-layer draw counters, the per-policy cache
+  /// hit/miss/eviction families and the par_* families.
+  obs::Registry* metrics = nullptr;
+  /// Worker threads for stream generation and the size/policy sweeps;
+  /// 0 = hardware_concurrency. Results are thread-count-invariant.
+  std::size_t threads = 0;
+};
+
+[[nodiscard]] CacheStudyResult cache_study(models::ModelKind kind,
+                                           const CacheStudyOptions& options);
+
+/// Deprecated positional form; forwards to the CacheStudyOptions overload.
 [[nodiscard]] CacheStudyResult cache_study(models::ModelKind kind, double scale,
                                            cache::PolicyKind policy, std::uint64_t seed,
                                            obs::Registry* metrics = nullptr);
+
+/// Multi-policy ablation over ONE shared request stream: the stream for
+/// `kind` is generated once (in parallel) and every policy×size simulation
+/// runs as its own task. `options.policy` is ignored; results are returned
+/// in `policies` order with identical values at every thread count.
+struct PolicyStudyResult {
+  cache::PolicyKind policy;
+  std::vector<cache::SweepPoint> points;
+};
+
+[[nodiscard]] std::vector<PolicyStudyResult> cache_policy_study(
+    models::ModelKind kind, std::span<const cache::PolicyKind> policies,
+    const CacheStudyOptions& options);
 
 }  // namespace appstore::core

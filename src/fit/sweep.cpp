@@ -8,6 +8,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
 #include "stats/distance.hpp"
 #include "util/logging.hpp"
 
@@ -63,6 +64,12 @@ FitResult fit_model(models::ModelKind kind, std::span<const double> measured_by_
   const auto& p_grid = clustering ? options.p_grid : unit;
   const auto& zc_grid = clustering ? options.zc_grid : unit;
 
+  // Candidate cells in grid order; evaluated one task per cell. Each cell
+  // builds its own model and uses the same seed the serial sweep would, so
+  // per-cell distances — and therefore the selected minimum — are identical
+  // at every thread count.
+  std::vector<models::ModelParams> candidates;
+  candidates.reserve(options.zr_grid.size() * p_grid.size() * zc_grid.size());
   for (const double zr : options.zr_grid) {
     for (const double p : p_grid) {
       for (const double zc : zc_grid) {
@@ -70,23 +77,84 @@ FitResult fit_model(models::ModelKind kind, std::span<const double> measured_by_
         params.zr = zr;
         params.p = p;
         params.zc = zc;
-        const auto model = models::make_model(kind, params);
-
-        std::vector<double> simulated;
-        const double distance = evaluate_distance(*model, measured_by_rank, options.seed,
-                                                  options.analytic, &simulated);
-        result.all.push_back(Candidate{params, distance});
-        util::log_debug(kComponent, "{} zr={} p={} zc={} -> distance {:.4f}",
-                        to_string(kind), zr, p, zc, distance);
-        if (distance < result.distance) {
-          result.distance = distance;
-          result.best = params;
-          result.simulated_by_rank = std::move(simulated);
-        }
+        candidates.push_back(params);
       }
     }
   }
+
+  if (candidates.empty()) return result;
+
+  const par::Options par_options{.threads = options.threads, .grain = 1};
+  const std::vector<double> distances = par::parallel_map<double>(
+      candidates.size(), par_options, [&](std::uint64_t i) {
+        const auto model = models::make_model(kind, candidates[i]);
+        return evaluate_distance(*model, measured_by_rank, options.seed, options.analytic);
+      });
+
+  result.all.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const models::ModelParams& params = candidates[i];
+    result.all.push_back(Candidate{params, distances[i]});
+    util::log_debug(kComponent, "{} zr={} p={} zc={} -> distance {:.4f}", to_string(kind),
+                    params.zr, params.p, params.zc, distances[i]);
+    if (distances[i] < result.distance) {
+      result.distance = distances[i];
+      result.best = params;
+    }
+  }
+  // Re-simulate only the winning cell for its rank curve (same seed: the
+  // realization matches the one the sweep scored).
+  const auto best_model = models::make_model(kind, result.best);
+  (void)evaluate_distance(*best_model, measured_by_rank, options.seed, options.analytic,
+                          &result.simulated_by_rank);
   return result;
+}
+
+std::vector<UsersSweepPoint> sweep_users(models::ModelKind kind,
+                                         std::span<const double> measured_by_rank,
+                                         const models::ModelParams& params,
+                                         std::span<const double> user_ratios,
+                                         const UsersSweepOptions& options) {
+  if (measured_by_rank.empty()) throw std::invalid_argument("sweep_users: empty target");
+  const double top_downloads = measured_by_rank.front();
+  const double total = measured_total(measured_by_rank);
+  const std::uint32_t runs = options.analytic ? 1 : std::max<std::uint32_t>(1, options.replicates);
+
+  // One task per (ratio, replicate): replicates of the slowest ratio spread
+  // across threads instead of serializing behind it.
+  const std::uint64_t task_count = user_ratios.size() * runs;
+  const par::Options par_options{.threads = options.threads, .grain = 1};
+  const std::vector<double> distances = par::parallel_map<double>(
+      task_count, par_options, [&](std::uint64_t task) {
+        const double ratio = user_ratios[static_cast<std::size_t>(task / runs)];
+        const auto replicate = static_cast<std::uint32_t>(task % runs);
+        const auto users =
+            std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ratio * top_downloads));
+        models::ModelParams candidate = params;
+        candidate.app_count = static_cast<std::uint32_t>(measured_by_rank.size());
+        candidate.user_count = users;
+        candidate.downloads_per_user = total / static_cast<double>(users);
+        std::unique_ptr<models::DownloadModel> model;
+        if (kind == models::ModelKind::kAppClustering && options.layout != nullptr) {
+          model = std::make_unique<models::AppClusteringModel>(candidate, *options.layout);
+        } else {
+          model = models::make_model(kind, candidate);
+        }
+        return evaluate_distance(*model, measured_by_rank, options.seed + replicate,
+                                 options.analytic);
+      });
+
+  std::vector<UsersSweepPoint> points;
+  points.reserve(user_ratios.size());
+  for (std::size_t i = 0; i < user_ratios.size(); ++i) {
+    const double ratio = user_ratios[i];
+    const auto users =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ratio * top_downloads));
+    double distance = 0.0;
+    for (std::uint32_t r = 0; r < runs; ++r) distance += distances[i * runs + r];
+    points.push_back(UsersSweepPoint{ratio, users, distance / runs});
+  }
+  return points;
 }
 
 std::vector<UsersSweepPoint> sweep_users(models::ModelKind kind,
@@ -96,37 +164,11 @@ std::vector<UsersSweepPoint> sweep_users(models::ModelKind kind,
                                          std::uint64_t seed, bool analytic,
                                          std::uint32_t replicates,
                                          const models::ClusterLayout* layout) {
-  if (measured_by_rank.empty()) throw std::invalid_argument("sweep_users: empty target");
-  const double top_downloads = measured_by_rank.front();
-  const double total = measured_total(measured_by_rank);
-
-  std::vector<UsersSweepPoint> points;
-  points.reserve(user_ratios.size());
-  for (const double ratio : user_ratios) {
-    const auto users =
-        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ratio * top_downloads));
-    models::ModelParams candidate = params;
-    candidate.app_count = static_cast<std::uint32_t>(measured_by_rank.size());
-    candidate.user_count = users;
-    candidate.downloads_per_user = total / static_cast<double>(users);
-    std::unique_ptr<models::DownloadModel> model;
-    if (kind == models::ModelKind::kAppClustering && layout != nullptr) {
-      model = std::make_unique<models::AppClusteringModel>(candidate, *layout);
-    } else {
-      model = models::make_model(kind, candidate);
-    }
-    double distance = 0.0;
-    const std::uint32_t runs = std::max<std::uint32_t>(1, replicates);
-    for (std::uint32_t r = 0; r < runs; ++r) {
-      distance += evaluate_distance(*model, measured_by_rank, seed + r, analytic);
-      if (analytic) {  // deterministic: one evaluation suffices
-        distance *= runs;
-        break;
-      }
-    }
-    points.push_back(UsersSweepPoint{ratio, users, distance / runs});
-  }
-  return points;
+  return sweep_users(kind, measured_by_rank, params, user_ratios,
+                     UsersSweepOptions{.seed = seed,
+                                       .analytic = analytic,
+                                       .replicates = replicates,
+                                       .layout = layout});
 }
 
 }  // namespace appstore::fit

@@ -38,6 +38,11 @@ struct SweepOptions {
   /// Evaluate candidates with the analytic expectation instead of a Monte
   /// Carlo run — ~100x faster, slightly optimistic about noise.
   bool analytic = false;
+  /// Worker threads for the grid sweep (one task per (zr, p, zc) cell);
+  /// 0 = hardware_concurrency. Every cell is evaluated with the same seed as
+  /// the serial sweep, so the selected cell and distances are identical at
+  /// every thread count.
+  std::size_t threads = 0;
 };
 
 /// Fits one model family to the measured curve. `users` and
@@ -58,14 +63,31 @@ struct UsersSweepPoint {
   double distance = 0.0;
 };
 
-/// `replicates` > 1 averages the distance over several Monte Carlo seeds
-/// (seed, seed+1, ...) — the Eq.-6 distance of a single realization is noisy
-/// enough near the minimum to shuffle the best ratio otherwise.
-/// `layout` (optional) supplies the store's actual app-to-category layout
-/// for APP-CLUSTERING candidates; without it a round-robin layout with
-/// params.cluster_count equal clusters is used. Matching the real category
-/// sizes matters here: an equal-cluster model widens the fetch-at-most-once
-/// head plateau and biases the preferred user count upward.
+/// Options for sweep_users. `replicates` > 1 averages the distance over
+/// several Monte Carlo seeds (seed, seed+1, ...) — the Eq.-6 distance of a
+/// single realization is noisy enough near the minimum to shuffle the best
+/// ratio otherwise. `layout` (optional) supplies the store's actual
+/// app-to-category layout for APP-CLUSTERING candidates; without it a
+/// round-robin layout with params.cluster_count equal clusters is used.
+/// Matching the real category sizes matters here: an equal-cluster model
+/// widens the fetch-at-most-once head plateau and biases the preferred user
+/// count upward.
+struct UsersSweepOptions {
+  std::uint64_t seed = 0x5eed;
+  bool analytic = false;
+  std::uint32_t replicates = 1;
+  const models::ClusterLayout* layout = nullptr;
+  /// Worker threads (one task per (ratio, replicate) evaluation); 0 = all
+  /// cores. Results are identical at every thread count.
+  std::size_t threads = 0;
+};
+
+[[nodiscard]] std::vector<UsersSweepPoint> sweep_users(
+    models::ModelKind kind, std::span<const double> measured_by_rank,
+    const models::ModelParams& params, std::span<const double> user_ratios,
+    const UsersSweepOptions& options);
+
+/// Deprecated positional form; forwards to the UsersSweepOptions overload.
 [[nodiscard]] std::vector<UsersSweepPoint> sweep_users(
     models::ModelKind kind, std::span<const double> measured_by_rank,
     const models::ModelParams& params, std::span<const double> user_ratios,

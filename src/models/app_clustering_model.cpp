@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "models/zipf_amo_model.hpp"  // FetchedSet, draw_unfetched
 
@@ -96,14 +97,21 @@ AppClusteringModel::AppClusteringModel(ModelParams params, ClusterLayout layout)
   }
   params_.cluster_count = layout_.cluster_count();
   global_ = std::make_shared<const stats::ZipfSampler>(params_.app_count, params_.zr);
+  // Eager per-size Zc samplers: a layout has few distinct cluster sizes
+  // (round-robin: at most two), and building them here keeps the model
+  // immutable — concurrent sessions share it without synchronization.
+  for (const auto& members : layout_.all_members()) {
+    const auto size = static_cast<std::uint32_t>(members.size());
+    if (size == 0 || by_size_.contains(size)) continue;
+    by_size_.emplace(size, std::make_unique<const stats::ZipfSampler>(size, params_.zc));
+  }
 }
 
 const stats::ZipfSampler& AppClusteringModel::sampler_for_size(std::uint32_t size) const {
-  auto it = by_size_.find(size);
+  const auto it = by_size_.find(size);
   if (it == by_size_.end()) {
-    it = by_size_
-             .emplace(size, std::make_unique<const stats::ZipfSampler>(size, params_.zc))
-             .first;
+    throw std::invalid_argument("AppClusteringModel: no cluster of size " +
+                                std::to_string(size));
   }
   return *it->second;
 }

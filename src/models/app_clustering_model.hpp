@@ -24,9 +24,11 @@
 
 namespace appstore::models {
 
-/// Not thread-safe: the per-size Zc sampler cache is built lazily on first
-/// use (sampler_for_size), so concurrent sessions of the SAME model instance
-/// require external synchronization or one model instance per thread.
+/// Thread-safe for shared use: every per-size Zc sampler is built eagerly in
+/// the constructor (a layout has few distinct sizes — round-robin has at most
+/// two), so the model is immutable after construction and concurrent sessions
+/// of the SAME instance need no synchronization. Sessions themselves stay
+/// single-user/single-thread.
 class AppClusteringModel final : public DownloadModel {
  public:
   /// `layout.app_count()` must equal `params.app_count`. `params.cluster_count`
@@ -48,15 +50,16 @@ class AppClusteringModel final : public DownloadModel {
   /// Global ZG sampler (shared by sessions).
   [[nodiscard]] const stats::ZipfSampler& global_sampler() const noexcept { return *global_; }
 
-  /// Per-cluster Zc samplers, shared by size (round-robin layouts have at
-  /// most two distinct sizes; arbitrary layouts stay cheap via the cache).
+  /// Per-cluster Zc sampler for a cluster size occurring in the layout
+  /// (shared by size; built eagerly at construction). Throws
+  /// std::invalid_argument for a size no cluster has.
   [[nodiscard]] const stats::ZipfSampler& sampler_for_size(std::uint32_t size) const;
 
  private:
   ModelParams params_;
   ClusterLayout layout_;
   std::shared_ptr<const stats::ZipfSampler> global_;
-  mutable std::map<std::uint32_t, std::unique_ptr<const stats::ZipfSampler>> by_size_;
+  std::map<std::uint32_t, std::unique_ptr<const stats::ZipfSampler>> by_size_;
 };
 
 }  // namespace appstore::models

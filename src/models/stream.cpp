@@ -1,8 +1,11 @@
 #include "models/stream.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <memory>
+
+#include "par/parallel.hpp"
 
 namespace appstore::models {
 
@@ -20,32 +23,79 @@ std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t max_requests = options.max_requests;
   const ModelParams& params = model.params();
+  const std::uint64_t users = params.user_count;
 
-  // Slot multiset: user u appears once per download it will make. The cap is
-  // applied AFTER shuffling so that truncation drops a uniform sample of
-  // slots instead of silencing the later users entirely.
+  // One master draw seeds every user's derived stream; the shuffle below
+  // still consumes the caller's rng directly. Both are thread-count
+  // independent, so the stream is a pure function of (rng state, threads
+  // notwithstanding).
+  const std::uint64_t base = rng();
+  const par::Options par_options{.threads = options.threads, .metrics = options.metrics};
+
+  // Phase 1 (parallel): realized download count per user — the first draw of
+  // each user's derived stream (the sequence draws continue from it later).
+  std::vector<std::uint32_t> realized(users);
+  par::parallel_for(users, par_options, [&](std::uint64_t user) {
+    util::Rng user_rng = util::rng::derive(base, user);
+    realized[user] = static_cast<std::uint32_t>(DownloadModel::realized_downloads(
+        params.downloads_per_user, params.app_count, user_rng));
+  });
+
+  // Phase 2 (serial): slot multiset — user u appears once per download. The
+  // cap is applied AFTER shuffling so that truncation drops a uniform sample
+  // of slots instead of silencing the later users entirely.
   std::vector<std::uint32_t> slots;
   slots.reserve(static_cast<std::size_t>(params.total_downloads() * 1.01) + 16);
-  for (std::uint64_t user = 0; user < params.user_count; ++user) {
-    const std::uint64_t count =
-        DownloadModel::realized_downloads(params.downloads_per_user, params.app_count, rng);
-    for (std::uint64_t k = 0; k < count; ++k) {
+  for (std::uint64_t user = 0; user < users; ++user) {
+    for (std::uint32_t k = 0; k < realized[user]; ++k) {
       slots.push_back(static_cast<std::uint32_t>(user));
     }
   }
   rng.shuffle(std::span<std::uint32_t>(slots));
   if (slots.size() > max_requests) slots.resize(max_requests);
 
-  // Sessions are created lazily: with a request cap many users never arrive.
-  std::vector<std::unique_ptr<Session>> sessions(params.user_count);
+  // Surviving downloads per user: with a request cap, most users need fewer
+  // (often zero) sequence entries than they realized.
+  std::vector<std::uint32_t> needed(users, 0);
+  if (slots.size() < max_requests) {
+    needed = realized;  // no truncation: every realized slot survived
+  } else {
+    for (const std::uint32_t user : slots) ++needed[user];
+  }
 
+  // Flat per-user sequence storage: user u owns [offsets[u], offsets[u+1]).
+  std::vector<std::uint64_t> offsets(users + 1, 0);
+  for (std::uint64_t user = 0; user < users; ++user) {
+    offsets[user + 1] = offsets[user] + needed[user];
+  }
+
+  // Phase 3 (parallel): per-user download sequences. Each user replays its
+  // derived stream (count draw first, then session draws), so the sequence
+  // is independent of sharding. `generated[u]` can fall short of needed[u]
+  // only if the session exhausts the whole store.
+  std::vector<std::uint32_t> sequence(offsets[users]);
+  std::vector<std::uint32_t> generated(users, 0);
+  par::parallel_for(users, par_options, [&](std::uint64_t user) {
+    if (needed[user] == 0) return;
+    util::Rng user_rng = util::rng::derive(base, user);
+    (void)DownloadModel::realized_downloads(params.downloads_per_user, params.app_count,
+                                            user_rng);  // re-consume the count draw
+    const auto session = model.new_session();
+    std::uint32_t produced = 0;
+    while (produced < needed[user] && !session->exhausted()) {
+      sequence[offsets[user] + produced] = session->next(user_rng);
+      ++produced;
+    }
+    generated[user] = produced;
+  });
+
+  // Phase 4 (serial): replay the shuffled slots against the sequences.
   std::vector<Request> stream;
   stream.reserve(slots.size());
+  std::vector<std::uint32_t> cursor(users, 0);
   for (const std::uint32_t user : slots) {
-    auto& session = sessions[user];
-    if (!session) session = model.new_session();
-    if (session->exhausted()) continue;
-    stream.push_back(Request{user, session->next(rng)});
+    if (cursor[user] >= generated[user]) continue;  // session exhausted early
+    stream.push_back(Request{user, sequence[offsets[user] + cursor[user]++]});
   }
 
   if (options.metrics != nullptr) {

@@ -4,10 +4,16 @@
 // all users, not per-user batches: LRU behaviour depends on how one user's
 // category-local bursts interleave with everyone else's. We realize the
 // arrival order by building the multiset of download slots (user u appears
-// once per download it will make), shuffling it, and advancing each user's
-// model session one step per slot. Per-user history dependence (fetch-at-
+// once per download it will make), shuffling it, and replaying it against
+// per-user download sequences. Per-user history dependence (fetch-at-
 // most-once, cluster affinity) is preserved; arrival order is exchangeable
 // across users.
+//
+// Parallel + deterministic: each user's sequence is generated from its own
+// derived RNG (util::rng::derive(base, user)), users are sharded statically
+// across threads, and the slot multiset is shuffled by the caller's RNG.
+// The output is therefore bit-identical for a fixed (rng state, seed) at
+// EVERY thread count — threads only change which CPU generates a user.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +37,12 @@ struct StreamOptions {
   std::uint64_t max_requests = UINT64_MAX;
   /// Optional metrics sink: records model_draws_total{<model name>},
   /// model_generate_seconds{<name>} and the model_draws_per_second{<name>}
-  /// gauge for each generation run.
+  /// gauge for each generation run (plus the par_* families when the
+  /// generation runs sharded).
   obs::Registry* metrics = nullptr;
+  /// Worker threads for per-user sequence generation; 0 = hardware
+  /// concurrency. The stream content does not depend on this value.
+  std::size_t threads = 0;
 };
 
 /// Generates the full interleaved stream for `model`. The number of requests

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 namespace appstore::models {
@@ -16,16 +17,17 @@ struct Workload {
   std::vector<std::vector<std::uint32_t>> user_sequences;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
-    std::uint64_t sum = 0;
-    for (const auto d : downloads) sum += d;
-    return sum;
+    return std::reduce(downloads.begin(), downloads.end(), std::uint64_t{0});
   }
 
   /// Download counts as doubles in app-index order (NOT re-sorted): the
   /// comparison against measured data in Fig. 8 matches app identity — both
   /// curves are indexed by the app's true global popularity rank.
   [[nodiscard]] std::vector<double> counts() const {
-    return {downloads.begin(), downloads.end()};
+    std::vector<double> result;
+    result.reserve(downloads.size());
+    result.assign(downloads.begin(), downloads.end());
+    return result;
   }
 
   /// Download counts sorted descending (empirical rank–download curve).

@@ -1,0 +1,46 @@
+#include "par/parallel.hpp"
+
+#include <algorithm>
+
+namespace appstore::par {
+
+ShardPlan plan_shards(std::uint64_t count, const Options& options) noexcept {
+  ShardPlan plan;
+  if (count == 0) return plan;
+  const auto threads = static_cast<std::uint64_t>(resolve_threads(options.threads));
+  plan.grain = options.grain != 0 ? options.grain : std::max<std::uint64_t>(1, count / (threads * 8));
+  plan.shard_count = static_cast<std::size_t>((count + plan.grain - 1) / plan.grain);
+  return plan;
+}
+
+void for_shards(std::uint64_t count, const Options& options,
+                const std::function<void(std::uint64_t, std::uint64_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const ShardPlan plan = plan_shards(count, options);
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
+
+  if (options.metrics != nullptr) {
+    obs::Registry& registry = *options.metrics;
+    registry.counter("par_tasks_total").inc();
+    registry.counter("par_shards_total").inc(plan.shard_count);
+    // Backlog at dispatch: every shard but the ones the participants grab
+    // immediately starts queued. A cheap, honest load signal.
+    registry.gauge("par_pool_queue_depth")
+        .set(static_cast<double>(plan.shard_count > pool.thread_count()
+                                     ? plan.shard_count - pool.thread_count()
+                                     : 0));
+  }
+
+  pool.for_shards(
+      plan.shard_count,
+      [&](std::size_t shard) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(shard) * plan.grain;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + plan.grain, count);
+        body(begin, end, shard);
+      },
+      options.threads);
+
+  if (options.metrics != nullptr) options.metrics->gauge("par_pool_queue_depth").set(0.0);
+}
+
+}  // namespace appstore::par

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "par/parallel.hpp"
 #include "stats/descriptive.hpp"
 
 namespace appstore::stats {
@@ -14,20 +15,29 @@ Interval normal_ci(std::span<const double> sample, double z) {
 }
 
 Interval bootstrap_mean_ci(std::span<const double> sample, util::Rng& rng,
-                           std::size_t resamples, double confidence) {
-  if (sample.empty()) return Interval{};
-  std::vector<double> means;
-  means.reserve(resamples);
-  for (std::size_t r = 0; r < resamples; ++r) {
-    double total = 0.0;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
-      total += sample[static_cast<std::size_t>(rng.below(sample.size()))];
-    }
-    means.push_back(total / static_cast<double>(sample.size()));
-  }
+                           const BootstrapOptions& options) {
+  if (sample.empty() || options.resamples == 0) return Interval{};
+  const std::uint64_t base = rng();
+  const par::Options par_options{.threads = options.threads,
+                                 .metrics = options.metrics};
+  std::vector<double> means = par::parallel_map<double>(
+      options.resamples, par_options, [&](std::uint64_t replicate) {
+        util::Rng replicate_rng = util::rng::derive(base, replicate);
+        double total = 0.0;
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+          total += sample[static_cast<std::size_t>(replicate_rng.below(sample.size()))];
+        }
+        return total / static_cast<double>(sample.size());
+      });
   std::sort(means.begin(), means.end());
-  const double alpha = (1.0 - confidence) / 2.0;
+  const double alpha = (1.0 - options.confidence) / 2.0;
   return Interval{quantile_sorted(means, alpha), quantile_sorted(means, 1.0 - alpha)};
+}
+
+Interval bootstrap_mean_ci(std::span<const double> sample, util::Rng& rng,
+                           std::size_t resamples, double confidence) {
+  return bootstrap_mean_ci(sample, rng,
+                           BootstrapOptions{.resamples = resamples, .confidence = confidence});
 }
 
 }  // namespace appstore::stats

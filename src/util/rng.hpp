@@ -125,6 +125,28 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
+namespace rng {
+
+/// Derives an independent child seed for shard/entity `shard_id` from a base
+/// seed, via two decorrelated splitmix64 mixes. Pure function: the same
+/// (seed, shard_id) always yields the same child seed, so parallel code can
+/// hand every shard its own reproducible stream regardless of how shards are
+/// scheduled across threads.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t shard_id) noexcept {
+  std::uint64_t state = seed;
+  const std::uint64_t mixed_seed = splitmix64(state);
+  state ^= (shard_id + 1) * 0xbf58476d1ce4e5b9ULL;
+  return mixed_seed ^ splitmix64(state);
+}
+
+/// Ready-to-use generator for shard `shard_id` (see derive_seed).
+[[nodiscard]] constexpr Rng derive(std::uint64_t seed, std::uint64_t shard_id) noexcept {
+  return Rng{derive_seed(seed, shard_id)};
+}
+
+}  // namespace rng
+
 /// Stable 64-bit hash of a string (FNV-1a); used to derive per-entity seeds.
 [[nodiscard]] std::uint64_t hash64(std::string_view text) noexcept;
 
