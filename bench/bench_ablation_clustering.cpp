@@ -28,9 +28,10 @@ Signature measure(const models::AppClusteringModel& model, std::uint64_t seed) {
   std::uint64_t same = 0;
   std::uint64_t pairs = 0;
   const auto& layout = model.layout();
-  for (const auto& sequence : workload.user_sequences) {
+  for (std::uint32_t u = 0; u < workload.sequences.user_count(); ++u) {
+    const auto sequence = workload.sequence_view(u);
     for (std::size_t i = 1; i < sequence.size(); ++i) {
-      same += layout.cluster_of(sequence[i]) == layout.cluster_of(sequence[i - 1]) ? 1 : 0;
+      same += layout.cluster_of(sequence[i].app) == layout.cluster_of(sequence[i - 1].app) ? 1 : 0;
       ++pairs;
     }
   }

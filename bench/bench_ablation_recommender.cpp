@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t a = 0; a < params.app_count; ++a) {
     dataset.app_category[a] = layout.cluster_of(a);
   }
-  dataset.user_sequences = workload.user_sequences;
+  dataset.user_sequences = workload.user_sequences();
 
   std::vector<std::uint32_t> held_out;
   const recommend::Dataset truncated = recommend::leave_last_out(dataset, held_out);

@@ -15,7 +15,10 @@
 #include "affinity/metric.hpp"
 #include "cache/policy.hpp"
 #include "crawler/json.hpp"
+#include "events/event_log.hpp"
 #include "fit/sweep.hpp"
+#include "market/store.hpp"
+#include "synth/generator.hpp"
 #include "models/app_clustering_model.hpp"
 #include "models/stream.hpp"
 #include "models/zipf_amo_model.hpp"
@@ -166,6 +169,60 @@ void BM_HistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(histogram.count());
 }
 BENCHMARK(BM_HistogramObserve);
+
+// ---- columnar event-log access ---------------------------------------------
+// AoS materialization vs zero-copy CSR views over the same comment log. The
+// acceptance bound for the events spine is CSR throughput >= 2x materialize.
+
+/// Seeded Anzhi-profile store with comments, built once and shared by the
+/// event-access benches (generation dominates otherwise).
+const market::AppStore& event_bench_store() {
+  static const auto generated = [] {
+    synth::GeneratorConfig config;
+    config.app_scale = 0.02;
+    config.download_scale = 2e-5;
+    config.comments = true;
+    synth::StoreProfile profile = synth::anzhi();
+    profile.commenter_fraction = 0.3;
+    return synth::generate(profile, config);
+  }();
+  return *generated.store;
+}
+
+void BM_CommentStreamsMaterialize(benchmark::State& state) {
+  const market::AppStore& store = event_bench_store();
+  const std::uint64_t events = store.comment_log().size();
+  for (auto _ : state) {
+    // Full AoS copy of the log into per-user vectors, then one read pass.
+    const auto streams = store.comment_streams();
+    std::uint64_t rating_sum = 0;
+    for (const auto& stream : streams) {
+      for (const auto& event : stream) rating_sum += event.rating;
+    }
+    benchmark::DoNotOptimize(rating_sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * events));
+}
+BENCHMARK(BM_CommentStreamsMaterialize);
+
+void BM_CommentStreamsCsrView(benchmark::State& state) {
+  const market::AppStore& store = event_bench_store();
+  const events::EventLog& log = store.comment_log();
+  const std::uint64_t events = log.size();
+  for (auto _ : state) {
+    // Same read pass through zero-copy CSR views: no allocation, no copy.
+    std::uint64_t rating_sum = 0;
+    for (std::uint32_t u = 0; u < log.user_count(); ++u) {
+      for (const auto event : log.stream(u)) rating_sum += event.rating;
+    }
+    benchmark::DoNotOptimize(rating_sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * events));
+  state.counters["bytes_per_event"] =
+      events == 0 ? 0.0
+                  : static_cast<double>(log.bytes()) / static_cast<double>(events);
+}
+BENCHMARK(BM_CommentStreamsCsrView);
 
 // ---- src/par scaling sweeps ------------------------------------------------
 // Each bench takes the worker-thread count as its argument. Outputs are

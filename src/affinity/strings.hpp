@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "events/event_log.hpp"
 #include "market/events.hpp"
 
 namespace appstore::affinity {
@@ -32,6 +33,10 @@ namespace appstore::affinity {
 /// Comments without a rating are skipped (§4: a rating is the download signal).
 [[nodiscard]] std::vector<std::uint32_t> app_string(
     std::span<const market::CommentEvent> stream);
+
+/// Same, over a zero-copy per-user view of an indexed comment EventLog
+/// (AppStore::comment_stream) — no per-user event vector is materialized.
+[[nodiscard]] std::vector<std::uint32_t> app_string(events::UserStreamView stream);
 
 /// Maps an app string to its category string via app→category lookup.
 [[nodiscard]] std::vector<std::uint32_t> category_string(

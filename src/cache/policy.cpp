@@ -114,8 +114,9 @@ bool RandomCache::access(std::uint32_t app) {
 
 // ---- CLUSTER-LRU -------------------------------------------------------------
 
-ClusterLruCache::ClusterLruCache(std::size_t capacity, std::vector<std::uint32_t> app_category)
-    : capacity_(capacity), app_category_(std::move(app_category)) {
+ClusterLruCache::ClusterLruCache(std::size_t capacity,
+                                 std::span<const std::uint32_t> app_category)
+    : capacity_(capacity), app_category_(app_category.begin(), app_category.end()) {
   if (capacity == 0) throw std::invalid_argument("ClusterLruCache: zero capacity");
   std::uint32_t categories = 0;
   for (const auto category : app_category_) categories = std::max(categories, category + 1);
@@ -183,7 +184,7 @@ std::string_view to_string(PolicyKind kind) noexcept {
 }
 
 std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, std::size_t capacity,
-                                         std::vector<std::uint32_t> app_category,
+                                         std::span<const std::uint32_t> app_category,
                                          std::uint64_t seed) {
   switch (kind) {
     case PolicyKind::kLru: return std::make_unique<LruCache>(capacity);
@@ -191,7 +192,7 @@ std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, std::size_t capacity,
     case PolicyKind::kLfu: return std::make_unique<LfuCache>(capacity);
     case PolicyKind::kRandom: return std::make_unique<RandomCache>(capacity, seed);
     case PolicyKind::kClusterLru:
-      return std::make_unique<ClusterLruCache>(capacity, std::move(app_category));
+      return std::make_unique<ClusterLruCache>(capacity, app_category);
   }
   throw std::invalid_argument("make_policy: unknown kind");
 }

@@ -138,8 +138,8 @@ class RandomCache final : public CachePolicy {
 /// clustering effect's damage to plain LRU.
 class ClusterLruCache final : public CachePolicy {
  public:
-  /// `app_category[a]` maps app a to its category.
-  ClusterLruCache(std::size_t capacity, std::vector<std::uint32_t> app_category);
+  /// `app_category[a]` maps app a to its category (copied into the cache).
+  ClusterLruCache(std::size_t capacity, std::span<const std::uint32_t> app_category);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "CLUSTER-LRU"; }
   [[nodiscard]] std::size_t capacity() const noexcept override { return capacity_; }
@@ -167,9 +167,10 @@ enum class PolicyKind : std::uint8_t { kLru, kFifo, kLfu, kRandom, kClusterLru }
 
 [[nodiscard]] std::string_view to_string(PolicyKind kind) noexcept;
 
-/// Factory; `app_category` is required for kClusterLru and ignored otherwise.
+/// Factory; `app_category` is required for kClusterLru and ignored otherwise
+/// (borrowed — copied only by the policies that keep it).
 [[nodiscard]] std::unique_ptr<CachePolicy> make_policy(
-    PolicyKind kind, std::size_t capacity, std::vector<std::uint32_t> app_category = {},
+    PolicyKind kind, std::size_t capacity, std::span<const std::uint32_t> app_category = {},
     std::uint64_t seed = 0);
 
 }  // namespace appstore::cache

@@ -5,10 +5,10 @@
 namespace appstore::cache {
 
 PrefetchingCache::PrefetchingCache(std::unique_ptr<CachePolicy> inner,
-                                   std::vector<std::uint32_t> app_category,
+                                   std::span<const std::uint32_t> app_category,
                                    std::size_t prefetch_per_hit)
     : inner_(std::move(inner)),
-      app_category_(std::move(app_category)),
+      app_category_(app_category.begin(), app_category.end()),
       prefetch_per_hit_(prefetch_per_hit) {
   if (!inner_) throw std::invalid_argument("PrefetchingCache: null inner policy");
   std::uint32_t categories = 0;

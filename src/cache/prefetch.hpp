@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/policy.hpp"
@@ -19,11 +20,13 @@ namespace appstore::cache {
 
 class PrefetchingCache final : public CachePolicy {
  public:
-  /// `app_category[a]` maps apps to categories; apps are assumed to be
-  /// indexed in global popularity order (index 0 = most popular), which
-  /// makes "most popular apps of a category" a precomputable list.
+  /// `app_category[a]` maps apps to categories (copied into the cache); apps
+  /// are assumed to be indexed in global popularity order (index 0 = most
+  /// popular), which makes "most popular apps of a category" a precomputable
+  /// list.
   PrefetchingCache(std::unique_ptr<CachePolicy> inner,
-                   std::vector<std::uint32_t> app_category, std::size_t prefetch_per_hit);
+                   std::span<const std::uint32_t> app_category,
+                   std::size_t prefetch_per_hit);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "PREFETCH"; }
   [[nodiscard]] std::size_t capacity() const noexcept override { return inner_->capacity(); }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/policy.hpp"
+#include "events/event_log.hpp"
 #include "models/stream.hpp"
 #include "obs/registry.hpp"
 
@@ -33,7 +34,19 @@ struct SimOptions {
   obs::Registry* metrics = nullptr;
 };
 
-/// Runs every request through the policy.
+/// Runs every requested app through the policy. The primary form: only the
+/// app id matters to a cache, so the request stream is just a column.
+[[nodiscard]] SimResult simulate(CachePolicy& policy, std::span<const std::uint32_t> apps,
+                                 const SimOptions& options);
+
+/// View adapter: simulates a columnar request stream (models::
+/// generate_stream_log) without materializing Request structs.
+[[nodiscard]] inline SimResult simulate(CachePolicy& policy, const events::EventLog& requests,
+                                        const SimOptions& options) {
+  return simulate(policy, requests.app(), options);
+}
+
+/// Runs every request through the policy (AoS request stream).
 [[nodiscard]] SimResult simulate(CachePolicy& policy,
                                  std::span<const models::Request> requests,
                                  const SimOptions& options);
@@ -54,10 +67,26 @@ struct SweepPoint {
 /// One independent simulation task per cache size (each size owns a private
 /// policy instance over the shared read-only stream), so the sweep
 /// parallelizes across sizes; results are identical at every thread count.
-/// `threads`: 0 = hardware_concurrency.
+/// `app_category` is borrowed for the sweep's duration (required for
+/// kClusterLru, ignored otherwise). `threads`: 0 = hardware_concurrency.
 [[nodiscard]] std::vector<SweepPoint> sweep_cache_sizes(
     PolicyKind kind, std::span<const std::size_t> sizes,
-    std::span<const models::Request> requests, std::vector<std::uint32_t> app_category = {},
+    std::span<const std::uint32_t> request_apps,
+    std::span<const std::uint32_t> app_category = {}, std::uint64_t seed = 0,
+    obs::Registry* metrics = nullptr, std::size_t threads = 0);
+
+/// View adapter over a columnar request stream.
+[[nodiscard]] inline std::vector<SweepPoint> sweep_cache_sizes(
+    PolicyKind kind, std::span<const std::size_t> sizes, const events::EventLog& requests,
+    std::span<const std::uint32_t> app_category = {}, std::uint64_t seed = 0,
+    obs::Registry* metrics = nullptr, std::size_t threads = 0) {
+  return sweep_cache_sizes(kind, sizes, requests.app(), app_category, seed, metrics, threads);
+}
+
+/// Deprecated AoS form; copies the app column out of `requests` once.
+[[nodiscard]] std::vector<SweepPoint> sweep_cache_sizes(
+    PolicyKind kind, std::span<const std::size_t> sizes,
+    std::span<const models::Request> requests, std::span<const std::uint32_t> app_category = {},
     std::uint64_t seed = 0, obs::Registry* metrics = nullptr, std::size_t threads = 0);
 
 }  // namespace appstore::cache

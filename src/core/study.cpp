@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "affinity/strings.hpp"
+#include "events/event_log.hpp"
 #include "models/stream.hpp"
 #include "par/parallel.hpp"
 
@@ -55,8 +56,11 @@ std::vector<std::vector<std::uint32_t>> EcosystemStudy::category_strings() const
   app_category.reserve(store().apps().size());
   for (const auto& app : store().apps()) app_category.push_back(app.category.value);
 
+  // Zero-copy walk over the store's CSR comment index: one UserStreamView
+  // per user instead of materializing per-user event vectors.
   std::vector<std::vector<std::uint32_t>> result;
-  for (const auto& stream : store().comment_streams()) {
+  for (std::uint32_t u = 0; u < store().user_count(); ++u) {
+    const auto stream = store().comment_stream(market::UserId{u});
     if (stream.empty()) continue;
     const auto apps = affinity::app_string(stream);
     if (apps.empty()) continue;
@@ -92,7 +96,7 @@ namespace {
 /// zr = 1.7, zc = 1.4, p = 0.9; cache sizes 1%..20% of apps.
 struct Fig19Workload {
   models::ModelParams params;
-  std::vector<models::Request> stream;
+  events::EventLog stream{events::Columns::kNone};  ///< columnar request stream
   std::vector<std::uint32_t> app_category;
   std::vector<std::size_t> sizes;
 };
@@ -111,7 +115,7 @@ struct Fig19Workload {
 
   const auto model = models::make_model(kind, params);
   util::Rng rng(options.seed);
-  workload.stream = models::generate_stream(
+  workload.stream = models::generate_stream_log(
       *model, rng,
       models::StreamOptions{.metrics = options.metrics, .threads = options.threads});
 

@@ -1,7 +1,9 @@
 #include "crawler/db_io.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
+#include "events/binary.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
@@ -9,6 +11,9 @@
 namespace appstore::crawlersim {
 
 namespace {
+
+constexpr std::string_view kObservationsMagic = "AOBS";
+constexpr std::uint32_t kObservationsVersion = 1;
 
 [[nodiscard]] std::uint64_t field_u64(const std::string& text, const char* what) {
   std::uint64_t value = 0;
@@ -31,6 +36,68 @@ namespace {
     throw std::runtime_error(util::format("load_database: bad {} '{}'", what, text));
   }
   return value;
+}
+
+/// Columnar fast-path write: one buffered stream per column, no text
+/// formatting. Row order matches the CSV writer (apps in id order, each
+/// app's observations in day order).
+void save_observations_binary(const CrawlDatabase& database,
+                              const std::filesystem::path& path) {
+  std::vector<std::uint32_t> app;
+  std::vector<std::int32_t> day;
+  std::vector<std::uint64_t> downloads;
+  std::vector<std::uint32_t> version;
+  std::vector<double> price_dollars;
+  for (const auto& [id, record] : database.apps()) {
+    for (const auto& [observed_day, observation] : record.by_day) {
+      app.push_back(id);
+      day.push_back(observed_day);
+      downloads.push_back(observation.downloads);
+      version.push_back(observation.version);
+      price_dollars.push_back(observation.price_dollars);
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_database: cannot open " + path.string());
+  events::binary::write_header(out, kObservationsMagic, kObservationsVersion, 0, app.size());
+  events::binary::write_column<std::uint32_t>(out, app);
+  events::binary::write_column<std::int32_t>(out, day);
+  events::binary::write_column<std::uint64_t>(out, downloads);
+  events::binary::write_column<std::uint32_t>(out, version);
+  events::binary::write_column<double>(out, price_dollars);
+  out.flush();
+  if (!out) throw std::runtime_error("save_database: write failed for " + path.string());
+}
+
+/// Replays observations.bin into `database` (same semantics as the CSV
+/// loader: metadata must already be staged in `metadata`).
+void load_observations_binary(CrawlDatabase& database,
+                              std::map<std::uint32_t, AppRecord>& metadata,
+                              const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_database: cannot open " + path.string());
+  const events::binary::Header header =
+      events::binary::read_header(in, kObservationsMagic, kObservationsVersion);
+  const std::uint64_t n = header.count;
+  const auto app = events::binary::read_column<std::uint32_t>(in, n, "app");
+  const auto day = events::binary::read_column<std::int32_t>(in, n, "day");
+  const auto downloads = events::binary::read_column<std::uint64_t>(in, n, "downloads");
+  const auto version = events::binary::read_column<std::uint32_t>(in, n, "version");
+  const auto price_dollars = events::binary::read_column<double>(in, n, "price");
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto it = metadata.find(app[i]);
+    if (it == metadata.end()) {
+      throw std::runtime_error(
+          util::format("load_database: observation for unknown app {}", app[i]));
+    }
+    AppObservation observation;
+    observation.downloads = downloads[i];
+    observation.version = version[i];
+    observation.price_dollars = price_dollars[i];
+    database.record(it->second, static_cast<market::Day>(day[i]), observation);
+  }
 }
 
 }  // namespace
@@ -59,6 +126,7 @@ void save_database(const CrawlDatabase& database, const std::filesystem::path& d
       }
     }
   }
+  save_observations_binary(database, directory / "observations.bin");
   {
     util::CsvWriter scans(directory / "apk_scans.csv");
     scans.write_row({"app", "version", "ads_found"});
@@ -74,8 +142,11 @@ void save_database(const CrawlDatabase& database, const std::filesystem::path& d
 CrawlDatabase load_database(const std::filesystem::path& directory) {
   const auto apps_path = directory / "apps.csv";
   const auto observations_path = directory / "observations.csv";
-  if (!std::filesystem::exists(apps_path) || !std::filesystem::exists(observations_path)) {
-    throw std::runtime_error("load_database: missing apps.csv or observations.csv in " +
+  const auto observations_bin_path = directory / "observations.bin";
+  const bool have_binary = std::filesystem::exists(observations_bin_path);
+  if (!std::filesystem::exists(apps_path) ||
+      (!have_binary && !std::filesystem::exists(observations_path))) {
+    throw std::runtime_error("load_database: missing apps.csv or observations in " +
                              directory.string());
   }
 
@@ -97,22 +168,26 @@ CrawlDatabase load_database(const std::filesystem::path& directory) {
     metadata.emplace(record.id, std::move(record));
   }
 
-  for (const auto& row : util::read_csv(observations_path).rows) {
-    if (row.size() < 5) {
-      throw std::runtime_error("load_database: malformed observations.csv row");
+  if (have_binary) {
+    load_observations_binary(database, metadata, observations_bin_path);
+  } else {
+    for (const auto& row : util::read_csv(observations_path).rows) {
+      if (row.size() < 5) {
+        throw std::runtime_error("load_database: malformed observations.csv row");
+      }
+      const auto id = static_cast<std::uint32_t>(field_u64(row[0], "app"));
+      const auto it = metadata.find(id);
+      if (it == metadata.end()) {
+        throw std::runtime_error(
+            util::format("load_database: observation for unknown app {}", id));
+      }
+      AppObservation observation;
+      observation.downloads = field_u64(row[2], "downloads");
+      observation.version = static_cast<std::uint32_t>(field_u64(row[3], "version"));
+      observation.price_dollars = field_f64(row[4], "price");
+      database.record(it->second, static_cast<market::Day>(field_i64(row[1], "day")),
+                      observation);
     }
-    const auto id = static_cast<std::uint32_t>(field_u64(row[0], "app"));
-    const auto it = metadata.find(id);
-    if (it == metadata.end()) {
-      throw std::runtime_error(
-          util::format("load_database: observation for unknown app {}", id));
-    }
-    AppObservation observation;
-    observation.downloads = field_u64(row[2], "downloads");
-    observation.version = static_cast<std::uint32_t>(field_u64(row[3], "version"));
-    observation.price_dollars = field_f64(row[4], "price");
-    database.record(it->second, static_cast<market::Day>(field_i64(row[1], "day")),
-                    observation);
   }
 
   const auto scans_path = directory / "apk_scans.csv";

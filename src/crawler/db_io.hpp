@@ -1,12 +1,19 @@
-// CrawlDatabase persistence: save/load the crawler's observations as CSV.
+// CrawlDatabase persistence: save/load the crawler's observations.
 //
 // This is the boundary where real data enters the library: a user with
-// their own appstore crawl (any source) can write these two files and run
+// their own appstore crawl (any source) can write these files and run
 // every analysis bench against it. Format:
 //
 //   <dir>/apps.csv          id,name,category,developer,paid,has_ads,first_seen
 //   <dir>/observations.csv  app,day,downloads,version,price_dollars
+//   <dir>/observations.bin  columnar fast path (same rows as the CSV)
 //   <dir>/apk_scans.csv     app,version,ads_found            (optional)
+//
+// observations.bin uses the events/binary.hpp layout (magic "AOBS", endian
+// tag, version, row count, then raw native-order columns: app u32, day i32,
+// downloads u64, version u32, price f64). save_database writes both forms;
+// load_database prefers the binary file when present and falls back to CSV,
+// so a hand-written CSV-only directory still loads.
 #pragma once
 
 #include <filesystem>
@@ -18,9 +25,9 @@ namespace appstore::crawlersim {
 /// Writes the database under `directory` (created if needed).
 void save_database(const CrawlDatabase& database, const std::filesystem::path& directory);
 
-/// Reads a database previously written by save_database (apk_scans.csv may
-/// be absent). Throws std::runtime_error on missing required files or
-/// malformed content.
+/// Reads a database previously written by save_database (apk_scans.csv and
+/// observations.bin may be absent). Throws std::runtime_error on missing
+/// required files or malformed content.
 [[nodiscard]] CrawlDatabase load_database(const std::filesystem::path& directory);
 
 }  // namespace appstore::crawlersim

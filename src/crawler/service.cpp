@@ -72,15 +72,16 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   limiter_.attach_metrics(registry_);
 
   download_days_.resize(store_.apps().size());
-  for (const auto& event : store_.download_events()) {
-    download_days_[event.app.index()].push_back(event.day);
+  const auto& download_log = store_.download_log();
+  for (std::size_t i = 0; i < download_log.size(); ++i) {
+    download_days_[download_log.app()[i]].push_back(download_log.day()[i]);
   }
   for (auto& days : download_days_) std::sort(days.begin(), days.end());
 
   comment_index_.resize(store_.apps().size());
-  const auto comments = store_.comment_events();
-  for (std::uint32_t i = 0; i < comments.size(); ++i) {
-    comment_index_[comments[i].app.index()].push_back(i);
+  const auto& comment_log = store_.comment_log();
+  for (std::uint32_t i = 0; i < comment_log.size(); ++i) {
+    comment_index_[comment_log.app()[i]].push_back(i);
   }
 
   net::ServerOptions server_options;
@@ -263,15 +264,15 @@ net::HttpResponse AppstoreService::handle_comments(std::uint32_t id,
     }
   }
 
-  const auto all = store_.comment_events();
+  const auto& log = store_.comment_log();
   JsonArray comments;
   std::uint64_t visible = 0;
   const std::uint64_t first = page * per_page;
   for (const auto index : comment_index_[id]) {
-    const auto& comment = all[index];
+    const events::Event comment = log.row(index);
     if (comment.day > day) continue;
     if (visible >= first && visible < first + per_page) {
-      comments.push_back(json_object({{"user", static_cast<std::uint64_t>(comment.user.value)},
+      comments.push_back(json_object({{"user", static_cast<std::uint64_t>(comment.user)},
                                       {"day", static_cast<std::int64_t>(comment.day)},
                                       {"ordinal", static_cast<std::uint64_t>(comment.ordinal)},
                                       {"rating", static_cast<std::uint64_t>(comment.rating)}}));

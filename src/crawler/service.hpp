@@ -123,7 +123,7 @@ class AppstoreService {
 
   /// Per-app sorted download-event days (built once at construction).
   std::vector<std::vector<market::Day>> download_days_;
-  /// Per-app sorted comment indices (into store.comment_events()).
+  /// Per-app sorted comment row indices (into store.comment_log()).
   std::vector<std::vector<std::uint32_t>> comment_index_;
 
   std::unique_ptr<net::HttpServer> server_;

@@ -1,0 +1,102 @@
+// Low-level versioned-header + raw-column binary file helpers.
+//
+// Shared by the EventLog binary format (events/io.hpp) and the crawl
+// database fast path (crawler/db_io.hpp). A file is:
+//
+//   4-byte magic | u32 endian tag (0x01020304) | u32 version | u32 flags |
+//   u64 row count | raw columns, each `count * sizeof(T)` bytes
+//
+// Columns are written in the writer's native byte order; the endian tag lets
+// a reader on a different-endian host fail loudly instead of decoding
+// garbage. All fixed-width header fields are also native-order (covered by
+// the same tag).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace appstore::events::binary {
+
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+struct Header {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t count = 0;
+};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+[[nodiscard]] T read_pod(std::istream& in, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error(std::string("binary read: truncated ") + what);
+  return value;
+}
+
+/// Writes the common header. `magic` must be exactly 4 characters.
+inline void write_header(std::ostream& out, std::string_view magic, std::uint32_t version,
+                         std::uint32_t flags, std::uint64_t count) {
+  if (magic.size() != 4) throw std::logic_error("binary write: magic must be 4 bytes");
+  out.write(magic.data(), 4);
+  write_pod(out, kEndianTag);
+  write_pod(out, version);
+  write_pod(out, flags);
+  write_pod(out, count);
+}
+
+/// Reads and validates the header; throws std::runtime_error on a magic,
+/// endianness, or version mismatch.
+[[nodiscard]] inline Header read_header(std::istream& in, std::string_view magic,
+                                        std::uint32_t max_version) {
+  char got[4] = {};
+  in.read(got, 4);
+  if (!in || std::memcmp(got, magic.data(), 4) != 0) {
+    throw std::runtime_error(std::string("binary read: bad magic, expected '") +
+                             std::string(magic) + "'");
+  }
+  if (read_pod<std::uint32_t>(in, "endian tag") != kEndianTag) {
+    throw std::runtime_error("binary read: endianness mismatch");
+  }
+  Header header;
+  header.version = read_pod<std::uint32_t>(in, "version");
+  if (header.version == 0 || header.version > max_version) {
+    throw std::runtime_error("binary read: unsupported version " +
+                             std::to_string(header.version));
+  }
+  header.flags = read_pod<std::uint32_t>(in, "flags");
+  header.count = read_pod<std::uint64_t>(in, "count");
+  return header;
+}
+
+template <typename T>
+void write_column(std::ostream& out, std::span<const T> column) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> read_column(std::istream& in, std::uint64_t count,
+                                         const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> column(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(column.size() * sizeof(T)));
+  if (!in) throw std::runtime_error(std::string("binary read: truncated column ") + what);
+  return column;
+}
+
+}  // namespace appstore::events::binary

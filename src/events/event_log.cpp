@@ -1,0 +1,174 @@
+#include "events/event_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "par/parallel.hpp"
+#include "util/format.hpp"
+
+namespace appstore::events {
+
+EventLog EventLog::from_columns(Columns columns, std::vector<std::uint32_t> user,
+                                std::vector<std::uint32_t> app,
+                                std::vector<std::int32_t> day,
+                                std::vector<std::uint32_t> ordinal,
+                                std::vector<std::uint8_t> rating) {
+  const std::size_t n = user.size();
+  const auto check = [n](std::size_t got, bool enabled, const char* name) {
+    const std::size_t want = enabled ? n : 0;
+    if (got != want) {
+      throw std::invalid_argument(
+          util::format("EventLog::from_columns: column '{}' has {} rows, expected {}", name,
+                       got, want));
+    }
+  };
+  check(app.size(), true, "app");
+  check(day.size(), has_column(columns, Columns::kDay), "day");
+  check(ordinal.size(), has_column(columns, Columns::kOrdinal), "ordinal");
+  check(rating.size(), has_column(columns, Columns::kRating), "rating");
+
+  EventLog log(columns);
+  log.user_ = std::move(user);
+  log.app_ = std::move(app);
+  log.day_ = std::move(day);
+  log.ordinal_ = std::move(ordinal);
+  log.rating_ = std::move(rating);
+  return log;
+}
+
+void EventLog::reserve(std::size_t n) {
+  user_.reserve(n);
+  app_.reserve(n);
+  if (has_column(columns_, Columns::kDay)) day_.reserve(n);
+  if (has_column(columns_, Columns::kOrdinal)) ordinal_.reserve(n);
+  if (has_column(columns_, Columns::kRating)) rating_.reserve(n);
+}
+
+void EventLog::append(std::uint32_t user, std::uint32_t app, std::int32_t day,
+                      std::uint32_t ordinal, std::uint8_t rating) {
+  if (has_column(columns_, Columns::kDay)) {
+    day_.push_back(day);
+  } else if (day != 0) {
+    throw std::logic_error("EventLog::append: day column is disabled");
+  }
+  if (has_column(columns_, Columns::kOrdinal)) {
+    ordinal_.push_back(ordinal);
+  } else if (ordinal != 0) {
+    throw std::logic_error("EventLog::append: ordinal column is disabled");
+  }
+  if (has_column(columns_, Columns::kRating)) {
+    rating_.push_back(rating);
+  } else if (rating != 0) {
+    throw std::logic_error("EventLog::append: rating column is disabled");
+  }
+  user_.push_back(user);
+  app_.push_back(app);
+  invalidate_index();
+}
+
+void EventLog::append(const EventLog& other) {
+  if (other.columns_ != columns_) {
+    throw std::invalid_argument("EventLog::append: column masks differ");
+  }
+  user_.insert(user_.end(), other.user_.begin(), other.user_.end());
+  app_.insert(app_.end(), other.app_.begin(), other.app_.end());
+  day_.insert(day_.end(), other.day_.begin(), other.day_.end());
+  ordinal_.insert(ordinal_.end(), other.ordinal_.begin(), other.ordinal_.end());
+  rating_.insert(rating_.end(), other.rating_.begin(), other.rating_.end());
+  invalidate_index();
+}
+
+Event EventLog::row(std::size_t i) const {
+  Event event;
+  event.user = user_[i];
+  event.app = app_[i];
+  event.day = day_.empty() ? 0 : day_[i];
+  event.ordinal = ordinal_.empty() ? static_cast<std::uint32_t>(i) : ordinal_[i];
+  event.rating = rating_.empty() ? std::uint8_t{0} : rating_[i];
+  return event;
+}
+
+std::size_t EventLog::bytes() const noexcept {
+  return user_.size() * sizeof(std::uint32_t) + app_.size() * sizeof(std::uint32_t) +
+         day_.size() * sizeof(std::int32_t) + ordinal_.size() * sizeof(std::uint32_t) +
+         rating_.size() * sizeof(std::uint8_t) + offsets_.size() * sizeof(std::uint64_t) +
+         order_.size() * sizeof(std::uint32_t);
+}
+
+void EventLog::build_index(std::uint32_t user_count, const BuildOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  if (user_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("EventLog::build_index: more than 2^32-1 events");
+  }
+  for (const auto user : user_) {
+    if (user >= user_count) {
+      throw std::invalid_argument(util::format(
+          "EventLog::build_index: event user {} >= user_count {}", user, user_count));
+    }
+  }
+
+  // Counting sort by user: offsets via prefix sum, then a stable fill in
+  // append order (so each user's slice starts out in append order).
+  offsets_.assign(static_cast<std::size_t>(user_count) + 1, 0);
+  for (const auto user : user_) ++offsets_[user + 1];
+  for (std::uint32_t u = 0; u < user_count; ++u) offsets_[u + 1] += offsets_[u];
+
+  order_.resize(user_.size());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < user_.size(); ++i) {
+    order_[cursor[user_[i]]++] = i;
+  }
+
+  // Chronological invariant: each user's slice sorted by (day, ordinal),
+  // remaining ties broken by append order (stable sort). Users are
+  // independent, so the sort shards across threads with a bit-identical
+  // result at every thread count.
+  if (!day_.empty() || !ordinal_.empty()) {
+    const par::Options par_options{.threads = options.threads, .metrics = options.metrics};
+    par::parallel_for(user_count, par_options, [this](std::uint64_t u) {
+      const auto first = order_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+      const auto last = order_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+      std::stable_sort(first, last, [this](std::uint32_t a, std::uint32_t b) {
+        const std::int32_t day_a = day_.empty() ? 0 : day_[a];
+        const std::int32_t day_b = day_.empty() ? 0 : day_[b];
+        if (day_a != day_b) return day_a < day_b;
+        if (!ordinal_.empty()) return ordinal_[a] < ordinal_[b];
+        return false;
+      });
+    });
+  }
+  indexed_users_ = user_count;
+
+  if (options.metrics != nullptr) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    options.metrics->counter("events_bytes_total").inc(bytes());
+    options.metrics->histogram("eventlog_build_seconds").observe(seconds);
+  }
+}
+
+UserStreamView EventLog::stream(std::uint32_t user) const {
+  if (!indexed()) {
+    throw std::logic_error("EventLog::stream: build_index() has not been called");
+  }
+  if (user >= indexed_users_) {
+    throw std::out_of_range(util::format("EventLog::stream: user {} >= indexed user count {}",
+                                         user, indexed_users_));
+  }
+  const std::uint64_t begin = offsets_[user];
+  const std::uint64_t end = offsets_[user + 1];
+  return UserStreamView(
+      this, std::span<const std::uint32_t>(order_).subspan(
+                static_cast<std::size_t>(begin), static_cast<std::size_t>(end - begin)));
+}
+
+void EventLog::invalidate_index() noexcept {
+  offsets_.clear();
+  order_.clear();
+  indexed_users_ = 0;
+}
+
+}  // namespace appstore::events

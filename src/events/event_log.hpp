@@ -1,0 +1,252 @@
+// Columnar event-log spine: one zero-copy SoA representation for every
+// timestamped (user, app, day, ordinal[, rating]) event stream in the system.
+//
+// Every analysis in the paper consumes such streams — download events,
+// comment events, model-generated request streams — and before this module
+// each layer kept its own AoS copy (vector<DownloadEvent>, per-user
+// vector<vector<...>>, nested user_sequences). EventLog stores one column
+// per field and hands out std::span views, so crossing a layer boundary is
+// O(1) instead of O(events).
+//
+// Per-user access uses a CSR index instead of vector<vector<...>>:
+// `offsets` (user_count + 1 entries) and `order` (one entry per event,
+// grouped by user). `order[offsets[u] .. offsets[u+1])` lists user u's
+// event rows in chronological (day, ordinal) order — the invariant the
+// affinity metric (§4.2) requires, established once at build_index() time
+// and shared by every downstream view.
+//
+// Determinism contract: build_index() output is a pure function of the log
+// content. The per-user sort is a stable sort on (day, ordinal) run
+// independently per user (sharded via appstore_par), so the index is
+// bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace appstore::events {
+
+/// Optional-column mask. `user` and `app` always exist; day/ordinal/rating
+/// are enabled per log so streams without a meaning for a field (e.g. cache
+/// request streams, whose arrival position is their only order) pay no
+/// memory for it.
+enum class Columns : std::uint8_t {
+  kNone = 0,
+  kDay = 1,
+  kOrdinal = 2,
+  kRating = 4,
+};
+
+[[nodiscard]] constexpr Columns operator|(Columns a, Columns b) noexcept {
+  return static_cast<Columns>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+
+[[nodiscard]] constexpr bool has_column(Columns mask, Columns bit) noexcept {
+  return (static_cast<std::uint8_t>(mask) & static_cast<std::uint8_t>(bit)) != 0;
+}
+
+/// One materialized row. Disabled columns read as their defaults (day 0,
+/// ordinal = row index, rating 0), so row-wise consumers never branch on the
+/// column mask.
+struct Event {
+  std::uint32_t user = 0;
+  std::uint32_t app = 0;
+  std::int32_t day = 0;
+  std::uint32_t ordinal = 0;
+  std::uint8_t rating = 0;
+};
+
+/// Options for EventLog::build_index.
+struct BuildOptions {
+  /// Worker threads for the per-user chronological sort; 0 = hardware
+  /// concurrency. The index content does not depend on this value.
+  std::size_t threads = 0;
+  /// Optional metrics sink: records events_bytes_total and the
+  /// eventlog_build_seconds histogram per build.
+  obs::Registry* metrics = nullptr;
+};
+
+class EventLog;
+
+/// Zero-copy view of one user's chronologically-ordered events. Holds a
+/// pointer to the log plus that user's slice of the CSR `order` array —
+/// 16 bytes, no allocation, valid for the log's lifetime (or until the next
+/// append/build_index).
+class UserStreamView {
+ public:
+  UserStreamView() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
+
+  /// i-th event of the stream in chronological order.
+  [[nodiscard]] Event operator[](std::size_t i) const;
+
+  /// Row index into the underlying log of the i-th chronological event.
+  [[nodiscard]] std::uint32_t event_index(std::size_t i) const { return order_[i]; }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Event;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Event*;
+    using reference = Event;
+
+    iterator() = default;
+    iterator(const UserStreamView* view, std::size_t i) : view_(view), i_(i) {}
+    [[nodiscard]] Event operator*() const { return (*view_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    [[nodiscard]] bool operator==(const iterator& other) const noexcept {
+      return i_ == other.i_;
+    }
+
+   private:
+    const UserStreamView* view_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const noexcept { return iterator(this, 0); }
+  [[nodiscard]] iterator end() const noexcept { return iterator(this, order_.size()); }
+
+ private:
+  friend class EventLog;
+  UserStreamView(const EventLog* log, std::span<const std::uint32_t> order)
+      : log_(log), order_(order) {}
+
+  const EventLog* log_ = nullptr;
+  std::span<const std::uint32_t> order_;
+};
+
+class EventLog {
+ public:
+  /// Default shape: the full market event record (day + ordinal + rating).
+  EventLog() = default;
+  explicit EventLog(Columns columns) : columns_(columns) {}
+
+  /// Adopts pre-built columns (the shard-wise generation path fills plain
+  /// vectors in parallel, then moves them in without a copy). Disabled
+  /// columns must be passed empty; enabled ones must match `user`'s size.
+  /// Throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] static EventLog from_columns(Columns columns, std::vector<std::uint32_t> user,
+                                             std::vector<std::uint32_t> app,
+                                             std::vector<std::int32_t> day = {},
+                                             std::vector<std::uint32_t> ordinal = {},
+                                             std::vector<std::uint8_t> rating = {});
+
+  [[nodiscard]] Columns columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t size() const noexcept { return user_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return user_.empty(); }
+
+  void reserve(std::size_t n);
+
+  /// Appends one event. Values for disabled columns must be their defaults
+  /// (throws std::logic_error otherwise — a nonzero value would be silently
+  /// dropped). Invalidates a previously built index.
+  void append(std::uint32_t user, std::uint32_t app, std::int32_t day = 0,
+              std::uint32_t ordinal = 0, std::uint8_t rating = 0);
+
+  /// Appends all of `other`'s rows (same column mask required).
+  void append(const EventLog& other);
+
+  // --- zero-copy column views ----------------------------------------------
+
+  [[nodiscard]] std::span<const std::uint32_t> user() const noexcept { return user_; }
+  [[nodiscard]] std::span<const std::uint32_t> app() const noexcept { return app_; }
+  /// Empty when the column is disabled.
+  [[nodiscard]] std::span<const std::int32_t> day() const noexcept { return day_; }
+  [[nodiscard]] std::span<const std::uint32_t> ordinal() const noexcept { return ordinal_; }
+  [[nodiscard]] std::span<const std::uint8_t> rating() const noexcept { return rating_; }
+
+  /// Row `i` with disabled columns defaulted (ordinal default = i).
+  [[nodiscard]] Event row(std::size_t i) const;
+
+  /// Forward iteration over materialized rows (for row-wise consumers).
+  class row_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Event;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Event*;
+    using reference = Event;
+
+    row_iterator() = default;
+    row_iterator(const EventLog* log, std::size_t i) : log_(log), i_(i) {}
+    [[nodiscard]] Event operator*() const { return log_->row(i_); }
+    row_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    row_iterator operator++(int) {
+      row_iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    [[nodiscard]] bool operator==(const row_iterator& other) const noexcept {
+      return i_ == other.i_;
+    }
+
+   private:
+    const EventLog* log_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] row_iterator begin() const noexcept { return row_iterator(this, 0); }
+  [[nodiscard]] row_iterator end() const noexcept { return row_iterator(this, size()); }
+
+  /// Payload bytes across the live columns plus the CSR index.
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+  // --- CSR per-user index --------------------------------------------------
+
+  /// Builds (or rebuilds) the per-user index for users [0, user_count).
+  /// Establishes the chronological invariant: every stream(u) is ordered by
+  /// (day, ordinal), ties broken by append order. Throws
+  /// std::invalid_argument if any event references user >= user_count.
+  void build_index(std::uint32_t user_count, const BuildOptions& options = {});
+
+  [[nodiscard]] bool indexed() const noexcept { return !offsets_.empty(); }
+  /// User count the index was built for. 0 when not indexed.
+  [[nodiscard]] std::uint32_t user_count() const noexcept { return indexed_users_; }
+
+  /// CSR arrays: user u owns order()[offsets()[u] .. offsets()[u+1]).
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const std::uint32_t> order() const noexcept { return order_; }
+
+  /// User u's chronological stream. Requires a built index; throws
+  /// std::logic_error when not indexed, std::out_of_range for a bad user.
+  [[nodiscard]] UserStreamView stream(std::uint32_t user) const;
+
+ private:
+  void invalidate_index() noexcept;
+
+  Columns columns_ = Columns::kDay | Columns::kOrdinal | Columns::kRating;
+
+  std::vector<std::uint32_t> user_;
+  std::vector<std::uint32_t> app_;
+  std::vector<std::int32_t> day_;
+  std::vector<std::uint32_t> ordinal_;
+  std::vector<std::uint8_t> rating_;
+
+  std::vector<std::uint64_t> offsets_;  // user_count + 1 when indexed
+  std::vector<std::uint32_t> order_;    // event rows grouped by user
+  std::uint32_t indexed_users_ = 0;
+};
+
+inline Event UserStreamView::operator[](std::size_t i) const {
+  return log_->row(order_[i]);
+}
+
+}  // namespace appstore::events

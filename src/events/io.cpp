@@ -1,0 +1,137 @@
+#include "events/io.hpp"
+
+#include <fstream>
+
+#include "events/binary.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::events {
+
+namespace {
+
+constexpr std::string_view kMagic = "AEVL";
+constexpr std::uint32_t kVersion = 1;
+
+[[nodiscard]] std::uint64_t parse_field_u64(const std::string& text, const char* what) {
+  std::uint64_t value = 0;
+  if (!util::parse_u64(text, value)) {
+    throw std::runtime_error(util::format("EventLog csv: bad {} '{}'", what, text));
+  }
+  return value;
+}
+
+[[nodiscard]] std::int64_t parse_field_i64(const std::string& text, const char* what) {
+  if (!text.empty() && text[0] == '-') {
+    return -static_cast<std::int64_t>(parse_field_u64(text.substr(1), what));
+  }
+  return static_cast<std::int64_t>(parse_field_u64(text, what));
+}
+
+}  // namespace
+
+void save_binary(const EventLog& log, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_binary: cannot open " + path.string());
+
+  binary::write_header(out, kMagic, kVersion,
+                       static_cast<std::uint32_t>(log.columns()), log.size());
+  binary::write_column(out, log.user());
+  binary::write_column(out, log.app());
+  binary::write_column(out, log.day());
+  binary::write_column(out, log.ordinal());
+  binary::write_column(out, log.rating());
+  out.flush();
+  if (!out) throw std::runtime_error("save_binary: write failed for " + path.string());
+}
+
+EventLog load_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_binary: cannot open " + path.string());
+
+  const binary::Header header = binary::read_header(in, kMagic, kVersion);
+  const auto columns = static_cast<Columns>(header.flags);
+  const std::uint64_t n = header.count;
+
+  auto user = binary::read_column<std::uint32_t>(in, n, "user");
+  auto app = binary::read_column<std::uint32_t>(in, n, "app");
+  auto day = binary::read_column<std::int32_t>(
+      in, has_column(columns, Columns::kDay) ? n : 0, "day");
+  auto ordinal = binary::read_column<std::uint32_t>(
+      in, has_column(columns, Columns::kOrdinal) ? n : 0, "ordinal");
+  auto rating = binary::read_column<std::uint8_t>(
+      in, has_column(columns, Columns::kRating) ? n : 0, "rating");
+  return EventLog::from_columns(columns, std::move(user), std::move(app), std::move(day),
+                                std::move(ordinal), std::move(rating));
+}
+
+void save_csv(const EventLog& log, const std::filesystem::path& path) {
+  util::CsvWriter out(path);
+  std::vector<std::string> header = {"user", "app"};
+  const bool with_day = has_column(log.columns(), Columns::kDay);
+  const bool with_ordinal = has_column(log.columns(), Columns::kOrdinal);
+  const bool with_rating = has_column(log.columns(), Columns::kRating);
+  if (with_day) header.push_back("day");
+  if (with_ordinal) header.push_back("ordinal");
+  if (with_rating) header.push_back("rating");
+  out.write_row(header);
+
+  std::vector<std::string> cells;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    cells.clear();
+    cells.push_back(std::to_string(log.user()[i]));
+    cells.push_back(std::to_string(log.app()[i]));
+    if (with_day) cells.push_back(std::to_string(log.day()[i]));
+    if (with_ordinal) cells.push_back(std::to_string(log.ordinal()[i]));
+    if (with_rating) cells.push_back(std::to_string(log.rating()[i]));
+    out.write_row(cells);
+  }
+}
+
+EventLog load_csv(const std::filesystem::path& path) {
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error("EventLog load_csv: missing " + path.string());
+  }
+  const util::CsvTable table = util::read_csv(path);
+  const std::size_t user_col = table.column("user");
+  const std::size_t app_col = table.column("app");
+  const std::size_t day_col = table.column("day");
+  const std::size_t ordinal_col = table.column("ordinal");
+  const std::size_t rating_col = table.column("rating");
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  if (user_col == npos || app_col == npos) {
+    throw std::runtime_error("EventLog load_csv: missing user/app columns in " +
+                             path.string());
+  }
+
+  Columns columns = Columns::kNone;
+  if (day_col != npos) columns = columns | Columns::kDay;
+  if (ordinal_col != npos) columns = columns | Columns::kOrdinal;
+  if (rating_col != npos) columns = columns | Columns::kRating;
+
+  EventLog log(columns);
+  log.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    const auto cell = [&row, &path](std::size_t col) -> const std::string& {
+      if (col >= row.size()) {
+        throw std::runtime_error("EventLog load_csv: short row in " + path.string());
+      }
+      return row[col];
+    };
+    log.append(static_cast<std::uint32_t>(parse_field_u64(cell(user_col), "user")),
+               static_cast<std::uint32_t>(parse_field_u64(cell(app_col), "app")),
+               day_col == npos
+                   ? 0
+                   : static_cast<std::int32_t>(parse_field_i64(cell(day_col), "day")),
+               ordinal_col == npos
+                   ? 0
+                   : static_cast<std::uint32_t>(parse_field_u64(cell(ordinal_col), "ordinal")),
+               rating_col == npos
+                   ? std::uint8_t{0}
+                   : static_cast<std::uint8_t>(parse_field_u64(cell(rating_col), "rating")));
+  }
+  return log;
+}
+
+}  // namespace appstore::events

@@ -1,0 +1,38 @@
+// EventLog persistence: a versioned raw-column binary format (the fast
+// path — one fread per column) and a CSV format (the interchange path).
+//
+// Binary layout (see events/binary.hpp for the header):
+//
+//   magic "AEVL" | endian tag | version 1 | flags = column mask |
+//   u64 count | user u32[count] | app u32[count] | [day i32[count]] |
+//   [ordinal u32[count]] | [rating u8[count]]
+//
+// CSV layout: header row "user,app[,day][,ordinal][,rating]" — optional
+// columns appear only when the log carries them, and the loader rebuilds
+// the column mask from the header row.
+//
+// Neither format persists the CSR index; it is a pure function of the
+// columns and is rebuilt on demand (build_index).
+#pragma once
+
+#include <filesystem>
+
+#include "events/event_log.hpp"
+
+namespace appstore::events {
+
+/// Writes `log` to `path` in the binary format. Throws std::runtime_error
+/// on I/O failure.
+void save_binary(const EventLog& log, const std::filesystem::path& path);
+
+/// Reads a log previously written by save_binary. Throws std::runtime_error
+/// on a missing file or malformed/foreign-endian content.
+[[nodiscard]] EventLog load_binary(const std::filesystem::path& path);
+
+/// Writes `log` to `path` as CSV.
+void save_csv(const EventLog& log, const std::filesystem::path& path);
+
+/// Reads a log previously written by save_csv.
+[[nodiscard]] EventLog load_csv(const std::filesystem::path& path);
+
+}  // namespace appstore::events

@@ -71,20 +71,22 @@ void save_store(const AppStore& store, const std::filesystem::path& directory) {
   {
     util::CsvWriter downloads(directory / "downloads.csv");
     downloads.write_row({"user", "app", "day"});
-    for (const auto& event : store.download_events()) {
-      downloads.row(static_cast<std::uint64_t>(event.user.value),
-                    static_cast<std::uint64_t>(event.app.value),
-                    static_cast<std::int64_t>(event.day));
+    const auto& log = store.download_log();
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      downloads.row(static_cast<std::uint64_t>(log.user()[i]),
+                    static_cast<std::uint64_t>(log.app()[i]),
+                    static_cast<std::int64_t>(log.day()[i]));
     }
   }
   {
     util::CsvWriter comments(directory / "comments.csv");
     comments.write_row({"user", "app", "day", "rating"});
-    for (const auto& event : store.comment_events()) {
-      comments.row(static_cast<std::uint64_t>(event.user.value),
-                   static_cast<std::uint64_t>(event.app.value),
-                   static_cast<std::int64_t>(event.day),
-                   static_cast<std::uint64_t>(event.rating));
+    const auto& log = store.comment_log();
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      comments.row(static_cast<std::uint64_t>(log.user()[i]),
+                   static_cast<std::uint64_t>(log.app()[i]),
+                   static_cast<std::int64_t>(log.day()[i]),
+                   static_cast<std::uint64_t>(log.rating()[i]));
     }
   }
   {
@@ -146,6 +148,7 @@ std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory) {
                          static_cast<Day>(parse_field_i64(row[1], "day")));
   }
   store->check_invariants();
+  store->build_stream_index();
   return store;
 }
 

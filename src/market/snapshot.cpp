@@ -53,8 +53,8 @@ SnapshotSeries replay_snapshots(const AppStore& store, Day horizon) {
   }
   // Downloads per day.
   std::vector<std::uint64_t> downloads(static_cast<std::size_t>(horizon) + 1, 0);
-  for (const auto& event : store.download_events()) {
-    const Day day = std::clamp<Day>(event.day, 0, horizon);
+  for (const Day event_day : store.download_log().day()) {
+    const Day day = std::clamp<Day>(event_day, 0, horizon);
     ++downloads[static_cast<std::size_t>(day)];
   }
 

@@ -66,13 +66,41 @@ void AppStore::record_download(UserId user, AppId app, Day day) {
   if (user.index() >= user_count_) throw std::invalid_argument("record_download: invalid user");
   ++downloads_.at(app.index());
   ++total_downloads_;
-  download_events_.push_back(DownloadEvent{user, app, day, next_download_ordinal_++});
+  download_log_.append(user.value, app.value, day,
+                       static_cast<std::uint32_t>(download_log_.size()));
 }
 
 void AppStore::record_comment(UserId user, AppId app, Day day, std::uint8_t rating) {
   if (user.index() >= user_count_) throw std::invalid_argument("record_comment: invalid user");
   if (app.index() >= apps_.size()) throw std::invalid_argument("record_comment: invalid app");
-  comment_events_.push_back(CommentEvent{user, app, day, next_comment_ordinal_++, rating});
+  comment_log_.append(user.value, app.value, day,
+                      static_cast<std::uint32_t>(comment_log_.size()), rating);
+}
+
+void AppStore::ingest_downloads(const events::EventLog& batch) {
+  if (batch.columns() != download_log_.columns()) {
+    throw std::invalid_argument("ingest_downloads: batch column mask mismatch");
+  }
+  const auto base = static_cast<std::uint32_t>(download_log_.size());
+  const auto users = batch.user();
+  const auto apps = batch.app();
+  const auto ordinals = batch.ordinal();
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (users[k] >= user_count_) {
+      throw std::invalid_argument("ingest_downloads: invalid user");
+    }
+    if (apps[k] >= apps_.size()) {
+      throw std::invalid_argument("ingest_downloads: invalid app");
+    }
+    if (ordinals[k] != base + k) {
+      throw std::invalid_argument(util::format(
+          "ingest_downloads: ordinal discontinuity at row {} ({} != {})", k, ordinals[k],
+          base + k));
+    }
+  }
+  for (const auto app : apps) ++downloads_[app];
+  total_downloads_ += batch.size();
+  download_log_.append(batch);
 }
 
 void AppStore::set_price(AppId app, Cents price, Day /*day*/) {
@@ -93,6 +121,30 @@ double AppStore::average_price_dollars(AppId id) const {
   const std::uint32_t samples = price_samples_.at(id.index());
   if (samples == 0) return 0.0;
   return price_sum_dollars_.at(id.index()) / static_cast<double>(samples);
+}
+
+void AppStore::build_stream_index(const events::BuildOptions& options) {
+  download_log_.build_index(user_count_, options);
+  comment_log_.build_index(user_count_, options);
+}
+
+std::vector<DownloadEvent> AppStore::download_events() const {
+  std::vector<DownloadEvent> out;
+  out.reserve(download_log_.size());
+  for (const auto row : download_log_) {
+    out.push_back(DownloadEvent{UserId{row.user}, AppId{row.app}, row.day, row.ordinal});
+  }
+  return out;
+}
+
+std::vector<CommentEvent> AppStore::comment_events() const {
+  std::vector<CommentEvent> out;
+  out.reserve(comment_log_.size());
+  for (const auto row : comment_log_) {
+    out.push_back(
+        CommentEvent{UserId{row.user}, AppId{row.app}, row.day, row.ordinal, row.rating});
+  }
+  return out;
 }
 
 std::vector<std::uint32_t> AppStore::apps_per_category() const {
@@ -130,8 +182,9 @@ std::vector<double> AppStore::downloads_by_rank(Pricing pricing) const {
 
 std::vector<std::vector<CommentEvent>> AppStore::comment_streams() const {
   std::vector<std::vector<CommentEvent>> streams(user_count_);
-  for (const auto& event : comment_events_) {
-    streams[event.user.index()].push_back(event);
+  for (const auto row : comment_log_) {
+    streams[row.user].push_back(
+        CommentEvent{UserId{row.user}, AppId{row.app}, row.day, row.ordinal, row.rating});
   }
   for (auto& stream : streams) {
     std::sort(stream.begin(), stream.end(),
@@ -142,8 +195,9 @@ std::vector<std::vector<CommentEvent>> AppStore::comment_streams() const {
 
 std::vector<std::vector<DownloadEvent>> AppStore::download_streams() const {
   std::vector<std::vector<DownloadEvent>> streams(user_count_);
-  for (const auto& event : download_events_) {
-    streams[event.user.index()].push_back(event);
+  for (const auto row : download_log_) {
+    streams[row.user].push_back(DownloadEvent{UserId{row.user}, AppId{row.app}, row.day,
+                                              row.ordinal});
   }
   for (auto& stream : streams) {
     std::sort(stream.begin(), stream.end(),
@@ -158,14 +212,16 @@ void AppStore::check_invariants() const {
   }
   std::uint64_t recomputed_total = 0;
   std::vector<std::uint64_t> recomputed(apps_.size(), 0);
-  for (const auto& event : download_events_) {
-    if (event.app.index() >= apps_.size()) {
+  const auto dl_users = download_log_.user();
+  const auto dl_apps = download_log_.app();
+  for (std::size_t i = 0; i < download_log_.size(); ++i) {
+    if (dl_apps[i] >= apps_.size()) {
       throw std::logic_error("store invariant: download event with invalid app");
     }
-    if (event.user.index() >= user_count_) {
+    if (dl_users[i] >= user_count_) {
       throw std::logic_error("store invariant: download event with invalid user");
     }
-    ++recomputed[event.app.index()];
+    ++recomputed[dl_apps[i]];
     ++recomputed_total;
   }
   for (std::size_t i = 0; i < apps_.size(); ++i) {
@@ -177,8 +233,10 @@ void AppStore::check_invariants() const {
   if (recomputed_total != total_downloads_) {
     throw std::logic_error("store invariant: total download counter mismatch");
   }
-  for (const auto& event : comment_events_) {
-    if (event.app.index() >= apps_.size() || event.user.index() >= user_count_) {
+  const auto cm_users = comment_log_.user();
+  const auto cm_apps = comment_log_.app();
+  for (std::size_t i = 0; i < comment_log_.size(); ++i) {
+    if (cm_apps[i] >= apps_.size() || cm_users[i] >= user_count_) {
       throw std::logic_error("store invariant: comment event with invalid id");
     }
   }

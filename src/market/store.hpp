@@ -5,6 +5,12 @@
 // prices) and enforces cross-entity invariants: every event references valid
 // IDs, download counts equal the number of download events, and per-user
 // streams are chronologically ordered.
+//
+// Event storage is columnar: one events::EventLog per event kind (downloads,
+// comments), with a CSR per-user index built by build_stream_index(). The
+// per-user accessors download_stream()/comment_stream() are zero-copy views;
+// the legacy materializing APIs (download_events(), comment_streams(), ...)
+// are kept as deprecated forwarders that copy rows out of the log.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "events/event_log.hpp"
 #include "market/entities.hpp"
 #include "market/events.hpp"
 #include "market/types.hpp"
@@ -21,7 +28,11 @@ namespace appstore::market {
 
 class AppStore {
  public:
-  explicit AppStore(std::string name) : name_(std::move(name)) {}
+  explicit AppStore(std::string name)
+      : name_(std::move(name)),
+        download_log_(events::Columns::kDay | events::Columns::kOrdinal),
+        comment_log_(events::Columns::kDay | events::Columns::kOrdinal |
+                     events::Columns::kRating) {}
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
@@ -45,6 +56,14 @@ class AppStore {
 
   /// Records a rated comment (the affinity substrate, §4).
   void record_comment(UserId user, AppId app, Day day, std::uint8_t rating);
+
+  /// Bulk download ingestion: validates and adopts a column batch produced
+  /// elsewhere (e.g. the shard-wise synth generator). The batch's ordinals
+  /// must continue this store's download ordinal sequence (first ordinal ==
+  /// current download count, consecutive after that), so the result is
+  /// byte-identical to the equivalent record_download() loop. Throws
+  /// std::invalid_argument on any invalid id or ordinal discontinuity.
+  void ingest_downloads(const events::EventLog& batch);
 
   /// Updates the list price of a paid app starting at `day`; the average
   /// price (used by the revenue analysis) is tracked per observed day.
@@ -73,15 +92,37 @@ class AppStore {
   /// paper uses the average price over the measurement window (§6.1).
   [[nodiscard]] double average_price_dollars(AppId id) const;
 
-  [[nodiscard]] std::span<const DownloadEvent> download_events() const noexcept {
-    return download_events_;
+  // --- event access (columnar) ---------------------------------------------
+
+  /// The download event log: user/app/day/ordinal columns in record order.
+  [[nodiscard]] const events::EventLog& download_log() const noexcept { return download_log_; }
+  /// The comment event log: user/app/day/ordinal/rating columns.
+  [[nodiscard]] const events::EventLog& comment_log() const noexcept { return comment_log_; }
+
+  /// Builds the CSR per-user indexes on both logs (chronological order per
+  /// user). Must be called after the last record_download/record_comment and
+  /// before the *_stream() views; synth::generate and load_store do this.
+  void build_stream_index(const events::BuildOptions& options = {});
+  [[nodiscard]] bool stream_index_built() const noexcept {
+    return download_log_.indexed() && comment_log_.indexed();
   }
-  [[nodiscard]] std::span<const CommentEvent> comment_events() const noexcept {
-    return comment_events_;
+
+  /// Zero-copy chronological per-user views (require build_stream_index).
+  [[nodiscard]] events::UserStreamView download_stream(UserId user) const {
+    return download_log_.stream(user.value);
   }
+  [[nodiscard]] events::UserStreamView comment_stream(UserId user) const {
+    return comment_log_.stream(user.value);
+  }
+
   [[nodiscard]] std::span<const UpdateEvent> update_events() const noexcept {
     return update_events_;
   }
+
+  /// Deprecated: materializes AoS copies of the event logs — O(events) each
+  /// call. Prefer download_log()/comment_log() column views in new code.
+  [[nodiscard]] std::vector<DownloadEvent> download_events() const;
+  [[nodiscard]] std::vector<CommentEvent> comment_events() const;
 
   /// Number of apps in each category (index = CategoryId).
   [[nodiscard]] std::vector<std::uint32_t> apps_per_category() const;
@@ -96,11 +137,12 @@ class AppStore {
   [[nodiscard]] std::vector<double> downloads_by_rank() const;
   [[nodiscard]] std::vector<double> downloads_by_rank(Pricing pricing) const;
 
-  /// Chronological (day, ordinal) per-user comment streams; users without
-  /// comments get empty vectors. Index = UserId.
+  /// Deprecated: chronological (day, ordinal) per-user comment streams as
+  /// materialized per-user vectors — O(events) copies. Prefer
+  /// comment_stream() views over the CSR index. Index = UserId.
   [[nodiscard]] std::vector<std::vector<CommentEvent>> comment_streams() const;
 
-  /// Chronological per-user download streams. Index = UserId.
+  /// Deprecated: materialized per-user download streams. Index = UserId.
   [[nodiscard]] std::vector<std::vector<DownloadEvent>> download_streams() const;
 
   /// Validates all invariants; throws std::logic_error with a description of
@@ -119,12 +161,9 @@ class AppStore {
   std::vector<double> price_sum_dollars_;     // per app, sum of observations
   std::vector<std::uint32_t> price_samples_;  // per app
 
-  std::vector<DownloadEvent> download_events_;
-  std::vector<CommentEvent> comment_events_;
+  events::EventLog download_log_;
+  events::EventLog comment_log_;
   std::vector<UpdateEvent> update_events_;
-
-  std::uint32_t next_download_ordinal_ = 0;
-  std::uint32_t next_comment_ordinal_ = 0;
 };
 
 }  // namespace appstore::market

@@ -13,7 +13,6 @@ Workload DownloadModel::generate(util::Rng& rng, bool record_sequences) const {
   const ModelParams& p = params();
   Workload workload;
   workload.downloads.assign(p.app_count, 0);
-  if (record_sequences) workload.user_sequences.resize(p.user_count);
 
   for (std::uint64_t user = 0; user < p.user_count; ++user) {
     const auto session = new_session();
@@ -21,8 +20,13 @@ Workload DownloadModel::generate(util::Rng& rng, bool record_sequences) const {
     for (std::uint64_t k = 0; k < count && !session->exhausted(); ++k) {
       const std::uint32_t app = session->next(rng);
       ++workload.downloads[app];
-      if (record_sequences) workload.user_sequences[user].push_back(app);
+      if (record_sequences) {
+        workload.sequences.append(static_cast<std::uint32_t>(user), app);
+      }
     }
+  }
+  if (record_sequences) {
+    workload.sequences.build_index(static_cast<std::uint32_t>(p.user_count));
   }
   return workload;
 }

@@ -20,6 +20,17 @@ std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
 
 std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
                                      const StreamOptions& options) {
+  const events::EventLog log = generate_stream_log(model, rng, options);
+  std::vector<Request> stream;
+  stream.reserve(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    stream.push_back(Request{log.user()[i], log.app()[i]});
+  }
+  return stream;
+}
+
+events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
+                                     const StreamOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t max_requests = options.max_requests;
   const ModelParams& params = model.params();
@@ -89,14 +100,20 @@ std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
     generated[user] = produced;
   });
 
-  // Phase 4 (serial): replay the shuffled slots against the sequences.
-  std::vector<Request> stream;
-  stream.reserve(slots.size());
+  // Phase 4 (serial): replay the shuffled slots against the sequences,
+  // directly into the (user, app) columns of the output log.
+  std::vector<std::uint32_t> out_user;
+  std::vector<std::uint32_t> out_app;
+  out_user.reserve(slots.size());
+  out_app.reserve(slots.size());
   std::vector<std::uint32_t> cursor(users, 0);
   for (const std::uint32_t user : slots) {
     if (cursor[user] >= generated[user]) continue;  // session exhausted early
-    stream.push_back(Request{user, sequence[offsets[user] + cursor[user]++]});
+    out_user.push_back(user);
+    out_app.push_back(sequence[offsets[user] + cursor[user]++]);
   }
+  events::EventLog stream = events::EventLog::from_columns(
+      events::Columns::kNone, std::move(out_user), std::move(out_app));
 
   if (options.metrics != nullptr) {
     const double seconds =

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "events/event_log.hpp"
 #include "models/model.hpp"
 #include "obs/registry.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,15 @@ struct StreamOptions {
   /// concurrency. The stream content does not depend on this value.
   std::size_t threads = 0;
 };
+
+/// Generates the full interleaved stream for `model` as a columnar
+/// (user, app) EventLog in arrival order (Columns::kNone — the append
+/// position IS the arrival order). This is the primary form: the cache
+/// layer simulates directly over the app column without materializing
+/// Request structs. The number of requests is the sum of per-user realized
+/// download counts (≈ U * d).
+[[nodiscard]] events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
+                                                   const StreamOptions& options = {});
 
 /// Generates the full interleaved stream for `model`. The number of requests
 /// is the sum of per-user realized download counts (≈ U * d).

@@ -5,16 +5,23 @@
 #include <numeric>
 #include <vector>
 
+#include "events/event_log.hpp"
+
 namespace appstore::models {
 
 /// Aggregate result of simulating every user's downloads.
 ///
 /// `downloads[a]` is the number of downloads of the app with global
 /// popularity index a (global rank a+1). When sequences are recorded,
-/// `user_sequences[u]` is user u's downloads in chronological order.
+/// `sequences` is a (user, app) EventLog in generation order with its CSR
+/// per-user index built, so `sequence_view(u)` is user u's downloads in
+/// chronological order without materializing per-user vectors.
 struct Workload {
   std::vector<std::uint64_t> downloads;
-  std::vector<std::vector<std::uint32_t>> user_sequences;
+  /// Per-user download sequences as a columnar log (user/app only — the
+  /// append position is the chronological order). Empty unless the model ran
+  /// with record_sequences; indexed by the generator when non-empty.
+  events::EventLog sequences{events::Columns::kNone};
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return std::reduce(downloads.begin(), downloads.end(), std::uint64_t{0});
@@ -25,13 +32,22 @@ struct Workload {
   /// curves are indexed by the app's true global popularity rank.
   [[nodiscard]] std::vector<double> counts() const {
     std::vector<double> result;
-    result.reserve(downloads.size());
     result.assign(downloads.begin(), downloads.end());
     return result;
   }
 
   /// Download counts sorted descending (empirical rank–download curve).
   [[nodiscard]] std::vector<double> by_rank() const;
+
+  /// Zero-copy chronological view of user u's sequence (requires recorded
+  /// sequences; throws std::logic_error otherwise).
+  [[nodiscard]] events::UserStreamView sequence_view(std::uint32_t user) const {
+    return sequences.stream(user);
+  }
+
+  /// Deprecated: materializes per-user app vectors from `sequences` —
+  /// O(total downloads) copies per call. Prefer sequence_view().
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> user_sequences() const;
 };
 
 }  // namespace appstore::models

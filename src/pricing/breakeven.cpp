@@ -104,10 +104,11 @@ std::vector<BreakevenPoint> breakeven_over_time(const market::AppStore& store,
   std::vector<std::uint64_t> cumulative(store.apps().size(), 0);
 
   // Sorted (day, app) pairs let the cursor advance monotonically.
+  const auto& log = store.download_log();
   std::vector<std::pair<market::Day, std::uint32_t>> events;
-  events.reserve(store.download_events().size());
-  for (const auto& event : store.download_events()) {
-    events.emplace_back(event.day, event.app.value);
+  events.reserve(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    events.emplace_back(log.day()[i], log.app()[i]);
   }
   std::sort(events.begin(), events.end());
 

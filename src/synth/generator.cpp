@@ -4,8 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "events/event_log.hpp"
 #include "models/app_clustering_model.hpp"
 #include "models/stream.hpp"
+#include "par/parallel.hpp"
 #include "stats/zipf.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"
@@ -368,7 +370,11 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
     util::log_info(kComponent, "{}: generating {} downloads for {} apps / {} users",
                    profile.name, downloads_last, params.app_count, params.user_count);
 
-    const auto stream = models::generate_stream(*model, rng, downloads_last);
+    const events::EventLog stream = models::generate_stream_log(
+        *model, rng,
+        models::StreamOptions{.max_requests = downloads_last,
+                              .metrics = config.metrics,
+                              .threads = config.threads});
 
     // Day assignment: the first `downloads_first` arrivals form the
     // pre-crawl history (day -1); the remainder spread uniformly over the
@@ -384,7 +390,19 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
     store.add_users(static_cast<std::uint32_t>(users));
     user_cursor += static_cast<std::uint32_t>(users);
 
-    for (std::size_t k = 0; k < stream.size(); ++k) {
+    // Shard-wise columnar emission: the day of arrival k is a pure function
+    // of k (plus the app's release day), so the batch columns are filled in
+    // parallel and bulk-ingested. Ordinals continue the store's download
+    // sequence, making the result identical to a serial record_download loop
+    // at every thread count.
+    const std::size_t n = stream.size();
+    std::vector<std::uint32_t> batch_user(n);
+    std::vector<std::uint32_t> batch_app(n);
+    std::vector<market::Day> batch_day(n);
+    std::vector<std::uint32_t> batch_ordinal(n);
+    const auto ordinal_base = static_cast<std::uint32_t>(store.download_log().size());
+    const par::Options par_options{.threads = config.threads, .metrics = config.metrics};
+    par::parallel_for(n, par_options, [&](std::uint64_t k) {
       market::Day day = -1;
       if (k >= downloads_first) {
         day = static_cast<market::Day>(
@@ -392,15 +410,20 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
               1;
         day = std::min<market::Day>(day, profile.crawl_days);
       }
-      const market::AppId app = rank_order[stream[k].app];
+      const market::AppId app = rank_order[stream.app()[k]];
       // Apps cannot be downloaded before release.
       const market::Day released = store.app(app).released;
       if (day < released) day = released;
-      store.record_download(market::UserId{user_offset + stream[k].user}, app, day);
-    }
+      batch_user[k] = user_offset + stream.user()[k];
+      batch_app[k] = app.value;
+      batch_day[k] = day;
+      batch_ordinal[k] = ordinal_base + static_cast<std::uint32_t>(k);
+    });
+    store.ingest_downloads(events::EventLog::from_columns(
+        events::Columns::kDay | events::Columns::kOrdinal, std::move(batch_user),
+        std::move(batch_app), std::move(batch_day), std::move(batch_ordinal)));
 
     params_out = params;
-    (void)user_offset;
   };
 
   run_segment(profile.free_segment, out.free_rank_order, free_params, false);
@@ -414,8 +437,11 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
   if (config.comments && profile.commenter_fraction > 0.0) {
     // Propensities are lazily drawn per user the first time they download.
     std::vector<float> propensity(store.user_count(), -1.0F);
-    for (const auto& event : store.download_events()) {
-      auto& p = propensity[event.user.index()];
+    const auto dl_user = store.download_log().user();
+    const auto dl_app = store.download_log().app();
+    const auto dl_day = store.download_log().day();
+    for (std::size_t i = 0; i < store.download_log().size(); ++i) {
+      auto& p = propensity[dl_user[i]];
       if (p < 0.0F) {
         p = rng.chance(profile.commenter_fraction)
                 ? static_cast<float>(sample_comment_propensity(rng))
@@ -423,8 +449,8 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
       }
       if (p > 0.0F && rng.uniform() < p) {
         const auto rating = static_cast<std::uint8_t>(rng.uniform() < 0.7 ? 5 : 4);
-        store.record_comment(event.user, event.app, std::max<market::Day>(event.day, 0),
-                             rating);
+        store.record_comment(market::UserId{dl_user[i]}, market::AppId{dl_app[i]},
+                             std::max<market::Day>(dl_day[i], 0), rating);
       }
     }
     // Spam accounts: a handful of users posting hundreds of comments on
@@ -444,13 +470,20 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
     }
   }
 
+  // Establish the per-user chronological index once, so every consumer
+  // (affinity strings, study figures, tests) gets zero-copy stream views.
+  store.build_stream_index(
+      events::BuildOptions{.threads = config.threads, .metrics = config.metrics});
+
   return out;
 }
 
 std::vector<std::uint64_t> downloads_at_day(const market::AppStore& store, market::Day day) {
   std::vector<std::uint64_t> counts(store.apps().size(), 0);
-  for (const auto& event : store.download_events()) {
-    if (event.day <= day) ++counts[event.app.index()];
+  const auto apps = store.download_log().app();
+  const auto days = store.download_log().day();
+  for (std::size_t i = 0; i < store.download_log().size(); ++i) {
+    if (days[i] <= day) ++counts[apps[i]];
   }
   return counts;
 }

@@ -7,12 +7,17 @@
 // reproduces paper-scale magnitudes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "market/types.hpp"
 #include "models/model.hpp"
+
+namespace appstore::obs {
+class Registry;
+}
 
 namespace appstore::synth {
 
@@ -89,6 +94,13 @@ struct GeneratorConfig {
   bool comments = false;
   /// PRNG seed; every run with the same profile+config+seed is identical.
   std::uint64_t seed = 0x5eed;
+  /// Worker threads for the sharded stages (stream generation, day
+  /// assignment, stream-index build); 0 = hardware concurrency. The
+  /// generated store does not depend on this value.
+  std::size_t threads = 0;
+  /// Optional metrics sink threaded through to the model, event-log and
+  /// par layers.
+  obs::Registry* metrics = nullptr;
 };
 
 }  // namespace appstore::synth

@@ -100,11 +100,32 @@ TEST_F(DbIoFixture, ApkScansFileIsOptional) {
 
 TEST_F(DbIoFixture, ObservationForUnknownAppThrows) {
   save_database(build(), directory_);
-  // Corrupt: observation row referencing app 99.
+  // Force the CSV path (load prefers observations.bin when present), then
+  // corrupt it with an observation row referencing app 99.
+  std::filesystem::remove(directory_ / "observations.bin");
   std::ofstream out(directory_ / "observations.csv", std::ios::app);
   out << "99,0,5,1,0\n";
   out.close();
   EXPECT_THROW((void)load_database(directory_), std::runtime_error);
+}
+
+TEST_F(DbIoFixture, BinaryObservationsPreferredOverCsv) {
+  save_database(build(), directory_);
+  // Doctor the CSV only: if the loader preferred it, the unknown-app row
+  // below would throw. The intact binary file must win.
+  std::ofstream out(directory_ / "observations.csv", std::ios::app);
+  out << "99,0,5,1,0\n";
+  out.close();
+  const CrawlDatabase loaded = load_database(directory_);
+  EXPECT_EQ(loaded.app_count(), 2u);
+  EXPECT_EQ(loaded.find(99), nullptr);
+}
+
+TEST_F(DbIoFixture, CsvOnlyDirectoryStillLoads) {
+  save_database(build(), directory_);
+  std::filesystem::remove(directory_ / "observations.bin");
+  const CrawlDatabase loaded = load_database(directory_);
+  EXPECT_EQ(loaded.app_count(), 2u);
 }
 
 }  // namespace

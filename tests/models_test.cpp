@@ -133,7 +133,7 @@ TEST(ZipfModel, AllowsRepeatDownloadsPerUser) {
   util::Rng rng(4);
   const Workload workload = model.generate(rng, true);
   bool found_repeat = false;
-  for (const auto& sequence : workload.user_sequences) {
+  for (const auto& sequence : workload.user_sequences()) {
     std::set<std::uint32_t> unique(sequence.begin(), sequence.end());
     if (unique.size() < sequence.size()) found_repeat = true;
   }
@@ -146,7 +146,7 @@ TEST(ZipfAmo, NoUserDownloadsTwice) {
   const ZipfAtMostOnceModel model(small_params());
   util::Rng rng(5);
   const Workload workload = model.generate(rng, true);
-  for (const auto& sequence : workload.user_sequences) {
+  for (const auto& sequence : workload.user_sequences()) {
     std::set<std::uint32_t> unique(sequence.begin(), sequence.end());
     EXPECT_EQ(unique.size(), sequence.size());
   }
@@ -211,7 +211,7 @@ TEST(ZipfAmo, ExhaustsWhenDemandExceedsApps) {
   const ZipfAtMostOnceModel model(params);
   util::Rng rng(8);
   const Workload workload = model.generate(rng, true);
-  for (const auto& sequence : workload.user_sequences) {
+  for (const auto& sequence : workload.user_sequences()) {
     EXPECT_EQ(sequence.size(), 5u);  // capped at app_count
   }
   EXPECT_EQ(workload.total(), 50u);
@@ -236,7 +236,7 @@ TEST(AppClustering, NoUserDownloadsTwice) {
                                  ClusterLayout::round_robin(500, 10));
   util::Rng rng(10);
   const Workload workload = model.generate(rng, true);
-  for (const auto& sequence : workload.user_sequences) {
+  for (const auto& sequence : workload.user_sequences()) {
     std::set<std::uint32_t> unique(sequence.begin(), sequence.end());
     EXPECT_EQ(unique.size(), sequence.size());
   }
@@ -254,7 +254,7 @@ TEST(AppClustering, SequencesShowClusterAffinity) {
   // exceed the ~1/10 random-walk baseline.
   std::uint64_t same = 0;
   std::uint64_t pairs = 0;
-  for (const auto& sequence : workload.user_sequences) {
+  for (const auto& sequence : workload.user_sequences()) {
     for (std::size_t i = 1; i < sequence.size(); ++i) {
       same += layout.cluster_of(sequence[i]) == layout.cluster_of(sequence[i - 1]) ? 1 : 0;
       ++pairs;

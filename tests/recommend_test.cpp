@@ -140,7 +140,7 @@ TEST(Eval, ClusteringAwareBeatsPopularityOnClusteredData) {
   for (std::uint32_t a = 0; a < params.app_count; ++a) {
     dataset.app_category[a] = layout.cluster_of(a);
   }
-  dataset.user_sequences = workload.user_sequences;
+  dataset.user_sequences = workload.user_sequences();
 
   std::vector<std::uint32_t> held_out;
   const Dataset truncated = leave_last_out(dataset, held_out);

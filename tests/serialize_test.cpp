@@ -127,7 +127,8 @@ TEST(Prefetch, CapacityStillEnforced) {
 }
 
 TEST(Prefetch, NullInnerThrows) {
-  EXPECT_THROW(cache::PrefetchingCache(nullptr, {0}, 1), std::invalid_argument);
+  const std::vector<std::uint32_t> app_category = {0};
+  EXPECT_THROW(cache::PrefetchingCache(nullptr, app_category, 1), std::invalid_argument);
 }
 
 // ---- MLE -----------------------------------------------------------------------
