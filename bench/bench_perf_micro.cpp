@@ -14,6 +14,7 @@
 
 #include "affinity/metric.hpp"
 #include "cache/policy.hpp"
+#include "chaos/fault.hpp"
 #include "crawler/json.hpp"
 #include "events/event_log.hpp"
 #include "fit/sweep.hpp"
@@ -149,6 +150,27 @@ void BM_HttpRoundTripInstrumented(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HttpRoundTripInstrumented);
+
+// Same round-trip with a chaos::FaultInjector wired into the client but a
+// plan whose only rule has probability zero: every request consults the
+// seam, none is perturbed. The delta against BM_HttpRoundTrip is the cost of
+// carrying the fault seam in production builds (expected ~0: one mutex-
+// guarded map lookup + a pure hash per request).
+void BM_HttpRoundTripFaultSeam(benchmark::State& state) {
+  net::HttpServer server(0, [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, "pong");
+  });
+  chaos::FaultPlan plan;
+  plan.rules.push_back(
+      {chaos::FaultSite::kExchange, chaos::FaultKind::kConnectionReset, 0.0, {}});
+  chaos::FaultInjector injector(plan);
+  net::HttpClient client("127.0.0.1", server.port(),
+                         net::ClientOptions{.faults = &injector});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("/ping"));
+  }
+}
+BENCHMARK(BM_HttpRoundTripFaultSeam);
 
 void BM_CounterInc(benchmark::State& state) {
   obs::Counter counter;

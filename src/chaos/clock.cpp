@@ -1,0 +1,39 @@
+#include "chaos/clock.hpp"
+
+#include <thread>
+
+namespace appstore::chaos {
+
+namespace {
+
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] std::chrono::steady_clock::time_point now() override {
+    return std::chrono::steady_clock::now();
+  }
+
+  void sleep_for(std::chrono::nanoseconds duration) override {
+    if (duration.count() > 0) std::this_thread::sleep_for(duration);
+  }
+};
+
+}  // namespace
+
+Clock& system_clock() noexcept {
+  static SystemClock clock;
+  return clock;
+}
+
+std::chrono::steady_clock::time_point now_or_real(Clock* clock) {
+  return clock != nullptr ? clock->now() : std::chrono::steady_clock::now();
+}
+
+void sleep_or_real(Clock* clock, std::chrono::nanoseconds duration) {
+  if (clock != nullptr) {
+    clock->sleep_for(duration);
+  } else if (duration.count() > 0) {
+    std::this_thread::sleep_for(duration);
+  }
+}
+
+}  // namespace appstore::chaos

@@ -1,0 +1,82 @@
+// Pluggable time source for fault-injection and robustness testing.
+//
+// Production code sleeps and reads the clock through a chaos::Clock so that
+// chaos tests can substitute a VirtualClock: sleeps become instantaneous
+// advances of virtual time, letting backoff-heavy scenarios (a crawl with
+// hundreds of 429 retries, a circuit breaker cycling open -> half-open ->
+// closed) replay deterministically in microseconds of wall time. A null
+// Clock* everywhere means "real time" — the seam costs one branch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+
+namespace appstore::chaos {
+
+/// Abstract monotonic time source. Implementations must be thread-safe:
+/// server, crawler, and breaker code read it from concurrent threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual std::chrono::steady_clock::time_point now() = 0;
+
+  /// Blocks (real clock) or advances virtual time (VirtualClock).
+  virtual void sleep_for(std::chrono::nanoseconds duration) = 0;
+
+  /// Adapter for APIs that take a bare time function (e.g.
+  /// net::TokenBucketLimiter::Clock). The returned function references this
+  /// clock, which must outlive it.
+  [[nodiscard]] std::function<std::chrono::steady_clock::time_point()> time_fn() {
+    return [this] { return now(); };
+  }
+};
+
+/// The process clock: now() = steady_clock::now(), sleep_for() really sleeps.
+[[nodiscard]] Clock& system_clock() noexcept;
+
+/// Reads `clock` if non-null, the real clock otherwise (the convention for
+/// optional Clock* options throughout the library).
+[[nodiscard]] std::chrono::steady_clock::time_point now_or_real(Clock* clock);
+void sleep_or_real(Clock* clock, std::chrono::nanoseconds duration);
+
+/// Deterministic virtual time: now() starts at an arbitrary fixed epoch and
+/// only moves when someone sleeps or calls advance(). sleep_for() returns
+/// immediately after bumping the clock, so code written against real time
+/// replays at memory speed. Thread-safe; concurrent sleeps simply accumulate
+/// (total elapsed time is the sum of all sleeps, which is deterministic for
+/// a deterministic set of sleepers).
+class VirtualClock final : public Clock {
+ public:
+  VirtualClock() = default;
+
+  [[nodiscard]] std::chrono::steady_clock::time_point now() override {
+    return epoch() + std::chrono::nanoseconds(offset_.load(std::memory_order_acquire));
+  }
+
+  void sleep_for(std::chrono::nanoseconds duration) override { advance(duration); }
+
+  /// Moves virtual time forward without sleeping semantics.
+  void advance(std::chrono::nanoseconds duration) {
+    if (duration.count() > 0) {
+      offset_.fetch_add(duration.count(), std::memory_order_acq_rel);
+    }
+  }
+
+  /// Virtual time elapsed since construction.
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const {
+    return std::chrono::nanoseconds(offset_.load(std::memory_order_acquire));
+  }
+
+ private:
+  /// A fixed non-zero epoch so time_points behave like steady_clock's
+  /// (strictly positive, far from underflow when code subtracts timeouts).
+  [[nodiscard]] static std::chrono::steady_clock::time_point epoch() noexcept {
+    return std::chrono::steady_clock::time_point(std::chrono::hours(1));
+  }
+
+  std::atomic<std::int64_t> offset_{0};
+};
+
+}  // namespace appstore::chaos

@@ -1,0 +1,82 @@
+#include "chaos/fault.hpp"
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace appstore::chaos {
+
+std::string_view to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kConnect: return "connect";
+    case FaultSite::kExchange: return "exchange";
+    case FaultSite::kServer: return "server";
+    case FaultSite::kFileWrite: return "file_write";
+    case FaultSite::kFileRead: return "file_read";
+  }
+  return "?";
+}
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kConnectRefused: return "connect_refused";
+    case FaultKind::kConnectionReset: return "connection_reset";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kHttp429: return "http_429";
+    case FaultKind::kHttp403: return "http_403";
+    case FaultKind::kHttp500: return "http_500";
+    case FaultKind::kTornWrite: return "torn_write";
+  }
+  return "?";
+}
+
+Fault FaultPlan::decide(FaultSite site, std::string_view key, std::uint32_t call) const {
+  // One generator per (seed, site, key, call): decisions are a pure hash of
+  // their coordinates, never a shared stream, so concurrent keys cannot
+  // perturb each other's schedules.
+  const std::uint64_t key_seed =
+      util::combine_seed(util::combine_seed(seed, util::hash64(key)),
+                         static_cast<std::uint64_t>(site) + 1);
+  util::Rng rng(util::rng::derive_seed(key_seed, call));
+  for (const FaultRule& rule : rules) {
+    if (rule.site != site) continue;
+    // Each rule consumes exactly one draw whether or not it fires, keeping
+    // later rules' decisions independent of earlier rules' probabilities.
+    const bool fired = rng.chance(rule.probability);
+    if (fired) return Fault{rule.kind, rule.latency};
+  }
+  return {};
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Registry* metrics)
+    : plan_(std::move(plan)) {
+  if (metrics != nullptr) {
+    metrics->describe("faults_injected_total", "Faults injected by kind (chaos)");
+    for (std::size_t kind = 1; kind < kFaultKindCount; ++kind) {
+      by_kind_[kind] = &metrics->counter("faults_injected_total",
+                                         to_string(static_cast<FaultKind>(kind)));
+    }
+  }
+}
+
+Fault FaultInjector::next(FaultSite site, std::string_view key) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  Fault fault;
+  {
+    const std::lock_guard lock(mutex_);
+    KeyState& state = keys_[util::format("{}|{}", to_string(site), key)];
+    const bool capped = plan_.max_faults_per_key != 0 &&
+                        state.injected >= plan_.max_faults_per_key;
+    if (!capped) fault = plan_.decide(site, key, state.calls);
+    ++state.calls;
+    if (!fault.none()) ++state.injected;
+  }
+  if (!fault.none()) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counter* counter = by_kind_[static_cast<std::size_t>(fault.kind)];
+    if (counter != nullptr) counter->inc();
+  }
+  return fault;
+}
+
+}  // namespace appstore::chaos

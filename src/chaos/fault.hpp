@@ -1,0 +1,142 @@
+// Seeded, deterministic fault injection (the chaos core).
+//
+// A FaultPlan is a pure schedule: decide(site, key, call) maps the same
+// (seed, site, key, call-ordinal) to the same fault on every run and on
+// every thread schedule, because it hashes its inputs instead of consuming
+// a shared random stream. A FaultInjector wraps a plan with the per-key
+// call/injection bookkeeping (thread-safe) and an injection cap per key, so
+// a bounded retry loop is guaranteed to eventually see a clean call — the
+// property the robustness harness relies on to assert bit-identical
+// recovery against a fault-free run.
+//
+// Injection seams consult the injector with a stable key (an HTTP target, a
+// file path); a null FaultInjector* disables the seam at the cost of one
+// branch (bench_perf_micro measures this as ~0).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace appstore::chaos {
+
+/// Where a fault can be injected.
+enum class FaultSite : std::uint8_t {
+  kConnect = 0,   ///< client, before establishing a connection
+  kExchange,      ///< client, around one HTTP request/response exchange
+  kServer,        ///< server, after parsing a request, before the handler
+  kFileWrite,     ///< binary/CSV writers (torn writes)
+  kFileRead,      ///< binary readers (reserved for read-side seams)
+};
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kConnectRefused,   ///< connect() fails with ECONNREFUSED
+  kConnectionReset,  ///< the exchange dies mid-flight with ECONNRESET
+  kLatency,          ///< the exchange is delayed by Fault::latency
+  kHttp429,          ///< synthetic "429 Too Many Requests"
+  kHttp403,          ///< synthetic "403 Forbidden"
+  kHttp500,          ///< synthetic "500 Internal Server Error"
+  kTornWrite,        ///< the writer dies after a partial write
+};
+inline constexpr std::size_t kFaultKindCount = 8;
+
+[[nodiscard]] std::string_view to_string(FaultSite site) noexcept;
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One decided fault. kind == kNone means "proceed normally".
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  std::chrono::milliseconds latency{0};
+
+  [[nodiscard]] bool none() const noexcept { return kind == FaultKind::kNone; }
+};
+
+/// One line of a fault schedule: at `site`, inject `kind` with probability
+/// `probability` per call. Rules are evaluated in order; the first hit wins.
+struct FaultRule {
+  FaultSite site = FaultSite::kExchange;
+  FaultKind kind = FaultKind::kHttp500;
+  double probability = 0.0;
+  std::chrono::milliseconds latency{0};  ///< used by kLatency rules
+};
+
+/// The seeded schedule. A pure value: copyable, comparable runs.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+  /// Hard cap on faults injected per (site, key); once reached, further
+  /// calls for that key are clean. Guarantees that any retry loop with a
+  /// budget larger than the cap recovers. 0 = uncapped (use only in tests
+  /// that do not require recovery).
+  std::uint32_t max_faults_per_key = 2;
+
+  /// Pure decision for the `call`-th consultation of (site, key): the same
+  /// inputs always yield the same fault, independent of thread schedule or
+  /// calls for other keys. Does NOT apply max_faults_per_key (the injector
+  /// tracks per-key injection counts).
+  [[nodiscard]] Fault decide(FaultSite site, std::string_view key,
+                             std::uint32_t call) const;
+};
+
+/// Thrown by write seams simulating a crash mid-write (torn write). Typed so
+/// tests can distinguish injected faults from genuine I/O errors.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] FaultKind kind() const noexcept { return kind_; }
+
+ private:
+  FaultKind kind_;
+};
+
+/// Stateful front-end of a FaultPlan: counts calls and injections per
+/// (site, key), enforces the per-key cap, and mirrors injections into
+/// `faults_injected_total{kind}` counters. Thread-safe; a given key's calls
+/// must be serialized by the caller for deterministic schedules (retry loops
+/// and per-target shards already are).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, obs::Registry* metrics = nullptr);
+
+  /// Decides the fault for the next call of (site, key).
+  [[nodiscard]] Fault next(FaultSite site, std::string_view key);
+
+  /// Total faults injected across all sites and keys.
+  [[nodiscard]] std::uint64_t injected_total() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Total consultations (faulted or clean).
+  [[nodiscard]] std::uint64_t calls_total() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct KeyState {
+    std::uint32_t calls = 0;
+    std::uint32_t injected = 0;
+  };
+
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  obs::Counter* by_kind_[kFaultKindCount] = {};  ///< faults_injected_total{kind}
+  std::mutex mutex_;
+  std::unordered_map<std::string, KeyState> keys_;
+};
+
+}  // namespace appstore::chaos

@@ -1,0 +1,60 @@
+#include "chaos/file_faults.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace appstore::chaos {
+
+void truncate_file(const std::filesystem::path& path, std::uint64_t size) {
+  std::error_code error;
+  const std::uint64_t current = std::filesystem::file_size(path, error);
+  if (error) throw std::runtime_error("truncate_file: cannot stat " + path.string());
+  if (size > current) {
+    throw std::runtime_error(util::format("truncate_file: {} > size of {}", size,
+                                          path.string()));
+  }
+  std::filesystem::resize_file(path, size, error);
+  if (error) throw std::runtime_error("truncate_file: cannot resize " + path.string());
+}
+
+void flip_byte(const std::filesystem::path& path, std::uint64_t offset,
+               std::uint8_t mask) {
+  if (mask == 0) throw std::runtime_error("flip_byte: mask must be non-zero");
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) throw std::runtime_error("flip_byte: cannot open " + path.string());
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(file.tellg());
+  if (offset >= size) {
+    throw std::runtime_error(util::format("flip_byte: offset {} >= size {} of {}", offset,
+                                          size, path.string()));
+  }
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(static_cast<std::uint8_t>(byte) ^ mask);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  file.flush();
+  if (!file) throw std::runtime_error("flip_byte: write failed for " + path.string());
+}
+
+std::string corrupt_file(const std::filesystem::path& path, util::Rng& rng) {
+  std::error_code error;
+  const std::uint64_t size = std::filesystem::file_size(path, error);
+  if (error || size == 0) {
+    throw std::runtime_error("corrupt_file: missing or empty " + path.string());
+  }
+  if (rng.chance(0.5)) {
+    const std::uint64_t keep = rng.below(size);  // always drops >= 1 byte
+    truncate_file(path, keep);
+    return util::format("truncate {} -> {}", size, keep);
+  }
+  const std::uint64_t offset = rng.below(size);
+  const auto mask = static_cast<std::uint8_t>(1U << rng.below(8));
+  flip_byte(path, offset, mask);
+  return util::format("flip byte {} ^ 0x{:x}", offset, static_cast<unsigned>(mask));
+}
+
+}  // namespace appstore::chaos

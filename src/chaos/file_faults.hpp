@@ -1,0 +1,36 @@
+// Seeded file corruption for persistence robustness tests.
+//
+// The loaders' fault model (docs/robustness.md) is "any prefix, any byte":
+// a crawl box can die mid-write (truncation) and disks/transfer can flip
+// bytes. These helpers apply exactly those corruptions, deterministically
+// from a util::Rng, so a fuzz loop over seeds is reproducible: the
+// robustness suite replays 1000 seeded corruptions over valid "AEVL"/"AOBS"
+// files and asserts every load ends in a typed error or a clean success —
+// never a crash, hang, or garbage value (verified under ASan).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace appstore::chaos {
+
+/// Truncates the file to `size` bytes (size must not exceed the current
+/// size). Throws std::runtime_error on I/O failure.
+void truncate_file(const std::filesystem::path& path, std::uint64_t size);
+
+/// XORs the byte at `offset` with `mask` (mask must be non-zero so the byte
+/// actually changes). Throws std::runtime_error on I/O failure or an
+/// out-of-range offset.
+void flip_byte(const std::filesystem::path& path, std::uint64_t offset,
+               std::uint8_t mask);
+
+/// Applies one random corruption — a truncation to a random prefix or a
+/// random single-byte flip — drawn from `rng`. Returns a human-readable
+/// description ("truncate 1234 -> 57", "flip byte 12 ^ 0x40") for test
+/// diagnostics. The file must be non-empty.
+std::string corrupt_file(const std::filesystem::path& path, util::Rng& rng);
+
+}  // namespace appstore::chaos

@@ -2,18 +2,37 @@
 //
 // For each crawl day the crawler pages through the store directory and
 // fetches every app's statistics page, routing each request through a
-// randomly chosen proxy (retrying through another proxy on 429/403/5xx,
-// with quarantine after repeated failures) and recording observations into
-// a CrawlDatabase. This mirrors the paper's Scrapy + PlanetLab pipeline:
-// daily revisits update statistics of known apps and pick up newly added
-// apps, expanding the dataset.
+// randomly chosen proxy (retrying through another proxy on 429/403/5xx)
+// and recording observations into a CrawlDatabase. This mirrors the
+// paper's Scrapy + PlanetLab pipeline: daily revisits update statistics of
+// known apps and pick up newly added apps, expanding the dataset.
+//
+// Failure handling has two tiers, matching the two failure shapes the
+// paper's crawlers saw:
+//  - ProxyPool quarantine for deterministic rejections (a region-blocked
+//    proxy 403s forever — drop it so the pool converges on usable proxies);
+//  - a per-proxy net::CircuitBreaker for transient trouble (5xx, transport
+//    errors): the proxy is skipped while its breaker is open and probed
+//    again after a cool-off.
+// Retries back off with seeded decorrelated jitter and respect a cumulative
+// retry budget per fetch.
+//
+// Determinism: with `threads > 1` the per-app phase runs on appstore_par
+// shards, and every random decision (proxy picks, backoff draws) comes from
+// a generator derived from (crawl seed, request target) — never from a
+// shared stream — so a crawl produces bit-identical results for any thread
+// count, with or without injected faults (see tests/robustness_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
+#include "chaos/clock.hpp"
+#include "chaos/fault.hpp"
 #include "crawler/database.hpp"
+#include "net/breaker.hpp"
 #include "net/proxy.hpp"
 #include "net/server.hpp"
 #include "obs/registry.hpp"
@@ -32,18 +51,37 @@ struct CrawlerOptions {
                                             net::Region::kUsa};
   /// Per-request retry budget (each retry uses a fresh proxy).
   std::uint32_t max_attempts = 8;
-  /// Initial backoff after a 429 (doubles per retry, capped at 16x). Real
+  /// Base backoff after a 429 or while every proxy's breaker is open. Real
   /// crawls space requests naturally; tests replay whole crawl days
   /// back-to-back, so the crawler must let token buckets refill.
   std::chrono::milliseconds rate_limit_backoff = std::chrono::milliseconds(20);
+  /// Backoff delays are drawn with decorrelated jitter from
+  /// [rate_limit_backoff, rate_limit_backoff * backoff_cap_multiplier].
+  std::uint32_t backoff_cap_multiplier = 16;
+  /// Cumulative backoff budget for one fetch; once spent, the fetch gives
+  /// up even if attempts remain (bounds worst-case latency per target).
+  std::chrono::milliseconds retry_budget = std::chrono::milliseconds(10000);
   std::uint64_t seed = 0xc4aa;
   /// Directory page size used while enumerating apps.
   std::uint64_t per_page = 200;
+  /// Worker threads for the per-app phase (directory enumeration is
+  /// serial). Results are bit-identical across thread counts.
+  std::size_t threads = 1;
   /// Also fetch comment pages for apps (needed by the affinity pipeline).
   bool fetch_comments = false;
   /// Also fetch and scan APKs — once per (app, version), as in the paper's
   /// pipeline. Feeds the §6.3 ad-library analysis.
   bool fetch_apks = false;
+  /// Per-proxy circuit breaker tuning; failure_threshold 0 disables the
+  /// breakers. The breaker clock defaults to `clock` when unset.
+  net::CircuitBreaker::Options breaker;
+  /// Time source for backoff sleeps and breaker timeouts (nullptr = real
+  /// time). Robustness tests pass a chaos::VirtualClock so backoff-heavy
+  /// crawls replay in microseconds. Must outlive the crawler.
+  chaos::Clock* clock = nullptr;
+  /// Optional fault seam handed to every HTTP client (see
+  /// net::ClientOptions). Must outlive the crawler.
+  chaos::FaultInjector* faults = nullptr;
   /// Optional metrics sink (crawler_* families, trace spans; see
   /// docs/observability.md). Must outlive the crawler.
   obs::Registry* metrics = nullptr;
@@ -60,7 +98,18 @@ struct CrawlStats {
   std::uint64_t apps_observed = 0;
   std::uint64_t comments_observed = 0;
   std::uint64_t apks_fetched = 0;      ///< new (app, version) APK downloads
+
+  friend bool operator==(const CrawlStats&, const CrawlStats&) = default;
 };
+
+/// AWS-style decorrelated-jitter backoff: the next delay is drawn uniformly
+/// from [base, min(cap, 3 * previous)]. Jitter decorrelates retry bursts
+/// from many clients; deriving `rng` from the crawl seed and target keeps
+/// the schedule deterministic (tests/robustness_test.cpp asserts it).
+[[nodiscard]] std::chrono::milliseconds decorrelated_backoff(std::chrono::milliseconds base,
+                                                             std::chrono::milliseconds cap,
+                                                             std::chrono::milliseconds previous,
+                                                             util::Rng& rng);
 
 class Crawler {
  public:
@@ -74,11 +123,17 @@ class Crawler {
   [[nodiscard]] const net::ProxyPool& proxies() const noexcept { return proxies_; }
   [[nodiscard]] const CrawlStats& totals() const noexcept { return totals_; }
 
+  /// The circuit breaker guarding proxy `index` (for tests and reports).
+  [[nodiscard]] const net::CircuitBreaker& breaker(std::size_t index) const {
+    return *breakers_.at(index);
+  }
+
  private:
   /// Lock-free handles into options_.metrics; all nullptr when disabled.
   struct Metrics {
     obs::Counter* requests = nullptr;        ///< crawler_requests_total
     obs::Counter* retries = nullptr;         ///< crawler_retries_total
+    obs::Counter* breaker_open = nullptr;    ///< crawler_breaker_open_total
     obs::Counter* pages = nullptr;           ///< crawler_pages_total (directory pages)
     obs::Counter* apps = nullptr;            ///< crawler_apps_observed_total
     obs::Counter* apk_bytes = nullptr;       ///< crawler_apk_bytes_total
@@ -86,21 +141,35 @@ class Crawler {
     obs::Histogram* fetch_seconds = nullptr; ///< crawler_fetch_seconds
   };
 
-  /// One GET with proxy rotation and bounded retries. Returns the body on
-  /// HTTP 200, nullopt when attempts are exhausted or the target 404s.
+  /// One GET with proxy rotation, breaker-aware picks, and jittered bounded
+  /// retries. Returns the body on HTTP 200, nullopt when the retry/attempt
+  /// budget is exhausted or the target 404s. `worker` selects the client
+  /// set; calls for one target must not run concurrently.
   [[nodiscard]] std::optional<std::string> fetch(const std::string& target,
-                                                 CrawlStats& stats);
+                                                 CrawlStats& stats, std::size_t worker);
 
-  /// One persistent connection per proxy identity (the paper's crawlers
-  /// similarly kept sessions per PlanetLab node); lazily opened.
-  [[nodiscard]] net::PersistentHttpClient& client_for(std::size_t proxy_index);
+  /// Pool pick that skips proxies whose breaker is open; nullopt when no
+  /// pick is currently possible (sets `pool_empty` when the pool itself has
+  /// no healthy proxy, a permanent condition).
+  [[nodiscard]] std::optional<std::size_t> pick_allowed(util::Rng& rng, bool& pool_empty);
+
+  /// Fetches one app's statistics page (and optionally APK + comments) and
+  /// records it; runs concurrently across shards.
+  void crawl_app(std::uint32_t id, market::Day day, CrawlStats& stats, std::size_t worker);
+
+  /// One persistent connection per (worker, proxy identity) — workers never
+  /// share a client, so the per-proxy sessions of the paper's setup remain
+  /// single-threaded objects; lazily opened.
+  [[nodiscard]] net::PersistentHttpClient& client_for(std::size_t worker,
+                                                      std::size_t proxy_index);
 
   CrawlerOptions options_;
   CrawlDatabase& database_;
   net::ProxyPool proxies_;
-  util::Rng rng_;
+  std::vector<std::unique_ptr<net::CircuitBreaker>> breakers_;
   CrawlStats totals_;
   Metrics metrics_;
+  std::mutex database_mutex_;
   std::vector<std::unique_ptr<net::PersistentHttpClient>> clients_;
 };
 

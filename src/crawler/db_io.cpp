@@ -3,9 +3,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "chaos/fault.hpp"
 #include "events/binary.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace appstore::crawlersim {
@@ -14,6 +16,20 @@ namespace {
 
 constexpr std::string_view kObservationsMagic = "AOBS";
 constexpr std::uint32_t kObservationsVersion = 1;
+// app u32 + day i32 + downloads u64 + version u32 + price f64
+constexpr std::uint64_t kObservationRowBytes =
+    sizeof(std::uint32_t) + sizeof(std::int32_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint32_t) + sizeof(double);
+
+/// Consults the write seam for `path`; throws InjectedFault on kTornWrite,
+/// simulating a crash at this exact point of the save.
+void maybe_tear(chaos::FaultInjector* faults, const std::filesystem::path& path) {
+  if (faults == nullptr) return;
+  const chaos::Fault fault = faults->next(chaos::FaultSite::kFileWrite, path.string());
+  if (fault.kind == chaos::FaultKind::kTornWrite) {
+    throw chaos::InjectedFault(fault.kind, "injected torn write for " + path.string());
+  }
+}
 
 [[nodiscard]] std::uint64_t field_u64(const std::string& text, const char* what) {
   std::uint64_t value = 0;
@@ -41,8 +57,8 @@ constexpr std::uint32_t kObservationsVersion = 1;
 /// Columnar fast-path write: one buffered stream per column, no text
 /// formatting. Row order matches the CSV writer (apps in id order, each
 /// app's observations in day order).
-void save_observations_binary(const CrawlDatabase& database,
-                              const std::filesystem::path& path) {
+void save_observations_binary(const CrawlDatabase& database, const std::filesystem::path& path,
+                              chaos::FaultInjector* faults) {
   std::vector<std::uint32_t> app;
   std::vector<std::int32_t> day;
   std::vector<std::uint64_t> downloads;
@@ -58,16 +74,25 @@ void save_observations_binary(const CrawlDatabase& database,
     }
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_database: cannot open " + path.string());
-  events::binary::write_header(out, kObservationsMagic, kObservationsVersion, 0, app.size());
-  events::binary::write_column<std::uint32_t>(out, app);
-  events::binary::write_column<std::int32_t>(out, day);
-  events::binary::write_column<std::uint64_t>(out, downloads);
-  events::binary::write_column<std::uint32_t>(out, version);
-  events::binary::write_column<double>(out, price_dollars);
-  out.flush();
-  if (!out) throw std::runtime_error("save_database: write failed for " + path.string());
+  util::AtomicFile staged(path);
+  {
+    std::ofstream out(staged.temp_path(), std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_database: cannot open " + path.string());
+    events::binary::write_header(out, kObservationsMagic, kObservationsVersion, 0,
+                                 app.size());
+    events::binary::write_column<std::uint32_t>(out, app);
+    events::binary::write_column<std::int32_t>(out, day);
+    if (faults != nullptr) {
+      out.flush();  // the torn temp should hold the bytes written so far
+      maybe_tear(faults, path);
+    }
+    events::binary::write_column<std::uint64_t>(out, downloads);
+    events::binary::write_column<std::uint32_t>(out, version);
+    events::binary::write_column<double>(out, price_dollars);
+    out.flush();
+    if (!out) throw std::runtime_error("save_database: write failed for " + path.string());
+  }
+  staged.commit();
 }
 
 /// Replays observations.bin into `database` (same semantics as the CSV
@@ -76,10 +101,20 @@ void load_observations_binary(CrawlDatabase& database,
                               std::map<std::uint32_t, AppRecord>& metadata,
                               const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_database: cannot open " + path.string());
+  if (!in) {
+    throw events::binary::LoadError(events::binary::LoadErrorKind::kOpen,
+                                    "load_database: cannot open " + path.string());
+  }
   const events::binary::Header header =
       events::binary::read_header(in, kObservationsMagic, kObservationsVersion);
+  if (header.flags != 0) {
+    throw events::binary::LoadError(
+        events::binary::LoadErrorKind::kBadFlags,
+        util::format("load_database: unknown flags 0x{:x} in {}", header.flags,
+                     path.string()));
+  }
   const std::uint64_t n = header.count;
+  events::binary::expect_payload(in, n, kObservationRowBytes, "AOBS");
   const auto app = events::binary::read_column<std::uint32_t>(in, n, "app");
   const auto day = events::binary::read_column<std::int32_t>(in, n, "day");
   const auto downloads = events::binary::read_column<std::uint64_t>(in, n, "downloads");
@@ -102,40 +137,60 @@ void load_observations_binary(CrawlDatabase& database,
 
 }  // namespace
 
-void save_database(const CrawlDatabase& database, const std::filesystem::path& directory) {
+void save_database(const CrawlDatabase& database, const std::filesystem::path& directory,
+                   const events::IoOptions& options) {
   std::filesystem::create_directories(directory);
 
   {
-    util::CsvWriter apps(directory / "apps.csv");
-    apps.write_row({"id", "name", "category", "developer", "paid", "has_ads", "first_seen"});
-    for (const auto& [id, record] : database.apps()) {
-      apps.row(static_cast<std::uint64_t>(id), record.name, record.category,
-               record.developer, record.paid ? 1 : 0, record.has_ads ? 1 : 0,
-               static_cast<std::int64_t>(record.first_seen));
-    }
-  }
-  {
-    util::CsvWriter observations(directory / "observations.csv");
-    observations.write_row({"app", "day", "downloads", "version", "price_dollars"});
-    for (const auto& [id, record] : database.apps()) {
-      for (const auto& [day, observation] : record.by_day) {
-        observations.row(static_cast<std::uint64_t>(id), static_cast<std::int64_t>(day),
-                         observation.downloads,
-                         static_cast<std::uint64_t>(observation.version),
-                         observation.price_dollars);
+    const auto path = directory / "apps.csv";
+    util::AtomicFile staged(path);
+    {
+      util::CsvWriter apps(staged.temp_path());
+      apps.write_row(
+          {"id", "name", "category", "developer", "paid", "has_ads", "first_seen"});
+      maybe_tear(options.faults, path);
+      for (const auto& [id, record] : database.apps()) {
+        apps.row(static_cast<std::uint64_t>(id), record.name, record.category,
+                 record.developer, record.paid ? 1 : 0, record.has_ads ? 1 : 0,
+                 static_cast<std::int64_t>(record.first_seen));
       }
     }
+    staged.commit();
   }
-  save_observations_binary(database, directory / "observations.bin");
   {
-    util::CsvWriter scans(directory / "apk_scans.csv");
-    scans.write_row({"app", "version", "ads_found"});
-    for (const auto& [id, record] : database.apps()) {
-      for (const auto& [version, ads] : record.apk_ads_by_version) {
-        scans.row(static_cast<std::uint64_t>(id), static_cast<std::uint64_t>(version),
-                  ads ? 1 : 0);
+    const auto path = directory / "observations.csv";
+    util::AtomicFile staged(path);
+    {
+      util::CsvWriter observations(staged.temp_path());
+      observations.write_row({"app", "day", "downloads", "version", "price_dollars"});
+      maybe_tear(options.faults, path);
+      for (const auto& [id, record] : database.apps()) {
+        for (const auto& [day, observation] : record.by_day) {
+          observations.row(static_cast<std::uint64_t>(id), static_cast<std::int64_t>(day),
+                           observation.downloads,
+                           static_cast<std::uint64_t>(observation.version),
+                           observation.price_dollars);
+        }
       }
     }
+    staged.commit();
+  }
+  save_observations_binary(database, directory / "observations.bin", options.faults);
+  {
+    const auto path = directory / "apk_scans.csv";
+    util::AtomicFile staged(path);
+    {
+      util::CsvWriter scans(staged.temp_path());
+      scans.write_row({"app", "version", "ads_found"});
+      maybe_tear(options.faults, path);
+      for (const auto& [id, record] : database.apps()) {
+        for (const auto& [version, ads] : record.apk_ads_by_version) {
+          scans.row(static_cast<std::uint64_t>(id), static_cast<std::uint64_t>(version),
+                    ads ? 1 : 0);
+        }
+      }
+    }
+    staged.commit();
   }
 }
 

@@ -14,20 +14,33 @@
 // downloads u64, version u32, price f64). save_database writes both forms;
 // load_database prefers the binary file when present and falls back to CSV,
 // so a hand-written CSV-only directory still loads.
+//
+// Robustness: every file is staged in "<name>.tmp" and renamed into place
+// (util::AtomicFile), so a crash — real or injected through IoOptions —
+// mid-save never corrupts an existing database directory. The binary loader
+// validates the header and the exact payload length and reports defects as
+// typed events::binary::LoadError; corrupted input can never crash the
+// loader or silently truncate.
 #pragma once
 
 #include <filesystem>
 
 #include "crawler/database.hpp"
+#include "events/io.hpp"
 
 namespace appstore::crawlersim {
 
-/// Writes the database under `directory` (created if needed).
-void save_database(const CrawlDatabase& database, const std::filesystem::path& directory);
+/// Writes the database under `directory` (created if needed), each file
+/// atomically. With an IoOptions fault injector, a kTornWrite decision for a
+/// file aborts the save mid-write (chaos::InjectedFault) leaving previously
+/// committed files and any pre-existing versions intact.
+void save_database(const CrawlDatabase& database, const std::filesystem::path& directory,
+                   const events::IoOptions& options = {});
 
 /// Reads a database previously written by save_database (apk_scans.csv and
-/// observations.bin may be absent). Throws std::runtime_error on missing
-/// required files or malformed content.
+/// observations.bin may be absent). Throws std::runtime_error — a typed
+/// events::binary::LoadError for structural defects in observations.bin —
+/// on missing required files or malformed content.
 [[nodiscard]] CrawlDatabase load_database(const std::filesystem::path& directory);
 
 }  // namespace appstore::crawlersim

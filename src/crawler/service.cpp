@@ -87,6 +87,8 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   net::ServerOptions server_options;
   server_options.port = port;
   server_options.metrics = &registry_;
+  server_options.clock = policy_.clock;
+  server_options.faults = policy_.faults;
   server_ = std::make_unique<net::HttpServer>(
       server_options, [this](const net::HttpRequest& request) { return handle(request); });
 }

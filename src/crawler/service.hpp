@@ -53,6 +53,10 @@ struct ServicePolicy {
   bool china_only = false;         ///< 403 for non-"cn" clients
   double failure_rate = 0.0;       ///< probability of a injected 500
   std::uint64_t failure_seed = 7;
+  /// Optional server-side chaos seam + clock, forwarded to the underlying
+  /// net::HttpServer (see net::ServerOptions). Must outlive the service.
+  chaos::Clock* clock = nullptr;
+  chaos::FaultInjector* faults = nullptr;
 };
 
 class AppstoreService {

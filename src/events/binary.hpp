@@ -10,20 +10,66 @@
 // a reader on a different-endian host fail loudly instead of decoding
 // garbage. All fixed-width header fields are also native-order (covered by
 // the same tag).
+//
+// Robustness contract (docs/robustness.md): every malformed input — wrong
+// magic, foreign endianness, unsupported version, unknown flag bits, a row
+// count that disagrees with the file size, truncation anywhere — surfaces as
+// a typed LoadError. A corrupted count can never trigger a huge allocation
+// or a silently short column: loaders validate the payload size against the
+// actual file before allocating (expect_payload).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 namespace appstore::events::binary {
 
 inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+/// What exactly a loader rejected (mirrors the header fields + payload).
+enum class LoadErrorKind : std::uint8_t {
+  kOpen = 0,         ///< file missing or unreadable
+  kBadMagic,         ///< first 4 bytes are not the expected magic
+  kEndianness,       ///< written on a different-endian host
+  kBadVersion,       ///< version 0 or newer than this reader
+  kBadFlags,         ///< flag bits this reader does not know
+  kTruncated,        ///< EOF inside a header field or column
+  kLengthMismatch,   ///< row count disagrees with the file size
+};
+
+[[nodiscard]] inline std::string_view to_string(LoadErrorKind kind) noexcept {
+  switch (kind) {
+    case LoadErrorKind::kOpen: return "open";
+    case LoadErrorKind::kBadMagic: return "bad-magic";
+    case LoadErrorKind::kEndianness: return "endianness";
+    case LoadErrorKind::kBadVersion: return "bad-version";
+    case LoadErrorKind::kBadFlags: return "bad-flags";
+    case LoadErrorKind::kTruncated: return "truncated";
+    case LoadErrorKind::kLengthMismatch: return "length-mismatch";
+  }
+  return "unknown";
+}
+
+/// Typed load failure: every structural defect a binary loader detects.
+/// Derives from std::runtime_error so pre-existing catch sites keep working.
+class LoadError : public std::runtime_error {
+ public:
+  LoadError(LoadErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] LoadErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  LoadErrorKind kind_;
+};
 
 struct Header {
   std::uint32_t version = 0;
@@ -42,7 +88,10 @@ template <typename T>
   static_assert(std::is_trivially_copyable_v<T>);
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error(std::string("binary read: truncated ") + what);
+  if (!in) {
+    throw LoadError(LoadErrorKind::kTruncated,
+                    std::string("binary read: truncated ") + what);
+  }
   return value;
 }
 
@@ -57,28 +106,57 @@ inline void write_header(std::ostream& out, std::string_view magic, std::uint32_
   write_pod(out, count);
 }
 
-/// Reads and validates the header; throws std::runtime_error on a magic,
-/// endianness, or version mismatch.
+/// Reads and validates the header; throws LoadError on a magic, endianness,
+/// or version mismatch (flag validation is the caller's: only it knows the
+/// format's legal mask).
 [[nodiscard]] inline Header read_header(std::istream& in, std::string_view magic,
                                         std::uint32_t max_version) {
   char got[4] = {};
   in.read(got, 4);
   if (!in || std::memcmp(got, magic.data(), 4) != 0) {
-    throw std::runtime_error(std::string("binary read: bad magic, expected '") +
-                             std::string(magic) + "'");
+    throw LoadError(LoadErrorKind::kBadMagic,
+                    std::string("binary read: bad magic, expected '") + std::string(magic) +
+                        "'");
   }
   if (read_pod<std::uint32_t>(in, "endian tag") != kEndianTag) {
-    throw std::runtime_error("binary read: endianness mismatch");
+    throw LoadError(LoadErrorKind::kEndianness, "binary read: endianness mismatch");
   }
   Header header;
   header.version = read_pod<std::uint32_t>(in, "version");
   if (header.version == 0 || header.version > max_version) {
-    throw std::runtime_error("binary read: unsupported version " +
-                             std::to_string(header.version));
+    throw LoadError(LoadErrorKind::kBadVersion,
+                    "binary read: unsupported version " + std::to_string(header.version));
   }
   header.flags = read_pod<std::uint32_t>(in, "flags");
   header.count = read_pod<std::uint64_t>(in, "count");
   return header;
+}
+
+/// Validates that exactly `count * bytes_per_row` payload bytes follow the
+/// current stream position — before any column is allocated, so a corrupted
+/// count turns into a typed error instead of a giant allocation (or a torn
+/// file into a short read). Also rejects trailing garbage.
+inline void expect_payload(std::istream& in, std::uint64_t count,
+                           std::uint64_t bytes_per_row, const char* what) {
+  if (bytes_per_row != 0 &&
+      count > std::numeric_limits<std::uint64_t>::max() / bytes_per_row) {
+    throw LoadError(LoadErrorKind::kLengthMismatch,
+                    std::string("binary read: absurd row count in ") + what);
+  }
+  const std::uint64_t expected = count * bytes_per_row;
+  const auto position = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(position);
+  if (position < 0 || end < position ||
+      static_cast<std::uint64_t>(end - position) != expected) {
+    throw LoadError(
+        LoadErrorKind::kLengthMismatch,
+        std::string("binary read: payload size mismatch in ") + what + " (expected " +
+            std::to_string(expected) + " bytes, have " +
+            std::to_string(end < position ? 0 : static_cast<std::uint64_t>(end - position)) +
+            ")");
+  }
 }
 
 template <typename T>
@@ -95,7 +173,10 @@ template <typename T>
   std::vector<T> column(static_cast<std::size_t>(count));
   in.read(reinterpret_cast<char*>(column.data()),
           static_cast<std::streamsize>(column.size() * sizeof(T)));
-  if (!in) throw std::runtime_error(std::string("binary read: truncated column ") + what);
+  if (!in) {
+    throw LoadError(LoadErrorKind::kTruncated,
+                    std::string("binary read: truncated column ") + what);
+  }
   return column;
 }
 

@@ -2,9 +2,11 @@
 
 #include <fstream>
 
+#include "chaos/fault.hpp"
 #include "events/binary.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace appstore::events {
@@ -13,6 +15,22 @@ namespace {
 
 constexpr std::string_view kMagic = "AEVL";
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kKnownColumns =
+    static_cast<std::uint32_t>(Columns::kDay) | static_cast<std::uint32_t>(Columns::kOrdinal) |
+    static_cast<std::uint32_t>(Columns::kRating);
+
+/// Consults the write seam for `path`; on a kTornWrite decision flushes
+/// whatever was already written (so the staging file is genuinely partial)
+/// and throws, simulating a crash at this exact point.
+void maybe_tear(std::ostream& out, chaos::FaultInjector* faults,
+                const std::filesystem::path& path) {
+  if (faults == nullptr) return;
+  const chaos::Fault fault = faults->next(chaos::FaultSite::kFileWrite, path.string());
+  if (fault.kind == chaos::FaultKind::kTornWrite) {
+    out.flush();
+    throw chaos::InjectedFault(fault.kind, "injected torn write for " + path.string());
+  }
+}
 
 [[nodiscard]] std::uint64_t parse_field_u64(const std::string& text, const char* what) {
   std::uint64_t value = 0;
@@ -31,28 +49,48 @@ constexpr std::uint32_t kVersion = 1;
 
 }  // namespace
 
-void save_binary(const EventLog& log, const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_binary: cannot open " + path.string());
+void save_binary(const EventLog& log, const std::filesystem::path& path,
+                 const IoOptions& options) {
+  util::AtomicFile staged(path);
+  {
+    std::ofstream out(staged.temp_path(), std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_binary: cannot open " + path.string());
 
-  binary::write_header(out, kMagic, kVersion,
-                       static_cast<std::uint32_t>(log.columns()), log.size());
-  binary::write_column(out, log.user());
-  binary::write_column(out, log.app());
-  binary::write_column(out, log.day());
-  binary::write_column(out, log.ordinal());
-  binary::write_column(out, log.rating());
-  out.flush();
-  if (!out) throw std::runtime_error("save_binary: write failed for " + path.string());
+    binary::write_header(out, kMagic, kVersion,
+                         static_cast<std::uint32_t>(log.columns()), log.size());
+    binary::write_column(out, log.user());
+    binary::write_column(out, log.app());
+    maybe_tear(out, options.faults, path);
+    binary::write_column(out, log.day());
+    binary::write_column(out, log.ordinal());
+    binary::write_column(out, log.rating());
+    out.flush();
+    if (!out) throw std::runtime_error("save_binary: write failed for " + path.string());
+  }
+  staged.commit();
 }
 
 EventLog load_binary(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_binary: cannot open " + path.string());
+  if (!in) {
+    throw binary::LoadError(binary::LoadErrorKind::kOpen,
+                            "load_binary: cannot open " + path.string());
+  }
 
   const binary::Header header = binary::read_header(in, kMagic, kVersion);
+  if ((header.flags & ~kKnownColumns) != 0) {
+    throw binary::LoadError(binary::LoadErrorKind::kBadFlags,
+                            util::format("load_binary: unknown column flags 0x{:x} in {}",
+                                         header.flags, path.string()));
+  }
   const auto columns = static_cast<Columns>(header.flags);
   const std::uint64_t n = header.count;
+
+  std::uint64_t bytes_per_row = sizeof(std::uint32_t) * 2;  // user + app
+  if (has_column(columns, Columns::kDay)) bytes_per_row += sizeof(std::int32_t);
+  if (has_column(columns, Columns::kOrdinal)) bytes_per_row += sizeof(std::uint32_t);
+  if (has_column(columns, Columns::kRating)) bytes_per_row += sizeof(std::uint8_t);
+  binary::expect_payload(in, n, bytes_per_row, "AEVL");
 
   auto user = binary::read_column<std::uint32_t>(in, n, "user");
   auto app = binary::read_column<std::uint32_t>(in, n, "app");
@@ -66,27 +104,39 @@ EventLog load_binary(const std::filesystem::path& path) {
                                 std::move(ordinal), std::move(rating));
 }
 
-void save_csv(const EventLog& log, const std::filesystem::path& path) {
-  util::CsvWriter out(path);
-  std::vector<std::string> header = {"user", "app"};
-  const bool with_day = has_column(log.columns(), Columns::kDay);
-  const bool with_ordinal = has_column(log.columns(), Columns::kOrdinal);
-  const bool with_rating = has_column(log.columns(), Columns::kRating);
-  if (with_day) header.push_back("day");
-  if (with_ordinal) header.push_back("ordinal");
-  if (with_rating) header.push_back("rating");
-  out.write_row(header);
+void save_csv(const EventLog& log, const std::filesystem::path& path,
+              const IoOptions& options) {
+  util::AtomicFile staged(path);
+  {
+    util::CsvWriter out(staged.temp_path());
+    std::vector<std::string> header = {"user", "app"};
+    const bool with_day = has_column(log.columns(), Columns::kDay);
+    const bool with_ordinal = has_column(log.columns(), Columns::kOrdinal);
+    const bool with_rating = has_column(log.columns(), Columns::kRating);
+    if (with_day) header.push_back("day");
+    if (with_ordinal) header.push_back("ordinal");
+    if (with_rating) header.push_back("rating");
+    out.write_row(header);
+    if (options.faults != nullptr) {
+      const chaos::Fault fault =
+          options.faults->next(chaos::FaultSite::kFileWrite, path.string());
+      if (fault.kind == chaos::FaultKind::kTornWrite) {
+        throw chaos::InjectedFault(fault.kind, "injected torn write for " + path.string());
+      }
+    }
 
-  std::vector<std::string> cells;
-  for (std::size_t i = 0; i < log.size(); ++i) {
-    cells.clear();
-    cells.push_back(std::to_string(log.user()[i]));
-    cells.push_back(std::to_string(log.app()[i]));
-    if (with_day) cells.push_back(std::to_string(log.day()[i]));
-    if (with_ordinal) cells.push_back(std::to_string(log.ordinal()[i]));
-    if (with_rating) cells.push_back(std::to_string(log.rating()[i]));
-    out.write_row(cells);
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      cells.clear();
+      cells.push_back(std::to_string(log.user()[i]));
+      cells.push_back(std::to_string(log.app()[i]));
+      if (with_day) cells.push_back(std::to_string(log.day()[i]));
+      if (with_ordinal) cells.push_back(std::to_string(log.ordinal()[i]));
+      if (with_rating) cells.push_back(std::to_string(log.rating()[i]));
+      out.write_row(cells);
+    }
   }
+  staged.commit();
 }
 
 EventLog load_csv(const std::filesystem::path& path) {

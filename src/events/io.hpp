@@ -13,24 +13,49 @@
 //
 // Neither format persists the CSR index; it is a pure function of the
 // columns and is rebuilt on demand (build_index).
+//
+// Robustness: save_binary stages output in "<path>.tmp" and renames on
+// success (util::AtomicFile), so a crash mid-write never tears the file
+// under the final name. load_binary validates magic, endianness, version,
+// flag bits, and the exact payload length before allocating, and reports
+// every defect as a typed binary::LoadError. IoOptions carries an optional
+// chaos::FaultInjector so the robustness harness can simulate crashes at
+// the write seam.
 #pragma once
 
 #include <filesystem>
 
 #include "events/event_log.hpp"
 
+namespace appstore::chaos {
+class FaultInjector;
+}  // namespace appstore::chaos
+
 namespace appstore::events {
 
-/// Writes `log` to `path` in the binary format. Throws std::runtime_error
-/// on I/O failure.
-void save_binary(const EventLog& log, const std::filesystem::path& path);
+/// Knobs shared by the persistence entry points.
+struct IoOptions {
+  /// Optional chaos seam: writers consult it at FaultSite::kFileWrite (keyed
+  /// by the destination path) and abort mid-write on kTornWrite. The partial
+  /// bytes are confined to the staging file, which is cleaned up on unwind;
+  /// the final path is untouched. nullptr disables the seam.
+  chaos::FaultInjector* faults = nullptr;
+};
 
-/// Reads a log previously written by save_binary. Throws std::runtime_error
-/// on a missing file or malformed/foreign-endian content.
+/// Writes `log` to `path` in the binary format via write-temp-then-rename.
+/// Throws std::runtime_error on I/O failure, chaos::InjectedFault on an
+/// injected torn write (the previous file at `path`, if any, is untouched).
+void save_binary(const EventLog& log, const std::filesystem::path& path,
+                 const IoOptions& options = {});
+
+/// Reads a log previously written by save_binary. Throws binary::LoadError
+/// (a std::runtime_error) on a missing file or malformed/foreign-endian
+/// content; never crashes or silently truncates on corrupted input.
 [[nodiscard]] EventLog load_binary(const std::filesystem::path& path);
 
-/// Writes `log` to `path` as CSV.
-void save_csv(const EventLog& log, const std::filesystem::path& path);
+/// Writes `log` to `path` as CSV (also write-temp-then-rename).
+void save_csv(const EventLog& log, const std::filesystem::path& path,
+              const IoOptions& options = {});
 
 /// Reads a log previously written by save_csv.
 [[nodiscard]] EventLog load_csv(const std::filesystem::path& path);

@@ -1,0 +1,95 @@
+#include "net/breaker.hpp"
+
+namespace appstore::net {
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::trip_locked() {
+  state_ = State::kOpen;
+  opened_at_ = chaos::now_or_real(options_.clock);
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+  ++opened_total_;
+  return true;
+}
+
+bool CircuitBreaker::allow() {
+  if (options_.failure_threshold == 0) return true;
+  const std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (chaos::now_or_real(options_.clock) - opened_at_ < options_.open_timeout) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (options_.failure_threshold == 0) return;
+  const std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case State::kOpen:
+      // A straggler from before the trip; the breaker stays open.
+      return;
+    case State::kHalfOpen:
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      if (++probe_successes_ >= options_.success_threshold) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+      }
+      return;
+  }
+}
+
+bool CircuitBreaker::record_failure() {
+  if (options_.failure_threshold == 0) return false;
+  const std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) return trip_locked();
+      return false;
+    case State::kOpen:
+      // A straggler; already open, not a new trip.
+      return false;
+    case State::kHalfOpen:
+      // A failed probe re-opens immediately (and restarts the timeout).
+      return trip_locked();
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  const std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opened_total() const {
+  const std::lock_guard lock(mutex_);
+  return opened_total_;
+}
+
+}  // namespace appstore::net

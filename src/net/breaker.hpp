@@ -1,0 +1,87 @@
+// Per-upstream circuit breaker (closed -> open -> half-open -> closed).
+//
+// The crawler keeps one breaker per proxy identity: a proxy that keeps
+// failing at the transport/5xx level trips its breaker open, and the
+// crawler stops routing requests through it until the open timeout lapses.
+// Then the breaker admits a limited number of half-open probes; a probe
+// success closes it, a probe failure re-opens it. This is the *temporal*
+// counterpart of ProxyPool quarantine: quarantine is for deterministic
+// rejections (a region-blocked proxy will 403 forever), the breaker is for
+// transient infrastructure trouble that deserves a retry after a cool-off.
+//
+// Time is read through chaos::Clock, so breaker lifecycles (open ->
+// half-open transitions) replay deterministically under a VirtualClock in
+// the robustness tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "chaos/clock.hpp"
+
+namespace appstore::net {
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  /// Aggregate construction options (the Options-struct API).
+  struct Options {
+    /// Consecutive failures that trip the breaker open. 0 disables the
+    /// breaker entirely: allow() is always true, record_* are no-ops.
+    std::uint32_t failure_threshold = 5;
+    /// How long the breaker stays open before admitting half-open probes.
+    std::chrono::milliseconds open_timeout = std::chrono::milliseconds(250);
+    /// Maximum outstanding probes while half-open; further allow() calls
+    /// are rejected until a probe reports back.
+    std::uint32_t half_open_probes = 1;
+    /// Probe successes required to close again.
+    std::uint32_t success_threshold = 1;
+    /// Time source (nullptr = real time). Must outlive the breaker.
+    chaos::Clock* clock = nullptr;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options{}) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// May a request proceed? Open breakers transition to half-open here once
+  /// the open timeout has lapsed; half-open breakers admit up to
+  /// `half_open_probes` outstanding probes.
+  [[nodiscard]] bool allow();
+
+  /// Reports a successful exchange. Closes a half-open breaker once
+  /// `success_threshold` probes succeeded; resets the failure streak when
+  /// closed.
+  void record_success();
+
+  /// Reports a failed exchange. Returns true when THIS failure tripped the
+  /// breaker open (closed -> open on the threshold, or a failed half-open
+  /// probe) so callers can count breaker-open events exactly once.
+  [[nodiscard]] bool record_failure();
+
+  [[nodiscard]] State state() const;
+
+  /// Times the breaker transitioned to open (including half-open -> open).
+  [[nodiscard]] std::uint64_t opened_total() const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  /// Trips to open; caller holds the lock. Returns true (for record_failure).
+  bool trip_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t probes_in_flight_ = 0;
+  std::uint32_t probe_successes_ = 0;
+  std::uint64_t opened_total_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+[[nodiscard]] std::string_view to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace appstore::net

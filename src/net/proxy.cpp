@@ -26,6 +26,7 @@ ProxyPool::ProxyPool(std::size_t count, std::vector<Region> regions) {
 }
 
 std::optional<std::size_t> ProxyPool::pick(util::Rng& rng, std::optional<Region> region) {
+  const std::lock_guard lock(mutex_);
   std::vector<std::size_t> eligible;
   eligible.reserve(proxies_.size());
   for (std::size_t i = 0; i < proxies_.size(); ++i) {
@@ -41,21 +42,25 @@ std::optional<std::size_t> ProxyPool::pick(util::Rng& rng, std::optional<Region>
 }
 
 void ProxyPool::report_success(std::size_t index) {
+  const std::lock_guard lock(mutex_);
   proxies_.at(index).consecutive_failures = 0;
 }
 
 void ProxyPool::report_failure(std::size_t index, std::uint32_t max_failures) {
+  const std::lock_guard lock(mutex_);
   Proxy& proxy = proxies_.at(index);
   if (++proxy.consecutive_failures >= max_failures) proxy.quarantined = true;
 }
 
 void ProxyPool::reinstate(std::size_t index) {
+  const std::lock_guard lock(mutex_);
   Proxy& proxy = proxies_.at(index);
   proxy.quarantined = false;
   proxy.consecutive_failures = 0;
 }
 
 std::size_t ProxyPool::healthy_count(std::optional<Region> region) const {
+  const std::lock_guard lock(mutex_);
   std::size_t count = 0;
   for (const auto& proxy : proxies_) {
     if (proxy.quarantined) continue;

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,8 @@ struct Proxy {
   std::uint64_t requests = 0;
 };
 
+/// Thread-safe: pick/report/healthy_count take an internal lock, so the
+/// parallel crawler's workers can share one pool.
 class ProxyPool {
  public:
   /// Builds `count` proxies round-robining over `regions`.
@@ -47,11 +50,15 @@ class ProxyPool {
   /// Returns a quarantined proxy to service (operator intervention).
   void reinstate(std::size_t index);
 
+  /// Direct read access, for quiescent inspection (tests, reports): the
+  /// reference is NOT protected against concurrent mutation. `id` and
+  /// `region` are immutable after construction and always safe to read.
   [[nodiscard]] const Proxy& proxy(std::size_t index) const { return proxies_.at(index); }
   [[nodiscard]] std::size_t size() const noexcept { return proxies_.size(); }
   [[nodiscard]] std::size_t healthy_count(std::optional<Region> region = std::nullopt) const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<Proxy> proxies_;
 };
 

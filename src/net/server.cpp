@@ -2,6 +2,10 @@
 
 #include <sys/socket.h>
 
+#include <cerrno>
+#include <optional>
+#include <system_error>
+
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -17,6 +21,70 @@ constexpr std::string_view kStatusClasses[5] = {"1xx", "2xx", "3xx", "4xx", "5xx
 [[nodiscard]] std::size_t status_class(int status) noexcept {
   const int band = status / 100 - 1;
   return band < 0 || band > 4 ? 4 : static_cast<std::size_t>(band);
+}
+
+/// The response a kHttp* fault synthesizes (no network involved).
+[[nodiscard]] HttpResponse synthetic_response(chaos::FaultKind kind) {
+  switch (kind) {
+    case chaos::FaultKind::kHttp429: {
+      HttpResponse response = HttpResponse::text(429, "injected rate limit");
+      response.reason = "Too Many Requests";
+      response.headers["Retry-After"] = "1";
+      return response;
+    }
+    case chaos::FaultKind::kHttp403: {
+      HttpResponse response = HttpResponse::text(403, "injected region block");
+      response.reason = "Forbidden";
+      return response;
+    }
+    default: {
+      HttpResponse response = HttpResponse::text(500, "injected server error");
+      response.reason = "Internal Server Error";
+      return response;
+    }
+  }
+}
+
+/// Connect-site seam shared by both clients: kConnectRefused fails like a
+/// closed port, kLatency delays the handshake.
+void apply_connect_fault(const ClientOptions& options, const std::string& host,
+                         std::uint16_t port) {
+  if (options.faults == nullptr) return;
+  const chaos::Fault fault = options.faults->next(
+      chaos::FaultSite::kConnect, host + ":" + std::to_string(port));
+  if (fault.kind == chaos::FaultKind::kConnectRefused) {
+    throw std::system_error(ECONNREFUSED, std::generic_category(),
+                            "injected connect refusal to " + host);
+  }
+  if (fault.kind == chaos::FaultKind::kLatency) {
+    chaos::sleep_or_real(options.clock, fault.latency);
+  }
+}
+
+/// Exchange-site seam shared by both clients, decided before any network
+/// work. Returns a synthetic response for kHttp* faults, throws for
+/// kConnectionReset (after running `on_reset`, e.g. dropping a persistent
+/// connection), sleeps for kLatency, and returns nullopt to proceed.
+template <typename OnReset>
+[[nodiscard]] std::optional<HttpResponse> apply_exchange_fault(
+    const ClientOptions& options, const std::string& target, OnReset&& on_reset) {
+  if (options.faults == nullptr) return std::nullopt;
+  const chaos::Fault fault = options.faults->next(chaos::FaultSite::kExchange, target);
+  switch (fault.kind) {
+    case chaos::FaultKind::kConnectionReset:
+      on_reset();
+      throw std::system_error(ECONNRESET, std::generic_category(),
+                              "injected connection reset on " + target);
+    case chaos::FaultKind::kLatency:
+      chaos::sleep_or_real(options.clock, fault.latency);
+      return std::nullopt;
+    case chaos::FaultKind::kHttp429:
+    case chaos::FaultKind::kHttp403:
+    case chaos::FaultKind::kHttp500:
+      return synthetic_response(fault.kind);
+    default:
+      return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -144,13 +212,38 @@ void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
       const auto request = reader.read_request();
       if (!request.has_value()) return;  // client closed
 
+      // Server-side chaos seam: decided after parsing, before the handler.
+      std::optional<HttpResponse> injected;
+      if (options_.faults != nullptr) {
+        const chaos::Fault fault =
+            options_.faults->next(chaos::FaultSite::kServer, request->target);
+        switch (fault.kind) {
+          case chaos::FaultKind::kConnectionReset:
+            return;  // abrupt close: the client sees a dead connection
+          case chaos::FaultKind::kLatency:
+            chaos::sleep_or_real(options_.clock, fault.latency);
+            break;
+          case chaos::FaultKind::kHttp429:
+          case chaos::FaultKind::kHttp403:
+          case chaos::FaultKind::kHttp500:
+            injected = synthetic_response(fault.kind);
+            break;
+          default:
+            break;
+        }
+      }
+
       const auto handle_start = std::chrono::steady_clock::now();
       HttpResponse response;
-      try {
-        response = handler_(*request);
-      } catch (const std::exception& error) {
-        util::log_warn(kComponent, "handler threw: {}", error.what());
-        response = HttpResponse::text(500, "internal error");
+      if (injected.has_value()) {
+        response = std::move(*injected);
+      } else {
+        try {
+          response = handler_(*request);
+        } catch (const std::exception& error) {
+          util::log_warn(kComponent, "handler threw: {}", error.what());
+          response = HttpResponse::text(500, "internal error");
+        }
       }
       const bool close_requested = [&] {
         const auto it = request->headers.find("Connection");
@@ -180,8 +273,12 @@ void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
 }
 
 HttpResponse HttpClient::send(HttpRequest request) {
+  if (auto injected = apply_exchange_fault(options_, request.target, [] {})) {
+    return std::move(*injected);
+  }
+  apply_connect_fault(options_, host_, port_);
   TcpStream stream = TcpStream::connect(host_, port_);
-  stream.set_timeout(timeout_);
+  stream.set_timeout(options_.timeout);
   request.headers["Host"] = host_;
   request.headers["Connection"] = "close";
   stream.write_all(request.serialize());
@@ -208,8 +305,9 @@ void PersistentHttpClient::reset() noexcept {
 
 void PersistentHttpClient::ensure_connected() {
   if (stream_.valid()) return;
+  apply_connect_fault(options_, host_, port_);
   stream_ = TcpStream::connect(host_, port_);
-  stream_.set_timeout(timeout_);
+  stream_.set_timeout(options_.timeout);
   reader_ = std::make_unique<HttpReader>(stream_);
   ++connections_opened_;
 }
@@ -229,6 +327,12 @@ HttpResponse PersistentHttpClient::send_once(const HttpRequest& request) {
 }
 
 HttpResponse PersistentHttpClient::send(HttpRequest request) {
+  // Injected faults are decided up front so they bypass the reconnect-retry
+  // below: an injected reset must surface to the caller, not be healed.
+  if (auto injected =
+          apply_exchange_fault(options_, request.target, [this] { reset(); })) {
+    return std::move(*injected);
+  }
   request.headers["Host"] = host_;
   const bool had_connection = stream_.valid();
   try {

@@ -18,6 +18,8 @@
 #include <mutex>
 #include <thread>
 
+#include "chaos/clock.hpp"
+#include "chaos/fault.hpp"
 #include "net/http.hpp"
 #include "net/socket.hpp"
 #include "obs/registry.hpp"
@@ -48,6 +50,14 @@ struct ServerOptions {
   ///   http_active_connections (gauge)   currently served connections
   /// Must outlive the server.
   obs::Registry* metrics = nullptr;
+  /// Time source for latency injection (nullptr = real time). Must outlive
+  /// the server.
+  chaos::Clock* clock = nullptr;
+  /// Optional fault seam, consulted per request at FaultSite::kServer keyed
+  /// by the request target: kConnectionReset drops the connection without a
+  /// response, kLatency delays via `clock`, kHttp* short-circuits the
+  /// handler with a synthetic response. Must outlive the server.
+  chaos::FaultInjector* faults = nullptr;
 };
 
 class HttpServer {
@@ -118,12 +128,33 @@ class HttpServer {
   std::thread acceptor_;
 };
 
+/// Aggregate construction options shared by both HTTP clients (the
+/// Options-struct API: new knobs land here, not as positional parameters).
+struct ClientOptions {
+  /// Socket timeout for connects, reads, and writes.
+  std::chrono::milliseconds timeout = std::chrono::milliseconds(5000);
+  /// Time source for injected latency (nullptr = real time). Must outlive
+  /// the client.
+  chaos::Clock* clock = nullptr;
+  /// Optional fault seam. Consulted at FaultSite::kConnect (keyed
+  /// "host:port") before establishing a connection — kConnectRefused throws
+  /// ECONNREFUSED — and at FaultSite::kExchange (keyed by the request
+  /// target) per send: kConnectionReset throws ECONNRESET (bypassing any
+  /// transparent reconnect-retry, so callers see the failure), kLatency
+  /// delays via `clock`, kHttp* returns a synthetic response without
+  /// touching the network. Must outlive the client.
+  chaos::FaultInjector* faults = nullptr;
+};
+
 /// Blocking single-request HTTP client ("Connection: close" per request).
 class HttpClient {
  public:
-  HttpClient(std::string host, std::uint16_t port,
-             std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
-      : host_(std::move(host)), port_(port), timeout_(timeout) {}
+  HttpClient(std::string host, std::uint16_t port, ClientOptions options = {})
+      : host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Back-compat positional form (pre-ClientOptions signature).
+  HttpClient(std::string host, std::uint16_t port, std::chrono::milliseconds timeout)
+      : HttpClient(std::move(host), port, ClientOptions{.timeout = timeout}) {}
 
   /// Sends the request and waits for the response.
   /// Throws std::system_error / std::runtime_error on transport failures.
@@ -135,7 +166,7 @@ class HttpClient {
  private:
   std::string host_;
   std::uint16_t port_;
-  std::chrono::milliseconds timeout_;
+  ClientOptions options_;
 };
 
 /// Keep-alive HTTP client: reuses one TCP connection across requests
@@ -145,12 +176,18 @@ class HttpClient {
 /// Not thread-safe; use one instance per thread.
 class PersistentHttpClient {
  public:
+  PersistentHttpClient(std::string host, std::uint16_t port, ClientOptions options = {})
+      : host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Back-compat positional form (pre-ClientOptions signature).
   PersistentHttpClient(std::string host, std::uint16_t port,
-                       std::chrono::milliseconds timeout = std::chrono::milliseconds(5000))
-      : host_(std::move(host)), port_(port), timeout_(timeout) {}
+                       std::chrono::milliseconds timeout)
+      : PersistentHttpClient(std::move(host), port, ClientOptions{.timeout = timeout}) {}
 
   /// Sends a request over the persistent connection; reconnects once if the
-  /// connection was closed by the peer since the last exchange.
+  /// connection was closed by the peer since the last exchange. Injected
+  /// faults are decided before the exchange and never trigger the
+  /// reconnect-retry: they propagate to the caller.
   [[nodiscard]] HttpResponse send(HttpRequest request);
 
   [[nodiscard]] HttpResponse get(std::string target, Headers headers = {});
@@ -169,7 +206,7 @@ class PersistentHttpClient {
 
   std::string host_;
   std::uint16_t port_;
-  std::chrono::milliseconds timeout_;
+  ClientOptions options_;
   TcpStream stream_;
   std::unique_ptr<HttpReader> reader_;
   std::uint64_t connections_opened_ = 0;

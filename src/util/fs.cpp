@@ -1,0 +1,28 @@
+#include "util/fs.hpp"
+
+#include <stdexcept>
+
+namespace appstore::util {
+
+AtomicFile::AtomicFile(std::filesystem::path path)
+    : path_(std::move(path)), temp_path_(path_.string() + ".tmp") {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    std::error_code ignored;
+    std::filesystem::remove(temp_path_, ignored);
+  }
+}
+
+void AtomicFile::commit() {
+  if (committed_) throw std::runtime_error("AtomicFile: double commit for " + path_.string());
+  std::error_code error;
+  std::filesystem::rename(temp_path_, path_, error);
+  if (error) {
+    throw std::runtime_error("AtomicFile: rename to " + path_.string() +
+                             " failed: " + error.message());
+  }
+  committed_ = true;
+}
+
+}  // namespace appstore::util

@@ -1,0 +1,42 @@
+// Filesystem helpers: atomic (write-temp-then-rename) file replacement.
+//
+// Persistence writers (events/io, crawler/db_io) route their output through
+// AtomicFile so a crash — real or injected by the chaos harness — mid-write
+// can never leave a torn file under the final name: readers either see the
+// previous complete version or the new complete version, nothing in
+// between. rename(2) within one directory is atomic on POSIX.
+#pragma once
+
+#include <filesystem>
+
+namespace appstore::util {
+
+/// Stages writes for `path` in a sibling "<path>.tmp" file; commit() moves
+/// the temp into place, destruction without commit() deletes it. Single
+/// writer per path assumed (concurrent writers would share the temp name).
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::filesystem::path path);
+
+  /// Removes the temp file if commit() was never reached (abandoned write).
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Where the writer must put its bytes until commit().
+  [[nodiscard]] const std::filesystem::path& temp_path() const noexcept {
+    return temp_path_;
+  }
+
+  /// Atomically replaces the final path with the temp file.
+  /// Throws std::runtime_error if the rename fails or was already done.
+  void commit();
+
+ private:
+  std::filesystem::path path_;
+  std::filesystem::path temp_path_;
+  bool committed_ = false;
+};
+
+}  // namespace appstore::util

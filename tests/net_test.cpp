@@ -261,6 +261,30 @@ TEST(PersistentClient, FailsCleanlyOnDeadServer) {
 
 // ---- rate limiter -------------------------------------------------------------------
 
+// ---- client options --------------------------------------------------------------------
+
+TEST(ClientOptions, OptionsStructConstruction) {
+  HttpServer server(0, [](const HttpRequest& request) {
+    return HttpResponse::text(200, "echo:" + request.target);
+  });
+  ClientOptions options;
+  options.timeout = std::chrono::milliseconds(2000);
+  HttpClient client("127.0.0.1", server.port(), options);
+  EXPECT_EQ(client.get("/a").body, "echo:/a");
+  PersistentHttpClient persistent("127.0.0.1", server.port(), options);
+  EXPECT_EQ(persistent.get("/b").body, "echo:/b");
+}
+
+TEST(ClientOptions, TimeoutOverloadStillCompiles) {
+  // The pre-Options back-compat overload: a bare milliseconds timeout.
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse::text(200, "ok"); });
+  HttpClient client("127.0.0.1", server.port(), std::chrono::milliseconds(1500));
+  EXPECT_EQ(client.get("/x").status, 200);
+  PersistentHttpClient persistent("127.0.0.1", server.port(),
+                                  std::chrono::milliseconds(1500));
+  EXPECT_EQ(persistent.get("/y").status, 200);
+}
+
 TEST(RateLimiter, BurstThenBlocked) {
   auto now = std::chrono::steady_clock::now();
   TokenBucketLimiter limiter(1.0, 3.0, [&] { return now; });

@@ -1,0 +1,498 @@
+// Robustness harness: seeded fault plans replayed against a real in-process
+// service/crawler pair, and fuzzed corruption of the binary persistence
+// formats.
+//
+// The headline property: a crawl with injected faults (connection resets,
+// synthetic 500s, latency) recovers to a bit-identical observations
+// database vs the fault-free crawl, at any thread count, with all waiting
+// done in virtual time (chaos::VirtualClock) so the whole scenario replays
+// in well under a second of wall clock.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "chaos/clock.hpp"
+#include "chaos/fault.hpp"
+#include "chaos/file_faults.hpp"
+#include "crawler/crawler.hpp"
+#include "crawler/database.hpp"
+#include "crawler/db_io.hpp"
+#include "crawler/service.hpp"
+#include "events/binary.hpp"
+#include "events/io.hpp"
+#include "net/breaker.hpp"
+#include "net/proxy.hpp"
+#include "obs/registry.hpp"
+#include "synth/generator.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace appstore {
+namespace {
+
+using namespace std::chrono_literals;
+
+[[nodiscard]] std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- decorrelated-jitter backoff --------------------------------------------------
+
+TEST(DecorrelatedBackoff, StaysWithinBounds) {
+  util::Rng rng(99);
+  const auto base = 20ms;
+  const auto cap = 320ms;
+  auto previous = base;
+  for (int i = 0; i < 200; ++i) {
+    previous = crawlersim::decorrelated_backoff(base, cap, previous, rng);
+    EXPECT_GE(previous, base);
+    EXPECT_LE(previous, cap);
+  }
+}
+
+TEST(DecorrelatedBackoff, ScheduleIsDeterministicGivenSeed) {
+  const auto schedule = [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<std::chrono::milliseconds> delays;
+    auto previous = 20ms;
+    for (int i = 0; i < 8; ++i) {
+      previous = crawlersim::decorrelated_backoff(20ms, 320ms, previous, rng);
+      delays.push_back(previous);
+    }
+    return delays;
+  };
+  EXPECT_EQ(schedule(0x5eed), schedule(0x5eed));
+  EXPECT_NE(schedule(0x5eed), schedule(0x5eee));  // jitter actually varies
+}
+
+TEST(DecorrelatedBackoff, GrowthIsCappedByTriplePrevious) {
+  util::Rng rng(1);
+  // From previous == base the draw is bounded by 3 * base.
+  for (int i = 0; i < 100; ++i) {
+    const auto next = crawlersim::decorrelated_backoff(20ms, 10000ms, 20ms, rng);
+    EXPECT_LE(next, 60ms);
+  }
+}
+
+// ---- proxy quarantine entry/exit --------------------------------------------------
+
+TEST(ProxyQuarantine, EntryAfterConsecutiveFailuresAndExitOnReinstate) {
+  net::ProxyPool pool(4, {net::Region::kEurope});
+  EXPECT_EQ(pool.healthy_count(), 4u);
+
+  pool.report_failure(0);
+  pool.report_failure(0);
+  EXPECT_EQ(pool.healthy_count(), 4u);  // below the threshold
+  pool.report_failure(0);               // third consecutive failure quarantines
+  EXPECT_EQ(pool.healthy_count(), 3u);
+  EXPECT_TRUE(pool.proxy(0).quarantined);
+
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = pool.pick(rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_NE(*pick, 0u);  // quarantined proxies are never picked
+  }
+
+  pool.reinstate(0);
+  EXPECT_EQ(pool.healthy_count(), 4u);
+  EXPECT_FALSE(pool.proxy(0).quarantined);
+  EXPECT_EQ(pool.proxy(0).consecutive_failures, 0u);
+}
+
+TEST(ProxyQuarantine, SuccessResetsTheFailureStreak) {
+  net::ProxyPool pool(2, {net::Region::kUsa});
+  pool.report_failure(1);
+  pool.report_failure(1);
+  pool.report_success(1);  // streak broken
+  pool.report_failure(1);
+  pool.report_failure(1);
+  EXPECT_EQ(pool.healthy_count(), 2u);  // never reached three in a row
+}
+
+// ---- breaker half-open probe budget -----------------------------------------------
+
+TEST(BreakerProbes, HalfOpenAdmitsConfiguredProbeCount) {
+  chaos::VirtualClock clock;
+  net::CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_timeout = 100ms;
+  options.half_open_probes = 2;
+  options.success_threshold = 2;
+  options.clock = &clock;
+  net::CircuitBreaker breaker(options);
+
+  EXPECT_TRUE(breaker.record_failure());
+  clock.advance(101ms);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_TRUE(breaker.allow());   // two probes admitted
+  EXPECT_FALSE(breaker.allow());  // third is rejected
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), net::CircuitBreaker::State::kHalfOpen);  // needs two
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), net::CircuitBreaker::State::kClosed);
+}
+
+// ---- crawler robustness (service + crawler over loopback) -------------------------
+
+class RobustnessFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synth::GeneratorConfig config;
+    config.app_scale = 0.002;      // ~120 apps
+    config.download_scale = 2e-6;  // ~5.6k downloads
+    config.comments = true;
+    config.seed = 11;
+    generated_ =
+        std::make_unique<synth::GeneratedStore>(synth::generate(synth::anzhi(), config));
+  }
+
+  struct CrawlRun {
+    crawlersim::CrawlStats stats;   ///< totals over both crawl days
+    std::uint64_t injected = 0;     ///< faults the injector fired
+    std::string database_bytes;     ///< all four persisted files, concatenated
+    std::chrono::nanoseconds wall{0};
+  };
+
+  /// One complete two-day crawl against `service`, optionally under the
+  /// seeded fault plan, persisted into `dir`.
+  CrawlRun run_crawl(crawlersim::AppstoreService& service, chaos::VirtualClock& clock,
+                     std::uint64_t fault_seed, bool faulted, std::size_t threads,
+                     const std::filesystem::path& dir) {
+    chaos::FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.max_faults_per_key = 2;  // < max_attempts: every target recovers
+    plan.rules.push_back(
+        {chaos::FaultSite::kExchange, chaos::FaultKind::kConnectionReset, 0.06, {}});
+    plan.rules.push_back({chaos::FaultSite::kExchange, chaos::FaultKind::kHttp500, 0.06, {}});
+    plan.rules.push_back({chaos::FaultSite::kExchange, chaos::FaultKind::kLatency, 0.05, 100ms});
+    std::optional<chaos::FaultInjector> injector;
+    if (faulted) injector.emplace(plan);
+
+    crawlersim::CrawlDatabase database;
+    crawlersim::CrawlerOptions options;
+    options.port = service.port();
+    options.proxy_count = 6;
+    options.seed = 0x5eed;
+    options.threads = threads;
+    options.fetch_comments = true;
+    options.fetch_apks = true;
+    options.breaker.failure_threshold = 0;  // breaker off: pure retry schedule
+    options.clock = &clock;
+    options.faults = faulted ? &*injector : nullptr;
+    crawlersim::Crawler crawler(options, database);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (const market::Day day : {market::Day{30}, market::Day{40}}) {
+      service.set_day(day);
+      (void)crawler.crawl_day(day);
+    }
+    CrawlRun run;
+    run.wall = std::chrono::steady_clock::now() - wall_start;
+    run.stats = crawler.totals();
+    if (injector.has_value()) run.injected = injector->injected_total();
+    crawlersim::save_database(database, dir);
+    run.database_bytes = read_file(dir / "observations.bin") + read_file(dir / "apps.csv") +
+                         read_file(dir / "observations.csv") +
+                         read_file(dir / "apk_scans.csv");
+    return run;
+  }
+
+  std::unique_ptr<synth::GeneratedStore> generated_;
+};
+
+// The headline deliverable: seeded fault replay recovers bit-identically.
+TEST_F(RobustnessFixture, FaultedCrawlRecoversBitIdenticallyAcrossThreadCounts) {
+  chaos::VirtualClock clock;
+  crawlersim::ServicePolicy policy;
+  policy.rate_per_second = 1e9;  // no genuine 429s: isolate injected faults
+  policy.burst = 1e9;
+  crawlersim::AppstoreService service(*generated_->store, policy, 0, clock.time_fn());
+
+  const auto base = std::filesystem::path(::testing::TempDir()) / "robustness_identical";
+  const CrawlRun clean = run_crawl(service, clock, 0, /*faulted=*/false, 1, base / "clean");
+  ASSERT_GT(clean.stats.apps_observed, 0u);
+  ASSERT_FALSE(clean.database_bytes.empty());
+
+  int run_index = 0;
+  for (const std::uint64_t fault_seed : {0xabcULL, 0x123ULL}) {
+    std::vector<CrawlRun> runs;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const auto virtual_before = clock.elapsed();
+      runs.push_back(run_crawl(service, clock, fault_seed, /*faulted=*/true, threads,
+                               base / util::format("faulted_{}", run_index++)));
+      // All waiting happened in virtual time: the crawl replays fast even
+      // though it slept through dozens of injected latencies and backoffs.
+      EXPECT_GT(clock.elapsed(), virtual_before);
+      EXPECT_LT(runs.back().wall, 5s);
+    }
+
+    // Bit-identical recovery: the faulty runs persist byte-for-byte the
+    // same database as the fault-free run, at 1 and at 4 threads.
+    EXPECT_EQ(runs[0].database_bytes, clean.database_bytes)
+        << "single-threaded faulted crawl diverged (seed " << fault_seed << ")";
+    EXPECT_EQ(runs[1].database_bytes, clean.database_bytes)
+        << "multi-threaded faulted crawl diverged (seed " << fault_seed << ")";
+
+    // The full CrawlStats are thread-count-invariant too.
+    EXPECT_EQ(runs[0].stats, runs[1].stats);
+
+    // The scenario is not trivial: faults hit >= 10% of completed requests.
+    EXPECT_GE(runs[0].injected * 10, runs[0].stats.requests);
+    EXPECT_GT(runs[0].stats.transient_failures, 0u);
+  }
+}
+
+TEST_F(RobustnessFixture, VirtualClockLetsRateLimitedCrawlFinishFast) {
+  chaos::VirtualClock clock;
+  crawlersim::ServicePolicy policy;
+  policy.rate_per_second = 50.0;  // tight: the crawl must wait for refills
+  policy.burst = 5.0;
+  crawlersim::AppstoreService service(*generated_->store, policy, 0, clock.time_fn());
+
+  crawlersim::CrawlDatabase database;
+  crawlersim::CrawlerOptions options;
+  options.port = service.port();
+  options.proxy_count = 2;  // few identities: the per-client buckets saturate
+  options.clock = &clock;
+  crawlersim::Crawler crawler(options, database);
+
+  service.set_day(30);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const crawlersim::CrawlStats stats = crawler.crawl_day(30);
+  const auto wall = std::chrono::steady_clock::now() - wall_start;
+
+  EXPECT_GT(stats.rate_limited, 0u);  // the limiter really pushed back
+  EXPECT_GT(stats.apps_observed, 0u);
+  EXPECT_EQ(stats.apps_observed, database.apps().size());  // and yet: complete
+  EXPECT_GT(clock.elapsed(), 0ns);  // backoffs advanced virtual time
+  EXPECT_LT(wall, 10s);             // ...instead of wall time
+}
+
+TEST_F(RobustnessFixture, BreakerOpensOnRepeatedResetsAndCrawlCompletes) {
+  chaos::VirtualClock clock;
+  crawlersim::ServicePolicy policy;
+  policy.rate_per_second = 1e9;
+  policy.burst = 1e9;
+  crawlersim::AppstoreService service(*generated_->store, policy, 0, clock.time_fn());
+
+  chaos::FaultPlan plan;
+  plan.seed = 77;
+  plan.max_faults_per_key = 3;
+  plan.rules.push_back(
+      {chaos::FaultSite::kExchange, chaos::FaultKind::kConnectionReset, 0.4, {}});
+  chaos::FaultInjector injector(plan);
+
+  obs::Registry registry;
+  crawlersim::CrawlDatabase database;
+  crawlersim::CrawlerOptions options;
+  options.port = service.port();
+  options.proxy_count = 4;
+  options.clock = &clock;
+  options.faults = &injector;
+  options.breaker.failure_threshold = 1;  // hair-trigger: every reset trips
+  options.breaker.open_timeout = 50ms;
+  options.metrics = &registry;
+  crawlersim::Crawler crawler(options, database);
+
+  service.set_day(30);
+  const crawlersim::CrawlStats stats = crawler.crawl_day(30);
+
+  EXPECT_GT(stats.apps_observed, 0u);
+  EXPECT_EQ(stats.apps_observed, database.apps().size());
+  EXPECT_GT(registry.snapshot().find_counter("crawler_breaker_open_total")->value, 0u);
+
+  bool any_breaker_opened = false;
+  for (std::size_t i = 0; i < options.proxy_count; ++i) {
+    any_breaker_opened = any_breaker_opened || crawler.breaker(i).opened_total() > 0;
+  }
+  EXPECT_TRUE(any_breaker_opened);
+  // Transient failures no longer quarantine: the pool stays whole, the
+  // breakers did the (temporary) isolation.
+  EXPECT_EQ(crawler.proxies().healthy_count(), 4u);
+}
+
+// ---- typed load errors ------------------------------------------------------------
+
+class TypedLoadErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) / "robustness_typed";
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ / "log.bin";
+    log_ = events::EventLog(events::Columns::kDay | events::Columns::kOrdinal |
+                            events::Columns::kRating);
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      log_.append(i % 7, i % 13, static_cast<std::int32_t>(i % 30), i,
+                  static_cast<std::uint8_t>(i % 5 + 1));
+    }
+    events::save_binary(log_, path_);
+  }
+
+  /// Loads and reports the typed kind, or nullopt on clean success.
+  [[nodiscard]] std::optional<events::binary::LoadErrorKind> load_kind() {
+    try {
+      (void)events::load_binary(path_);
+      return std::nullopt;
+    } catch (const events::binary::LoadError& error) {
+      return error.kind();
+    }
+  }
+
+  void restore() { events::save_binary(log_, path_); }
+
+  std::filesystem::path dir_;
+  std::filesystem::path path_;
+  events::EventLog log_;
+};
+
+TEST_F(TypedLoadErrorTest, EveryHeaderDefectHasItsKind) {
+  using events::binary::LoadErrorKind;
+
+  chaos::flip_byte(path_, 0, 0xff);  // magic
+  EXPECT_EQ(load_kind(), LoadErrorKind::kBadMagic);
+  restore();
+
+  chaos::flip_byte(path_, 4, 0xff);  // endian tag
+  EXPECT_EQ(load_kind(), LoadErrorKind::kEndianness);
+  restore();
+
+  chaos::flip_byte(path_, 8, 0x02);  // version 1 -> 3
+  EXPECT_EQ(load_kind(), LoadErrorKind::kBadVersion);
+  restore();
+
+  chaos::flip_byte(path_, 12, 0x80);  // unknown flag bit
+  EXPECT_EQ(load_kind(), LoadErrorKind::kBadFlags);
+  restore();
+
+  chaos::flip_byte(path_, 16, 0x01);  // count off by one
+  EXPECT_EQ(load_kind(), LoadErrorKind::kLengthMismatch);
+  restore();
+
+  chaos::truncate_file(path_, 6);  // EOF inside the endian tag
+  EXPECT_EQ(load_kind(), LoadErrorKind::kTruncated);
+  restore();
+
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.put('\0');  // trailing garbage
+  }
+  EXPECT_EQ(load_kind(), LoadErrorKind::kLengthMismatch);
+  restore();
+
+  EXPECT_EQ(load_kind(), std::nullopt);  // pristine file loads clean
+}
+
+TEST_F(TypedLoadErrorTest, MissingFileIsATypedOpenError) {
+  try {
+    (void)events::load_binary(dir_ / "does_not_exist.bin");
+    FAIL() << "expected LoadError";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kOpen);
+  }
+}
+
+TEST_F(TypedLoadErrorTest, CorruptedCountCannotTriggerGiantAllocation) {
+  // Set the count field to ~2^56 (flip the top byte): the loader must fail
+  // on the payload-length check before allocating anything.
+  chaos::flip_byte(path_, 23, 0x80);
+  EXPECT_EQ(load_kind(), events::binary::LoadErrorKind::kLengthMismatch);
+}
+
+// ---- seeded corruption fuzz over both binary formats ------------------------------
+
+TEST(CorruptionFuzz, EventLogLoaderSurvives500SeededCorruptions) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "robustness_fuzz_aevl";
+  std::filesystem::create_directories(dir);
+  const auto pristine = dir / "pristine.bin";
+  const auto work = dir / "work.bin";
+
+  events::EventLog log(events::Columns::kDay | events::Columns::kRating);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    log.append(i, i * 31 % 97, static_cast<std::int32_t>(i % 60), 0,
+               static_cast<std::uint8_t>(i % 6));
+  }
+  events::save_binary(log, pristine);
+
+  std::size_t clean = 0;
+  std::size_t typed = 0;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    std::filesystem::copy_file(pristine, work,
+                               std::filesystem::copy_options::overwrite_existing);
+    util::Rng rng(util::rng::derive_seed(0xfeed, seed));
+    const std::string what = chaos::corrupt_file(work, rng);
+    try {
+      const events::EventLog loaded = events::load_binary(work);
+      // A payload byte flip yields a structurally valid log; that is fine —
+      // the loader's contract is structure, not semantics.
+      EXPECT_EQ(loaded.size(), log.size()) << what;
+      ++clean;
+    } catch (const events::binary::LoadError&) {
+      ++typed;
+    } catch (const std::exception& error) {
+      ADD_FAILURE() << "untyped failure after '" << what << "': " << error.what();
+    }
+  }
+  EXPECT_EQ(clean + typed, 500u);
+  EXPECT_GT(typed, 0u);  // the corruptions really exercised the validators
+}
+
+TEST(CorruptionFuzz, ObservationsLoaderSurvives500SeededCorruptions) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "robustness_fuzz_aobs";
+  std::filesystem::create_directories(dir);
+
+  crawlersim::CrawlDatabase database;
+  for (std::uint32_t id = 0; id < 40; ++id) {
+    crawlersim::AppRecord record;
+    record.id = id;
+    record.name = util::format("app-{}", id);
+    record.category = "Tools";
+    record.developer = util::format("dev-{}", id % 7);
+    record.paid = id % 3 == 0;
+    record.has_ads = id % 2 == 0;
+    for (const market::Day day : {market::Day{5}, market::Day{6}}) {
+      crawlersim::AppObservation observation;
+      observation.downloads = 100u * id + static_cast<std::uint64_t>(day);
+      observation.version = 1 + id % 4;
+      observation.price_dollars = id % 3 == 0 ? 0.99 : 0.0;
+      database.record(record, day, observation);
+    }
+  }
+  crawlersim::save_database(database, dir);
+  const auto pristine = dir / "observations_pristine.bin";
+  std::filesystem::copy_file(dir / "observations.bin", pristine,
+                             std::filesystem::copy_options::overwrite_existing);
+
+  std::size_t clean = 0;
+  std::size_t typed = 0;
+  std::size_t rejected = 0;  // structurally fine but semantically refused
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    std::filesystem::copy_file(pristine, dir / "observations.bin",
+                               std::filesystem::copy_options::overwrite_existing);
+    util::Rng rng(util::rng::derive_seed(0xab0b5, seed));
+    const std::string what = chaos::corrupt_file(dir / "observations.bin", rng);
+    try {
+      const crawlersim::CrawlDatabase loaded = crawlersim::load_database(dir);
+      EXPECT_EQ(loaded.apps().size(), database.apps().size()) << what;
+      ++clean;
+    } catch (const events::binary::LoadError&) {
+      ++typed;
+    } catch (const std::runtime_error&) {
+      ++rejected;  // e.g. a flipped app id pointing at an unknown app
+    } catch (const std::exception& error) {
+      ADD_FAILURE() << "untyped failure after '" << what << "': " << error.what();
+    }
+  }
+  EXPECT_EQ(clean + typed + rejected, 500u);
+  EXPECT_GT(typed, 0u);
+}
+
+}  // namespace
+}  // namespace appstore
