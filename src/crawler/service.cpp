@@ -15,6 +15,11 @@ namespace {
 
 constexpr std::size_t kMaxPerPage = 500;
 
+/// Bound on cached responses: /api/meta plus directory pages — a handful per
+/// day in practice; the cap only guards against a pathological client
+/// enumerating distinct ?page/per_page combinations.
+constexpr std::size_t kMaxCachedResponses = 4096;
+
 [[nodiscard]] std::string client_of(const net::HttpRequest& request) {
   const auto it = request.headers.find("X-Client-Id");
   return it == request.headers.end() ? std::string("anonymous") : it->second;
@@ -62,6 +67,8 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   registry_.describe("service_request_seconds", "Handler latency by endpoint class");
   registry_.describe("service_injected_failures_total", "Injected 500 responses");
   registry_.describe("service_region_blocked_total", "403 responses (region gating)");
+  registry_.describe("service_response_cache_total",
+                     "Per-day response cache lookups by outcome");
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
     const std::string_view label = to_string(static_cast<Endpoint>(i));
     endpoint_requests_[i] = &registry_.counter("service_requests_total", label);
@@ -69,6 +76,8 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   }
   injected_failures_ = &registry_.counter("service_injected_failures_total");
   region_blocked_ = &registry_.counter("service_region_blocked_total");
+  cache_hits_ = &registry_.counter("service_response_cache_total", "hit");
+  cache_misses_ = &registry_.counter("service_response_cache_total", "miss");
   limiter_.attach_metrics(registry_);
 
   download_days_.resize(store_.apps().size());
@@ -89,6 +98,10 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   server_options.metrics = &registry_;
   server_options.clock = policy_.clock;
   server_options.faults = policy_.faults;
+  server_options.mode = policy_.server_mode;
+  server_options.worker_threads = policy_.server_workers;
+  server_options.queue_capacity = policy_.server_queue_capacity;
+  server_options.max_connections = policy_.max_connections;
   server_ = std::make_unique<net::HttpServer>(
       server_options, [this](const net::HttpRequest& request) { return handle(request); });
 }
@@ -138,8 +151,9 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
 
   if (request.method != "GET") return net::HttpResponse::text(400, "only GET supported");
 
-  if (endpoint == Endpoint::kMeta) return handle_meta();
-  if (endpoint == Endpoint::kApps) return handle_apps(request);
+  if (endpoint == Endpoint::kMeta || endpoint == Endpoint::kApps) {
+    return handle_cacheable(request, endpoint);
+  }
 
   constexpr std::string_view kAppPrefix = "/api/app/";
   if (path.starts_with(kAppPrefix)) {
@@ -159,6 +173,45 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
   return net::HttpResponse::text(404, "no such endpoint");
 }
 
+void AppstoreService::set_day(market::Day day) {
+  day_.store(day, std::memory_order_relaxed);
+  const std::unique_lock lock(cache_mutex_);
+  response_cache_.clear();
+}
+
+net::HttpResponse AppstoreService::handle_cacheable(const net::HttpRequest& request,
+                                                    Endpoint endpoint) {
+  // These endpoints are pure functions of (target, day) — the store is
+  // immutable within a virtual day — so identical requests within a day can
+  // share one computed response. The cache sits after the policy gates:
+  // rate limiting and region checks are still charged per request.
+  const market::Day day = day_.load(std::memory_order_relaxed);
+  if (policy_.cache_responses) {
+    const std::shared_lock lock(cache_mutex_);
+    const auto it = response_cache_.find(request.target);
+    if (it != response_cache_.end() && it->second.day == day) {
+      cache_hits_->inc();
+      return it->second.response;
+    }
+  }
+  net::HttpResponse response = endpoint == Endpoint::kMeta
+                                   ? handle_meta(day)
+                                   : handle_apps(request, day);
+  if (policy_.cache_responses) {
+    cache_misses_->inc();
+    if (response.status == 200) {
+      const std::unique_lock lock(cache_mutex_);
+      // Re-check the day under the writer lock: a set_day that raced this
+      // computation must not see a stale entry appear after its clear().
+      if (day_.load(std::memory_order_relaxed) == day &&
+          response_cache_.size() < kMaxCachedResponses) {
+        response_cache_.insert_or_assign(request.target, CachedResponse{day, response});
+      }
+    }
+  }
+  return response;
+}
+
 net::HttpResponse AppstoreService::handle_metrics(const net::HttpRequest& request) const {
   const auto query = request.query();
   const auto it = query.find("fmt");
@@ -168,8 +221,7 @@ net::HttpResponse AppstoreService::handle_metrics(const net::HttpRequest& reques
   return net::HttpResponse::json(200, obs::to_json(registry_));
 }
 
-net::HttpResponse AppstoreService::handle_meta() const {
-  const market::Day day = day_.load(std::memory_order_relaxed);
+net::HttpResponse AppstoreService::handle_meta(market::Day day) const {
   std::uint64_t visible = 0;
   for (const auto& app : store_.apps()) {
     if (app.released <= day) ++visible;
@@ -182,8 +234,8 @@ net::HttpResponse AppstoreService::handle_meta() const {
                .dump());
 }
 
-net::HttpResponse AppstoreService::handle_apps(const net::HttpRequest& request) const {
-  const market::Day day = day_.load(std::memory_order_relaxed);
+net::HttpResponse AppstoreService::handle_apps(const net::HttpRequest& request,
+                                               market::Day day) const {
   const auto query = request.query();
   std::uint64_t page = 0;
   std::uint64_t per_page = 100;

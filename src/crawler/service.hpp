@@ -30,12 +30,21 @@
 // and latency families (service_requests_total{endpoint},
 // service_request_seconds{endpoint}), policy counters
 // (service_injected_failures_total, service_region_blocked_total,
-// rate_limiter_*_total), and the underlying HttpServer's http_* families.
+// rate_limiter_*_total), response-cache counters
+// (service_response_cache_total{hit,miss}), and the underlying HttpServer's
+// http_* and server_* families.
+//
+// /api/meta and /api/apps responses are cached per virtual day (the store
+// is immutable within a day); advance the day via set_day to invalidate.
+// See docs/serving.md.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "market/store.hpp"
@@ -53,6 +62,16 @@ struct ServicePolicy {
   bool china_only = false;         ///< 403 for non-"cn" clients
   double failure_rate = 0.0;       ///< probability of a injected 500
   std::uint64_t failure_seed = 7;
+  /// Per-day response cache for the hot read-only endpoints (/api/meta and
+  /// /api/apps pages). The service is immutable within a virtual day, so
+  /// caching is correctness-preserving; set_day invalidates. Counted in
+  /// service_response_cache_total{hit,miss}.
+  bool cache_responses = true;
+  /// Serving architecture + sizing, forwarded to net::ServerOptions.
+  net::ServerMode server_mode = net::ServerMode::kWorkerPool;
+  std::size_t server_workers = 0;         ///< 0 = ServerOptions default
+  std::size_t server_queue_capacity = 256;
+  std::size_t max_connections = 256;
   /// Optional server-side chaos seam + clock, forwarded to the underlying
   /// net::HttpServer (see net::ServerOptions). Must outlive the service.
   chaos::Clock* clock = nullptr;
@@ -87,10 +106,18 @@ class AppstoreService {
   [[nodiscard]] const obs::Registry& metrics() const noexcept { return registry_; }
   [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
 
-  /// Advances the virtual crawl day (thread-safe).
-  void set_day(market::Day day) noexcept { day_.store(day, std::memory_order_relaxed); }
+  /// Advances the virtual crawl day and invalidates the per-day response
+  /// cache (thread-safe).
+  void set_day(market::Day day);
   [[nodiscard]] market::Day day() const noexcept {
     return day_.load(std::memory_order_relaxed);
+  }
+
+  /// Serves one request in-process, through the full policy + cache path the
+  /// HTTP handler uses — the load harness drives this directly when it wants
+  /// to measure the service without socket overhead.
+  [[nodiscard]] net::HttpResponse respond(const net::HttpRequest& request) {
+    return handle(request);
   }
 
   void stop() { server_->stop(); }
@@ -99,8 +126,12 @@ class AppstoreService {
   [[nodiscard]] static Endpoint classify(std::string_view path) noexcept;
 
   [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
-  [[nodiscard]] net::HttpResponse handle_meta() const;
-  [[nodiscard]] net::HttpResponse handle_apps(const net::HttpRequest& request) const;
+  [[nodiscard]] net::HttpResponse handle_meta(market::Day day) const;
+  [[nodiscard]] net::HttpResponse handle_apps(const net::HttpRequest& request,
+                                              market::Day day) const;
+  /// Cache-aware dispatch for the per-day-immutable endpoints.
+  [[nodiscard]] net::HttpResponse handle_cacheable(const net::HttpRequest& request,
+                                                   Endpoint endpoint);
   [[nodiscard]] net::HttpResponse handle_app(std::uint32_t id) const;
   [[nodiscard]] net::HttpResponse handle_comments(std::uint32_t id,
                                                   const net::HttpRequest& request) const;
@@ -124,6 +155,19 @@ class AppstoreService {
   obs::Histogram* endpoint_latency_[kEndpointCount] = {};
   obs::Counter* injected_failures_ = nullptr;
   obs::Counter* region_blocked_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+
+  /// Per-day response cache keyed by request target. Each entry is stamped
+  /// with the day it was computed for; set_day clears the map, and a racing
+  /// insert for a stale day is rejected by re-checking the stamp under the
+  /// writer lock (the map never serves a response from another day).
+  struct CachedResponse {
+    market::Day day;
+    net::HttpResponse response;
+  };
+  mutable std::shared_mutex cache_mutex_;
+  std::unordered_map<std::string, CachedResponse> response_cache_;
 
   /// Per-app sorted download-event days (built once at construction).
   std::vector<std::vector<market::Day>> download_days_;

@@ -1,0 +1,184 @@
+#include "load/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "net/server.hpp"
+#include "util/logging.hpp"
+
+namespace appstore::load {
+
+namespace {
+
+constexpr std::string_view kComponent = "load";
+
+constexpr std::string_view kOutcomeLabels[5] = {"ok", "http_4xx", "http_5xx", "shed",
+                                                "transport_error"};
+
+/// Exact quantile of a sorted sample (nearest-rank); 0 when empty.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Per-thread tallies, merged once at the end (latency histograms in the
+/// metrics registry are atomic and written directly).
+struct ClientTally {
+  Totals totals;
+  std::vector<double> latency[kOpKindCount];  ///< seconds, by op kind
+};
+
+struct LoadMetrics {
+  obs::Counter* outcomes[5] = {};
+  obs::Histogram* latency[kOpKindCount] = {};
+};
+
+[[nodiscard]] LoadMetrics resolve_metrics(obs::Registry* registry) {
+  LoadMetrics metrics;
+  if (registry == nullptr) return metrics;
+  registry->describe("load_requests_total", "Load-generator requests by outcome");
+  registry->describe("load_latency_seconds", "Client-observed latency by endpoint");
+  for (std::size_t i = 0; i < 5; ++i) {
+    metrics.outcomes[i] = &registry->counter("load_requests_total", kOutcomeLabels[i]);
+  }
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    metrics.latency[i] =
+        &registry->histogram("load_latency_seconds", to_string(static_cast<OpKind>(i)));
+  }
+  return metrics;
+}
+
+void classify(const net::HttpResponse& response, Totals& totals) {
+  if (response.status == 503) {
+    ++totals.shed;
+  } else if (response.status >= 500) {
+    ++totals.http_5xx;
+  } else if (response.status >= 400) {
+    ++totals.http_4xx;
+  } else {
+    ++totals.ok;
+  }
+}
+
+}  // namespace
+
+RunReport run(const Schedule& schedule, const RunOptions& options) {
+  if (options.service == nullptr) {
+    throw std::invalid_argument("load::run: null service");
+  }
+  if (schedule.per_client.empty()) {
+    throw std::invalid_argument("load::run: empty schedule");
+  }
+  const LoadMetrics metrics = resolve_metrics(options.metrics);
+  const std::size_t clients = schedule.per_client.size();
+  std::vector<ClientTally> tallies(clients);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientTally& tally = tallies[c];
+      const std::string client_id = options.client_prefix + "-" + std::to_string(c);
+      std::unique_ptr<net::PersistentHttpClient> socket_client;
+      if (options.over_sockets) {
+        socket_client = std::make_unique<net::PersistentHttpClient>(
+            "127.0.0.1", options.service->port(),
+            net::ClientOptions{.timeout = options.timeout});
+      }
+      const auto client_start = chaos::now_or_real(options.clock);
+      for (const Request& request : schedule.per_client[c]) {
+        if (schedule.open_loop()) {
+          // Open loop: the request is due at its pre-drawn arrival whether
+          // or not earlier ones have completed; a client that fell behind
+          // issues immediately (the classic coordinated-omission guard).
+          const auto due = client_start + request.arrival;
+          const auto now = chaos::now_or_real(options.clock);
+          if (due > now) chaos::sleep_or_real(options.clock, due - now);
+        }
+        ++tally.totals.issued;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          net::HttpResponse response;
+          if (socket_client != nullptr) {
+            response = socket_client->get(request.target, {{"X-Client-Id", client_id}});
+          } else {
+            net::HttpRequest http;
+            http.target = request.target;
+            http.headers["X-Client-Id"] = client_id;
+            response = options.service->respond(http);
+          }
+          classify(response, tally.totals);
+        } catch (const std::exception&) {
+          ++tally.totals.transport_errors;
+        }
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        const auto op = static_cast<std::size_t>(request.kind);
+        tally.latency[op].push_back(seconds);
+        if (metrics.latency[op] != nullptr) metrics.latency[op]->observe(seconds);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  RunReport report;
+  report.schedule = schedule.options;
+  report.over_sockets = options.over_sockets;
+  report.wall_seconds = wall_seconds;
+  std::vector<double> merged[kOpKindCount];
+  for (const ClientTally& tally : tallies) {
+    report.totals.issued += tally.totals.issued;
+    report.totals.ok += tally.totals.ok;
+    report.totals.http_4xx += tally.totals.http_4xx;
+    report.totals.http_5xx += tally.totals.http_5xx;
+    report.totals.shed += tally.totals.shed;
+    report.totals.transport_errors += tally.totals.transport_errors;
+    for (std::size_t op = 0; op < kOpKindCount; ++op) {
+      merged[op].insert(merged[op].end(), tally.latency[op].begin(),
+                        tally.latency[op].end());
+    }
+  }
+  if (metrics.outcomes[0] != nullptr) {
+    metrics.outcomes[0]->inc(report.totals.ok);
+    metrics.outcomes[1]->inc(report.totals.http_4xx);
+    metrics.outcomes[2]->inc(report.totals.http_5xx);
+    metrics.outcomes[3]->inc(report.totals.shed);
+    metrics.outcomes[4]->inc(report.totals.transport_errors);
+  }
+  report.throughput_rps =
+      wall_seconds > 0.0 ? static_cast<double>(report.totals.issued) / wall_seconds : 0.0;
+  for (std::size_t op = 0; op < kOpKindCount; ++op) {
+    std::sort(merged[op].begin(), merged[op].end());
+    EndpointLatency summary;
+    summary.endpoint = to_string(static_cast<OpKind>(op));
+    summary.count = merged[op].size();
+    if (!merged[op].empty()) {
+      double sum = 0.0;
+      for (const double v : merged[op]) sum += v;
+      summary.mean = sum / static_cast<double>(merged[op].size());
+      summary.p50 = quantile_sorted(merged[op], 0.50);
+      summary.p90 = quantile_sorted(merged[op], 0.90);
+      summary.p99 = quantile_sorted(merged[op], 0.99);
+    }
+    report.latency.push_back(std::move(summary));
+  }
+  util::log_info(kComponent,
+                 "{} requests in {:.3f}s ({:.0f} rps): {} ok, {} 4xx, {} 5xx, {} shed, "
+                 "{} transport errors",
+                 report.totals.issued, wall_seconds, report.throughput_rps,
+                 report.totals.ok, report.totals.http_4xx, report.totals.http_5xx,
+                 report.totals.shed, report.totals.transport_errors);
+  return report;
+}
+
+}  // namespace appstore::load

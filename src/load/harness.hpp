@@ -1,0 +1,89 @@
+// Execution harness: drives an AppstoreService with a load::Schedule.
+//
+// Two transports:
+//   * in-process — each client thread calls AppstoreService::respond()
+//     directly, exercising the full policy + cache path without socket
+//     overhead (the deterministic mode load_test asserts invariants on);
+//   * over sockets — each client owns one net::PersistentHttpClient, so the
+//     run also measures the server architecture (keep-alive reuse, worker
+//     pool, queueing).
+//
+// Closed loop: each client issues its next request when the previous one
+// completes (throughput is capacity-bound). Open loop: requests are due at
+// the schedule's pre-drawn Poisson arrivals regardless of completions — the
+// harness sleeps to the next arrival via the chaos clock, so tests can run
+// open-loop schedules on a VirtualClock in microseconds of wall time.
+//
+// Outcome accounting is total: every scheduled request lands in exactly one
+// of ok / http_4xx / http_5xx / shed (503) / transport_error, so
+//   issued == ok + http_4xx + http_5xx + shed + transport_error
+// always holds (load_test pins this).
+//
+// When RunOptions.metrics is set, the harness records into the families
+//   load_requests_total{ok|http_4xx|http_5xx|shed|transport_error}
+//   load_latency_seconds{meta|apps|app|comments}
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/clock.hpp"
+#include "crawler/service.hpp"
+#include "load/workload.hpp"
+#include "obs/registry.hpp"
+
+namespace appstore::load {
+
+struct RunOptions {
+  /// Service under load. Required; must outlive the run.
+  crawlersim::AppstoreService* service = nullptr;
+  /// false = in-process via respond(); true = real sockets via one
+  /// PersistentHttpClient per client thread.
+  bool over_sockets = false;
+  /// Client ids are "<client_prefix>-<index>" (the X-Client-Id header, i.e.
+  /// the per-client rate-limit identity).
+  std::string client_prefix = "load";
+  std::chrono::milliseconds timeout = std::chrono::milliseconds(5000);
+  /// Optional sink for load_* metric families. Must outlive the run.
+  obs::Registry* metrics = nullptr;
+  /// Clock for open-loop pacing (nullptr = real time). A VirtualClock makes
+  /// open-loop runs instantaneous and deterministic. Must outlive the run.
+  chaos::Clock* clock = nullptr;
+};
+
+struct Totals {
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;                ///< status < 400
+  std::uint64_t http_4xx = 0;          ///< 4xx other than shed
+  std::uint64_t http_5xx = 0;          ///< 5xx other than shed
+  std::uint64_t shed = 0;              ///< 503 (server load shedding)
+  std::uint64_t transport_errors = 0;  ///< exceptions (resets, timeouts)
+};
+
+/// Latency summary for one endpoint class (seconds).
+struct EndpointLatency {
+  std::string endpoint;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+struct RunReport {
+  ScheduleOptions schedule;
+  bool over_sockets = false;
+  Totals totals;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< issued / wall_seconds
+  std::vector<EndpointLatency> latency;  ///< one entry per OpKind, in order
+};
+
+/// Runs the schedule against the service (one thread per client) and
+/// summarizes. Throws std::invalid_argument when options.service is null or
+/// the schedule is empty.
+[[nodiscard]] RunReport run(const Schedule& schedule, const RunOptions& options);
+
+}  // namespace appstore::load

@@ -65,6 +65,12 @@ class HttpReader {
   /// Reads one response. nullopt on clean EOF before any byte.
   [[nodiscard]] std::optional<HttpResponse> read_response();
 
+  /// True when bytes of a further (pipelined) message are already buffered.
+  /// The worker-pool server must check this before parking a connection back
+  /// on poll(): buffered bytes live here, not in the socket, so the kernel
+  /// would never report them readable.
+  [[nodiscard]] bool buffered() const noexcept { return consumed_ < buffer_.size(); }
+
  private:
   [[nodiscard]] std::optional<std::string> read_head();
   [[nodiscard]] std::string read_body(const Headers& headers);

@@ -1,10 +1,15 @@
 #include "net/server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <optional>
 #include <system_error>
+#include <utility>
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -21,6 +26,11 @@ constexpr std::string_view kStatusClasses[5] = {"1xx", "2xx", "3xx", "4xx", "5xx
 [[nodiscard]] std::size_t status_class(int status) noexcept {
   const int band = status / 100 - 1;
   return band < 0 || band > 4 ? 4 : static_cast<std::size_t>(band);
+}
+
+[[nodiscard]] std::size_t default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(8, std::max<std::size_t>(2, hw));
 }
 
 /// The response a kHttp* fault synthesizes (no network involved).
@@ -87,6 +97,11 @@ template <typename OnReset>
   }
 }
 
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 HttpServer::HttpServer(ServerOptions options, Handler handler)
@@ -98,6 +113,9 @@ HttpServer::HttpServer(ServerOptions options, Handler handler)
     registry.describe("http_accepted_total", "Accepted connections");
     registry.describe("http_shed_total", "Connections refused with 503 (load shedding)");
     registry.describe("http_active_connections", "Connections currently being served");
+    registry.describe("server_queue_depth", "Readable connections awaiting a worker");
+    registry.describe("server_queue_wait_seconds", "Time spent in the ready queue");
+    registry.describe("server_workers_busy", "Worker threads currently serving a request");
     for (std::size_t i = 0; i < 5; ++i) {
       metrics_.requests_by_class[i] = &registry.counter("http_requests_total", kStatusClasses[i]);
       metrics_.latency_by_class[i] =
@@ -106,39 +124,87 @@ HttpServer::HttpServer(ServerOptions options, Handler handler)
     metrics_.accepted = &registry.counter("http_accepted_total");
     metrics_.shed = &registry.counter("http_shed_total");
     metrics_.active = &registry.gauge("http_active_connections");
+    metrics_.queue_depth = &registry.gauge("server_queue_depth");
+    metrics_.queue_wait = &registry.histogram("server_queue_wait_seconds");
+    metrics_.workers_busy = &registry.gauge("server_workers_busy");
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
-  util::log_info(kComponent, "listening on 127.0.0.1:{} (max {} connections)",
-                 listener_.port(), options_.max_connections);
+
+  if (options_.mode == ServerMode::kWorkerPool) {
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) {
+      throw std::system_error(errno, std::generic_category(), "HttpServer: pipe");
+    }
+    set_nonblocking(pipe_fds[0]);
+    set_nonblocking(pipe_fds[1]);
+    wake_read_ = FileDescriptor(pipe_fds[0]);
+    wake_write_ = FileDescriptor(pipe_fds[1]);
+
+    const std::size_t worker_count =
+        options_.worker_threads > 0 ? options_.worker_threads : default_worker_count();
+    worker_fds_ = std::make_unique<std::atomic<int>[]>(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) worker_fds_[i].store(-1);
+    workers_.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    util::log_info(kComponent,
+                   "listening on 127.0.0.1:{} (worker pool: {} workers, queue {}, max {} "
+                   "connections)",
+                   listener_.port(), worker_count, options_.queue_capacity,
+                   options_.max_connections);
+  } else {
+    acceptor_ = std::thread([this] { accept_loop(); });
+    util::log_info(kComponent,
+                   "listening on 127.0.0.1:{} (thread-per-connection, max {} connections)",
+                   listener_.port(), options_.max_connections);
+  }
 }
 
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.close();
-  const std::lock_guard lock(connections_mutex_);
-  for (auto& connection : connections_) {
-    // Unblock any thread parked in recv() on a keep-alive connection.
-    const int fd = connection->fd.load(std::memory_order_acquire);
-    if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& connection : connections_) {
-    if (connection->thread.joinable()) connection->thread.join();
-  }
-  connections_.clear();
-}
-
-void HttpServer::reap_finished() {
-  const std::lock_guard lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
+  if (options_.mode == ServerMode::kWorkerPool) {
+    // 1. The dispatcher notices running_ is false, closes every idle
+    //    connection, and exits — nothing new reaches the ready queue.
+    wake_dispatcher();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    listener_.close();
+    // 2. Workers drain whatever is already in the ready queue (responses
+    //    carry "Connection: close" because running_ is false) and exit once
+    //    it is empty.
+    {
+      const std::lock_guard lock(queue_mutex_);
+      workers_stopping_ = true;
     }
+    queue_cv_.notify_all();
+    // Unblock any worker parked in recv() waiting out a slow request head.
+    const std::size_t worker_count = workers_.size();
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      const int fd = worker_fds_[i].load(std::memory_order_acquire);
+      if (fd >= 0) (void)::shutdown(fd, SHUT_RD);
+    }
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+    // 3. Connections handed back after the dispatcher exited just close.
+    const std::lock_guard lock(returned_mutex_);
+    returned_.clear();
+  } else {
+    if (acceptor_.joinable()) acceptor_.join();
+    listener_.close();
+    const std::lock_guard lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      // Unblock any thread parked in recv() on a keep-alive connection.
+      const int fd = connection->fd.load(std::memory_order_acquire);
+      if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& connection : connections_) {
+      if (connection->thread.joinable()) connection->thread.join();
+    }
+    connections_.clear();
   }
 }
 
@@ -160,6 +226,243 @@ void HttpServer::shed_connection(TcpStream stream) {
     // The shed response is advisory; dropping it is fine.
   }
 }
+
+// ---- shared request path ----------------------------------------------------
+
+HttpServer::RequestOutcome HttpServer::serve_one(HttpReader& reader, TcpStream& stream) {
+  const auto request = reader.read_request();
+  if (!request.has_value()) return RequestOutcome::kClose;  // client closed
+
+  // Server-side chaos seam: decided after parsing, before the handler.
+  std::optional<HttpResponse> injected;
+  if (options_.faults != nullptr) {
+    const chaos::Fault fault =
+        options_.faults->next(chaos::FaultSite::kServer, request->target);
+    switch (fault.kind) {
+      case chaos::FaultKind::kConnectionReset:
+        return RequestOutcome::kDropped;  // abrupt close: client sees a dead conn
+      case chaos::FaultKind::kLatency:
+        chaos::sleep_or_real(options_.clock, fault.latency);
+        break;
+      case chaos::FaultKind::kHttp429:
+      case chaos::FaultKind::kHttp403:
+      case chaos::FaultKind::kHttp500:
+        injected = synthetic_response(fault.kind);
+        break;
+      default:
+        break;
+    }
+  }
+
+  const auto handle_start = std::chrono::steady_clock::now();
+  HttpResponse response;
+  if (injected.has_value()) {
+    response = std::move(*injected);
+  } else {
+    try {
+      response = handler_(*request);
+    } catch (const std::exception& error) {
+      util::log_warn(kComponent, "handler threw: {}", error.what());
+      response = HttpResponse::text(500, "internal error");
+    }
+  }
+  const bool client_close = [&] {
+    const auto it = request->headers.find("Connection");
+    return it != request->headers.end() && util::equals_ci(it->second, "close");
+  }();
+  // Graceful drain: requests already admitted when stop() began are still
+  // served, but their response tells the client not to reuse the connection.
+  const bool close_requested = client_close || !running_.load(std::memory_order_relaxed);
+  if (close_requested) response.headers["Connection"] = "close";
+  // Count before writing: a client that has the response must observe
+  // the incremented counter.
+  ++requests_served_;
+  const std::size_t band = status_class(response.status);
+  if (metrics_.requests_by_class[band] != nullptr) {
+    metrics_.requests_by_class[band]->inc();
+  }
+  stream.write_all(response.serialize());
+  if (metrics_.latency_by_class[band] != nullptr) {
+    metrics_.latency_by_class[band]->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - handle_start)
+            .count());
+  }
+  return close_requested ? RequestOutcome::kClose : RequestOutcome::kKeepAlive;
+}
+
+// ---- worker-pool mode -------------------------------------------------------
+
+void HttpServer::wake_dispatcher() noexcept {
+  const char byte = 1;
+  (void)::write(wake_write_.get(), &byte, 1);  // nonblocking; a full pipe is fine
+}
+
+void HttpServer::enqueue_ready(std::unique_ptr<Conn> conn,
+                               std::chrono::steady_clock::time_point now) {
+  {
+    const std::lock_guard lock(queue_mutex_);
+    if (ready_.size() >= options_.queue_capacity) {
+      // Queue-level shed: the connection is readable but no worker slot is
+      // in sight; answering 503 here beats an unbounded backlog.
+      conn->stream.set_timeout(std::chrono::milliseconds(250));
+      shed_connection(std::move(conn->stream));
+      conn.reset();
+      admitted_.fetch_sub(1, std::memory_order_relaxed);
+      if (metrics_.active != nullptr) metrics_.active->sub(1.0);
+      return;
+    }
+    conn->queued_at = now;
+    ready_.push_back(std::move(conn));
+    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->add(1.0);
+  }
+  queue_cv_.notify_one();
+}
+
+void HttpServer::dispatcher_loop() {
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_relaxed)) {
+    // Fold connections the workers handed back into the idle set.
+    {
+      const std::lock_guard lock(returned_mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& conn : returned_) {
+        conn->idle_since = now;
+        idle_.push_back(std::move(conn));
+      }
+      returned_.clear();
+    }
+
+    fds.clear();
+    fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    fds.push_back(pollfd{listener_.native_handle(), POLLIN, 0});
+    for (const auto& conn : idle_) {
+      fds.push_back(pollfd{conn->stream.native_handle(), POLLIN, 0});
+    }
+
+    // Wake at the nearest idle-timeout deadline (or periodically).
+    auto now = std::chrono::steady_clock::now();
+    auto timeout = std::chrono::milliseconds(500);
+    for (const auto& conn : idle_) {
+      const auto deadline = conn->idle_since + options_.read_timeout;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      timeout = std::clamp(remaining, std::chrono::milliseconds(0), timeout);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(timeout.count()));
+    if (rc < 0 && errno != EINTR) break;
+    now = std::chrono::steady_clock::now();
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_.get(), drain, sizeof drain) > 0) {
+      }
+    }
+
+    // Hand readable idle connections to the workers (peer close shows up as
+    // readable too — the worker turns EOF into a clean connection close) and
+    // drop connections idle past the read timeout.
+    std::vector<std::unique_ptr<Conn>> still_idle;
+    still_idle.reserve(idle_.size());
+    for (std::size_t i = 0; i < idle_.size(); ++i) {
+      const short revents = fds[2 + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        enqueue_ready(std::move(idle_[i]), now);
+      } else if (now - idle_[i]->idle_since >= options_.read_timeout) {
+        admitted_.fetch_sub(1, std::memory_order_relaxed);
+        if (metrics_.active != nullptr) metrics_.active->sub(1.0);
+      } else {
+        still_idle.push_back(std::move(idle_[i]));
+      }
+    }
+    idle_ = std::move(still_idle);
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      // Drain the accept backlog without blocking.
+      while (auto stream = listener_.accept(std::chrono::milliseconds(0))) {
+        if (admitted_.load(std::memory_order_relaxed) >= options_.max_connections) {
+          shed_connection(std::move(*stream));
+          continue;
+        }
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_.accepted != nullptr) metrics_.accepted->inc();
+        if (metrics_.active != nullptr) metrics_.active->add(1.0);
+        stream->set_timeout(options_.read_timeout);
+        auto conn = std::make_unique<Conn>(std::move(*stream));
+        conn->idle_since = now;
+        idle_.push_back(std::move(conn));
+      }
+    }
+  }
+
+  // Shutdown: close every idle connection; in-flight and queued ones are
+  // drained by the workers (see stop()).
+  for (auto& conn : idle_) {
+    admitted_.fetch_sub(1, std::memory_order_relaxed);
+    if (metrics_.active != nullptr) metrics_.active->sub(1.0);
+    conn.reset();
+  }
+  idle_.clear();
+}
+
+void HttpServer::worker_loop(std::size_t index) {
+  for (;;) {
+    std::unique_ptr<Conn> conn;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return workers_stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping and fully drained
+      conn = std::move(ready_.front());
+      ready_.pop_front();
+      if (metrics_.queue_depth != nullptr) metrics_.queue_depth->sub(1.0);
+    }
+    if (metrics_.queue_wait != nullptr) {
+      metrics_.queue_wait->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - conn->queued_at)
+              .count());
+    }
+    if (metrics_.workers_busy != nullptr) metrics_.workers_busy->add(1.0);
+    worker_fds_[index].store(conn->stream.native_handle(), std::memory_order_release);
+    const bool keep = serve_ready(*conn);
+    worker_fds_[index].store(-1, std::memory_order_release);
+    if (metrics_.workers_busy != nullptr) metrics_.workers_busy->sub(1.0);
+    if (keep && running_.load(std::memory_order_relaxed)) {
+      {
+        const std::lock_guard lock(returned_mutex_);
+        returned_.push_back(std::move(conn));
+      }
+      wake_dispatcher();
+    } else {
+      conn.reset();
+      admitted_.fetch_sub(1, std::memory_order_relaxed);
+      if (metrics_.active != nullptr) metrics_.active->sub(1.0);
+    }
+  }
+}
+
+bool HttpServer::serve_ready(Conn& conn) {
+  try {
+    for (;;) {
+      switch (serve_one(conn.reader, conn.stream)) {
+        case RequestOutcome::kKeepAlive:
+          // Pipelined bytes live in the reader's buffer, invisible to
+          // poll(): serve them now or they would never be seen again.
+          if (conn.reader.buffered()) continue;
+          return true;
+        case RequestOutcome::kClose:
+        case RequestOutcome::kDropped:
+          return false;
+      }
+    }
+  } catch (const std::exception& error) {
+    // Connection-level failures (timeouts, resets, malformed input) only
+    // terminate this connection.
+    util::log_debug(kComponent, "connection ended: {}", error.what());
+    return false;
+  }
+}
+
+// ---- thread-per-connection mode ---------------------------------------------
 
 void HttpServer::accept_loop() {
   while (running_.load(std::memory_order_relaxed)) {
@@ -190,6 +493,18 @@ void HttpServer::accept_loop() {
   }
 }
 
+void HttpServer::reap_finished() {
+  const std::lock_guard lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
   connection->fd.store(stream.native_handle(), std::memory_order_release);
   if (metrics_.active != nullptr) metrics_.active->add(1.0);
@@ -209,61 +524,7 @@ void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
     for (;;) {
       // Stop serving keep-alive connections when the server shuts down.
       if (!running_.load(std::memory_order_relaxed)) return;
-      const auto request = reader.read_request();
-      if (!request.has_value()) return;  // client closed
-
-      // Server-side chaos seam: decided after parsing, before the handler.
-      std::optional<HttpResponse> injected;
-      if (options_.faults != nullptr) {
-        const chaos::Fault fault =
-            options_.faults->next(chaos::FaultSite::kServer, request->target);
-        switch (fault.kind) {
-          case chaos::FaultKind::kConnectionReset:
-            return;  // abrupt close: the client sees a dead connection
-          case chaos::FaultKind::kLatency:
-            chaos::sleep_or_real(options_.clock, fault.latency);
-            break;
-          case chaos::FaultKind::kHttp429:
-          case chaos::FaultKind::kHttp403:
-          case chaos::FaultKind::kHttp500:
-            injected = synthetic_response(fault.kind);
-            break;
-          default:
-            break;
-        }
-      }
-
-      const auto handle_start = std::chrono::steady_clock::now();
-      HttpResponse response;
-      if (injected.has_value()) {
-        response = std::move(*injected);
-      } else {
-        try {
-          response = handler_(*request);
-        } catch (const std::exception& error) {
-          util::log_warn(kComponent, "handler threw: {}", error.what());
-          response = HttpResponse::text(500, "internal error");
-        }
-      }
-      const bool close_requested = [&] {
-        const auto it = request->headers.find("Connection");
-        return it != request->headers.end() && util::equals_ci(it->second, "close");
-      }();
-      if (close_requested) response.headers["Connection"] = "close";
-      // Count before writing: a client that has the response must observe
-      // the incremented counter.
-      ++requests_served_;
-      const std::size_t band = status_class(response.status);
-      if (metrics_.requests_by_class[band] != nullptr) {
-        metrics_.requests_by_class[band]->inc();
-      }
-      stream.write_all(response.serialize());
-      if (metrics_.latency_by_class[band] != nullptr) {
-        metrics_.latency_by_class[band]->observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - handle_start)
-                .count());
-      }
-      if (close_requested) return;
+      if (serve_one(reader, stream) != RequestOutcome::kKeepAlive) return;
     }
   } catch (const std::exception& error) {
     // Connection-level failures (timeouts, resets, malformed input) only
@@ -271,6 +532,8 @@ void HttpServer::serve_connection(TcpStream stream, Connection* connection) {
     util::log_debug(kComponent, "connection ended: {}", error.what());
   }
 }
+
+// ---- clients ----------------------------------------------------------------
 
 HttpResponse HttpClient::send(HttpRequest request) {
   if (auto injected = apply_exchange_fault(options_, request.target, [] {})) {

@@ -1,22 +1,38 @@
-// Threaded HTTP/1.1 server over loopback TCP.
+// HTTP/1.1 server over loopback TCP with two serving architectures.
 //
-// One acceptor thread polls the listener and spawns a thread per
-// connection (finished connection threads are reaped as new ones arrive).
-// Connections are keep-alive until the client sends "Connection: close",
-// half-closes, errors, or stays idle past the read timeout — so long-lived
-// persistent clients never starve newcomers, unlike a fixed worker pool.
-// Designed for the test and crawler workloads of this library (hundreds of
-// concurrent loopback connections), not for the open internet.
+// ServerMode::kWorkerPool (the default — the serving-scale design):
+//   * One dispatcher thread owns the listener and every idle keep-alive
+//     connection and multiplexes them through poll(2). An idle connection
+//     costs one pollfd, not a parked thread, so thousands of persistent
+//     clients (the crawler keeps one per worker×proxy) are cheap.
+//   * A fixed pool of worker threads serves *readable* connections handed
+//     over through a bounded ready queue: a worker reads one request (plus
+//     any pipelined requests already buffered), runs the handler, writes the
+//     response, and returns the connection to the dispatcher.
+//   * Load shedding is explicit at two layers, both answering
+//     "503 Service Unavailable" + Retry-After: accept-time (admitted
+//     connections would exceed max_connections) and queue-time (a connection
+//     became readable but the ready queue is full).
+//   * stop() drains gracefully: requests already admitted to the ready queue
+//     or being served complete (their responses carry "Connection: close");
+//     idle connections are closed immediately.
+//
+// ServerMode::kThreadPerConnection keeps the previous design — one thread
+// per connection, reaped as new ones arrive — as the benchmarking baseline
+// (bench_serving) and a conservative fallback.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "chaos/clock.hpp"
 #include "chaos/fault.hpp"
@@ -26,28 +42,45 @@
 
 namespace appstore::net {
 
-/// Handler: request -> response. Called concurrently from connection
-/// threads; must be thread-safe.
+/// Handler: request -> response. Called concurrently from worker (or
+/// connection) threads; must be thread-safe.
 using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+enum class ServerMode : std::uint8_t {
+  kWorkerPool,           ///< dispatcher + fixed worker pool (default)
+  kThreadPerConnection,  ///< legacy baseline: one thread per connection
+};
 
 /// Aggregate construction options for HttpServer (the Options-struct API:
 /// new knobs land here without another positional parameter).
 struct ServerOptions {
   /// Port to bind on 127.0.0.1 (0 = ephemeral).
   std::uint16_t port = 0;
-  /// Bounds concurrently-served connections; excess connections receive a
-  /// minimal "503 Service Unavailable" and are closed (load shedding).
+  /// Bounds concurrently-admitted connections (served + queued + idle);
+  /// excess connections receive a minimal "503 Service Unavailable" and are
+  /// closed (load shedding).
   std::size_t max_connections = 256;
-  /// Per-connection read timeout; an idle keep-alive connection past this
-  /// is closed.
+  /// Per-connection read timeout. Worker pool: an idle keep-alive connection
+  /// past this is closed by the dispatcher, and a worker mid-read gives up
+  /// after it. Thread-per-connection: plain socket receive timeout.
   std::chrono::milliseconds read_timeout = std::chrono::milliseconds(5000);
+  /// Serving architecture; see the header comment.
+  ServerMode mode = ServerMode::kWorkerPool;
+  /// Worker threads of the kWorkerPool mode; 0 = min(8, hardware cores).
+  std::size_t worker_threads = 0;
+  /// Bound of the ready queue (readable connections awaiting a worker);
+  /// a readable connection past it is shed with 503 + Retry-After.
+  std::size_t queue_capacity = 256;
   /// Optional metrics sink. When set the server registers, under the
   /// conventions of docs/observability.md:
   ///   http_requests_total{1xx..5xx}     responses by status class
   ///   http_request_seconds{1xx..5xx}    handler+write latency by class
   ///   http_accepted_total               accepted connections
-  ///   http_shed_total                   load-shed connections
-  ///   http_active_connections (gauge)   currently served connections
+  ///   http_shed_total                   load-shed connections (both layers)
+  ///   http_active_connections (gauge)   admitted connections
+  ///   server_queue_depth (gauge)        ready connections awaiting a worker
+  ///   server_queue_wait_seconds         time spent in the ready queue
+  ///   server_workers_busy (gauge)       workers currently serving
   /// Must outlive the server.
   obs::Registry* metrics = nullptr;
   /// Time source for latency injection (nullptr = real time). Must outlive
@@ -70,7 +103,7 @@ class HttpServer {
       : HttpServer(ServerOptions{.port = port, .max_connections = max_connections},
                    std::move(handler)) {}
 
-  /// Stops accepting and joins every connection thread.
+  /// Stops (see stop()) and joins every thread.
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -83,14 +116,59 @@ class HttpServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
-  /// Connections turned away with a 503 because max_connections was reached.
+  /// Connections turned away with a 503 (accept-level or queue-level shed).
   [[nodiscard]] std::uint64_t connections_shed() const noexcept {
     return connections_shed_.load(std::memory_order_relaxed);
   }
 
+  /// Stops accepting, drains in-flight work (worker pool: everything already
+  /// in the ready queue is served with "Connection: close"), closes idle
+  /// connections, and joins every thread. Idempotent.
   void stop();
 
  private:
+  // ---- shared request path ------------------------------------------------
+
+  enum class RequestOutcome : std::uint8_t {
+    kKeepAlive,  ///< response written, connection stays open
+    kClose,      ///< connection must close (client asked, error, or drain)
+    kDropped,    ///< injected reset: close without a response
+  };
+
+  /// Reads and serves exactly one request off `reader`/`stream` (fault seam,
+  /// handler, metrics, response write). kClose when the client half-closed
+  /// before a request, asked for close, or the server is draining.
+  RequestOutcome serve_one(HttpReader& reader, TcpStream& stream);
+
+  /// Best-effort 503 + Retry-After, then closes the stream.
+  void shed_connection(TcpStream stream);
+
+  // ---- worker-pool mode ---------------------------------------------------
+
+  /// A pooled connection. Never moved after construction: `reader` holds a
+  /// reference to `stream`, so connections travel as unique_ptrs between the
+  /// dispatcher, the ready queue, and workers.
+  struct Conn {
+    TcpStream stream;
+    HttpReader reader;
+    std::chrono::steady_clock::time_point idle_since{};
+    std::chrono::steady_clock::time_point queued_at{};
+
+    explicit Conn(TcpStream accepted)
+        : stream(std::move(accepted)), reader(stream) {}
+  };
+
+  void dispatcher_loop();
+  void worker_loop(std::size_t index);
+  /// Serves every request currently available on the connection; true when
+  /// it should return to the dispatcher (keep-alive), false when closed.
+  bool serve_ready(Conn& conn);
+  void enqueue_ready(std::unique_ptr<Conn> conn,
+                     std::chrono::steady_clock::time_point now);
+  void wake_dispatcher() noexcept;
+
+  // ---- thread-per-connection mode ----------------------------------------
+
   struct Connection {
     std::thread thread;
     std::atomic<bool> done{false};
@@ -98,6 +176,12 @@ class HttpServer {
     /// stop() shuts it down to unblock a thread waiting in recv().
     std::atomic<int> fd{-1};
   };
+
+  void accept_loop();
+  void serve_connection(TcpStream stream, Connection* connection);
+  void reap_finished();
+
+  // ---- state --------------------------------------------------------------
 
   /// Lock-free handles into options_.metrics, resolved once at
   /// construction; all nullptr when metrics are disabled.
@@ -107,12 +191,10 @@ class HttpServer {
     obs::Counter* accepted = nullptr;
     obs::Counter* shed = nullptr;
     obs::Gauge* active = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Gauge* workers_busy = nullptr;
   };
-
-  void accept_loop();
-  void serve_connection(TcpStream stream, Connection* connection);
-  void shed_connection(TcpStream stream);
-  void reap_finished();
 
   TcpListener listener_;
   Handler handler_;
@@ -122,9 +204,25 @@ class HttpServer {
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_shed_{0};
 
+  // worker-pool state
+  std::atomic<std::size_t> admitted_{0};  ///< served + queued + idle conns
+  std::vector<std::unique_ptr<Conn>> idle_;  ///< dispatcher-owned, no lock
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Conn>> ready_;  ///< guarded by queue_mutex_
+  bool workers_stopping_ = false;            ///< guarded by queue_mutex_
+  std::mutex returned_mutex_;
+  std::vector<std::unique_ptr<Conn>> returned_;  ///< workers -> dispatcher
+  FileDescriptor wake_read_, wake_write_;        ///< dispatcher wakeup pipe
+  /// Fd a worker is currently serving (-1 when idle); stop() shuts the read
+  /// side down to unblock a worker waiting in recv() on a partial request.
+  std::unique_ptr<std::atomic<int>[]> worker_fds_;
+  std::vector<std::thread> workers_;
+  std::thread dispatcher_;
+
+  // thread-per-connection state
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
-
   std::thread acceptor_;
 };
 

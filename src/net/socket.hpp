@@ -99,6 +99,11 @@ class TcpListener {
 
   [[nodiscard]] bool closed() const noexcept { return !fd_.valid(); }
 
+  /// Underlying fd for callers that multiplex the listener with other fds
+  /// (the worker-pool server polls it alongside idle connections); -1 when
+  /// closed.
+  [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
+
  private:
   FileDescriptor fd_;
   std::uint16_t port_ = 0;

@@ -1,0 +1,147 @@
+// Golden-figure regression tests: seeded runs of the fig2 (Pareto) and fig8
+// (model-fit) pipelines compared against small checked-in summaries, so a
+// statistical refactor cannot silently drift the paper's headline results.
+//
+// Goldens live in tests/golden/*.csv ("key,value" rows). Regenerate after an
+// *intentional* change with:
+//   APPSTORE_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// and commit the diff — the point is that drift shows up in review.
+//
+// Tolerances are explicit per figure:
+//   fig2  — Pareto shares within ±0.015 (absolute, shares are in [0, 1]);
+//   fig8  — grid-selected best parameters exact; Eq.-6 distances within 5%
+//           relative (the pipeline is seeded and thread-count-invariant, so
+//           slack only absorbs FP reassociation across compilers).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/study.hpp"
+#include "fit/sweep.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "util/format.hpp"
+
+#ifndef APPSTORE_GOLDEN_DIR
+#error "APPSTORE_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace appstore {
+namespace {
+
+using GoldenMap = std::map<std::string, double>;
+
+[[nodiscard]] std::string golden_path(const std::string& name) {
+  return std::string(APPSTORE_GOLDEN_DIR) + "/" + name;
+}
+
+[[nodiscard]] bool update_mode() {
+  const char* flag = std::getenv("APPSTORE_UPDATE_GOLDEN");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+[[nodiscard]] GoldenMap read_golden(const std::string& name) {
+  GoldenMap golden;
+  std::ifstream in(golden_path(name));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.rfind(',');
+    if (comma == std::string::npos) continue;
+    golden[line.substr(0, comma)] = std::stod(line.substr(comma + 1));
+  }
+  return golden;
+}
+
+void write_golden(const std::string& name, const GoldenMap& values) {
+  std::ofstream out(golden_path(name), std::ios::trunc);
+  ASSERT_TRUE(out) << "cannot write " << golden_path(name);
+  out << "# regenerate: APPSTORE_UPDATE_GOLDEN=1 ./build/tests/golden_test\n";
+  for (const auto& [key, value] : values) {
+    out << key << ',' << util::format("{:.9g}", value) << '\n';
+  }
+}
+
+/// Compares computed values against the golden file (or rewrites it in
+/// update mode). Key sets must match exactly — a new metric needs a new
+/// golden entry, a removed one must be removed deliberately.
+void check_against_golden(const std::string& name, const GoldenMap& computed,
+                          double abs_tolerance, double rel_tolerance) {
+  if (update_mode()) {
+    write_golden(name, computed);
+    GTEST_SKIP() << "regenerated " << name;
+  }
+  const GoldenMap golden = read_golden(name);
+  ASSERT_FALSE(golden.empty()) << golden_path(name)
+                               << " missing — run with APPSTORE_UPDATE_GOLDEN=1";
+  for (const auto& [key, expected] : golden) {
+    const auto it = computed.find(key);
+    ASSERT_NE(it, computed.end()) << "golden key not computed: " << key;
+    const double tolerance = abs_tolerance + rel_tolerance * std::abs(expected);
+    EXPECT_NEAR(it->second, expected, tolerance) << key;
+  }
+  for (const auto& [key, value] : computed) {
+    EXPECT_TRUE(golden.contains(key)) << "computed key not in golden: " << key
+                                      << " = " << value;
+  }
+}
+
+/// Small fixed config shared by both figures: the goldens pin this exact
+/// run, so the config is part of the contract.
+[[nodiscard]] synth::GeneratorConfig golden_config() {
+  synth::GeneratorConfig config;
+  config.seed = 0x5eed;
+  config.app_scale = 0.01;
+  config.download_scale = 5e-5;
+  return config;
+}
+
+TEST(GoldenFigures, Fig2ParetoShares) {
+  GoldenMap computed;
+  for (const auto& profile : synth::all_profiles()) {
+    const core::EcosystemStudy study(profile, golden_config());
+    for (const double fraction : {0.01, 0.05, 0.10, 0.20, 0.50}) {
+      computed[profile.name + ":top" + util::format("{:.2f}", fraction)] =
+          study.pareto_share(fraction);
+    }
+  }
+  check_against_golden("fig2_pareto.csv", computed, /*abs=*/0.015, /*rel=*/0.0);
+}
+
+TEST(GoldenFigures, Fig8ModelFit) {
+  const auto config = golden_config();
+  const auto generated = synth::generate(synth::anzhi(), config);
+  const auto measured = generated.store->downloads_by_rank();
+  ASSERT_FALSE(measured.empty());
+
+  fit::SweepOptions options;
+  options.zr_grid = {1.0, 1.4, 1.8};
+  options.p_grid = {0.85, 0.95};
+  options.zc_grid = {1.2, 1.6};
+  options.seed = config.seed + 1;
+
+  GoldenMap computed;
+  for (const auto kind : {models::ModelKind::kZipf, models::ModelKind::kZipfAtMostOnce,
+                          models::ModelKind::kAppClustering}) {
+    const auto result = fit::fit_model(
+        kind, measured, static_cast<std::uint64_t>(measured.front()),
+        static_cast<std::uint32_t>(generated.store->categories().size()), options);
+    const std::string prefix(to_string(kind));
+    computed[prefix + ":zr"] = result.best.zr;
+    if (kind == models::ModelKind::kAppClustering) {
+      computed[prefix + ":p"] = result.best.p;
+      computed[prefix + ":zc"] = result.best.zc;
+    }
+    computed[prefix + ":distance"] = result.distance;
+  }
+  // Grid parameters are compared exactly through the same tolerance formula:
+  // rel 5% never bridges adjacent grid points (0.4 apart at minimum 0.85).
+  check_against_golden("fig8_model_fit.csv", computed, /*abs=*/1e-9, /*rel=*/0.05);
+}
+
+}  // namespace
+}  // namespace appstore

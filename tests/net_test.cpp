@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 
+#include "chaos/clock.hpp"
 #include "net/http.hpp"
 #include "net/proxy.hpp"
 #include "net/rate_limiter.hpp"
@@ -398,6 +400,69 @@ TEST(ProxyPool, ReinstateRestoresService) {
 
 TEST(ProxyPool, EmptyRegionsThrow) {
   EXPECT_THROW(ProxyPool(3, {}), std::invalid_argument);
+}
+
+// ---- token-bucket properties (seeded schedules on the chaos VirtualClock) ------
+
+TEST(RateLimiterProperty, NeverExceedsBurstAndHonorsRefillRate) {
+  // 1000 seeded random schedules of (advance clock | request) steps. Two
+  // invariants must hold for every schedule:
+  //   (a) admissions never exceed burst + rate * elapsed (+1 for the token
+  //       in flight when the bound is fractional) — the bucket cannot be
+  //       overdrawn no matter how requests and refills interleave;
+  //   (b) a full idle period of burst/rate always restores a whole burst.
+  for (std::uint64_t schedule = 0; schedule < 1000; ++schedule) {
+    util::Rng rng = util::rng::derive(0xb0c4e7, schedule);
+    const double rate = rng.uniform(0.5, 200.0);
+    const double burst = rng.uniform(1.0, 50.0);
+    chaos::VirtualClock clock;
+    TokenBucketLimiter limiter(rate, burst, clock.time_fn());
+
+    std::uint64_t admitted = 0;
+    double elapsed_seconds = 0.0;
+    const int steps = 30 + static_cast<int>(rng.below(50));
+    for (int step = 0; step < steps; ++step) {
+      if (rng.chance(0.4)) {
+        const double advance = rng.uniform(0.0, 2.0 * burst / rate);
+        clock.advance(std::chrono::nanoseconds(
+            static_cast<std::int64_t>(advance * 1e9)));
+        elapsed_seconds += advance;
+      } else {
+        const int requests = 1 + static_cast<int>(rng.below(12));
+        for (int r = 0; r < requests; ++r) {
+          if (limiter.allow("client")) ++admitted;
+        }
+      }
+      ASSERT_LE(static_cast<double>(admitted), burst + rate * elapsed_seconds + 1.0)
+          << "schedule " << schedule << ": overdraw at rate=" << rate
+          << " burst=" << burst;
+    }
+
+    // (b) after a full refill window the bucket is at capacity again.
+    clock.advance(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(burst / rate * 1e9) + 1));
+    std::uint64_t refilled = 0;
+    while (limiter.allow("client")) ++refilled;
+    EXPECT_GE(refilled, static_cast<std::uint64_t>(burst))
+        << "schedule " << schedule;
+    EXPECT_LE(refilled, static_cast<std::uint64_t>(burst) + 1)
+        << "schedule " << schedule;
+  }
+}
+
+TEST(RateLimiterProperty, ConsecutiveAllowsWithoutAdvanceBoundedByBurst) {
+  for (std::uint64_t schedule = 0; schedule < 100; ++schedule) {
+    util::Rng rng = util::rng::derive(0x5eed5, schedule);
+    const double burst = rng.uniform(1.0, 40.0);
+    chaos::VirtualClock clock;
+    TokenBucketLimiter limiter(10.0, burst, clock.time_fn());
+    std::uint64_t admitted = 0;
+    while (limiter.allow("k")) ++admitted;
+    // With time frozen exactly floor(burst)..burst tokens are spendable.
+    EXPECT_GE(admitted, static_cast<std::uint64_t>(burst));
+    EXPECT_LE(admitted, static_cast<std::uint64_t>(std::ceil(burst)));
+    EXPECT_FALSE(limiter.allow("k"));  // still frozen: stays empty
+  }
 }
 
 }  // namespace
