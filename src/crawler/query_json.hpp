@@ -1,0 +1,40 @@
+// Wire forms of the query engine: request parsing and response rendering.
+//
+// /api/v1/query accepts the same query in two shapes:
+//
+//   GET  ?kind=top_k_downloads&k=10&filter=user==42+and+day<=60
+//        (filter in the text grammar of query/expression.hpp; '+' reads as
+//        whitespace so the filter survives a URL query string untouched;
+//        list parameters are comma-separated: fractions=0.01,0.1)
+//
+//   POST {"kind": "...", "filter": ..., "k": ..., "fractions": [...],
+//         "depths": [...], "min_samples": ..., "points": ...}
+//        where "filter" is either the text grammar as a JSON string or a
+//        structured tree of {"field","op","value"} leaves nested under
+//        {"and": [...]} / {"or": [...]} nodes.
+//
+// Both parsers produce the same validated query::QuerySpec; every defect
+// throws query::QueryError (the service maps it to a 400 envelope, never a
+// crash). Rendering is the inverse: one JSON document per QueryResult with
+// the plan statistics and the kind-specific payload. See docs/query.md.
+#pragma once
+
+#include "crawler/json.hpp"
+#include "market/types.hpp"
+#include "net/http.hpp"
+#include "query/engine.hpp"
+
+namespace appstore::crawlersim {
+
+/// Parses a /api/query request (GET query-string or POST JSON body) into a
+/// QuerySpec. Throws query::QueryError("bad_query" / "bad_filter") on any
+/// malformed input.
+[[nodiscard]] query::QuerySpec parse_query_request(const net::HttpRequest& request);
+
+/// Structured JSON filter -> expression AST (exposed for tests).
+[[nodiscard]] query::Expr expr_from_json(const Json& node);
+
+/// Renders one engine result as the response document.
+[[nodiscard]] Json query_result_json(const query::QueryResult& result, market::Day day);
+
+}  // namespace appstore::crawlersim

@@ -4,6 +4,7 @@
 
 #include "crawler/apk.hpp"
 #include "crawler/json.hpp"
+#include "crawler/query_json.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "util/format.hpp"
@@ -15,10 +16,30 @@ namespace {
 
 constexpr std::size_t kMaxPerPage = 500;
 
-/// Bound on cached responses: /api/meta plus directory pages — a handful per
-/// day in practice; the cap only guards against a pathological client
-/// enumerating distinct ?page/per_page combinations.
+/// Bound on cached responses: /api/meta plus directory pages plus distinct
+/// query targets — a handful per day in practice; the cap only guards
+/// against a pathological client enumerating distinct targets.
 constexpr std::size_t kMaxCachedResponses = 4096;
+
+constexpr std::string_view kLegacyPrefix = "/api";
+constexpr std::string_view kV1Prefix = "/api/v1";
+
+/// The route table: path remainder (after the version prefix) -> endpoint.
+/// Prefix routes match any path continuing past the pattern; /app/<id>
+/// sub-routes (comments, apk) are refined by suffix below.
+struct Route {
+  std::string_view pattern;
+  bool exact;
+  AppstoreService::Endpoint endpoint;
+};
+
+constexpr Route kRoutes[] = {
+    {"/meta", true, AppstoreService::Endpoint::kMeta},
+    {"/apps", true, AppstoreService::Endpoint::kApps},
+    {"/app/", false, AppstoreService::Endpoint::kApp},
+    {"/query", true, AppstoreService::Endpoint::kQuery},
+    {"/metrics", true, AppstoreService::Endpoint::kMetrics},
+};
 
 [[nodiscard]] std::string client_of(const net::HttpRequest& request) {
   const auto it = request.headers.find("X-Client-Id");
@@ -30,6 +51,38 @@ constexpr std::size_t kMaxCachedResponses = 4096;
   return client.find("-cn-") != std::string_view::npos;
 }
 
+[[nodiscard]] std::string_view reason_for(int status) noexcept {
+  switch (status) {
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+/// The uniform error envelope every non-200 response carries:
+/// {"error": {"code", "message", "retry_after_ms"?}}.
+[[nodiscard]] net::HttpResponse error_response(int status, std::string_view code,
+                                               std::string_view message,
+                                               std::int64_t retry_after_ms = -1) {
+  JsonObject error;
+  error.emplace_back("code", Json(code));
+  error.emplace_back("message", Json(message));
+  if (retry_after_ms >= 0) error.emplace_back("retry_after_ms", Json(retry_after_ms));
+  net::HttpResponse response = net::HttpResponse::json(
+      status, json_object({{"error", Json(std::move(error))}}).dump());
+  response.reason = std::string(reason_for(status));
+  if (retry_after_ms >= 0) {
+    response.headers["Retry-After"] =
+        std::to_string(std::max<std::int64_t>(1, (retry_after_ms + 999) / 1000));
+  }
+  return response;
+}
+
 }  // namespace
 
 std::string_view to_string(AppstoreService::Endpoint endpoint) noexcept {
@@ -39,22 +92,42 @@ std::string_view to_string(AppstoreService::Endpoint endpoint) noexcept {
     case AppstoreService::Endpoint::kApp: return "app";
     case AppstoreService::Endpoint::kComments: return "comments";
     case AppstoreService::Endpoint::kApk: return "apk";
+    case AppstoreService::Endpoint::kQuery: return "query";
     case AppstoreService::Endpoint::kMetrics: return "metrics";
     case AppstoreService::Endpoint::kOther: return "other";
   }
   return "?";
 }
 
-AppstoreService::Endpoint AppstoreService::classify(std::string_view path) noexcept {
-  if (path == "/api/meta") return Endpoint::kMeta;
-  if (path == "/api/apps") return Endpoint::kApps;
-  if (path == "/api/metrics") return Endpoint::kMetrics;
-  if (path.starts_with("/api/app/")) {
-    if (path.ends_with("/comments")) return Endpoint::kComments;
-    if (path.ends_with("/apk")) return Endpoint::kApk;
-    return Endpoint::kApp;
+AppstoreService::RouteMatch AppstoreService::route(std::string_view path) noexcept {
+  RouteMatch match;
+  std::string_view rest;
+  if (path.starts_with(kV1Prefix)) {
+    match.versioned = true;
+    rest = path.substr(kV1Prefix.size());
+  } else if (path.starts_with(kLegacyPrefix)) {
+    rest = path.substr(kLegacyPrefix.size());
+  } else {
+    return match;
   }
-  return Endpoint::kOther;
+  match.api = true;
+  for (const Route& entry : kRoutes) {
+    const bool hit = entry.exact ? rest == entry.pattern : rest.starts_with(entry.pattern);
+    if (!hit) continue;
+    match.endpoint = entry.endpoint;
+    match.rest = rest.substr(entry.pattern.size());
+    if (entry.endpoint == Endpoint::kApp) {
+      if (match.rest.ends_with("/comments")) {
+        match.endpoint = Endpoint::kComments;
+        match.rest.remove_suffix(std::string_view("/comments").size());
+      } else if (match.rest.ends_with("/apk")) {
+        match.endpoint = Endpoint::kApk;
+        match.rest.remove_suffix(std::string_view("/apk").size());
+      }
+    }
+    return match;
+  }
+  return match;
 }
 
 AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy policy,
@@ -80,6 +153,8 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   cache_misses_ = &registry_.counter("service_response_cache_total", "miss");
   limiter_.attach_metrics(registry_);
 
+  query_engine_ = std::make_unique<query::QueryEngine>(store_, policy_.query, &registry_);
+
   download_days_.resize(store_.apps().size());
   const auto& download_log = store_.download_log();
   for (std::size_t i = 0; i < download_log.size(); ++i) {
@@ -102,6 +177,11 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   server_options.worker_threads = policy_.server_workers;
   server_options.queue_capacity = policy_.server_queue_capacity;
   server_options.max_connections = policy_.max_connections;
+  // The load-shed 503 is written below the handler; give it the same error
+  // envelope every in-handler error uses.
+  server_options.shed_body =
+      error_response(503, "overloaded", "server busy", 1000).body;
+  server_options.shed_content_type = "application/json";
   server_ = std::make_unique<net::HttpServer>(
       server_options, [this](const net::HttpRequest& request) { return handle(request); });
 }
@@ -120,57 +200,99 @@ std::uint32_t AppstoreService::version_up_to(std::uint32_t app, market::Day day)
 
 net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
   const std::string path = request.path();
-  const Endpoint endpoint = classify(path);
-  const auto slot = static_cast<std::size_t>(endpoint);
+  const RouteMatch match = route(path);
+  const auto slot = static_cast<std::size_t>(match.endpoint);
   endpoint_requests_[slot]->inc();
   const obs::ScopedTimer timer(endpoint_latency_[slot]);
 
-  // The metrics endpoint is operational, not part of the simulated store:
-  // it bypasses region gating, rate limiting and failure injection so a
-  // scrape can never be throttled by (or perturb) the workload under study.
-  if (endpoint == Endpoint::kMetrics) return handle_metrics(request);
+  net::HttpResponse response = [&] {
+    // The metrics endpoint is operational, not part of the simulated store:
+    // it bypasses region gating, rate limiting and failure injection so a
+    // scrape can never be throttled by (or perturb) the workload under study.
+    if (match.endpoint == Endpoint::kMetrics) return handle_metrics(request);
 
-  const std::string client = client_of(request);
+    ServiceRequest context;
+    context.http = &request;
+    context.endpoint = match.endpoint;
+    context.versioned = match.versioned;
+    context.rest = match.rest;
+    context.day = day_.load(std::memory_order_relaxed);
+    context.client = client_of(request);
 
-  if (policy_.china_only && !is_china_client(client)) {
-    region_blocked_->inc();
-    return net::HttpResponse::text(403, "region blocked");
-  }
-  if (!limiter_.allow(client)) {
-    return net::HttpResponse::text(429, "rate limited");
-  }
-  if (policy_.failure_rate > 0.0) {
-    // Deterministic per-request failure injection (splitmix64 walk).
-    std::uint64_t state = failure_state_.fetch_add(1, std::memory_order_relaxed);
-    util::Rng rng(util::splitmix64(state));
-    if (rng.chance(policy_.failure_rate)) {
-      injected_failures_->inc();
-      return net::HttpResponse::text(500, "transient failure (injected)");
+    if (policy_.china_only && !is_china_client(context.client)) {
+      region_blocked_->inc();
+      return error_response(403, "region_blocked", "store not served in this region");
     }
-  }
-
-  if (request.method != "GET") return net::HttpResponse::text(400, "only GET supported");
-
-  if (endpoint == Endpoint::kMeta || endpoint == Endpoint::kApps) {
-    return handle_cacheable(request, endpoint);
-  }
-
-  constexpr std::string_view kAppPrefix = "/api/app/";
-  if (path.starts_with(kAppPrefix)) {
-    std::string_view rest = std::string_view(path).substr(kAppPrefix.size());
-    const bool comments = endpoint == Endpoint::kComments;
-    const bool apk = endpoint == Endpoint::kApk;
-    if (comments) rest.remove_suffix(std::string_view("/comments").size());
-    if (apk) rest.remove_suffix(std::string_view("/apk").size());
-    std::uint64_t id = 0;
-    if (!util::parse_u64(rest, id) || id >= store_.apps().size()) {
-      return net::HttpResponse::text(404, "no such app");
+    if (!limiter_.allow(context.client)) {
+      const auto retry_ms = static_cast<std::int64_t>(
+          std::max(1.0, 1000.0 / std::max(policy_.rate_per_second, 1e-9)));
+      return error_response(429, "rate_limited", "per-client rate limit exceeded",
+                            retry_ms);
     }
-    if (comments) return handle_comments(static_cast<std::uint32_t>(id), request);
-    if (apk) return handle_apk(static_cast<std::uint32_t>(id));
-    return handle_app(static_cast<std::uint32_t>(id));
+    if (policy_.failure_rate > 0.0) {
+      // Deterministic per-request failure injection (splitmix64 walk).
+      std::uint64_t state = failure_state_.fetch_add(1, std::memory_order_relaxed);
+      util::Rng rng(util::splitmix64(state));
+      if (rng.chance(policy_.failure_rate)) {
+        injected_failures_->inc();
+        return error_response(500, "internal", "transient failure (injected)");
+      }
+    }
+
+    const bool post_allowed = match.endpoint == Endpoint::kQuery;
+    if (request.method != "GET" && !(post_allowed && request.method == "POST")) {
+      return error_response(405, "method_not_allowed",
+                            post_allowed ? "only GET and POST supported"
+                                         : "only GET supported");
+    }
+
+    switch (match.endpoint) {
+      case Endpoint::kMeta:
+      case Endpoint::kApps:
+      case Endpoint::kQuery: {
+        // Canonical cache key: the target minus the version prefix, so the
+        // v1 path and its legacy alias share one cached response; a POST
+        // query is additionally keyed by its body.
+        const std::size_t prefix =
+            match.versioned ? kV1Prefix.size() : kLegacyPrefix.size();
+        std::string key(std::string_view(request.target).substr(prefix));
+        if (request.method == "POST") {
+          key += '\n';
+          key += request.body;
+        }
+        return handle_cacheable(context, std::move(key));
+      }
+      case Endpoint::kApp:
+      case Endpoint::kComments:
+      case Endpoint::kApk: {
+        std::uint64_t id = 0;
+        if (!util::parse_u64(match.rest, id) || id >= store_.apps().size()) {
+          return error_response(404, "not_found", "no such app");
+        }
+        if (match.endpoint == Endpoint::kComments) {
+          return handle_comments(static_cast<std::uint32_t>(id), request);
+        }
+        if (match.endpoint == Endpoint::kApk) {
+          return handle_apk(static_cast<std::uint32_t>(id));
+        }
+        return handle_app(static_cast<std::uint32_t>(id));
+      }
+      case Endpoint::kMetrics:
+      case Endpoint::kOther:
+        break;
+    }
+    return error_response(404, "not_found", "no such endpoint");
+  }();
+
+  // Legacy alias: flag deprecation after the cache so cached entries stay
+  // canonical and both surfaces share them.
+  if (match.api && !match.versioned) {
+    response.headers["Deprecation"] = "true";
+    response.headers["Link"] =
+        util::format("<{}{}>; rel=\"successor-version\"", kV1Prefix,
+                     std::string_view(path).substr(kLegacyPrefix.size()));
   }
-  return net::HttpResponse::text(404, "no such endpoint");
+  return response;
 }
 
 void AppstoreService::set_day(market::Day day) {
@@ -179,8 +301,8 @@ void AppstoreService::set_day(market::Day day) {
   response_cache_.clear();
 }
 
-net::HttpResponse AppstoreService::handle_cacheable(const net::HttpRequest& request,
-                                                    Endpoint endpoint) {
+net::HttpResponse AppstoreService::handle_cacheable(const ServiceRequest& context,
+                                                    std::string key) {
   // These endpoints are pure functions of (target, day) — the store is
   // immutable within a virtual day — so identical requests within a day can
   // share one computed response. The cache sits after the policy gates:
@@ -188,15 +310,19 @@ net::HttpResponse AppstoreService::handle_cacheable(const net::HttpRequest& requ
   const market::Day day = day_.load(std::memory_order_relaxed);
   if (policy_.cache_responses) {
     const std::shared_lock lock(cache_mutex_);
-    const auto it = response_cache_.find(request.target);
+    const auto it = response_cache_.find(key);
     if (it != response_cache_.end() && it->second.day == day) {
       cache_hits_->inc();
       return it->second.response;
     }
   }
-  net::HttpResponse response = endpoint == Endpoint::kMeta
-                                   ? handle_meta(day)
-                                   : handle_apps(request, day);
+  net::HttpResponse response;
+  switch (context.endpoint) {
+    case Endpoint::kMeta: response = handle_meta(day); break;
+    case Endpoint::kApps: response = handle_apps(*context.http, day); break;
+    case Endpoint::kQuery: response = handle_query(context); break;
+    default: response = error_response(404, "not_found", "no such endpoint"); break;
+  }
   if (policy_.cache_responses) {
     cache_misses_->inc();
     if (response.status == 200) {
@@ -205,11 +331,21 @@ net::HttpResponse AppstoreService::handle_cacheable(const net::HttpRequest& requ
       // computation must not see a stale entry appear after its clear().
       if (day_.load(std::memory_order_relaxed) == day &&
           response_cache_.size() < kMaxCachedResponses) {
-        response_cache_.insert_or_assign(request.target, CachedResponse{day, response});
+        response_cache_.insert_or_assign(std::move(key), CachedResponse{day, response});
       }
     }
   }
   return response;
+}
+
+net::HttpResponse AppstoreService::handle_query(const ServiceRequest& context) const {
+  try {
+    const query::QuerySpec spec = parse_query_request(*context.http);
+    const query::QueryResult result = query_engine_->run(spec, context.day);
+    return net::HttpResponse::json(200, query_result_json(result, context.day).dump());
+  } catch (const query::QueryError& error) {
+    return error_response(400, error.code(), error.what());
+  }
 }
 
 net::HttpResponse AppstoreService::handle_metrics(const net::HttpRequest& request) const {
@@ -241,12 +377,12 @@ net::HttpResponse AppstoreService::handle_apps(const net::HttpRequest& request,
   std::uint64_t per_page = 100;
   if (const auto it = query.find("page"); it != query.end()) {
     if (!util::parse_u64(it->second, page)) {
-      return net::HttpResponse::text(400, "bad page");
+      return error_response(400, "bad_request", "bad page");
     }
   }
   if (const auto it = query.find("per_page"); it != query.end()) {
     if (!util::parse_u64(it->second, per_page) || per_page == 0 || per_page > kMaxPerPage) {
-      return net::HttpResponse::text(400, "bad per_page");
+      return error_response(400, "bad_request", "bad per_page");
     }
   }
 
@@ -272,7 +408,7 @@ net::HttpResponse AppstoreService::handle_apps(const net::HttpRequest& request,
 net::HttpResponse AppstoreService::handle_app(std::uint32_t id) const {
   const market::Day day = day_.load(std::memory_order_relaxed);
   const market::App& app = store_.apps()[id];
-  if (app.released > day) return net::HttpResponse::text(404, "not yet released");
+  if (app.released > day) return error_response(404, "not_found", "not yet released");
 
   return net::HttpResponse::json(
       200,
@@ -293,7 +429,7 @@ net::HttpResponse AppstoreService::handle_app(std::uint32_t id) const {
 net::HttpResponse AppstoreService::handle_apk(std::uint32_t id) const {
   const market::Day day = day_.load(std::memory_order_relaxed);
   const market::App& app = store_.apps()[id];
-  if (app.released > day) return net::HttpResponse::text(404, "not yet released");
+  if (app.released > day) return error_response(404, "not_found", "not yet released");
 
   const std::uint32_t version = version_up_to(id, day);
   const auto ad_libraries = select_ad_libraries(id, app.has_ads);
@@ -314,7 +450,7 @@ net::HttpResponse AppstoreService::handle_comments(std::uint32_t id,
   const std::uint64_t per_page = 200;
   if (const auto it = query.find("page"); it != query.end()) {
     if (!util::parse_u64(it->second, page)) {
-      return net::HttpResponse::text(400, "bad page");
+      return error_response(400, "bad_request", "bad page");
     }
   }
 

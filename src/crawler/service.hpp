@@ -15,16 +15,25 @@
 //     Chinese stores only through PlanetLab nodes in China);
 //   * optional random transient failures (500) to exercise crawler retries.
 //
-// Endpoints (all GET):
-//   /api/meta                         -> {store, day, total_apps}
-//   /api/apps?page=P&per_page=N      -> {page, total, ids:[...]}
-//   /api/app/<id>                     -> per-app statistics
-//   /api/app/<id>/comments?page=P    -> {total, comments:[...]}
-//   /api/app/<id>/apk                 -> the current version's APK blob
+// Endpoints (v1 surface; the legacy unversioned /api/* paths remain as
+// deprecated aliases of the same handlers and answer with a
+// "Deprecation: true" header):
+//   /api/v1/meta                      -> {store, day, total_apps}
+//   /api/v1/apps?page=P&per_page=N   -> {page, total, ids:[...]}
+//   /api/v1/app/<id>                  -> per-app statistics
+//   /api/v1/app/<id>/comments?page=P -> {total, comments:[...]}
+//   /api/v1/app/<id>/apk              -> the current version's APK blob
 //                                        (synthetic; see crawler/apk.hpp)
-//   /api/metrics[?fmt=text]          -> observability snapshot (JSON by
+//   /api/v1/query                     -> online analytics (GET query-string
+//                                        or POST JSON; see docs/query.md)
+//   /api/v1/metrics[?fmt=text]       -> observability snapshot (JSON by
 //                                        default; exempt from rate limiting
 //                                        and region gating)
+//
+// Every non-200 response carries the uniform JSON error envelope
+//   {"error": {"code": <slug>, "message": <text>, "retry_after_ms"?: <ms>}}
+// (including the 503 load-shed response written below the handler, via
+// net::ServerOptions::shed_body).
 //
 // Every instance owns an obs::Registry populated with per-endpoint request
 // and latency families (service_requests_total{endpoint},
@@ -52,6 +61,7 @@
 #include "net/rate_limiter.hpp"
 #include "net/server.hpp"
 #include "obs/registry.hpp"
+#include "query/engine.hpp"
 #include "util/rng.hpp"
 
 namespace appstore::crawlersim {
@@ -76,6 +86,8 @@ struct ServicePolicy {
   /// net::HttpServer (see net::ServerOptions). Must outlive the service.
   chaos::Clock* clock = nullptr;
   chaos::FaultInjector* faults = nullptr;
+  /// Engine limits + planner knobs of the /api/v1/query endpoint.
+  query::QueryOptions query;
 };
 
 class AppstoreService {
@@ -87,10 +99,30 @@ class AppstoreService {
     kApp,
     kComments,
     kApk,
+    kQuery,
     kMetrics,
     kOther,
   };
-  static constexpr std::size_t kEndpointCount = 7;
+  static constexpr std::size_t kEndpointCount = 8;
+
+  /// Result of table-driven path routing (see route()).
+  struct RouteMatch {
+    Endpoint endpoint = Endpoint::kOther;
+    bool api = false;        ///< path was under /api or /api/v1
+    bool versioned = false;  ///< path was under /api/v1
+    std::string_view rest;   ///< path after the matched route prefix
+  };
+
+  /// Per-request context handed to handlers — the Options-struct form, so
+  /// new handler parameters stop accreting positional arguments.
+  struct ServiceRequest {
+    const net::HttpRequest* http = nullptr;
+    Endpoint endpoint = Endpoint::kOther;
+    bool versioned = false;
+    std::string_view rest;  ///< RouteMatch::rest (e.g. the app id segment)
+    market::Day day = 0;
+    std::string client;
+  };
 
   /// Starts serving `store` on 127.0.0.1:`port` (0 = ephemeral). The store
   /// must outlive the service and is not mutated.
@@ -122,21 +154,26 @@ class AppstoreService {
 
   void stop() { server_->stop(); }
 
- private:
-  [[nodiscard]] static Endpoint classify(std::string_view path) noexcept;
+  /// Table-driven path routing: strips the /api/v1 (or legacy /api) prefix
+  /// and matches the remainder against the route table. Exposed for tests.
+  [[nodiscard]] static RouteMatch route(std::string_view path) noexcept;
 
+ private:
   [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
   [[nodiscard]] net::HttpResponse handle_meta(market::Day day) const;
   [[nodiscard]] net::HttpResponse handle_apps(const net::HttpRequest& request,
                                               market::Day day) const;
-  /// Cache-aware dispatch for the per-day-immutable endpoints.
-  [[nodiscard]] net::HttpResponse handle_cacheable(const net::HttpRequest& request,
-                                                   Endpoint endpoint);
+  /// Cache-aware dispatch for the per-day-immutable endpoints. `key` is the
+  /// canonical cache key (prefix-stripped target, plus the body for POST),
+  /// shared by the v1 path and its legacy alias.
+  [[nodiscard]] net::HttpResponse handle_cacheable(const ServiceRequest& context,
+                                                   std::string key);
   [[nodiscard]] net::HttpResponse handle_app(std::uint32_t id) const;
   [[nodiscard]] net::HttpResponse handle_comments(std::uint32_t id,
                                                   const net::HttpRequest& request) const;
   [[nodiscard]] net::HttpResponse handle_apk(std::uint32_t id) const;
   [[nodiscard]] net::HttpResponse handle_metrics(const net::HttpRequest& request) const;
+  [[nodiscard]] net::HttpResponse handle_query(const ServiceRequest& context) const;
 
   /// Cumulative downloads of an app up to the current day (binary search
   /// over the app's sorted event-day list).
@@ -158,7 +195,13 @@ class AppstoreService {
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
 
-  /// Per-day response cache keyed by request target. Each entry is stamped
+  /// The analytics engine behind /api/v1/query (bound to store_, metrics in
+  /// registry_).
+  std::unique_ptr<query::QueryEngine> query_engine_;
+
+  /// Per-day response cache keyed by the canonical (prefix-stripped) request
+  /// target, so /api/v1/meta and its legacy alias share one entry. Each
+  /// entry is stamped
   /// with the day it was computed for; set_day clears the map, and a racing
   /// insert for a stale day is rejected by re-checking the stamp under the
   /// writer lock (the map never serves a response from another day).

@@ -16,6 +16,7 @@ std::string_view to_string(OpKind kind) noexcept {
     case OpKind::kApps: return "apps";
     case OpKind::kApp: return "app";
     case OpKind::kComments: return "comments";
+    case OpKind::kQuery: return "query";
   }
   return "?";
 }
@@ -76,7 +77,7 @@ Schedule build_schedule(const ScheduleOptions& options) {
     throw std::invalid_argument("build_schedule: cluster_count == 0");
   }
   const double weights[kOpKindCount] = {mix.meta_weight, mix.apps_weight, mix.app_weight,
-                                        mix.comments_weight};
+                                        mix.comments_weight, mix.query_weight};
   double total_weight = 0.0;
   for (const double w : weights) {
     if (w < 0.0) throw std::invalid_argument("build_schedule: negative weight");
@@ -123,6 +124,28 @@ Schedule build_schedule(const ScheduleOptions& options) {
         case OpKind::kComments:
           request.target =
               "/api/app/" + std::to_string(picker.pick(rng, previous)) + "/comments?page=0";
+          break;
+        case OpKind::kQuery:
+          // Rotate over the aggregate kinds; the top-k form carries a
+          // user-selective filter (the planner's index-scan case), the rest
+          // are store-wide and hit the per-day response cache.
+          switch (rng.below(4)) {
+            case 0:
+              request.target = "/api/v1/query?kind=top_k_downloads&k=10&filter=user==" +
+                               std::to_string(rng.below(mix.query_user_count == 0
+                                                            ? 1
+                                                            : mix.query_user_count));
+              break;
+            case 1:
+              request.target = "/api/v1/query?kind=pareto_share";
+              break;
+            case 2:
+              request.target = "/api/v1/query?kind=category_affinity&depths=1";
+              break;
+            default:
+              request.target = "/api/v1/query?kind=rank_download_curve&points=50";
+              break;
+          }
           break;
       }
       if (options.open_loop_rate_hz > 0.0) {

@@ -23,9 +23,10 @@
 
 namespace appstore::load {
 
-/// Request classes the generator emits (the read-only crawl surface).
-enum class OpKind : std::uint8_t { kMeta = 0, kApps, kApp, kComments };
-constexpr std::size_t kOpKindCount = 4;
+/// Request classes the generator emits (the read-only crawl surface plus
+/// the online analytics endpoint).
+enum class OpKind : std::uint8_t { kMeta = 0, kApps, kApp, kComments, kQuery };
+constexpr std::size_t kOpKindCount = 5;
 
 /// Metric/report label for an op kind ("meta", "apps", ...).
 [[nodiscard]] std::string_view to_string(OpKind kind) noexcept;
@@ -37,6 +38,11 @@ struct MixOptions {
   double apps_weight = 0.35;      ///< GET /api/apps?page=...
   double app_weight = 0.45;       ///< GET /api/app/<id>
   double comments_weight = 0.15;  ///< GET /api/app/<id>/comments
+  /// GET /api/v1/query — the analytics mix (defaults to 0 so existing
+  /// schedules are unchanged). Targets rotate over the four aggregate kinds;
+  /// top_k_downloads draws a user-selective filter from query_user_count.
+  double query_weight = 0.0;
+  std::uint32_t query_user_count = 1000;
   /// Apps addressable by detail requests; ids in [0, app_count).
   std::uint32_t app_count = 1000;
   /// Directory pages sampled uniformly in [0, directory_pages).

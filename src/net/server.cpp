@@ -217,8 +217,11 @@ void HttpServer::shed_connection(TcpStream stream) {
   if (metrics_.shed != nullptr) metrics_.shed->inc();
   try {
     stream.set_timeout(std::chrono::milliseconds(250));
-    HttpResponse response = HttpResponse::text(503, "server busy");
+    HttpResponse response;
+    response.status = 503;
     response.reason = "Service Unavailable";
+    response.body = options_.shed_body;
+    response.headers["Content-Type"] = options_.shed_content_type;
     response.headers["Connection"] = "close";
     response.headers["Retry-After"] = "1";
     stream.write_all(response.serialize());

@@ -91,6 +91,12 @@ struct ServerOptions {
   /// response, kLatency delays via `clock`, kHttp* short-circuits the
   /// handler with a synthetic response. Must outlive the server.
   chaos::FaultInjector* faults = nullptr;
+  /// Body + content type of the 503 load-shed response (both shed layers).
+  /// Lets an embedding service keep one error envelope for every non-200 it
+  /// emits — the shed response is written below the handler, so the service
+  /// cannot shape it itself.
+  std::string shed_body = "server busy";
+  std::string shed_content_type = "text/plain";
 };
 
 class HttpServer {

@@ -1,0 +1,382 @@
+#include "query/expression.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::query {
+
+namespace {
+
+/// Guard against pathological inputs: a filter deeper than this is rejected
+/// before recursion can exhaust the stack.
+constexpr std::size_t kMaxDepth = 32;
+constexpr std::size_t kMaxFilterLength = 4096;
+
+[[nodiscard]] bool valid_op_for(Field field, CompareOp op) noexcept {
+  if (field == Field::kCategory || field == Field::kStore) {
+    return op == CompareOp::kEq || op == CompareOp::kNe;
+  }
+  return true;
+}
+
+enum class TokenKind : std::uint8_t { kIdent, kNumber, kString, kOp, kLParen, kRParen, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // ident / string / op spelling
+  double number = 0.0;   // kNumber
+  std::size_t position = 0;
+};
+
+/// Lexer for the filter grammar. '+' is whitespace so GET query strings can
+/// carry filters without percent-encoding spaces.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Token next() {
+    while (position_ < text_.size() && is_space(text_[position_])) ++position_;
+    Token token;
+    token.position = position_;
+    if (position_ >= text_.size()) return token;
+
+    const char c = text_[position_];
+    if (c == '(') {
+      ++position_;
+      token.kind = TokenKind::kLParen;
+      return token;
+    }
+    if (c == ')') {
+      ++position_;
+      token.kind = TokenKind::kRParen;
+      return token;
+    }
+    if (c == '\'' || c == '"') return lex_string(c);
+    if (c == '=' || c == '!' || c == '<' || c == '>') return lex_op();
+    if ((c >= '0' && c <= '9') || c == '-' || c == '.') return lex_number();
+    if (is_ident_start(c)) return lex_ident();
+    throw QueryError("bad_filter",
+                     util::format("filter: unexpected character '{}' at {}", c, position_));
+  }
+
+ private:
+  [[nodiscard]] static bool is_space(char c) noexcept {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '+';
+  }
+  [[nodiscard]] static bool is_ident_start(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  }
+  [[nodiscard]] static bool is_ident(char c) noexcept {
+    return is_ident_start(c) || (c >= '0' && c <= '9') || c == '-';
+  }
+
+  [[nodiscard]] Token lex_string(char quote) {
+    Token token;
+    token.kind = TokenKind::kString;
+    token.position = position_;
+    ++position_;  // opening quote
+    while (position_ < text_.size() && text_[position_] != quote) {
+      token.text += text_[position_++];
+    }
+    if (position_ >= text_.size()) {
+      throw QueryError("bad_filter",
+                       util::format("filter: unterminated string at {}", token.position));
+    }
+    ++position_;  // closing quote
+    return token;
+  }
+
+  [[nodiscard]] Token lex_op() {
+    Token token;
+    token.kind = TokenKind::kOp;
+    token.position = position_;
+    const char c = text_[position_];
+    const bool has_eq = position_ + 1 < text_.size() && text_[position_ + 1] == '=';
+    if (c == '=' || c == '!') {
+      if (!has_eq) {
+        throw QueryError("bad_filter",
+                         util::format("filter: bad operator at {}", position_));
+      }
+      token.text = std::string(1, c) + "=";
+      position_ += 2;
+      return token;
+    }
+    token.text = std::string(1, c) + (has_eq ? "=" : "");
+    position_ += has_eq ? 2 : 1;
+    return token;
+  }
+
+  [[nodiscard]] Token lex_number() {
+    Token token;
+    token.kind = TokenKind::kNumber;
+    token.position = position_;
+    std::size_t end = position_;
+    if (text_[end] == '-') ++end;
+    while (end < text_.size() &&
+           ((text_[end] >= '0' && text_[end] <= '9') || text_[end] == '.')) {
+      ++end;
+    }
+    double value = 0.0;
+    if (!util::parse_double(text_.substr(position_, end - position_), value)) {
+      throw QueryError("bad_filter",
+                       util::format("filter: bad number at {}", position_));
+    }
+    token.number = value;
+    position_ = end;
+    return token;
+  }
+
+  [[nodiscard]] Token lex_ident() {
+    Token token;
+    token.kind = TokenKind::kIdent;
+    token.position = position_;
+    std::size_t end = position_;
+    while (end < text_.size() && is_ident(text_[end])) ++end;
+    token.text = std::string(text_.substr(position_, end - position_));
+    position_ = end;
+    return token;
+  }
+
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+/// Recursive-descent parser over the token stream (one token of lookahead).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  [[nodiscard]] Expr parse() {
+    Expr expr = parse_or(0);
+    if (current_.kind != TokenKind::kEnd) {
+      throw QueryError("bad_filter", util::format("filter: trailing input at {}",
+                                                  current_.position));
+    }
+    return expr;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  [[nodiscard]] Expr parse_or(std::size_t depth) {
+    Expr first = parse_and(depth);
+    if (!(current_.kind == TokenKind::kIdent && current_.text == "or")) return first;
+    Expr node;
+    node.kind = Expr::Kind::kOr;
+    node.children.push_back(std::move(first));
+    while (current_.kind == TokenKind::kIdent && current_.text == "or") {
+      advance();
+      node.children.push_back(parse_and(depth));
+    }
+    return node;
+  }
+
+  [[nodiscard]] Expr parse_and(std::size_t depth) {
+    Expr first = parse_unary(depth);
+    if (!(current_.kind == TokenKind::kIdent && current_.text == "and")) return first;
+    Expr node;
+    node.kind = Expr::Kind::kAnd;
+    node.children.push_back(std::move(first));
+    while (current_.kind == TokenKind::kIdent && current_.text == "and") {
+      advance();
+      node.children.push_back(parse_unary(depth));
+    }
+    return node;
+  }
+
+  [[nodiscard]] Expr parse_unary(std::size_t depth) {
+    if (depth >= kMaxDepth) {
+      throw QueryError("bad_filter", "filter: expression too deeply nested");
+    }
+    if (current_.kind == TokenKind::kLParen) {
+      advance();
+      Expr inner = parse_or(depth + 1);
+      if (current_.kind != TokenKind::kRParen) {
+        throw QueryError("bad_filter", util::format("filter: expected ')' at {}",
+                                                    current_.position));
+      }
+      advance();
+      return inner;
+    }
+    return parse_comparison();
+  }
+
+  [[nodiscard]] Expr parse_comparison() {
+    if (current_.kind != TokenKind::kIdent) {
+      throw QueryError("bad_filter", util::format("filter: expected a field name at {}",
+                                                  current_.position));
+    }
+    const Field field = parse_field(current_.text);
+    advance();
+    if (current_.kind != TokenKind::kOp) {
+      throw QueryError("bad_filter", util::format("filter: expected an operator at {}",
+                                                  current_.position));
+    }
+    const CompareOp op = parse_op(current_.text);
+    advance();
+    double number = 0.0;
+    std::string text;
+    bool is_text = false;
+    switch (current_.kind) {
+      case TokenKind::kNumber:
+        number = current_.number;
+        break;
+      case TokenKind::kString:
+      case TokenKind::kIdent:
+        text = current_.text;
+        is_text = true;
+        break;
+      default:
+        throw QueryError("bad_filter", util::format("filter: expected a value at {}",
+                                                    current_.position));
+    }
+    advance();
+    return Expr::leaf(make_comparison(field, op, number, std::move(text), is_text));
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+void render(const Expr& expr, std::string& out) {
+  if (expr.kind == Expr::Kind::kComparison) {
+    const Comparison& c = expr.comparison;
+    out += to_string(c.field);
+    out += ' ';
+    out += to_string(c.op);
+    out += ' ';
+    if (c.is_text) {
+      out += '\'';
+      out += c.text;
+      out += '\'';
+    } else {
+      out += util::format("{:g}", c.number);
+    }
+    return;
+  }
+  const std::string_view connective = expr.kind == Expr::Kind::kAnd ? " and " : " or ";
+  out += '(';
+  for (std::size_t i = 0; i < expr.children.size(); ++i) {
+    if (i > 0) out += connective;
+    render(expr.children[i], out);
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::string_view to_string(Field field) noexcept {
+  switch (field) {
+    case Field::kDay: return "day";
+    case Field::kUser: return "user";
+    case Field::kApp: return "app";
+    case Field::kCategory: return "category";
+    case Field::kPrice: return "price";
+    case Field::kStore: return "store";
+  }
+  return "?";
+}
+
+std::string_view to_string(CompareOp op) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Field parse_field(std::string_view name) {
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    const auto field = static_cast<Field>(i);
+    if (name == to_string(field)) return field;
+  }
+  throw QueryError("bad_filter", util::format("filter: unknown field '{}'", name));
+}
+
+CompareOp parse_op(std::string_view name) {
+  for (const auto op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt, CompareOp::kLe,
+                        CompareOp::kGt, CompareOp::kGe}) {
+    if (name == to_string(op)) return op;
+  }
+  throw QueryError("bad_filter", util::format("filter: unknown operator '{}'", name));
+}
+
+Comparison make_comparison(Field field, CompareOp op, double number, std::string text,
+                           bool is_text) {
+  if (!valid_op_for(field, op)) {
+    throw QueryError("bad_filter",
+                     util::format("filter: operator {} not valid for field {}",
+                                  to_string(op), to_string(field)));
+  }
+  const bool text_field = field == Field::kStore;
+  if (field == Field::kStore && !is_text) {
+    throw QueryError("bad_filter", "filter: store compares against a name");
+  }
+  // Category accepts either a name or a numeric id; every other non-text
+  // field is numeric-only.
+  if (!text_field && field != Field::kCategory && is_text) {
+    throw QueryError("bad_filter",
+                     util::format("filter: field {} needs a numeric value",
+                                  to_string(field)));
+  }
+  if (!is_text) {
+    if (!std::isfinite(number)) {
+      throw QueryError("bad_filter", "filter: non-finite numeric value");
+    }
+    const bool integral_field =
+        field == Field::kDay || field == Field::kUser || field == Field::kApp ||
+        field == Field::kCategory;
+    if (integral_field && number != std::floor(number)) {
+      throw QueryError("bad_filter",
+                       util::format("filter: field {} needs an integer value",
+                                    to_string(field)));
+    }
+    const bool unsigned_field =
+        field == Field::kUser || field == Field::kApp || field == Field::kCategory;
+    if (unsigned_field && number < 0.0) {
+      throw QueryError("bad_filter",
+                       util::format("filter: field {} needs a non-negative value",
+                                    to_string(field)));
+    }
+    // Ids are 32-bit; a literal beyond that range can never name an entity
+    // (and days beyond it can never occur), so reject it as malformed rather
+    // than silently selecting nothing.
+    if (integral_field && std::abs(number) > 4294967295.0) {
+      throw QueryError("bad_filter",
+                       util::format("filter: field {} value out of range",
+                                    to_string(field)));
+    }
+  }
+  Comparison comparison;
+  comparison.field = field;
+  comparison.op = op;
+  comparison.number = number;
+  comparison.text = std::move(text);
+  comparison.is_text = is_text;
+  return comparison;
+}
+
+Expr parse_filter(std::string_view text) {
+  if (util::trim(text).empty()) {
+    throw QueryError("bad_filter", "filter: empty expression");
+  }
+  if (text.size() > kMaxFilterLength) {
+    throw QueryError("bad_filter", "filter: expression too long");
+  }
+  return Parser(text).parse();
+}
+
+std::string to_string(const Expr& expr) {
+  std::string out;
+  render(expr, out);
+  return out;
+}
+
+}  // namespace appstore::query

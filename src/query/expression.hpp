@@ -1,0 +1,108 @@
+// Typed predicate expressions for the online analytics query engine.
+//
+// A filter is a boolean expression over per-event fields of the columnar
+// spine (events::EventLog) plus the app metadata joined through the event's
+// app column:
+//
+//   day       event day (int; pre-crawl history lives on day -1)
+//   user      event user id
+//   app       event app id
+//   category  the event app's category (by name or numeric id; == / != only)
+//   price     the event app's list price in dollars
+//   store     the serving store's name (== / != only; constant per store)
+//
+// Grammar (the GET ?filter= form; '+' is treated as whitespace so filters
+// survive URL query strings untouched):
+//
+//   expr       := and_expr ( "or" and_expr )*
+//   and_expr   := unary ( "and" unary )*
+//   unary      := "(" expr ")" | comparison
+//   comparison := FIELD OP VALUE
+//   OP         := "==" | "!=" | "<" | "<=" | ">" | ">="
+//   VALUE      := number | 'string' | "string" | bareword
+//
+// The same AST is produced from the POST JSON form ({"field","op","value"}
+// leaves under {"and":[...]}/{"or":[...]} nodes) by the service-side bridge
+// (crawler/query_json.hpp). Parsing is fully validated: unknown fields,
+// operators invalid for a field, and type mismatches throw QueryError —
+// callers map that to a 400, never a crash. See docs/query.md.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appstore::query {
+
+/// Validation/parse failure. `code` is a stable machine-readable slug the
+/// service surfaces in the error envelope ("bad_filter", "bad_query",
+/// "unknown_category", ...).
+class QueryError : public std::runtime_error {
+ public:
+  QueryError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+ private:
+  std::string code_;
+};
+
+enum class Field : std::uint8_t { kDay = 0, kUser, kApp, kCategory, kPrice, kStore };
+constexpr std::size_t kFieldCount = 6;
+
+enum class CompareOp : std::uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+/// One typed leaf: FIELD OP VALUE. Numeric fields carry `number`; category
+/// (by name) and store comparisons carry `text`.
+struct Comparison {
+  Field field = Field::kDay;
+  CompareOp op = CompareOp::kEq;
+  double number = 0.0;
+  std::string text;
+  bool is_text = false;
+};
+
+/// Expression tree. kComparison nodes are leaves; kAnd/kOr nodes own two or
+/// more children (the parser flattens chains of the same connective).
+struct Expr {
+  enum class Kind : std::uint8_t { kComparison, kAnd, kOr };
+
+  Kind kind = Kind::kComparison;
+  Comparison comparison;
+  std::vector<Expr> children;
+
+  [[nodiscard]] static Expr leaf(Comparison comparison) {
+    Expr expr;
+    expr.comparison = std::move(comparison);
+    return expr;
+  }
+};
+
+/// Field/operator names ("day", "<=", ...) for diagnostics and re-rendering.
+[[nodiscard]] std::string_view to_string(Field field) noexcept;
+[[nodiscard]] std::string_view to_string(CompareOp op) noexcept;
+
+/// Name -> Field / CompareOp lookup; throws QueryError("bad_filter") on an
+/// unknown name.
+[[nodiscard]] Field parse_field(std::string_view name);
+[[nodiscard]] CompareOp parse_op(std::string_view name);
+
+/// Builds a validated Comparison, enforcing per-field typing rules:
+/// category/store accept == and != only; user/app values must be
+/// non-negative integers; day must be an integer. `is_text` distinguishes a
+/// quoted/bareword value from a numeric literal.
+[[nodiscard]] Comparison make_comparison(Field field, CompareOp op, double number,
+                                         std::string text, bool is_text);
+
+/// Parses the text grammar above. Throws QueryError("bad_filter") with a
+/// position-annotated message on any lexical, syntactic, or typing defect.
+[[nodiscard]] Expr parse_filter(std::string_view text);
+
+/// Canonical text rendering of an expression (round-trips through
+/// parse_filter; used by tests and diagnostics).
+[[nodiscard]] std::string to_string(const Expr& expr);
+
+}  // namespace appstore::query

@@ -1,0 +1,347 @@
+#include "query/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "par/parallel.hpp"
+#include "util/format.hpp"
+
+namespace appstore::query {
+
+namespace {
+
+[[nodiscard]] bool compare(CompareOp op, double lhs, double rhs) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+/// Row-wise evaluator for one comparison clause against the bound columns.
+/// App-joined fields (category, price) read the metadata spans through the
+/// row's app id; a disabled day column reads as 0 (the Event default).
+class ClauseEval {
+ public:
+  ClauseEval(const Comparison& clause, const BoundLog& bound)
+      : clause_(clause),
+        user_(bound.log->user()),
+        app_(bound.log->app()),
+        day_(bound.log->day()),
+        app_category_(bound.app_category),
+        app_price_(bound.app_price) {}
+
+  [[nodiscard]] bool matches(std::uint64_t row) const noexcept {
+    double value = 0.0;
+    switch (clause_.field) {
+      case Field::kDay:
+        value = day_.empty() ? 0.0 : static_cast<double>(day_[row]);
+        break;
+      case Field::kUser:
+        value = static_cast<double>(user_[row]);
+        break;
+      case Field::kApp:
+        value = static_cast<double>(app_[row]);
+        break;
+      case Field::kCategory:
+        value = static_cast<double>(app_category_[app_[row]]);
+        break;
+      case Field::kPrice:
+        value = app_price_[app_[row]];
+        break;
+      case Field::kStore:
+        return false;  // folded at plan time; unreachable
+    }
+    return compare(clause_.op, value, clause_.number);
+  }
+
+ private:
+  Comparison clause_;
+  std::span<const std::uint32_t> user_;
+  std::span<const std::uint32_t> app_;
+  std::span<const std::int32_t> day_;
+  std::span<const std::uint32_t> app_category_;
+  std::span<const double> app_price_;
+};
+
+[[nodiscard]] PlanNode constant(bool all) {
+  PlanNode node;
+  node.kind = all ? NodeKind::kAll : NodeKind::kNone;
+  return node;
+}
+
+/// Inclusive user range selected by a contiguous-range operator; nullopt for
+/// an empty selection. `kNe` is never contiguous and is not handled here.
+struct UserRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+[[nodiscard]] std::optional<UserRange> user_range(const Comparison& clause,
+                                                  std::uint32_t user_count) {
+  if (user_count == 0) return std::nullopt;
+  const double v = clause.number;
+  const auto last = static_cast<double>(user_count - 1);
+  double lo = 0.0;
+  double hi = last;
+  switch (clause.op) {
+    case CompareOp::kEq: lo = hi = v; break;
+    case CompareOp::kLe: hi = v; break;
+    case CompareOp::kLt: hi = v - 1.0; break;
+    case CompareOp::kGe: lo = v; break;
+    case CompareOp::kGt: lo = v + 1.0; break;
+    case CompareOp::kNe: return std::nullopt;  // not contiguous (caller guards)
+  }
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, last);
+  if (lo > hi) return std::nullopt;
+  return UserRange{static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+}
+
+[[nodiscard]] PlanNode plan_leaf(const Comparison& clause, const BoundLog& bound,
+                                 const PlanOptions& options) {
+  PlanNode node;
+  node.clause = clause;
+
+  switch (clause.field) {
+    case Field::kStore: {
+      const bool equal = clause.text == bound.store_name;
+      return constant(clause.op == CompareOp::kEq ? equal : !equal);
+    }
+    case Field::kCategory: {
+      if (clause.is_text) {
+        // Resolved against real names by the engine before planning; a text
+        // clause reaching this point means the caller skipped binding.
+        throw QueryError("unknown_category",
+                         util::format("unknown category '{}'", clause.text));
+      }
+      if (clause.number >= static_cast<double>(bound.category_count)) {
+        return constant(clause.op == CompareOp::kNe);
+      }
+      break;
+    }
+    case Field::kUser: {
+      if (clause.op == CompareOp::kNe) break;  // not contiguous: column scan
+      const auto range = user_range(clause, bound.user_count);
+      if (!range.has_value()) return constant(false);
+      if (range->lo == 0 && range->hi == bound.user_count - 1) return constant(true);
+      const auto span = static_cast<double>(range->hi - range->lo) + 1.0;
+      const double limit =
+          std::max(1.0, static_cast<double>(bound.user_count) * options.index_user_fraction);
+      if (options.allow_index_scan && bound.log->indexed() &&
+          bound.log->user_count() >= bound.user_count && span <= limit) {
+        node.kind = NodeKind::kIndexScan;
+        node.user_lo = range->lo;
+        node.user_hi = range->hi;
+        return node;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  node.kind = NodeKind::kColumnScan;
+  return node;
+}
+
+[[nodiscard]] PlanNode plan_node(const Expr& expr, const BoundLog& bound,
+                                 const PlanOptions& options) {
+  if (expr.kind == Expr::Kind::kComparison) {
+    return plan_leaf(expr.comparison, bound, options);
+  }
+  const bool is_and = expr.kind == Expr::Kind::kAnd;
+  PlanNode node;
+  node.kind = is_and ? NodeKind::kAnd : NodeKind::kOr;
+  for (const Expr& child : expr.children) {
+    PlanNode planned = plan_node(child, bound, options);
+    if (planned.kind == NodeKind::kAll) {
+      if (!is_and) return constant(true);  // or-with-all is all
+      continue;                            // and-with-all folds away
+    }
+    if (planned.kind == NodeKind::kNone) {
+      if (is_and) return constant(false);  // and-with-none is none
+      continue;                            // or-with-none folds away
+    }
+    node.children.push_back(std::move(planned));
+  }
+  if (node.children.empty()) return constant(is_and);
+  if (node.children.size() == 1) return std::move(node.children.front());
+
+  if (is_and) {
+    // Residual rewrite: once one child materializes a candidate set, further
+    // column scans only need to test those candidates, not the whole log.
+    // Keep the first column scan (or any index scan / sub-tree) as a source
+    // and demote the remaining column-scan leaves to residual filters.
+    const bool has_cheap_source = std::any_of(
+        node.children.begin(), node.children.end(),
+        [](const PlanNode& child) { return child.kind != NodeKind::kColumnScan; });
+    bool source_seen = has_cheap_source;
+    for (PlanNode& child : node.children) {
+      if (child.kind != NodeKind::kColumnScan) continue;
+      if (!source_seen) {
+        source_seen = true;  // first column scan feeds the candidate set
+        continue;
+      }
+      child.kind = NodeKind::kResidual;
+    }
+  }
+  return node;
+}
+
+void count_scans(const PlanNode& node, Plan& plan) {
+  switch (node.kind) {
+    case NodeKind::kIndexScan: ++plan.index_scans; break;
+    case NodeKind::kColumnScan: ++plan.column_scans; break;
+    case NodeKind::kResidual: ++plan.residual_filters; break;
+    default: break;
+  }
+  for (const PlanNode& child : node.children) count_scans(child, plan);
+}
+
+[[nodiscard]] RowSet run_index_scan(const PlanNode& node, const BoundLog& bound) {
+  RowSet result;
+  for (std::uint32_t user = node.user_lo; user <= node.user_hi; ++user) {
+    const events::UserStreamView view = bound.log->stream(user);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      result.rows.push_back(view.event_index(i));
+    }
+  }
+  std::sort(result.rows.begin(), result.rows.end());
+  return result;
+}
+
+[[nodiscard]] RowSet run_column_scan(const PlanNode& node, const BoundLog& bound,
+                                     const PlanOptions& options) {
+  RowSet result;
+  const std::uint64_t rows = bound.log->size();
+  if (rows == 0) return result;
+  const ClauseEval eval(node.clause, bound);
+  const std::uint64_t block = std::max<std::uint64_t>(1, options.scan_block);
+  const std::uint64_t blocks = (rows + block - 1) / block;
+  par::Options par_options;
+  par_options.threads = options.threads;
+  // One reduce item per fixed-size row block: each block's matches are
+  // collected independently and concatenated in ascending block order, so
+  // the row set is identical at every thread count and grain.
+  result.rows = par::parallel_reduce<std::vector<std::uint32_t>>(
+      blocks, {}, par_options,
+      [&](std::uint64_t b) {
+        std::vector<std::uint32_t> matched;
+        const std::uint64_t begin = b * block;
+        const std::uint64_t end = std::min(rows, begin + block);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          if (eval.matches(i)) matched.push_back(static_cast<std::uint32_t>(i));
+        }
+        return matched;
+      },
+      [](std::vector<std::uint32_t> acc, std::vector<std::uint32_t> part) {
+        if (acc.empty()) return part;
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  return result;
+}
+
+[[nodiscard]] RowSet run_node(const PlanNode& node, const BoundLog& bound,
+                              const PlanOptions& options);
+
+[[nodiscard]] RowSet run_and(const PlanNode& node, const BoundLog& bound,
+                             const PlanOptions& options) {
+  // Sources first (index scans, sub-trees, the one surviving column scan),
+  // intersected as we go with an empty-set early exit; residual filters then
+  // test only the candidates.
+  RowSet current;
+  current.all = true;
+  for (const PlanNode& child : node.children) {
+    if (child.kind == NodeKind::kResidual) continue;
+    RowSet next = run_node(child, bound, options);
+    if (current.all) {
+      current = std::move(next);
+    } else if (!next.all) {
+      current.rows = intersect_sorted(current.rows, next.rows);
+    }
+    if (!current.all && current.rows.empty()) return current;
+  }
+  for (const PlanNode& child : node.children) {
+    if (child.kind != NodeKind::kResidual) continue;
+    const ClauseEval eval(child.clause, bound);
+    std::vector<std::uint32_t> kept;
+    kept.reserve(current.rows.size());
+    for (const std::uint32_t row : current.rows) {
+      if (eval.matches(row)) kept.push_back(row);
+    }
+    current.rows = std::move(kept);
+    if (current.rows.empty()) break;
+  }
+  return current;
+}
+
+RowSet run_node(const PlanNode& node, const BoundLog& bound, const PlanOptions& options) {
+  switch (node.kind) {
+    case NodeKind::kAll: {
+      RowSet all;
+      all.all = true;
+      return all;
+    }
+    case NodeKind::kNone:
+      return RowSet{};
+    case NodeKind::kIndexScan:
+      return run_index_scan(node, bound);
+    case NodeKind::kColumnScan:
+    case NodeKind::kResidual:  // executed standalone only in degenerate plans
+      return run_column_scan(node, bound, options);
+    case NodeKind::kAnd:
+      return run_and(node, bound, options);
+    case NodeKind::kOr: {
+      RowSet result;
+      for (const PlanNode& child : node.children) {
+        RowSet next = run_node(child, bound, options);
+        if (next.all) return next;
+        result.rows = union_sorted(result.rows, next.rows);
+      }
+      return result;
+    }
+  }
+  return RowSet{};
+}
+
+}  // namespace
+
+Plan plan_filter(const Expr& expr, const BoundLog& bound, const PlanOptions& options) {
+  Plan plan;
+  plan.root = plan_node(expr, bound, options);
+  count_scans(plan.root, plan);
+  return plan;
+}
+
+Plan plan_all() {
+  Plan plan;
+  plan.root.kind = NodeKind::kAll;
+  return plan;
+}
+
+RowSet execute(const Plan& plan, const BoundLog& bound, const PlanOptions& options) {
+  return run_node(plan.root, bound, options);
+}
+
+std::vector<std::uint32_t> intersect_sorted(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::uint32_t> union_sorted(const std::vector<std::uint32_t>& a,
+                                        const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace appstore::query

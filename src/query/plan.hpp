@@ -1,0 +1,121 @@
+// Predicate planner + executor over one columnar events::EventLog.
+//
+// A bound filter expression compiles into a plan tree whose leaves are index
+// filters in the netplay query_planner sense: each comparison clause is
+// assigned a scan strategy —
+//
+//   kIndexScan   user-selective clauses (user == K, narrow user ranges) walk
+//                only the CSR per-user slices of the log's index: O(rows of
+//                the selected users) instead of O(all rows);
+//   kColumnScan  every other clause scans its column(s) in fixed-size row
+//                blocks through par::parallel_reduce (block results are
+//                concatenated in ascending block order, so the selected row
+//                set is bit-identical at every thread count);
+//   kResidual    inside an `and`, every column scan after the first source
+//                is demoted to a residual filter that only tests the rows
+//                the earlier children already selected;
+//   kAll/kNone   clauses that are constant for this store (store == name,
+//                tautological ranges) fold away at plan time.
+//
+// Clause results are sorted row-id sets combined with sorted-set operations
+// (intersection for `and`, union for `or`). The planner also simplifies
+// around kAll/kNone so a tautological clause costs nothing at execution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "events/event_log.hpp"
+#include "query/expression.hpp"
+
+namespace appstore::query {
+
+/// The per-log binding context: the event log plus the app-metadata columns
+/// the app-joined fields (category, price) read through. Spans must outlive
+/// plan execution.
+struct BoundLog {
+  const events::EventLog* log = nullptr;
+  /// Per-app metadata, indexed by app id (category id; list price, dollars).
+  std::span<const std::uint32_t> app_category;
+  std::span<const double> app_price;
+  std::string_view store_name;
+  std::uint32_t user_count = 0;
+  std::uint32_t category_count = 0;
+};
+
+struct PlanOptions {
+  /// Permit CSR index scans (requires the log's per-user index to be built;
+  /// the planner falls back to column scans when it is not).
+  bool allow_index_scan = true;
+  /// A user-range clause takes an index scan only when it selects at most
+  /// max(1, user_count * index_user_fraction) users — wider ranges touch so
+  /// much of the index that a flat column scan wins.
+  double index_user_fraction = 1.0 / 64.0;
+  /// Rows per scan block. Block boundaries are a pure function of this value
+  /// (never of the thread count), which is what keeps the selected row set
+  /// thread-count-invariant.
+  std::uint64_t scan_block = 16384;
+  /// Worker threads for column scans; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+enum class NodeKind : std::uint8_t {
+  kIndexScan,
+  kColumnScan,
+  kResidual,
+  kAll,
+  kNone,
+  kAnd,
+  kOr,
+};
+
+struct PlanNode {
+  NodeKind kind = NodeKind::kAll;
+  Comparison clause;                     ///< leaf scans
+  std::uint32_t user_lo = 0;             ///< index scan: inclusive user range
+  std::uint32_t user_hi = 0;
+  std::vector<PlanNode> children;        ///< kAnd / kOr
+};
+
+struct Plan {
+  PlanNode root;
+  std::uint32_t index_scans = 0;      ///< leaves served by the CSR index
+  std::uint32_t column_scans = 0;     ///< leaves served by full column scans
+  std::uint32_t residual_filters = 0; ///< leaves tested against candidates only
+};
+
+/// The selected rows of a log: either literally every row (`all`, nothing
+/// materialized) or a sorted ascending row-id vector.
+struct RowSet {
+  bool all = false;
+  std::vector<std::uint32_t> rows;
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t total) const noexcept {
+    return all ? total : rows.size();
+  }
+};
+
+/// Compiles a bound expression into a plan. Resolves category names to ids
+/// against `bound` (throws QueryError("unknown_category") when a named
+/// category does not exist) and folds store comparisons into kAll/kNone.
+[[nodiscard]] Plan plan_filter(const Expr& expr, const BoundLog& bound,
+                               const PlanOptions& options);
+
+/// Trivial plan selecting every row (no filter supplied).
+[[nodiscard]] Plan plan_all();
+
+/// Executes a plan. The result is a pure function of (plan, log contents) —
+/// options.threads changes wall time only.
+[[nodiscard]] RowSet execute(const Plan& plan, const BoundLog& bound,
+                             const PlanOptions& options);
+
+/// Sorted-set combination helpers (exposed for tests).
+[[nodiscard]] std::vector<std::uint32_t> intersect_sorted(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+[[nodiscard]] std::vector<std::uint32_t> union_sorted(const std::vector<std::uint32_t>& a,
+                                                      const std::vector<std::uint32_t>& b);
+
+}  // namespace appstore::query

@@ -12,6 +12,11 @@
 //   fig8  — grid-selected best parameters exact; Eq.-6 distances within 5%
 //           relative (the pipeline is seeded and thread-count-invariant, so
 //           slack only absorbs FP reassociation across compilers).
+//
+// The /api/v1/query engine is pinned against the same figures: the served
+// pareto_share answer must land inside the fig2 golden, and the affinity /
+// rank-curve aggregates carry their own goldens (fig6_affinity.csv,
+// query_rank_curve.csv) generated from the same seeded config.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -21,7 +26,11 @@
 #include <string>
 
 #include "core/study.hpp"
+#include "crawler/json.hpp"
+#include "crawler/service.hpp"
 #include "fit/sweep.hpp"
+#include "net/http.hpp"
+#include "query/engine.hpp"
 #include "synth/generator.hpp"
 #include "synth/profile.hpp"
 #include "util/format.hpp"
@@ -141,6 +150,94 @@ TEST(GoldenFigures, Fig8ModelFit) {
   // Grid parameters are compared exactly through the same tolerance formula:
   // rel 5% never bridges adjacent grid points (0.4 apart at minimum 0.85).
   check_against_golden("fig8_model_fit.csv", computed, /*abs=*/1e-9, /*rel=*/0.05);
+}
+
+// ---- /api/v1/query vs the figure pipelines ---------------------------------------
+
+/// The query day bound that covers every generated event.
+constexpr market::Day kEndOfHistory = 1 << 20;
+
+TEST(GoldenFigures, QueryServedParetoMatchesFig2) {
+  // fig2_pareto.csv is owned (and regenerated) by Fig2ParetoShares; this test
+  // pins the full /api/v1/query wire path to the same numbers.
+  if (update_mode()) GTEST_SKIP() << "fig2_pareto.csv is regenerated by Fig2ParetoShares";
+
+  GoldenMap computed;
+  for (const auto& profile : synth::all_profiles()) {
+    const auto generated = synth::generate(profile, golden_config());
+    crawlersim::AppstoreService service(*generated.store, crawlersim::ServicePolicy{});
+    service.set_day(kEndOfHistory);
+    net::HttpRequest request;
+    request.target = "/api/v1/query?kind=pareto_share";
+    request.headers["X-Client-Id"] = "proxy-eu-1";
+    const net::HttpResponse response = service.respond(request);
+    ASSERT_EQ(response.status, 200) << response.body;
+    const auto parsed = crawlersim::parse_json(response.body);
+    ASSERT_TRUE(parsed.has_value());
+    for (const auto& point : parsed->at("pareto").as_array()) {
+      computed[profile.name +
+               ":top" + util::format("{:.2f}", point.at("fraction").as_number())] =
+          point.at("share").as_number();
+    }
+  }
+  check_against_golden("fig2_pareto.csv", computed, /*abs=*/0.015, /*rel=*/0.0);
+}
+
+TEST(GoldenFigures, QueryAffinityDepthsPinned) {
+  // The category_affinity aggregate reproduces the Fig. 6 study (weighted
+  // mean over comment-count groups plus the Eq. 4 random-walk baseline).
+  synth::GeneratorConfig config = golden_config();
+  config.comments = true;
+  const auto generated = synth::generate(synth::anzhi(), config);
+  const query::QueryEngine engine(*generated.store);
+
+  query::QuerySpec spec;
+  spec.kind = query::AggregateKind::kCategoryAffinity;
+  spec.depths = {1, 2, 3};
+  const query::QueryResult result = engine.run(spec, kEndOfHistory);
+  ASSERT_EQ(result.affinity.size(), 3u);
+
+  GoldenMap computed;
+  for (const auto& point : result.affinity) {
+    const std::string prefix = "anzhi:depth" + std::to_string(point.depth);
+    computed[prefix + ":mean"] = point.mean;
+    computed[prefix + ":random_walk"] = point.random_walk;
+    computed[prefix + ":groups"] = static_cast<double>(point.groups);
+    computed[prefix + ":samples"] = static_cast<double>(point.samples);
+  }
+  // Seeded and serial aggregation: slack only absorbs FP reassociation
+  // across compilers.
+  check_against_golden("fig6_affinity.csv", computed, /*abs=*/1e-6, /*rel=*/1e-6);
+}
+
+TEST(GoldenFigures, QueryRankCurveMatchesFig8Measured) {
+  // rank_download_curve samples the same measured curve fig8 fits against.
+  const auto generated = synth::generate(synth::anzhi(), golden_config());
+  const query::QueryEngine engine(*generated.store);
+
+  query::QuerySpec spec;
+  spec.kind = query::AggregateKind::kRankDownloadCurve;
+  spec.points = 50;
+  const query::QueryResult result = engine.run(spec, kEndOfHistory);
+  ASSERT_FALSE(result.curve.empty());
+
+  // Exact parity with the offline series at every sampled rank.
+  const std::vector<double> measured = generated.store->downloads_by_rank();
+  for (const auto& point : result.curve) {
+    ASSERT_GE(point.rank, 1u);
+    ASSERT_LE(point.rank, measured.size());
+    EXPECT_EQ(static_cast<double>(point.downloads), measured[point.rank - 1])
+        << "rank " << point.rank;
+  }
+
+  GoldenMap computed;
+  computed["anzhi:apps"] = static_cast<double>(measured.size());
+  computed["anzhi:total_downloads"] = static_cast<double>(result.total_downloads);
+  for (const auto& point : result.curve) {
+    computed[util::format("anzhi:rank{}", point.rank)] =
+        static_cast<double>(point.downloads);
+  }
+  check_against_golden("query_rank_curve.csv", computed, /*abs=*/1e-9, /*rel=*/0.0);
 }
 
 }  // namespace
