@@ -1,0 +1,248 @@
+// Ingest-while-serving acceptance bench (ISSUE 7).
+//
+// One fixed workload, two execution regimes. The workload is a simulated
+// daily crawl: `days` ingest batches of `rows-per-day` download events, and
+// after each day's data is visible, `queries-per-day` per-user stream scans
+// answered with data current as of that day.
+//
+//   * batch (stop-the-world): the pre-live pipeline — append the day's rows
+//     into an EventLog, rebuild the full CSR index, then run the day's
+//     queries. Nothing can be answered while the rebuild runs, and each
+//     rebuild touches every row ingested so far.
+//   * live: a LiveEventLog ingests the same batches on a writer thread while
+//     the reader answers the same queries against frontier snapshots —
+//     queries for day d start the moment the frontier covers day d, while
+//     day d+1 is still being written.
+//
+// Both regimes compute a per-day checksum over identical data prefixes, so
+// the bench doubles as an end-to-end determinism check: any divergence
+// between the tiered index and the batch CSR fails the run outright.
+//
+// Headline: speedup = batch seconds / live seconds for the whole workload.
+// The floor is 5x (the acceptance criterion); below it the binary exits
+// non-zero. Results land in results/BENCH_ingest.json; --metrics-out mirrors
+// the registry like the other load benches.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "events/event_log.hpp"
+#include "events/live_log.hpp"
+#include "load/report.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appstore;
+
+struct Workload {
+  std::uint32_t users = 0;
+  std::uint64_t days = 0;
+  std::uint64_t rows_per_day = 0;
+  std::uint64_t queries_per_day = 0;
+  /// Per-day ingest batches (user/app/day columns, ordinals store-assigned).
+  std::vector<events::EventLog> batches;
+};
+
+[[nodiscard]] Workload make_workload(std::uint64_t seed, std::uint32_t users,
+                                     std::uint64_t days, std::uint64_t rows_per_day,
+                                     std::uint64_t queries_per_day) {
+  Workload workload;
+  workload.users = users;
+  workload.days = days;
+  workload.rows_per_day = rows_per_day;
+  workload.queries_per_day = queries_per_day;
+  workload.batches.reserve(days);
+  util::Rng rng(seed);
+  for (std::uint64_t day = 0; day < days; ++day) {
+    std::vector<std::uint32_t> user(rows_per_day);
+    std::vector<std::uint32_t> app(rows_per_day);
+    std::vector<std::int32_t> day_column(rows_per_day, static_cast<std::int32_t>(day));
+    for (std::uint64_t i = 0; i < rows_per_day; ++i) {
+      user[i] = static_cast<std::uint32_t>(rng.below(users));
+      app[i] = static_cast<std::uint32_t>(rng.below(4096));
+    }
+    workload.batches.push_back(events::EventLog::from_columns(
+        events::Columns::kDay, std::move(user), std::move(app), std::move(day_column)));
+  }
+  return workload;
+}
+
+/// The user probed by query k of day d — identical in both regimes.
+[[nodiscard]] std::uint32_t query_user(const Workload& workload, std::uint64_t day,
+                                       std::uint64_t k) {
+  std::uint64_t state = day * 0x9e3779b97f4a7c15ull + k;
+  return static_cast<std::uint32_t>(util::splitmix64(state) % workload.users);
+}
+
+/// One per-user stream scan, folded into a checksum (stream contents and
+/// chronological order both matter).
+template <typename Stream>
+[[nodiscard]] std::uint64_t scan_checksum(const Stream& stream) {
+  std::uint64_t checksum = 0;
+  for (const events::Event event : stream) {
+    checksum = checksum * 31 +
+               static_cast<std::uint64_t>(event.app) * 7 +
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(event.day));
+  }
+  return checksum;
+}
+
+struct RegimeResult {
+  double seconds = 0.0;
+  std::vector<std::uint64_t> day_checksums;
+};
+
+[[nodiscard]] RegimeResult run_batch(const Workload& workload) {
+  RegimeResult result;
+  result.day_checksums.resize(workload.days, 0);
+  events::EventLog log(events::Columns::kDay);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t day = 0; day < workload.days; ++day) {
+    const events::EventLog& batch = workload.batches[day];
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      log.append(batch.user()[i], batch.app()[i], batch.day()[i], 0, 0);
+    }
+    // Stop the world: every query for this day waits on a full rebuild over
+    // everything ingested so far.
+    log.build_index(workload.users);
+    std::uint64_t checksum = 0;
+    for (std::uint64_t k = 0; k < workload.queries_per_day; ++k) {
+      checksum ^= scan_checksum(log.stream(query_user(workload, day, k)));
+    }
+    result.day_checksums[day] = checksum;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+[[nodiscard]] RegimeResult run_live(const Workload& workload, std::size_t ingest_threads) {
+  RegimeResult result;
+  result.day_checksums.resize(workload.days, 0);
+  events::LiveOptions options;
+  options.max_rows = workload.days * workload.rows_per_day;
+  // Round the capacity up to a power-of-two segment multiple.
+  options.segment_rows = 1ull << 16;
+  options.max_rows =
+      (options.max_rows + options.segment_rows - 1) / options.segment_rows *
+      options.segment_rows;
+  options.max_users = workload.users;
+  events::LiveEventLog live(events::Columns::kDay, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread writer([&] {
+    for (std::uint64_t day = 0; day < workload.days; ++day) {
+      live.append_batch(workload.batches[day],
+                        events::IngestOptions{.threads = ingest_threads});
+    }
+  });
+  // The reader serves continuously: queries for day d run the moment the
+  // frontier covers day d's block, concurrent with the ingest of day d+1.
+  for (std::uint64_t day = 0; day < workload.days; ++day) {
+    const std::uint64_t needed = (day + 1) * workload.rows_per_day;
+    while (live.frontier() < needed) std::this_thread::yield();
+    // Pin exactly day d's prefix: the writer may already have published
+    // further, and these queries must answer as of day d.
+    const events::FrontierSnapshot view = live.snapshot_at(needed);
+    std::uint64_t checksum = 0;
+    for (std::uint64_t k = 0; k < workload.queries_per_day; ++k) {
+      checksum ^= scan_checksum(view.stream(query_user(workload, day, k)));
+    }
+    result.day_checksums[day] = checksum;
+  }
+  writer.join();
+  const auto stop = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::BenchCli cli("bench_ingest",
+                       "concurrent ingest+query on the live event store vs the "
+                       "stop-the-world EventLog rebuild pipeline");
+  auto users = cli.raw().u64("users", 20000, "distinct users in the workload");
+  auto days = cli.raw().u64("days", 100, "ingest batches (virtual crawl days)");
+  auto rows = cli.raw().u64("rows-per-day", 20000, "download events per day");
+  auto queries = cli.raw().u64("queries-per-day", 200, "stream queries per day");
+  auto ingest_threads = cli.raw().u64("ingest-threads", 4, "writer threads per batch");
+  auto out_path =
+      cli.raw().str("out", "results/BENCH_ingest.json", "report destination");
+  cli.parse(argc, argv);
+
+  benchx::print_heading(
+      "ingest: live tiered index vs stop-the-world rebuild",
+      "a daily crawl keeps appending (Table 1: ~1.5M downloads/day at Anzhi "
+      "scale); analytics must keep answering day-N queries while day N+1 lands");
+
+  const Workload workload =
+      make_workload(cli.seed(), static_cast<std::uint32_t>(*users), *days, *rows,
+                    *queries);
+
+  const RegimeResult batch = run_batch(workload);
+  const RegimeResult live =
+      run_live(workload, static_cast<std::size_t>(*ingest_threads));
+
+  // Determinism gate: both regimes answered every query over the identical
+  // day prefix, so every per-day checksum must match exactly.
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t day = 0; day < workload.days; ++day) {
+    if (batch.day_checksums[day] != live.day_checksums[day]) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %llu/%llu day checksums diverge between regimes\n",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(workload.days));
+    return 1;
+  }
+
+  const std::uint64_t total_rows = workload.days * workload.rows_per_day;
+  const std::uint64_t total_queries = workload.days * workload.queries_per_day;
+  const double speedup = live.seconds > 0.0 ? batch.seconds / live.seconds : 0.0;
+
+  report::Table table({"regime", "seconds", "ingest rows/s", "queries", "queries/s"});
+  const auto row = [&](const char* name, const RegimeResult& result) {
+    table.row({name, util::format("{:.3f}", result.seconds),
+               util::format("{:.0f}", static_cast<double>(total_rows) / result.seconds),
+               util::format("{}", total_queries),
+               util::format("{:.0f}",
+                            static_cast<double>(total_queries) / result.seconds)});
+  };
+  row("batch rebuild", batch);
+  row("live frontier", live);
+  benchx::print_table(table);
+  std::printf("checksums: %llu/%llu days identical across regimes\n",
+              static_cast<unsigned long long>(workload.days),
+              static_cast<unsigned long long>(workload.days));
+  std::printf("ingest-while-serving speedup: %.2fx (floor 5.0x)\n", speedup);
+
+  const crawlersim::Json document = crawlersim::json_object(
+      {{"bench", "ingest"},
+       {"seed", cli.seed()},
+       {"users", *users},
+       {"days", *days},
+       {"rows_per_day", *rows},
+       {"queries_per_day", *queries},
+       {"ingest_threads", *ingest_threads},
+       {"total_rows", total_rows},
+       {"batch_seconds", batch.seconds},
+       {"live_seconds", live.seconds},
+       {"batch_queries_per_second",
+        static_cast<double>(total_queries) / batch.seconds},
+       {"live_queries_per_second",
+        static_cast<double>(total_queries) / live.seconds},
+       {"checksums_match", true},
+       {"speedup", speedup}});
+  if (load::write_json_file(document, *out_path)) {
+    std::printf("wrote %s\n", out_path->c_str());
+  }
+
+  cli.metrics().gauge("ingest_speedup").add(speedup);
+  cli.dump_metrics();
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -213,10 +213,16 @@ const market::AppStore& event_bench_store() {
 
 void BM_CommentStreamsMaterialize(benchmark::State& state) {
   const market::AppStore& store = event_bench_store();
-  const std::uint64_t events = store.comment_log().size();
+  const events::FrontierSnapshot log = store.comment_log();
+  const std::uint64_t events = log.size();
   for (auto _ : state) {
-    // Full AoS copy of the log into per-user vectors, then one read pass.
-    const auto streams = store.comment_streams();
+    // Full AoS copy of the log into per-user vectors, then one read pass —
+    // the batch-era baseline the zero-copy views replaced.
+    std::vector<std::vector<events::Event>> streams(log.user_count());
+    for (std::uint64_t i = 0; i < events; ++i) {
+      const events::Event event = log.row(i);
+      streams[event.user].push_back(event);
+    }
     std::uint64_t rating_sum = 0;
     for (const auto& stream : streams) {
       for (const auto& event : stream) rating_sum += event.rating;
@@ -229,10 +235,10 @@ BENCHMARK(BM_CommentStreamsMaterialize);
 
 void BM_CommentStreamsCsrView(benchmark::State& state) {
   const market::AppStore& store = event_bench_store();
-  const events::EventLog& log = store.comment_log();
+  const events::FrontierSnapshot log = store.comment_log();
   const std::uint64_t events = log.size();
   for (auto _ : state) {
-    // Same read pass through zero-copy CSR views: no allocation, no copy.
+    // Same read pass through the tiered-index views: no bulk copy.
     std::uint64_t rating_sum = 0;
     for (std::uint32_t u = 0; u < log.user_count(); ++u) {
       for (const auto event : log.stream(u)) rating_sum += event.rating;
@@ -242,7 +248,8 @@ void BM_CommentStreamsCsrView(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * events));
   state.counters["bytes_per_event"] =
       events == 0 ? 0.0
-                  : static_cast<double>(log.bytes()) / static_cast<double>(events);
+                  : static_cast<double>(store.comment_live().bytes()) /
+                        static_cast<double>(events);
 }
 BENCHMARK(BM_CommentStreamsCsrView);
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::printf("generated '%s': %zu apps, %u users, %llu downloads, %zu comments\n\n",
               store.name().c_str(), store.apps().size(), store.user_count(),
               static_cast<unsigned long long>(store.total_downloads()),
-              store.comment_events().size());
+              store.comment_log().size());
 
   // 2. The Pareto effect (Fig. 2).
   std::printf("top 1%% of apps hold %.1f%% of downloads; top 10%% hold %.1f%%\n",

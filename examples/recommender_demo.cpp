@@ -54,10 +54,11 @@ int main(int argc, char** argv) {
   dataset.app_count = static_cast<std::uint32_t>(store->apps().size());
   dataset.app_category.reserve(dataset.app_count);
   for (const auto& app : store->apps()) dataset.app_category.push_back(app.category.value);
-  for (auto& stream : store->download_streams()) {
+  for (std::uint32_t u = 0; u < store->user_count(); ++u) {
+    const auto stream = store->download_stream(market::UserId{u});
     std::vector<std::uint32_t> sequence;
     sequence.reserve(stream.size());
-    for (const auto& event : stream) sequence.push_back(event.app.value);
+    for (const auto event : stream) sequence.push_back(event.app);
     if (!sequence.empty()) dataset.user_sequences.push_back(std::move(sequence));
   }
   std::printf("training sequences: %zu users\n\n", dataset.user_sequences.size());

@@ -42,6 +42,16 @@ std::vector<std::uint32_t> app_string(events::UserStreamView stream) {
   return suppress_duplicates(apps);
 }
 
+std::vector<std::uint32_t> app_string(const events::LiveStreamView& stream) {
+  std::vector<std::uint32_t> apps;
+  apps.reserve(stream.size());
+  for (const auto event : stream) {
+    if (event.rating == 0) continue;  // unrated comments are weak signals
+    apps.push_back(event.app);
+  }
+  return suppress_duplicates(apps);
+}
+
 std::vector<std::uint32_t> category_string(std::span<const std::uint32_t> apps,
                                            std::span<const std::uint32_t> app_category) {
   std::vector<std::uint32_t> categories;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "events/event_log.hpp"
+#include "events/live_log.hpp"
 #include "market/events.hpp"
 
 namespace appstore::affinity {
@@ -34,9 +35,12 @@ namespace appstore::affinity {
 [[nodiscard]] std::vector<std::uint32_t> app_string(
     std::span<const market::CommentEvent> stream);
 
-/// Same, over a zero-copy per-user view of an indexed comment EventLog
-/// (AppStore::comment_stream) — no per-user event vector is materialized.
+/// Same, over a zero-copy per-user view of an indexed comment EventLog —
+/// no per-user event vector is materialized.
 [[nodiscard]] std::vector<std::uint32_t> app_string(events::UserStreamView stream);
+
+/// Same, over a live frontier-snapshot stream (AppStore::comment_stream).
+[[nodiscard]] std::vector<std::uint32_t> app_string(const events::LiveStreamView& stream);
 
 /// Maps an app string to its category string via app→category lookup.
 [[nodiscard]] std::vector<std::uint32_t> category_string(

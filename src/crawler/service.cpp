@@ -155,18 +155,9 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
 
   query_engine_ = std::make_unique<query::QueryEngine>(store_, policy_.query, &registry_);
 
-  download_days_.resize(store_.apps().size());
-  const auto& download_log = store_.download_log();
-  for (std::size_t i = 0; i < download_log.size(); ++i) {
-    download_days_[download_log.app()[i]].push_back(download_log.day()[i]);
-  }
-  for (auto& days : download_days_) std::sort(days.begin(), days.end());
-
-  comment_index_.resize(store_.apps().size());
-  const auto& comment_log = store_.comment_log();
-  for (std::uint32_t i = 0; i < comment_log.size(); ++i) {
-    comment_index_[comment_log.app()[i]].push_back(i);
-  }
+  derived_.download_days.resize(store_.apps().size());
+  derived_.comment_index.resize(store_.apps().size());
+  refresh_derived();
 
   net::ServerOptions server_options;
   server_options.port = port;
@@ -186,8 +177,39 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
       server_options, [this](const net::HttpRequest& request) { return handle(request); });
 }
 
+void AppstoreService::refresh_derived() const {
+  const events::FrontierSnapshot downloads = store_.download_log();
+  const events::FrontierSnapshot comments = store_.comment_log();
+  {
+    const std::shared_lock lock(derived_mutex_);
+    if (derived_.download_rows == downloads.size() &&
+        derived_.comment_rows == comments.size()) {
+      return;
+    }
+  }
+  const std::unique_lock lock(derived_mutex_);
+  // Absorb only the rows past the watermarks. Live ingestion appends in
+  // (roughly) day order, so the common insert position is the back of the
+  // per-app vector; out-of-order days fall back to a sorted insert.
+  for (std::uint64_t i = derived_.download_rows; i < downloads.size(); ++i) {
+    auto& days = derived_.download_days[downloads.app()[i]];
+    const market::Day day = downloads.day()[i];
+    if (days.empty() || day >= days.back()) {
+      days.push_back(day);
+    } else {
+      days.insert(std::upper_bound(days.begin(), days.end(), day), day);
+    }
+  }
+  derived_.download_rows = downloads.size();
+  for (std::uint64_t i = derived_.comment_rows; i < comments.size(); ++i) {
+    derived_.comment_index[comments.app()[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  derived_.comment_rows = comments.size();
+}
+
 std::uint64_t AppstoreService::downloads_up_to(std::uint32_t app, market::Day day) const {
-  const auto& days = download_days_[app];
+  const std::shared_lock lock(derived_mutex_);
+  const auto& days = derived_.download_days[app];
   return static_cast<std::uint64_t>(
       std::upper_bound(days.begin(), days.end(), day) - days.begin());
 }
@@ -265,6 +287,9 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
       case Endpoint::kApp:
       case Endpoint::kComments:
       case Endpoint::kApk: {
+        // These read the derived per-app layout; catch it up to the
+        // published frontiers first (fast no-op when nothing ingested).
+        refresh_derived();
         std::uint64_t id = 0;
         if (!util::parse_u64(match.rest, id) || id >= store_.apps().size()) {
           return error_response(404, "not_found", "no such app");
@@ -296,22 +321,25 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
 }
 
 void AppstoreService::set_day(market::Day day) {
+  // Publish-only: entries stamped with the old day stop matching, and the
+  // next insert for the same key replaces them. Readers are never blocked.
   day_.store(day, std::memory_order_relaxed);
-  const std::unique_lock lock(cache_mutex_);
-  response_cache_.clear();
 }
 
 net::HttpResponse AppstoreService::handle_cacheable(const ServiceRequest& context,
                                                     std::string key) {
-  // These endpoints are pure functions of (target, day) — the store is
-  // immutable within a virtual day — so identical requests within a day can
-  // share one computed response. The cache sits after the policy gates:
-  // rate limiting and region checks are still charged per request.
+  // These endpoints are pure functions of (target, day, published events) —
+  // so identical requests under one (day, ingest epoch) stamp can share one
+  // computed response; any publish bumps the epoch and naturally invalidates.
+  // The cache sits after the policy gates: rate limiting and region checks
+  // are still charged per request.
   const market::Day day = day_.load(std::memory_order_relaxed);
+  const std::uint64_t epoch = store_.ingest_epoch();
   if (policy_.cache_responses) {
     const std::shared_lock lock(cache_mutex_);
     const auto it = response_cache_.find(key);
-    if (it != response_cache_.end() && it->second.day == day) {
+    if (it != response_cache_.end() && it->second.day == day &&
+        it->second.epoch == epoch) {
       cache_hits_->inc();
       return it->second.response;
     }
@@ -327,11 +355,14 @@ net::HttpResponse AppstoreService::handle_cacheable(const ServiceRequest& contex
     cache_misses_->inc();
     if (response.status == 200) {
       const std::unique_lock lock(cache_mutex_);
-      // Re-check the day under the writer lock: a set_day that raced this
-      // computation must not see a stale entry appear after its clear().
-      if (day_.load(std::memory_order_relaxed) == day &&
-          response_cache_.size() < kMaxCachedResponses) {
-        response_cache_.insert_or_assign(std::move(key), CachedResponse{day, response});
+      // Re-check both stamps under the writer lock: a set_day or a publish
+      // that raced this computation must not get a stale entry cached over
+      // it. At capacity every resident entry is from some older stamp or a
+      // pathological key sweep — clear and start over.
+      if (day_.load(std::memory_order_relaxed) == day && store_.ingest_epoch() == epoch) {
+        if (response_cache_.size() >= kMaxCachedResponses) response_cache_.clear();
+        response_cache_.insert_or_assign(std::move(key),
+                                         CachedResponse{day, epoch, response});
       }
     }
   }
@@ -454,11 +485,15 @@ net::HttpResponse AppstoreService::handle_comments(std::uint32_t id,
     }
   }
 
-  const auto& log = store_.comment_log();
+  const events::FrontierSnapshot log = store_.comment_log();
   JsonArray comments;
   std::uint64_t visible = 0;
   const std::uint64_t first = page * per_page;
-  for (const auto index : comment_index_[id]) {
+  const std::shared_lock lock(derived_mutex_);
+  for (const auto index : derived_.comment_index[id]) {
+    // A concurrent refresh may have absorbed rows past this handler's
+    // snapshot; stay inside the prefix it pinned.
+    if (index >= log.size()) break;
     const events::Event comment = log.row(index);
     if (comment.day > day) continue;
     if (visible >= first && visible < first + per_page) {

@@ -43,9 +43,11 @@
 // (service_response_cache_total{hit,miss}), and the underlying HttpServer's
 // http_* and server_* families.
 //
-// /api/meta and /api/apps responses are cached per virtual day (the store
-// is immutable within a day); advance the day via set_day to invalidate.
-// See docs/serving.md.
+// /api/meta, /api/apps and /api/v1/query responses are cached per (virtual
+// day, ingest epoch): an entry stops matching the moment the day advances or
+// any event publishes, so the cache never needs a stop-the-world clear and
+// the service keeps serving day-N answers while the crawler ingests day
+// N+1. See docs/serving.md.
 #pragma once
 
 #include <atomic>
@@ -72,10 +74,11 @@ struct ServicePolicy {
   bool china_only = false;         ///< 403 for non-"cn" clients
   double failure_rate = 0.0;       ///< probability of a injected 500
   std::uint64_t failure_seed = 7;
-  /// Per-day response cache for the hot read-only endpoints (/api/meta and
-  /// /api/apps pages). The service is immutable within a virtual day, so
-  /// caching is correctness-preserving; set_day invalidates. Counted in
-  /// service_response_cache_total{hit,miss}.
+  /// Response cache for the hot read-only endpoints (/api/meta, /api/apps
+  /// pages, /api/v1/query). Entries are keyed by the canonical target and
+  /// stamped (day, ingest epoch); a stamp mismatch is a miss, so advancing
+  /// the day or publishing events invalidates without locking readers out.
+  /// Counted in service_response_cache_total{hit,miss}.
   bool cache_responses = true;
   /// Serving architecture + sizing, forwarded to net::ServerOptions.
   net::ServerMode server_mode = net::ServerMode::kWorkerPool;
@@ -138,8 +141,9 @@ class AppstoreService {
   [[nodiscard]] const obs::Registry& metrics() const noexcept { return registry_; }
   [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
 
-  /// Advances the virtual crawl day and invalidates the per-day response
-  /// cache (thread-safe).
+  /// Publishes the new virtual crawl day (thread-safe, wait-free for
+  /// concurrent readers). Cached responses stamped with older days simply
+  /// stop matching — no stop-the-world invalidation.
   void set_day(market::Day day);
   [[nodiscard]] market::Day day() const noexcept {
     return day_.load(std::memory_order_relaxed);
@@ -199,23 +203,38 @@ class AppstoreService {
   /// registry_).
   std::unique_ptr<query::QueryEngine> query_engine_;
 
-  /// Per-day response cache keyed by the canonical (prefix-stripped) request
-  /// target, so /api/v1/meta and its legacy alias share one entry. Each
-  /// entry is stamped
-  /// with the day it was computed for; set_day clears the map, and a racing
-  /// insert for a stale day is rejected by re-checking the stamp under the
-  /// writer lock (the map never serves a response from another day).
+  /// Response cache keyed by the canonical (prefix-stripped) request target,
+  /// so /api/v1/meta and its legacy alias share one entry. Each entry is
+  /// stamped with the (day, ingest epoch) it was computed under; a lookup
+  /// must match both, so entries from an older day or a pre-ingest epoch are
+  /// dead weight that the next insert for the same key replaces. A racing
+  /// insert re-checks both stamps under the writer lock (the map never
+  /// serves a response from another day or epoch).
   struct CachedResponse {
     market::Day day;
+    std::uint64_t epoch;
     net::HttpResponse response;
   };
   mutable std::shared_mutex cache_mutex_;
   std::unordered_map<std::string, CachedResponse> response_cache_;
 
-  /// Per-app sorted download-event days (built once at construction).
-  std::vector<std::vector<market::Day>> download_days_;
-  /// Per-app sorted comment row indices (into store.comment_log()).
-  std::vector<std::vector<std::uint32_t>> comment_index_;
+  /// Derived per-app read layout, refreshed incrementally from the live
+  /// logs' frontiers: each refresh absorbs only rows past the recorded
+  /// watermarks, so steady-state serving after a quiet frontier is two
+  /// atomic loads and a shared lock. Guarded by derived_mutex_.
+  struct DerivedState {
+    /// Per-app sorted download-event days.
+    std::vector<std::vector<market::Day>> download_days;
+    /// Per-app comment row ids (into store.comment_log()) in append order.
+    std::vector<std::vector<std::uint32_t>> comment_index;
+    std::uint64_t download_rows = 0;  ///< download-log rows absorbed
+    std::uint64_t comment_rows = 0;   ///< comment-log rows absorbed
+  };
+  /// Catches the derived state up to the current frontiers (no-op fast path
+  /// when the watermarks already match).
+  void refresh_derived() const;
+  mutable std::shared_mutex derived_mutex_;
+  mutable DerivedState derived_;
 
   std::unique_ptr<net::HttpServer> server_;
 };

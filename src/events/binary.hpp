@@ -43,6 +43,8 @@ enum class LoadErrorKind : std::uint8_t {
   kBadFlags,         ///< flag bits this reader does not know
   kTruncated,        ///< EOF inside a header field or column
   kLengthMismatch,   ///< row count disagrees with the file size
+  kUserRange,        ///< a user column value is outside the caller's bound
+  kBadSegment,       ///< a segment header disagrees with the file header
 };
 
 [[nodiscard]] inline std::string_view to_string(LoadErrorKind kind) noexcept {
@@ -54,6 +56,8 @@ enum class LoadErrorKind : std::uint8_t {
     case LoadErrorKind::kBadFlags: return "bad-flags";
     case LoadErrorKind::kTruncated: return "truncated";
     case LoadErrorKind::kLengthMismatch: return "length-mismatch";
+    case LoadErrorKind::kUserRange: return "user-range";
+    case LoadErrorKind::kBadSegment: return "bad-segment";
   }
   return "unknown";
 }
@@ -164,6 +168,22 @@ void write_column(std::ostream& out, std::span<const T> column) {
   static_assert(std::is_trivially_copyable_v<T>);
   out.write(reinterpret_cast<const char*>(column.data()),
             static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+/// Validates that every value of a freshly-loaded user column is below
+/// `user_bound` (exclusive). A file whose payload decoded fine can still
+/// carry user ids beyond what the caller will index (a corrupted byte in the
+/// user column, or a file from a bigger deployment); without this check the
+/// defect only surfaces later, as an untyped build_index/append failure.
+inline void check_user_bound(std::span<const std::uint32_t> users, std::uint64_t user_bound,
+                             const char* what) {
+  for (const std::uint32_t user : users) {
+    if (user >= user_bound) {
+      throw LoadError(LoadErrorKind::kUserRange,
+                      std::string("binary read: user ") + std::to_string(user) +
+                          " >= bound " + std::to_string(user_bound) + " in " + what);
+    }
+  }
 }
 
 template <typename T>

@@ -70,7 +70,7 @@ void save_binary(const EventLog& log, const std::filesystem::path& path,
   staged.commit();
 }
 
-EventLog load_binary(const std::filesystem::path& path) {
+EventLog load_binary(const std::filesystem::path& path, const LoadLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw binary::LoadError(binary::LoadErrorKind::kOpen,
@@ -93,6 +93,7 @@ EventLog load_binary(const std::filesystem::path& path) {
   binary::expect_payload(in, n, bytes_per_row, "AEVL");
 
   auto user = binary::read_column<std::uint32_t>(in, n, "user");
+  binary::check_user_bound(user, limits.user_bound, path.string().c_str());
   auto app = binary::read_column<std::uint32_t>(in, n, "app");
   auto day = binary::read_column<std::int32_t>(
       in, has_column(columns, Columns::kDay) ? n : 0, "day");

@@ -42,6 +42,17 @@ struct IoOptions {
   chaos::FaultInjector* faults = nullptr;
 };
 
+/// Validation bounds applied by the binary loaders after decoding.
+struct LoadLimits {
+  /// Exclusive upper bound on user-column values. Callers that know the
+  /// user universe the log belongs to (a store's user count, a live log's
+  /// max_users) should pass it: a structurally valid file whose user ids
+  /// exceed the bound — one corrupted payload byte is enough — then fails
+  /// here as a typed LoadError{kUserRange} instead of blowing up later
+  /// inside build_index() or a live-store append. Default: no bound.
+  std::uint64_t user_bound = std::uint64_t{1} << 32;
+};
+
 /// Writes `log` to `path` in the binary format via write-temp-then-rename.
 /// Throws std::runtime_error on I/O failure, chaos::InjectedFault on an
 /// injected torn write (the previous file at `path`, if any, is untouched).
@@ -50,8 +61,10 @@ void save_binary(const EventLog& log, const std::filesystem::path& path,
 
 /// Reads a log previously written by save_binary. Throws binary::LoadError
 /// (a std::runtime_error) on a missing file or malformed/foreign-endian
-/// content; never crashes or silently truncates on corrupted input.
-[[nodiscard]] EventLog load_binary(const std::filesystem::path& path);
+/// content, or a user id at or above `limits.user_bound`; never crashes or
+/// silently truncates on corrupted input.
+[[nodiscard]] EventLog load_binary(const std::filesystem::path& path,
+                                   const LoadLimits& limits = {});
 
 /// Writes `log` to `path` as CSV (also write-temp-then-rename).
 void save_csv(const EventLog& log, const std::filesystem::path& path,

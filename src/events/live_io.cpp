@@ -1,0 +1,153 @@
+#include "events/live_io.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "events/binary.hpp"
+#include "util/format.hpp"
+#include "util/fs.hpp"
+
+namespace appstore::events {
+
+namespace {
+
+constexpr std::string_view kMagic = "ALSG";
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kKnownColumns =
+    static_cast<std::uint32_t>(Columns::kDay) | static_cast<std::uint32_t>(Columns::kOrdinal) |
+    static_cast<std::uint32_t>(Columns::kRating);
+constexpr std::uint64_t kMaxSegmentRows = 1ull << 30;
+constexpr std::uint64_t kSegmentHeaderBytes = 2 * sizeof(std::uint64_t);
+
+/// Serialized bytes per row: ordinal is implicit (== row), never stored.
+[[nodiscard]] std::uint64_t stored_bytes_per_row(Columns columns) {
+  std::uint64_t bytes = 2 * sizeof(std::uint32_t);  // user + app
+  if (has_column(columns, Columns::kDay)) bytes += sizeof(std::int32_t);
+  if (has_column(columns, Columns::kRating)) bytes += sizeof(std::uint8_t);
+  return bytes;
+}
+
+}  // namespace
+
+void save_segmented(const FrontierSnapshot& snapshot, const std::filesystem::path& path,
+                    const IoOptions& options) {
+  const std::uint64_t count = snapshot.frontier();
+  const std::uint64_t segment_rows =
+      snapshot.log() != nullptr ? snapshot.log()->arena().segment_rows() : (1ull << 16);
+
+  util::AtomicFile staged(path);
+  {
+    std::ofstream out(staged.temp_path(), std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_segmented: cannot open " + path.string());
+
+    binary::write_header(out, kMagic, kVersion,
+                         static_cast<std::uint32_t>(snapshot.columns()), count);
+    binary::write_pod(out, segment_rows);
+
+    for (std::uint64_t first = 0; first < count; first += segment_rows) {
+      const std::uint64_t rows = std::min(segment_rows, count - first);
+      binary::write_pod(out, first);
+      binary::write_pod(out, rows);
+      const auto slice = [first, rows](auto span) {
+        return span.subspan(static_cast<std::size_t>(first), static_cast<std::size_t>(rows));
+      };
+      binary::write_column(out, slice(snapshot.user()));
+      binary::write_column(out, slice(snapshot.app()));
+      if (!snapshot.day().empty()) binary::write_column(out, slice(snapshot.day()));
+      if (!snapshot.rating().empty()) binary::write_column(out, slice(snapshot.rating()));
+      if (options.faults != nullptr) {
+        const chaos::Fault fault =
+            options.faults->next(chaos::FaultSite::kFileWrite, path.string());
+        if (fault.kind == chaos::FaultKind::kTornWrite) {
+          out.flush();
+          throw chaos::InjectedFault(fault.kind,
+                                     "injected torn write for " + path.string());
+        }
+      }
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("save_segmented: write failed for " + path.string());
+  }
+  staged.commit();
+}
+
+std::unique_ptr<LiveEventLog> load_segmented(const std::filesystem::path& path,
+                                             LiveOptions options, const LoadLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw binary::LoadError(binary::LoadErrorKind::kOpen,
+                            "load_segmented: cannot open " + path.string());
+  }
+
+  const binary::Header header = binary::read_header(in, kMagic, kVersion);
+  if ((header.flags & ~kKnownColumns) != 0) {
+    throw binary::LoadError(
+        binary::LoadErrorKind::kBadFlags,
+        util::format("load_segmented: unknown column flags 0x{:x} in {}", header.flags,
+                     path.string()));
+  }
+  const auto columns = static_cast<Columns>(header.flags);
+  const std::uint64_t count = header.count;
+  const auto segment_rows = binary::read_pod<std::uint64_t>(in, "segment rows");
+  if (segment_rows == 0 || segment_rows > kMaxSegmentRows ||
+      (segment_rows & (segment_rows - 1)) != 0) {
+    throw binary::LoadError(
+        binary::LoadErrorKind::kBadSegment,
+        util::format("load_segmented: bad segment size {} in {}", segment_rows,
+                     path.string()));
+  }
+  // Geometry sanity before any size math: a corrupted count can't overflow
+  // the expected-payload product (rows are >= 8 bytes, files are < 2^63).
+  if (count > (std::uint64_t{1} << 32)) {
+    throw binary::LoadError(
+        binary::LoadErrorKind::kLengthMismatch,
+        util::format("load_segmented: absurd row count {} in {}", count, path.string()));
+  }
+
+  const std::uint64_t segments = (count + segment_rows - 1) / segment_rows;
+  const std::uint64_t expected_rest =
+      segments * kSegmentHeaderBytes + count * stored_bytes_per_row(columns);
+  binary::expect_payload(in, expected_rest, 1, "ALSG");
+
+  if (count > options.max_rows) {
+    options.max_rows =
+        (count + options.segment_rows - 1) / options.segment_rows * options.segment_rows;
+  }
+  auto log = std::make_unique<LiveEventLog>(columns, options);
+  const std::uint64_t user_bound =
+      std::min<std::uint64_t>(limits.user_bound, options.max_users);
+
+  const bool with_day = has_column(columns, Columns::kDay);
+  const bool with_rating = has_column(columns, Columns::kRating);
+  for (std::uint64_t segment = 0; segment < segments; ++segment) {
+    const std::uint64_t want_first = segment * segment_rows;
+    const std::uint64_t want_rows = std::min(segment_rows, count - want_first);
+    const auto first = binary::read_pod<std::uint64_t>(in, "segment first row");
+    const auto rows = binary::read_pod<std::uint64_t>(in, "segment row count");
+    if (first != want_first || rows != want_rows) {
+      throw binary::LoadError(
+          binary::LoadErrorKind::kBadSegment,
+          util::format("load_segmented: segment {} header ({}, {}) != expected ({}, {}) in {}",
+                       segment, first, rows, want_first, want_rows, path.string()));
+    }
+    auto user = binary::read_column<std::uint32_t>(in, rows, "user");
+    binary::check_user_bound(user, user_bound, "ALSG");
+    auto app = binary::read_column<std::uint32_t>(in, rows, "app");
+    auto day =
+        binary::read_column<std::int32_t>(in, with_day ? rows : 0, "day");
+    auto rating = binary::read_column<std::uint8_t>(in, with_rating ? rows : 0, "rating");
+    // Replay the segment as one published block. Ordinals reconstruct as row
+    // ids inside append_batch — exactly what save_segmented elided.
+    const EventLog batch = EventLog::from_columns(
+        columns == Columns::kNone
+            ? columns
+            : static_cast<Columns>(static_cast<std::uint8_t>(columns) &
+                                   ~static_cast<std::uint8_t>(Columns::kOrdinal)),
+        std::move(user), std::move(app), std::move(day), {}, std::move(rating));
+    log->append_batch(batch);
+  }
+  return log;
+}
+
+}  // namespace appstore::events

@@ -1,0 +1,144 @@
+#include "events/tiered_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace appstore::events {
+
+TieredUserIndex::TieredUserIndex(std::uint32_t max_users)
+    : max_users_(max_users),
+      top_((static_cast<std::size_t>(max_users) + kIndexletUsers - 1) / kIndexletUsers) {
+  if (max_users == 0) {
+    throw std::invalid_argument("TieredUserIndex: max_users must be nonzero");
+  }
+  bytes_.store(top_.size() * sizeof(top_[0]), std::memory_order_relaxed);
+}
+
+TieredUserIndex::~TieredUserIndex() {
+  for (std::atomic<Indexlet*>& slot : top_) {
+    Indexlet* indexlet = slot.load(std::memory_order_relaxed);
+    if (indexlet == nullptr) continue;
+    for (UserEntry& entry : indexlet->users) {
+      for (std::atomic<PostingSlot*>& chunk : entry.chunks) {
+        delete[] chunk.load(std::memory_order_relaxed);
+      }
+    }
+    delete indexlet;
+  }
+}
+
+TieredUserIndex::UserEntry* TieredUserIndex::find_entry(std::uint32_t user) const {
+  if (user >= max_users_) {
+    throw std::out_of_range(
+        util::format("TieredUserIndex: user {} >= max_users {}", user, max_users_));
+  }
+  Indexlet* indexlet = top_[user >> kIndexletBits].load(std::memory_order_acquire);
+  if (indexlet == nullptr) return nullptr;
+  return &indexlet->users[user & (kIndexletUsers - 1)];
+}
+
+TieredUserIndex::UserEntry& TieredUserIndex::ensure_entry(std::uint32_t user) {
+  if (user >= max_users_) {
+    throw std::out_of_range(
+        util::format("TieredUserIndex: user {} >= max_users {}", user, max_users_));
+  }
+  std::atomic<Indexlet*>& slot = top_[user >> kIndexletBits];
+  Indexlet* indexlet = slot.load(std::memory_order_acquire);
+  if (indexlet == nullptr) {
+    // First touch of this 4096-user block: race to install a fresh indexlet.
+    auto* fresh = new Indexlet();
+    if (slot.compare_exchange_strong(indexlet, fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      indexlet = fresh;
+      bytes_.fetch_add(sizeof(Indexlet), std::memory_order_relaxed);
+    } else {
+      delete fresh;  // lost the race; `indexlet` holds the winner
+    }
+  }
+  return indexlet->users[user & (kIndexletUsers - 1)];
+}
+
+TieredUserIndex::PostingSlot* TieredUserIndex::ensure_chunk(UserEntry& entry,
+                                                            std::uint32_t tier) {
+  std::atomic<PostingSlot*>& slot = entry.chunks[tier];
+  PostingSlot* chunk = slot.load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    auto* fresh = new PostingSlot[chunk_capacity(tier)];
+    if (slot.compare_exchange_strong(chunk, fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      chunk = fresh;
+      bytes_.fetch_add(chunk_capacity(tier) * sizeof(PostingSlot),
+                       std::memory_order_relaxed);
+    } else {
+      delete[] fresh;
+    }
+  }
+  return chunk;
+}
+
+void TieredUserIndex::append(std::uint32_t user, std::uint64_t key, std::uint64_t row) {
+  UserEntry& entry = ensure_entry(user);
+  // fetch_add claims a unique posting index; the tier geometry maps it to a
+  // chunk + slot that no other writer can claim.
+  const std::uint64_t i = entry.count.fetch_add(1, std::memory_order_relaxed);
+  if (i >= kMaxPostings) {
+    throw std::length_error(
+        util::format("TieredUserIndex: user {} exceeded {} postings", user, kMaxPostings));
+  }
+  const auto tier =
+      static_cast<std::uint32_t>(std::bit_width(i / kFirstChunkPostings + 1) - 1);
+  PostingSlot* chunk = ensure_chunk(entry, tier);
+  PostingSlot& posting = chunk[i - chunk_start(tier)];
+  // Relaxed stores: visibility is the frontier's job (release chain in
+  // LiveEventLog::publish). Nonzero row_plus_1 is still not "published" —
+  // readers ignore it until their frontier covers `row`.
+  posting.key.store(key, std::memory_order_relaxed);
+  posting.row_plus_1.store(row + 1, std::memory_order_relaxed);
+}
+
+void TieredUserIndex::collect(std::uint32_t user, std::uint64_t frontier,
+                              std::vector<Posting>& out) const {
+  const UserEntry* entry = find_entry(user);
+  if (entry == nullptr) return;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(entry->count.load(std::memory_order_acquire), kMaxPostings);
+  const std::size_t first_out = out.size();
+  for (std::uint32_t tier = 0; tier < kNumTiers && chunk_start(tier) < count; ++tier) {
+    const PostingSlot* chunk = entry->chunks[tier].load(std::memory_order_acquire);
+    // A null chunk only holds postings some writer claimed but has not made
+    // reachable yet — all of them are past any frontier we could have been
+    // given, so skipping the tier is exact, and later tiers may still hold
+    // visible postings (posting order is claim order, not row order).
+    if (chunk == nullptr) continue;
+    const std::uint64_t end = std::min(count - chunk_start(tier), chunk_capacity(tier));
+    for (std::uint64_t slot = 0; slot < end; ++slot) {
+      const std::uint64_t row_plus_1 = chunk[slot].row_plus_1.load(std::memory_order_relaxed);
+      if (row_plus_1 == 0 || row_plus_1 - 1 >= frontier) continue;
+      out.push_back(Posting{chunk[slot].key.load(std::memory_order_relaxed), row_plus_1 - 1});
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first_out), out.end());
+}
+
+std::uint64_t TieredUserIndex::visible_count(std::uint32_t user, std::uint64_t frontier) const {
+  const UserEntry* entry = find_entry(user);
+  if (entry == nullptr) return 0;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(entry->count.load(std::memory_order_acquire), kMaxPostings);
+  std::uint64_t visible = 0;
+  for (std::uint32_t tier = 0; tier < kNumTiers && chunk_start(tier) < count; ++tier) {
+    const PostingSlot* chunk = entry->chunks[tier].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    const std::uint64_t end = std::min(count - chunk_start(tier), chunk_capacity(tier));
+    for (std::uint64_t slot = 0; slot < end; ++slot) {
+      const std::uint64_t row_plus_1 = chunk[slot].row_plus_1.load(std::memory_order_relaxed);
+      if (row_plus_1 != 0 && row_plus_1 - 1 < frontier) ++visible;
+    }
+  }
+  return visible;
+}
+
+}  // namespace appstore::events

@@ -1,0 +1,128 @@
+// Tiered lock-free per-user posting index (netplay tieredindex.h shape).
+//
+// Replaces the batch CSR rebuild: writers publish (sort-key, row) postings
+// per user as they append, readers materialize any user's chronological
+// stream from a frontier snapshot — no rebuild, no locks, no waiting.
+//
+// Two tiers of CAS-allocated structure:
+//
+//   top tier     std::atomic<Indexlet*>[max_users / 4096]
+//                  — allocated on the first event that touches a user in
+//                    the 4096-user block (CAS; losers free their copy)
+//   per user     count + std::atomic<PostingSlot*> chunks[kNumTiers]
+//                  — chunk t holds (8 << t) postings, so capacity doubles
+//                    per tier and a user's postings never move once written
+//
+// A writer claims a posting slot with count.fetch_add (unique index, no
+// lock), CAS-allocates the owning chunk if it is first to need it, then
+// stores key and row into the slot's atomics. Slot stores are relaxed: the
+// ONLY synchronization in the live store is the log's read frontier
+// (live_log.hpp). A reader that acquired frontier F is guaranteed, by the
+// release chain on the frontier, to see every posting whose row < F fully
+// written; postings with row >= F (or still-zero slots, or whole chunks not
+// yet CAS-published) are simply skipped — reading those relaxed atomics is
+// defined behavior, unlike the plain column arrays, which is why slots must
+// be atomics at all. Rows are stored +1 so a zero slot means "unwritten".
+//
+// Sort key: ((day ^ 0x80000000) << 32) | ordinal — the sign-bias makes
+// unsigned key order equal signed day order, so sorting postings by
+// (key, row) reproduces the batch CSR's stable (day, ordinal) sort with
+// append-order tie-break, bit for bit.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace appstore::events {
+
+/// One collected posting: the packed chronological key plus the log row.
+struct Posting {
+  std::uint64_t key = 0;
+  std::uint64_t row = 0;
+
+  friend bool operator<(const Posting& a, const Posting& b) noexcept {
+    return a.key != b.key ? a.key < b.key : a.row < b.row;
+  }
+};
+
+/// Packs (day, ordinal) into one sortable 64-bit key.
+[[nodiscard]] constexpr std::uint64_t posting_key(std::int32_t day,
+                                                  std::uint32_t ordinal) noexcept {
+  const std::uint32_t biased = static_cast<std::uint32_t>(day) ^ 0x80000000u;
+  return (static_cast<std::uint64_t>(biased) << 32) | ordinal;
+}
+
+class TieredUserIndex {
+ public:
+  static constexpr std::uint32_t kIndexletBits = 12;  ///< 4096 users per indexlet
+  static constexpr std::uint32_t kIndexletUsers = 1u << kIndexletBits;
+  static constexpr std::uint32_t kNumTiers = 20;
+  static constexpr std::uint64_t kFirstChunkPostings = 8;
+  /// 8 * (2^20 - 1) postings per user — far above any per-user stream here.
+  static constexpr std::uint64_t kMaxPostings =
+      kFirstChunkPostings * ((1ull << kNumTiers) - 1);
+
+  /// `max_users` is the key space; it is rounded up to a whole indexlet.
+  explicit TieredUserIndex(std::uint32_t max_users);
+  ~TieredUserIndex();
+
+  TieredUserIndex(const TieredUserIndex&) = delete;
+  TieredUserIndex& operator=(const TieredUserIndex&) = delete;
+
+  [[nodiscard]] std::uint32_t max_users() const noexcept { return max_users_; }
+
+  /// Publishes one posting for `user`. Lock-free; any number of writer
+  /// threads may append concurrently (for the same user too). Throws
+  /// std::out_of_range for user >= max_users(), std::length_error past
+  /// kMaxPostings for one user.
+  void append(std::uint32_t user, std::uint64_t key, std::uint64_t row);
+
+  /// Appends every posting of `user` with row < frontier to `out`, sorted by
+  /// (key, row). Wait-free; safe concurrently with writers. The caller owns
+  /// the frontier acquire that makes the postings' contents visible.
+  void collect(std::uint32_t user, std::uint64_t frontier, std::vector<Posting>& out) const;
+
+  /// Number of postings of `user` with row < frontier (what collect returns).
+  [[nodiscard]] std::uint64_t visible_count(std::uint32_t user,
+                                            std::uint64_t frontier) const;
+
+  /// Approximate allocated bytes (indexlets + chunks), tracked atomically.
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PostingSlot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> row_plus_1{0};  ///< 0 = slot not yet written
+  };
+
+  struct UserEntry {
+    std::atomic<std::uint32_t> count{0};
+    std::array<std::atomic<PostingSlot*>, kNumTiers> chunks{};
+  };
+
+  struct Indexlet {
+    std::array<UserEntry, kIndexletUsers> users{};
+  };
+
+  /// Chunk t holds postings [start(t), start(t) + capacity(t)).
+  [[nodiscard]] static constexpr std::uint64_t chunk_capacity(std::uint32_t tier) noexcept {
+    return kFirstChunkPostings << tier;
+  }
+  [[nodiscard]] static constexpr std::uint64_t chunk_start(std::uint32_t tier) noexcept {
+    return kFirstChunkPostings * ((1ull << tier) - 1);
+  }
+
+  [[nodiscard]] UserEntry* find_entry(std::uint32_t user) const;
+  [[nodiscard]] UserEntry& ensure_entry(std::uint32_t user);
+  [[nodiscard]] PostingSlot* ensure_chunk(UserEntry& entry, std::uint32_t tier);
+
+  std::uint32_t max_users_;
+  std::vector<std::atomic<Indexlet*>> top_;
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace appstore::events

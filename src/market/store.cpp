@@ -1,12 +1,47 @@
 #include "market/store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <stdexcept>
 
 #include "util/format.hpp"
 
 namespace appstore::market {
+
+namespace {
+
+// Download counters are updated with atomic_ref so record/ingest can run
+// from many threads without promoting the members to std::atomic (which
+// would cost AppStore its movability). Relaxed is enough: the counters are
+// monitoring values, ordered against the event data only at quiescence.
+void counter_add(std::uint64_t& cell, std::uint64_t n) noexcept {
+  std::atomic_ref<std::uint64_t>(cell).fetch_add(n, std::memory_order_relaxed);
+}
+
+[[nodiscard]] std::uint64_t counter_read(const std::uint64_t& cell) noexcept {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(cell))
+      .load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] events::LiveOptions shaped(const events::LiveOptions& live,
+                                         const char* suffix) {
+  events::LiveOptions options = live;
+  if (!options.backing_file.empty()) {
+    options.backing_file += suffix;
+  }
+  return options;
+}
+
+}  // namespace
+
+AppStore::AppStore(std::string name, const events::LiveOptions& live)
+    : name_(std::move(name)),
+      download_live_(std::make_unique<events::LiveEventLog>(
+          events::Columns::kDay | events::Columns::kOrdinal, shaped(live, ".downloads"))),
+      comment_live_(std::make_unique<events::LiveEventLog>(
+          events::Columns::kDay | events::Columns::kOrdinal | events::Columns::kRating,
+          shaped(live, ".comments"))) {}
 
 CategoryId AppStore::add_category(std::string name) {
   const CategoryId id{static_cast<std::uint32_t>(categories_.size())};
@@ -23,6 +58,11 @@ DeveloperId AppStore::add_developer(std::string name) {
 UserId AppStore::add_user() { return add_users(1); }
 
 UserId AppStore::add_users(std::uint32_t count) {
+  if (static_cast<std::uint64_t>(user_count_) + count > download_live_->max_users()) {
+    throw std::invalid_argument(util::format(
+        "add_users: {} users exceeds the live store's max_users {}",
+        static_cast<std::uint64_t>(user_count_) + count, download_live_->max_users()));
+  }
   const UserId first{user_count_};
   user_count_ += count;
   return first;
@@ -64,27 +104,22 @@ void AppStore::record_update(AppId app, Day day) {
 
 void AppStore::record_download(UserId user, AppId app, Day day) {
   if (user.index() >= user_count_) throw std::invalid_argument("record_download: invalid user");
-  ++downloads_.at(app.index());
-  ++total_downloads_;
-  download_log_.append(user.value, app.value, day,
-                       static_cast<std::uint32_t>(download_log_.size()));
+  if (app.index() >= apps_.size()) throw std::invalid_argument("record_download: invalid app");
+  counter_add(downloads_[app.index()], 1);
+  counter_add(total_downloads_, 1);
+  download_live_->append(user.value, app.value, day);
 }
 
 void AppStore::record_comment(UserId user, AppId app, Day day, std::uint8_t rating) {
   if (user.index() >= user_count_) throw std::invalid_argument("record_comment: invalid user");
   if (app.index() >= apps_.size()) throw std::invalid_argument("record_comment: invalid app");
-  comment_log_.append(user.value, app.value, day,
-                      static_cast<std::uint32_t>(comment_log_.size()), rating);
+  comment_live_->append(user.value, app.value, day, rating);
 }
 
-void AppStore::ingest_downloads(const events::EventLog& batch) {
-  if (batch.columns() != download_log_.columns()) {
-    throw std::invalid_argument("ingest_downloads: batch column mask mismatch");
-  }
-  const auto base = static_cast<std::uint32_t>(download_log_.size());
+void AppStore::ingest_downloads(const events::EventLog& batch,
+                                const events::IngestOptions& options) {
   const auto users = batch.user();
   const auto apps = batch.app();
-  const auto ordinals = batch.ordinal();
   for (std::size_t k = 0; k < batch.size(); ++k) {
     if (users[k] >= user_count_) {
       throw std::invalid_argument("ingest_downloads: invalid user");
@@ -92,15 +127,12 @@ void AppStore::ingest_downloads(const events::EventLog& batch) {
     if (apps[k] >= apps_.size()) {
       throw std::invalid_argument("ingest_downloads: invalid app");
     }
-    if (ordinals[k] != base + k) {
-      throw std::invalid_argument(util::format(
-          "ingest_downloads: ordinal discontinuity at row {} ({} != {})", k, ordinals[k],
-          base + k));
-    }
   }
-  for (const auto app : apps) ++downloads_[app];
-  total_downloads_ += batch.size();
-  download_log_.append(batch);
+  // Counters first, then the atomically-published block; a snapshot taken
+  // mid-ingest sees the old frontier either way (see the class contract).
+  for (const auto app : apps) counter_add(downloads_[app], 1);
+  counter_add(total_downloads_, batch.size());
+  download_live_->append_batch(batch, options);
 }
 
 void AppStore::set_price(AppId app, Cents price, Day /*day*/) {
@@ -123,28 +155,16 @@ double AppStore::average_price_dollars(AppId id) const {
   return price_sum_dollars_.at(id.index()) / static_cast<double>(samples);
 }
 
-void AppStore::build_stream_index(const events::BuildOptions& options) {
-  download_log_.build_index(user_count_, options);
-  comment_log_.build_index(user_count_, options);
+std::uint64_t AppStore::downloads_of(AppId id) const {
+  return counter_read(downloads_.at(id.index()));
 }
 
-std::vector<DownloadEvent> AppStore::download_events() const {
-  std::vector<DownloadEvent> out;
-  out.reserve(download_log_.size());
-  for (const auto row : download_log_) {
-    out.push_back(DownloadEvent{UserId{row.user}, AppId{row.app}, row.day, row.ordinal});
-  }
-  return out;
+std::uint64_t AppStore::total_downloads() const noexcept {
+  return counter_read(total_downloads_);
 }
 
-std::vector<CommentEvent> AppStore::comment_events() const {
-  std::vector<CommentEvent> out;
-  out.reserve(comment_log_.size());
-  for (const auto row : comment_log_) {
-    out.push_back(
-        CommentEvent{UserId{row.user}, AppId{row.app}, row.day, row.ordinal, row.rating});
-  }
-  return out;
+void AppStore::build_stream_index(const events::BuildOptions& /*options*/) {
+  // The tiered index is maintained by every append; nothing to build.
 }
 
 std::vector<std::uint32_t> AppStore::apps_per_category() const {
@@ -156,14 +176,16 @@ std::vector<std::uint32_t> AppStore::apps_per_category() const {
 std::vector<double> AppStore::download_counts() const {
   std::vector<double> counts;
   counts.reserve(downloads_.size());
-  for (const auto d : downloads_) counts.push_back(static_cast<double>(d));
+  for (const auto& d : downloads_) counts.push_back(static_cast<double>(counter_read(d)));
   return counts;
 }
 
 std::vector<double> AppStore::download_counts(Pricing pricing) const {
   std::vector<double> counts;
   for (std::size_t i = 0; i < apps_.size(); ++i) {
-    if (apps_[i].pricing == pricing) counts.push_back(static_cast<double>(downloads_[i]));
+    if (apps_[i].pricing == pricing) {
+      counts.push_back(static_cast<double>(counter_read(downloads_[i])));
+    }
   }
   return counts;
 }
@@ -180,41 +202,16 @@ std::vector<double> AppStore::downloads_by_rank(Pricing pricing) const {
   return counts;
 }
 
-std::vector<std::vector<CommentEvent>> AppStore::comment_streams() const {
-  std::vector<std::vector<CommentEvent>> streams(user_count_);
-  for (const auto row : comment_log_) {
-    streams[row.user].push_back(
-        CommentEvent{UserId{row.user}, AppId{row.app}, row.day, row.ordinal, row.rating});
-  }
-  for (auto& stream : streams) {
-    std::sort(stream.begin(), stream.end(),
-              [](const CommentEvent& a, const CommentEvent& b) { return chronological(a, b); });
-  }
-  return streams;
-}
-
-std::vector<std::vector<DownloadEvent>> AppStore::download_streams() const {
-  std::vector<std::vector<DownloadEvent>> streams(user_count_);
-  for (const auto row : download_log_) {
-    streams[row.user].push_back(DownloadEvent{UserId{row.user}, AppId{row.app}, row.day,
-                                              row.ordinal});
-  }
-  for (auto& stream : streams) {
-    std::sort(stream.begin(), stream.end(),
-              [](const DownloadEvent& a, const DownloadEvent& b) { return chronological(a, b); });
-  }
-  return streams;
-}
-
 void AppStore::check_invariants() const {
   if (downloads_.size() != apps_.size()) {
     throw std::logic_error("store invariant: download counter size mismatch");
   }
   std::uint64_t recomputed_total = 0;
   std::vector<std::uint64_t> recomputed(apps_.size(), 0);
-  const auto dl_users = download_log_.user();
-  const auto dl_apps = download_log_.app();
-  for (std::size_t i = 0; i < download_log_.size(); ++i) {
+  const events::FrontierSnapshot download_log = this->download_log();
+  const auto dl_users = download_log.user();
+  const auto dl_apps = download_log.app();
+  for (std::size_t i = 0; i < download_log.size(); ++i) {
     if (dl_apps[i] >= apps_.size()) {
       throw std::logic_error("store invariant: download event with invalid app");
     }
@@ -225,17 +222,18 @@ void AppStore::check_invariants() const {
     ++recomputed_total;
   }
   for (std::size_t i = 0; i < apps_.size(); ++i) {
-    if (recomputed[i] != downloads_[i]) {
-      throw std::logic_error(util::format(
-          "store invariant: app {} counter {} != {} events", i, downloads_[i], recomputed[i]));
+    if (recomputed[i] != counter_read(downloads_[i])) {
+      throw std::logic_error(util::format("store invariant: app {} counter {} != {} events",
+                                          i, counter_read(downloads_[i]), recomputed[i]));
     }
   }
-  if (recomputed_total != total_downloads_) {
+  if (recomputed_total != counter_read(total_downloads_)) {
     throw std::logic_error("store invariant: total download counter mismatch");
   }
-  const auto cm_users = comment_log_.user();
-  const auto cm_apps = comment_log_.app();
-  for (std::size_t i = 0; i < comment_log_.size(); ++i) {
+  const events::FrontierSnapshot comment_log = this->comment_log();
+  const auto cm_users = comment_log.user();
+  const auto cm_apps = comment_log.app();
+  for (std::size_t i = 0; i < comment_log.size(); ++i) {
     if (cm_apps[i] >= apps_.size() || cm_users[i] >= user_count_) {
       throw std::logic_error("store invariant: comment event with invalid id");
     }

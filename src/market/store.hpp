@@ -6,20 +6,34 @@
 // IDs, download counts equal the number of download events, and per-user
 // streams are chronologically ordered.
 //
-// Event storage is columnar: one events::EventLog per event kind (downloads,
-// comments), with a CSR per-user index built by build_stream_index(). The
-// per-user accessors download_stream()/comment_stream() are zero-copy views;
-// the legacy materializing APIs (download_events(), comment_streams(), ...)
-// are kept as deprecated forwarders that copy rows out of the log.
+// Event storage is live and columnar: one events::LiveEventLog per event
+// kind (downloads, comments). Writers (record_download, record_comment,
+// ingest_downloads) append lock-free and publish through an atomic read
+// frontier; readers take FrontierSnapshot views (download_log(),
+// comment_log(), the *_stream() accessors) that are consistent prefixes of
+// the log, with per-user chronological streams served by the tiered index —
+// no build step, no stall. Ingest-while-serving contract:
+//
+//   * any number of threads may record/ingest events concurrently with any
+//     number of snapshot readers;
+//   * entity mutation (add_app, add_users, set_price, ...) is construction-
+//     phase only — quiesce event writers around it;
+//   * counters (downloads_of, total_downloads) are monitoring reads during
+//     concurrent ingest: each is atomically updated, but they can run a few
+//     events ahead of or behind the published frontier. check_invariants()
+//     requires a quiesced store.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "events/event_log.hpp"
+#include "events/live_log.hpp"
 #include "market/entities.hpp"
 #include "market/events.hpp"
 #include "market/types.hpp"
@@ -28,11 +42,9 @@ namespace appstore::market {
 
 class AppStore {
  public:
-  explicit AppStore(std::string name)
-      : name_(std::move(name)),
-        download_log_(events::Columns::kDay | events::Columns::kOrdinal),
-        comment_log_(events::Columns::kDay | events::Columns::kOrdinal |
-                     events::Columns::kRating) {}
+  /// `live` shapes both event logs (capacity, segment size, mmap backing —
+  /// a non-empty backing_file gets ".downloads"/".comments" suffixes).
+  explicit AppStore(std::string name, const events::LiveOptions& live = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
@@ -51,19 +63,22 @@ class AppStore {
   /// Records an app update on `day` (Fig. 4 series).
   void record_update(AppId app, Day day);
 
-  /// Records a download; increments the per-app counter.
+  /// Records a download; increments the per-app counter. Lock-free; may run
+  /// concurrently with other writers and with snapshot readers.
   void record_download(UserId user, AppId app, Day day);
 
-  /// Records a rated comment (the affinity substrate, §4).
+  /// Records a rated comment (the affinity substrate, §4). Lock-free.
   void record_comment(UserId user, AppId app, Day day, std::uint8_t rating);
 
-  /// Bulk download ingestion: validates and adopts a column batch produced
-  /// elsewhere (e.g. the shard-wise synth generator). The batch's ordinals
-  /// must continue this store's download ordinal sequence (first ordinal ==
-  /// current download count, consecutive after that), so the result is
-  /// byte-identical to the equivalent record_download() loop. Throws
-  /// std::invalid_argument on any invalid id or ordinal discontinuity.
-  void ingest_downloads(const events::EventLog& batch);
+  /// Bulk download ingestion: validates and appends a column batch produced
+  /// elsewhere (e.g. the shard-wise synth generator) as one atomically
+  /// published block — readers see none or all of it. Ordinals are assigned
+  /// by the store (row ids), so the result is bit-identical to the
+  /// equivalent record_download() loop at any options.threads; a batch that
+  /// carries an ordinal column is only validated against that sequence.
+  /// Throws std::invalid_argument on any invalid id or ordinal mismatch.
+  void ingest_downloads(const events::EventLog& batch,
+                        const events::IngestOptions& options = {});
 
   /// Updates the list price of a paid app starting at `day`; the average
   /// price (used by the revenue analysis) is tracked per observed day.
@@ -85,44 +100,57 @@ class AppStore {
   }
   [[nodiscard]] const App& app(AppId id) const { return apps_.at(id.index()); }
 
-  [[nodiscard]] std::uint64_t downloads_of(AppId id) const { return downloads_.at(id.index()); }
-  [[nodiscard]] std::uint64_t total_downloads() const noexcept { return total_downloads_; }
+  [[nodiscard]] std::uint64_t downloads_of(AppId id) const;
+  [[nodiscard]] std::uint64_t total_downloads() const noexcept;
 
   /// Mean of the price observations recorded via set_price/add_app — the
   /// paper uses the average price over the measurement window (§6.1).
   [[nodiscard]] double average_price_dollars(AppId id) const;
 
-  // --- event access (columnar) ---------------------------------------------
+  // --- event access (columnar, frontier-consistent) -------------------------
 
-  /// The download event log: user/app/day/ordinal columns in record order.
-  [[nodiscard]] const events::EventLog& download_log() const noexcept { return download_log_; }
-  /// The comment event log: user/app/day/ordinal/rating columns.
-  [[nodiscard]] const events::EventLog& comment_log() const noexcept { return comment_log_; }
+  /// Snapshot of the download log's published prefix: user/app/day/ordinal
+  /// columns in record order. Cheap (one atomic load); spans stay valid for
+  /// the store's lifetime.
+  [[nodiscard]] events::FrontierSnapshot download_log() const noexcept {
+    return download_live_->snapshot();
+  }
+  /// Snapshot of the comment log (adds the rating column).
+  [[nodiscard]] events::FrontierSnapshot comment_log() const noexcept {
+    return comment_live_->snapshot();
+  }
 
-  /// Builds the CSR per-user indexes on both logs (chronological order per
-  /// user). Must be called after the last record_download/record_comment and
-  /// before the *_stream() views; synth::generate and load_store do this.
+  /// The live stores themselves (frontier, capacity, arena introspection).
+  [[nodiscard]] const events::LiveEventLog& download_live() const noexcept {
+    return *download_live_;
+  }
+  [[nodiscard]] const events::LiveEventLog& comment_live() const noexcept {
+    return *comment_live_;
+  }
+
+  /// Monotonic ingest epoch: advances whenever any event publishes. Two
+  /// equal epochs bracket an identical published state — what the service
+  /// keys its response cache on.
+  [[nodiscard]] std::uint64_t ingest_epoch() const noexcept {
+    return download_live_->frontier() + comment_live_->frontier();
+  }
+
+  /// Backward-compatible no-op: the live store indexes as it ingests. Kept
+  /// so batch-era call sites (load_store, generators, tests) stay valid.
   void build_stream_index(const events::BuildOptions& options = {});
-  [[nodiscard]] bool stream_index_built() const noexcept {
-    return download_log_.indexed() && comment_log_.indexed();
-  }
+  [[nodiscard]] bool stream_index_built() const noexcept { return true; }
 
-  /// Zero-copy chronological per-user views (require build_stream_index).
-  [[nodiscard]] events::UserStreamView download_stream(UserId user) const {
-    return download_log_.stream(user.value);
+  /// Chronological per-user views over the current frontier.
+  [[nodiscard]] events::LiveStreamView download_stream(UserId user) const {
+    return download_live_->snapshot().stream(user.value);
   }
-  [[nodiscard]] events::UserStreamView comment_stream(UserId user) const {
-    return comment_log_.stream(user.value);
+  [[nodiscard]] events::LiveStreamView comment_stream(UserId user) const {
+    return comment_live_->snapshot().stream(user.value);
   }
 
   [[nodiscard]] std::span<const UpdateEvent> update_events() const noexcept {
     return update_events_;
   }
-
-  /// Deprecated: materializes AoS copies of the event logs — O(events) each
-  /// call. Prefer download_log()/comment_log() column views in new code.
-  [[nodiscard]] std::vector<DownloadEvent> download_events() const;
-  [[nodiscard]] std::vector<CommentEvent> comment_events() const;
 
   /// Number of apps in each category (index = CategoryId).
   [[nodiscard]] std::vector<std::uint32_t> apps_per_category() const;
@@ -137,16 +165,9 @@ class AppStore {
   [[nodiscard]] std::vector<double> downloads_by_rank() const;
   [[nodiscard]] std::vector<double> downloads_by_rank(Pricing pricing) const;
 
-  /// Deprecated: chronological (day, ordinal) per-user comment streams as
-  /// materialized per-user vectors — O(events) copies. Prefer
-  /// comment_stream() views over the CSR index. Index = UserId.
-  [[nodiscard]] std::vector<std::vector<CommentEvent>> comment_streams() const;
-
-  /// Deprecated: materialized per-user download streams. Index = UserId.
-  [[nodiscard]] std::vector<std::vector<DownloadEvent>> download_streams() const;
-
   /// Validates all invariants; throws std::logic_error with a description of
-  /// the first violation. Used by tests and after deserialization.
+  /// the first violation. Used by tests and after deserialization. Requires
+  /// a quiesced store (no in-flight writers).
   void check_invariants() const;
 
  private:
@@ -156,13 +177,13 @@ class AppStore {
   std::vector<App> apps_;
   std::uint32_t user_count_ = 0;
 
-  std::vector<std::uint64_t> downloads_;      // per app
-  std::uint64_t total_downloads_ = 0;
+  std::vector<std::uint64_t> downloads_;      // per app; atomic_ref-updated
+  std::uint64_t total_downloads_ = 0;         // atomic_ref-updated
   std::vector<double> price_sum_dollars_;     // per app, sum of observations
   std::vector<std::uint32_t> price_samples_;  // per app
 
-  events::EventLog download_log_;
-  events::EventLog comment_log_;
+  std::unique_ptr<events::LiveEventLog> download_live_;
+  std::unique_ptr<events::LiveEventLog> comment_live_;
   std::vector<UpdateEvent> update_events_;
 };
 

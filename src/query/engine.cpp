@@ -109,9 +109,9 @@ QueryEngine::QueryEngine(const market::AppStore& store, QueryOptions options,
   }
 }
 
-BoundLog QueryEngine::bind(const events::EventLog& log) const noexcept {
+BoundLog QueryEngine::bind(const events::FrontierSnapshot& log) const noexcept {
   BoundLog bound;
-  bound.log = &log;
+  bound.log = log;
   bound.app_category = app_category_;
   bound.app_price = app_price_;
   bound.store_name = store_->name();
@@ -147,8 +147,11 @@ QueryResult QueryEngine::run(const QuerySpec& spec, market::Day day) const {
   if (!requests_by_kind_.empty()) requests_by_kind_[kind_index]->inc();
   obs::ScopedTimer timer(latency_by_kind_.empty() ? nullptr : latency_by_kind_[kind_index]);
 
+  // One frontier snapshot per run: the plan, the scans, and the aggregation
+  // all read the same published prefix, so a concurrently ingesting crawler
+  // never tears a result.
   const bool wants_comments = spec.kind == AggregateKind::kCategoryAffinity;
-  const events::EventLog& log =
+  const events::FrontierSnapshot log =
       wants_comments ? store_->comment_log() : store_->download_log();
   const BoundLog bound = bind(log);
 
@@ -176,16 +179,16 @@ QueryResult QueryEngine::run(const QuerySpec& spec, market::Day day) const {
   result.residual_filters = plan.residual_filters;
   result.rows_total = log.size();
   if (wants_comments) {
-    aggregate_affinity(rows, spec, day, result);
+    aggregate_affinity(log, rows, spec, day, result);
   } else {
-    aggregate_downloads(rows, spec, day, result);
+    aggregate_downloads(log, rows, spec, day, result);
   }
   return result;
 }
 
-void QueryEngine::aggregate_downloads(const RowSet& rows, const QuerySpec& spec,
+void QueryEngine::aggregate_downloads(const events::FrontierSnapshot& log,
+                                      const RowSet& rows, const QuerySpec& spec,
                                       market::Day day, QueryResult& result) const {
-  const events::EventLog& log = store_->download_log();
   const std::span<const std::uint32_t> apps = log.app();
   const std::span<const std::int32_t> days = log.day();
   const std::size_t app_count = store_->apps().size();
@@ -267,9 +270,9 @@ void QueryEngine::aggregate_downloads(const RowSet& rows, const QuerySpec& spec,
   }
 }
 
-void QueryEngine::aggregate_affinity(const RowSet& rows, const QuerySpec& spec,
+void QueryEngine::aggregate_affinity(const events::FrontierSnapshot& log,
+                                     const RowSet& rows, const QuerySpec& spec,
                                      market::Day day, QueryResult& result) const {
-  const events::EventLog& log = store_->comment_log();
   const std::span<const std::uint32_t> users = log.user();
   const std::span<const std::uint32_t> apps = log.app();
   const std::span<const std::int32_t> days = log.day();

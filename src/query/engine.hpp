@@ -133,14 +133,16 @@ class QueryEngine {
   [[nodiscard]] const market::AppStore& store() const noexcept { return *store_; }
 
  private:
-  [[nodiscard]] BoundLog bind(const events::EventLog& log) const noexcept;
+  [[nodiscard]] BoundLog bind(const events::FrontierSnapshot& log) const noexcept;
   /// Resolves category-by-name clauses to numeric ids (case-sensitive);
   /// throws QueryError("unknown_category") for names the store lacks.
   [[nodiscard]] Expr resolve(const Expr& expr) const;
 
-  void aggregate_downloads(const RowSet& rows, const QuerySpec& spec, market::Day day,
+  void aggregate_downloads(const events::FrontierSnapshot& log, const RowSet& rows,
+                           const QuerySpec& spec, market::Day day,
                            QueryResult& result) const;
-  void aggregate_affinity(const RowSet& rows, const QuerySpec& spec, market::Day day,
+  void aggregate_affinity(const events::FrontierSnapshot& log, const RowSet& rows,
+                          const QuerySpec& spec, market::Day day,
                           QueryResult& result) const;
 
   const market::AppStore* store_;

@@ -29,9 +29,9 @@ class ClauseEval {
  public:
   ClauseEval(const Comparison& clause, const BoundLog& bound)
       : clause_(clause),
-        user_(bound.log->user()),
-        app_(bound.log->app()),
-        day_(bound.log->day()),
+        user_(bound.log.user()),
+        app_(bound.log.app()),
+        day_(bound.log.day()),
         app_category_(bound.app_category),
         app_price_(bound.app_price) {}
 
@@ -132,8 +132,8 @@ struct UserRange {
       const auto span = static_cast<double>(range->hi - range->lo) + 1.0;
       const double limit =
           std::max(1.0, static_cast<double>(bound.user_count) * options.index_user_fraction);
-      if (options.allow_index_scan && bound.log->indexed() &&
-          bound.log->user_count() >= bound.user_count && span <= limit) {
+      if (options.allow_index_scan && bound.log.indexed() &&
+          bound.log.user_count() >= bound.user_count && span <= limit) {
         node.kind = NodeKind::kIndexScan;
         node.user_lo = range->lo;
         node.user_hi = range->hi;
@@ -205,7 +205,7 @@ void count_scans(const PlanNode& node, Plan& plan) {
 [[nodiscard]] RowSet run_index_scan(const PlanNode& node, const BoundLog& bound) {
   RowSet result;
   for (std::uint32_t user = node.user_lo; user <= node.user_hi; ++user) {
-    const events::UserStreamView view = bound.log->stream(user);
+    const events::LiveStreamView view = bound.log.stream(user);
     for (std::size_t i = 0; i < view.size(); ++i) {
       result.rows.push_back(view.event_index(i));
     }
@@ -217,7 +217,7 @@ void count_scans(const PlanNode& node, Plan& plan) {
 [[nodiscard]] RowSet run_column_scan(const PlanNode& node, const BoundLog& bound,
                                      const PlanOptions& options) {
   RowSet result;
-  const std::uint64_t rows = bound.log->size();
+  const std::uint64_t rows = bound.log.size();
   if (rows == 0) return result;
   const ClauseEval eval(node.clause, bound);
   const std::uint64_t block = std::max<std::uint64_t>(1, options.scan_block);

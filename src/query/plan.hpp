@@ -28,16 +28,18 @@
 #include <string_view>
 #include <vector>
 
-#include "events/event_log.hpp"
+#include "events/live_log.hpp"
 #include "query/expression.hpp"
 
 namespace appstore::query {
 
-/// The per-log binding context: the event log plus the app-metadata columns
-/// the app-joined fields (category, price) read through. Spans must outlive
-/// plan execution.
+/// The per-log binding context: a frontier snapshot of the event log plus
+/// the app-metadata columns the app-joined fields (category, price) read
+/// through. The snapshot pins one consistent prefix for the whole plan —
+/// planning, index scans, and every column-scan block read the same rows
+/// even while writers keep appending. Spans must outlive plan execution.
 struct BoundLog {
-  const events::EventLog* log = nullptr;
+  events::FrontierSnapshot log;
   /// Per-app metadata, indexed by app id (category id; list price, dollars).
   std::span<const std::uint32_t> app_category;
   std::span<const double> app_price;

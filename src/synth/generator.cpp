@@ -392,15 +392,14 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
 
     // Shard-wise columnar emission: the day of arrival k is a pure function
     // of k (plus the app's release day), so the batch columns are filled in
-    // parallel and bulk-ingested. Ordinals continue the store's download
-    // sequence, making the result identical to a serial record_download loop
+    // parallel and bulk-ingested; the live store's append_batch writes the
+    // rows shard-wise in parallel too. Ordinals are assigned by the store as
+    // row ids, making the result identical to a serial record_download loop
     // at every thread count.
     const std::size_t n = stream.size();
     std::vector<std::uint32_t> batch_user(n);
     std::vector<std::uint32_t> batch_app(n);
     std::vector<market::Day> batch_day(n);
-    std::vector<std::uint32_t> batch_ordinal(n);
-    const auto ordinal_base = static_cast<std::uint32_t>(store.download_log().size());
     const par::Options par_options{.threads = config.threads, .metrics = config.metrics};
     par::parallel_for(n, par_options, [&](std::uint64_t k) {
       market::Day day = -1;
@@ -417,11 +416,11 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
       batch_user[k] = user_offset + stream.user()[k];
       batch_app[k] = app.value;
       batch_day[k] = day;
-      batch_ordinal[k] = ordinal_base + static_cast<std::uint32_t>(k);
     });
-    store.ingest_downloads(events::EventLog::from_columns(
-        events::Columns::kDay | events::Columns::kOrdinal, std::move(batch_user),
-        std::move(batch_app), std::move(batch_day), std::move(batch_ordinal)));
+    store.ingest_downloads(
+        events::EventLog::from_columns(events::Columns::kDay, std::move(batch_user),
+                                       std::move(batch_app), std::move(batch_day)),
+        events::IngestOptions{.threads = config.threads});
 
     params_out = params;
   };
@@ -470,10 +469,9 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
     }
   }
 
-  // Establish the per-user chronological index once, so every consumer
-  // (affinity strings, study figures, tests) gets zero-copy stream views.
-  store.build_stream_index(
-      events::BuildOptions{.threads = config.threads, .metrics = config.metrics});
+  // The live store indexes as it ingests; nothing left to build. Kept as a
+  // marker that the store is fully populated from here on.
+  store.build_stream_index();
 
   return out;
 }

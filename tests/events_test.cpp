@@ -268,11 +268,13 @@ TEST_F(EventsIoFixture, MissingOrForeignFilesThrow) {
   EXPECT_THROW((void)events::load_binary(path), std::runtime_error);
 }
 
-// ---- CSR views vs legacy materialized streams --------------------------------
+// ---- live tiered-index streams vs batch CSR ---------------------------------
 
-TEST(EventLogStore, CsrViewsMatchMaterializedStreamsOnSeededStore) {
-  // Seeded Anzhi store with comments: the zero-copy comment_stream() views
-  // must agree event-for-event with the legacy per-user AoS copies.
+TEST(EventLogStore, LiveStreamsMatchBatchCsrOnSeededStore) {
+  // Seeded Anzhi store with comments: the live store's tiered-index
+  // comment_stream()/download_stream() views must agree event-for-event with
+  // a batch EventLog CSR built from the same prefix — the bit-identical
+  // contract the planner and the affinity pipeline rely on.
   synth::GeneratorConfig config;
   config.app_scale = 0.01;
   config.download_scale = 1e-5;
@@ -284,29 +286,34 @@ TEST(EventLogStore, CsrViewsMatchMaterializedStreamsOnSeededStore) {
   ASSERT_TRUE(store.stream_index_built());
   ASSERT_GT(store.comment_log().size(), 0u);
 
-  const auto legacy = store.comment_streams();
-  ASSERT_EQ(legacy.size(), store.user_count());
+  events::EventLog batch_comments = store.comment_log().to_event_log();
+  batch_comments.build_index(store.user_count());
   for (std::uint32_t u = 0; u < store.user_count(); ++u) {
     const auto view = store.comment_stream(market::UserId{u});
-    ASSERT_EQ(view.size(), legacy[u].size()) << "user " << u;
+    const auto batch = batch_comments.stream(u);
+    ASSERT_EQ(view.size(), batch.size()) << "user " << u;
     for (std::size_t i = 0; i < view.size(); ++i) {
+      ASSERT_EQ(view.event_index(i), batch.event_index(i)) << "user " << u;
       const Event event = view[i];
-      const market::CommentEvent& expected = legacy[u][i];
-      ASSERT_EQ(event.user, expected.user.value);
-      ASSERT_EQ(event.app, expected.app.value);
+      const Event expected = batch[i];
+      ASSERT_EQ(event.user, expected.user);
+      ASSERT_EQ(event.app, expected.app);
       ASSERT_EQ(event.day, expected.day);
       ASSERT_EQ(event.ordinal, expected.ordinal);
       ASSERT_EQ(event.rating, expected.rating);
     }
   }
 
-  const auto legacy_downloads = store.download_streams();
+  events::EventLog batch_downloads = store.download_log().to_event_log();
+  batch_downloads.build_index(store.user_count());
   for (std::uint32_t u = 0; u < store.user_count(); ++u) {
     const auto view = store.download_stream(market::UserId{u});
-    ASSERT_EQ(view.size(), legacy_downloads[u].size()) << "user " << u;
+    const auto batch = batch_downloads.stream(u);
+    ASSERT_EQ(view.size(), batch.size()) << "user " << u;
     for (std::size_t i = 0; i < view.size(); ++i) {
-      ASSERT_EQ(view[i].app, legacy_downloads[u][i].app.value);
-      ASSERT_EQ(view[i].day, legacy_downloads[u][i].day);
+      ASSERT_EQ(view.event_index(i), batch.event_index(i)) << "user " << u;
+      ASSERT_EQ(view[i].app, batch[i].app);
+      ASSERT_EQ(view[i].day, batch[i].day);
     }
   }
 }

@@ -79,7 +79,7 @@ TEST(Store, CommentValidation) {
   store.record_comment(UserId{0}, AppId{0}, 1, 5);
   EXPECT_THROW(store.record_comment(UserId{999}, AppId{0}, 1, 5), std::invalid_argument);
   EXPECT_THROW(store.record_comment(UserId{0}, AppId{999}, 1, 5), std::invalid_argument);
-  EXPECT_EQ(store.comment_events().size(), 1u);
+  EXPECT_EQ(store.comment_log().size(), 1u);
 }
 
 TEST(Store, AveragePriceTracksObservations) {
@@ -122,9 +122,7 @@ TEST(Store, CommentStreamsChronological) {
   store.record_comment(UserId{3}, AppId{0}, 5, 4);
   store.record_comment(UserId{3}, AppId{1}, 2, 5);
   store.record_comment(UserId{3}, AppId{2}, 2, 3);
-  const auto streams = store.comment_streams();
-  ASSERT_EQ(streams.size(), 10u);
-  const auto& stream = streams[3];
+  const auto stream = store.comment_stream(UserId{3});
   ASSERT_EQ(stream.size(), 3u);
   EXPECT_EQ(stream[0].day, 2);
   EXPECT_EQ(stream[1].day, 2);

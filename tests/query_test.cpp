@@ -135,7 +135,7 @@ class PlannerFixture : public ::testing::Test {
 
   [[nodiscard]] query::BoundLog bound() const {
     query::BoundLog bound;
-    bound.log = &store_->download_log();
+    bound.log = store_->download_log();
     bound.app_category = app_category_;
     bound.app_price = app_price_;
     bound.store_name = store_->name();
@@ -201,18 +201,14 @@ TEST_F(PlannerFixture, DisabledOrMissingIndexFallsBackToColumnScan) {
                 .root.kind,
             query::NodeKind::kColumnScan);
 
-  // A store whose CSR index was never built cannot serve index scans.
-  market::AppStore raw("Raw");
-  const market::CategoryId category = raw.add_category("c");
-  const market::DeveloperId dev = raw.add_developer("d");
-  (void)raw.add_app("a", dev, category, market::Pricing::kFree, 0, 0);
-  raw.add_users(100);
-  raw.record_download(market::UserId{5}, market::AppId{0}, 1);
+  // A plan bound to no snapshot (the live store indexes as it ingests, so
+  // the only index-less log is an empty default binding) cannot serve index
+  // scans either.
   query::BoundLog unindexed;
-  unindexed.log = &raw.download_log();
-  unindexed.store_name = raw.name();
-  unindexed.user_count = raw.user_count();
+  unindexed.store_name = "Raw";
+  unindexed.user_count = 100;
   unindexed.category_count = 1;
+  ASSERT_FALSE(unindexed.log.indexed());
   EXPECT_EQ(query::plan_filter(query::parse_filter("user == 5"), unindexed, {}).root.kind,
             query::NodeKind::kColumnScan);
 }

@@ -46,7 +46,7 @@ TEST_F(SerializeFixture, RoundTripPreservesEverything) {
   ASSERT_EQ(loaded->categories().size(), original.categories().size());
   ASSERT_EQ(loaded->developers().size(), original.developers().size());
   EXPECT_EQ(loaded->total_downloads(), original.total_downloads());
-  EXPECT_EQ(loaded->comment_events().size(), original.comment_events().size());
+  EXPECT_EQ(loaded->comment_log().size(), original.comment_log().size());
   EXPECT_EQ(loaded->update_events().size(), original.update_events().size());
 
   for (std::size_t a = 0; a < original.apps().size(); ++a) {

@@ -111,7 +111,8 @@ TEST_F(GeneratedAnzhi, CommentStreamsShowClusteringAffinity) {
   for (const auto& app : store.apps()) app_category.push_back(app.category.value);
 
   std::vector<std::vector<std::uint32_t>> category_strings;
-  for (const auto& stream : store.comment_streams()) {
+  for (std::uint32_t u = 0; u < store.user_count(); ++u) {
+    const auto stream = store.comment_stream(market::UserId{u});
     if (stream.empty()) continue;
     const auto apps = affinity::app_string(stream);
     category_strings.push_back(affinity::category_string(apps, app_category));
@@ -256,7 +257,7 @@ TEST(Generator, DeterministicForSameSeed) {
   const auto b = generate(anzhi(), small_config(7));
   EXPECT_EQ(a.store->total_downloads(), b.store->total_downloads());
   EXPECT_EQ(a.store->apps().size(), b.store->apps().size());
-  EXPECT_EQ(a.store->comment_events().size(), b.store->comment_events().size());
+  EXPECT_EQ(a.store->comment_log().size(), b.store->comment_log().size());
   for (std::size_t i = 0; i < 10 && i < a.store->apps().size(); ++i) {
     EXPECT_EQ(a.store->downloads_of(market::AppId{static_cast<std::uint32_t>(i)}),
               b.store->downloads_of(market::AppId{static_cast<std::uint32_t>(i)}));
@@ -306,8 +307,8 @@ TEST(Generator, DownloadsAtDayMonotone) {
 
 TEST(Generator, NoDownloadsBeforeRelease) {
   const auto generated = generate(anzhi(), small_config(4));
-  for (const auto& event : generated.store->download_events()) {
-    EXPECT_GE(event.day, generated.store->app(event.app).released);
+  for (const auto event : generated.store->download_log()) {
+    EXPECT_GE(event.day, generated.store->app(market::AppId{event.app}).released);
   }
 }
 

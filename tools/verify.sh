@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# One-command verification: every recipe from ROADMAP.md "How to verify",
+# in order, plus the ingest-while-serving acceptance bench.
+#
+#   tier-1   default build + full ctest suite
+#   tsan     ThreadSanitizer preset (parallel engine, server pool, live store)
+#   chaos    corruption-fuzz labels under ASan
+#   load     worker-pool server + load-harness labels (default build)
+#   query    query-engine label (default build)
+#   ingest   bench_ingest: live vs stop-the-world, exits non-zero below the
+#            5x floor or on any cross-regime checksum divergence
+#
+# Usage: tools/verify.sh [stage ...]     (no args = all stages)
+# Env:   JOBS=<n> to cap build parallelism (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+STAGES=("$@")
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query ingest)
+
+want() {
+  local stage
+  for stage in "${STAGES[@]}"; do
+    [[ "$stage" == "$1" ]] && return 0
+  done
+  return 1
+}
+
+banner() { printf '\n==== %s ====\n' "$1"; }
+
+if want tier1; then
+  banner "tier-1: default build + full test suite"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS"
+fi
+
+if want tsan; then
+  banner "tsan: ThreadSanitizer preset"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$JOBS"
+  ctest --preset tsan
+fi
+
+if want chaos; then
+  banner "chaos: corruption fuzz under ASan"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j"$JOBS"
+  ctest --test-dir build-asan -L chaos --output-on-failure
+fi
+
+if want load; then
+  banner "load: server pool + load harness"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build -L load --output-on-failure
+fi
+
+if want query; then
+  banner "query: query engine label"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build -L query --output-on-failure
+fi
+
+if want ingest; then
+  banner "ingest: live store vs stop-the-world rebuild (floor 5x)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target bench_ingest
+  ./build/bench/bench_ingest --metrics-out=results/BENCH_ingest_metrics.json
+fi
+
+banner "all requested stages passed: ${STAGES[*]}"
