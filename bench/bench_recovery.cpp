@@ -1,0 +1,243 @@
+// Crash-recovery acceptance bench (ISSUE 8).
+//
+// One store, three timed lifecycle transitions over identical data:
+//
+//   * wal replay: open() a store whose entire event history sits in the
+//     write-ahead log (the worst-case crash: not one checkpoint landed).
+//     Every row goes back through decode + the same append_batch path
+//     ingest uses — this is the redo loop recovery leans on for the tail
+//     after the last checkpoint.
+//   * checkpoint pause: one checkpoint() over the recovered store — the
+//     wall time the writer lock is held while the ALSG segments, entity
+//     tables, and manifest land (readers stay lock-free throughout; the
+//     pause only delays the *next* ingest batch).
+//   * cold ALSG load: open() the same store again, now entirely from the
+//     checkpoint's manifest — entities + segmented ALSG artifacts adopted
+//     wholesale, zero WAL records. The bulk-load floor recovery competes
+//     with.
+//   * legacy cold start: the pre-durability restart this PR replaced —
+//     save_store/load_store CSVs, every event re-recorded one
+//     record_download/record_comment call at a time.
+//
+// Two gates, both enforced on exit:
+//   replay >= 2x the legacy cold start (the headline 2x replay floor: the
+//     redo loop must beat the path it replaced with room to spare), and
+//   replay >= 0.5x the cold ALSG bulk load (replay does strictly more per
+//     row — record checksums, op dispatch, store counter redo — so it can
+//     never beat a straight segment load; but if it decays past 2x slower,
+//     WAL tails between checkpoints become too expensive to carry and the
+//     checkpoint cadence breaks down).
+// Results land in results/BENCH_recovery.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "common.hpp"
+#include "events/event_log.hpp"
+#include "load/report.hpp"
+#include "market/durable.hpp"
+#include "market/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appstore;
+
+/// One day's download batch: `rows` events over `users`/`apps`, all dated
+/// `day` (matches the daily-crawl shape of bench_ingest).
+[[nodiscard]] events::EventLog make_downloads(std::uint64_t seed, std::uint64_t rows,
+                                              std::uint32_t users, std::uint32_t apps,
+                                              std::int32_t day) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> user(rows);
+  std::vector<std::uint32_t> app(rows);
+  std::vector<std::int32_t> day_column(rows, day);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    user[i] = static_cast<std::uint32_t>(rng.below(users));
+    app[i] = static_cast<std::uint32_t>(rng.below(apps));
+  }
+  return events::EventLog::from_columns(events::Columns::kDay, std::move(user),
+                                        std::move(app), std::move(day_column));
+}
+
+/// One day's comment batch (quarter of the download volume, with ratings).
+[[nodiscard]] events::EventLog make_comments(std::uint64_t seed, std::uint64_t rows,
+                                             std::uint32_t users, std::uint32_t apps,
+                                             std::int32_t day) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> user(rows);
+  std::vector<std::uint32_t> app(rows);
+  std::vector<std::int32_t> day_column(rows, day);
+  std::vector<std::uint8_t> rating(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    user[i] = static_cast<std::uint32_t>(rng.below(users));
+    app[i] = static_cast<std::uint32_t>(rng.below(apps));
+    rating[i] = static_cast<std::uint8_t>(1 + rng.below(5));
+  }
+  return events::EventLog::from_columns(events::Columns::kDay | events::Columns::kRating,
+                                        std::move(user), std::move(app),
+                                        std::move(day_column), {}, std::move(rating));
+}
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::BenchCli cli("bench_recovery",
+                       "store open via WAL redo vs via checkpoint manifest, plus "
+                       "the checkpoint pause itself");
+  auto users = cli.raw().u64("users", 20000, "distinct users in the workload");
+  auto apps = cli.raw().u64("apps", 4096, "distinct apps in the workload");
+  auto days = cli.raw().u64("days", 64, "ingest batches (virtual crawl days)");
+  auto rows = cli.raw().u64("rows-per-day", 16384, "download events per day");
+  auto out_path =
+      cli.raw().str("out", "results/BENCH_recovery.json", "report destination");
+  cli.parse(argc, argv);
+
+  benchx::print_heading(
+      "recovery: WAL redo vs checkpoint bulk load",
+      "a crawl box that dies mid-day must come back with every acknowledged "
+      "row, fast enough that day-boundary checkpoints stay infrequent");
+
+  const auto directory =
+      std::filesystem::temp_directory_path() / "appstore_bench_recovery";
+  std::filesystem::remove_all(directory);
+
+  market::DurableOptions options;
+  const std::uint64_t comment_rows = *rows / 4;
+  const std::uint64_t total_rows = *days * (*rows + comment_rows);
+  options.live.segment_rows = 1ull << 16;
+  options.live.max_rows = (*days * *rows + options.live.segment_rows) /
+                          options.live.segment_rows * options.live.segment_rows;
+  options.live.max_users = static_cast<std::uint32_t>(*users);
+
+  // Build: every batch WAL-logged, no checkpoint — the whole history is redo.
+  {
+    market::DurableStore durable(directory, "bench", options);
+    (void)durable.open();
+    const market::CategoryId category = durable.add_category("bench");
+    const market::DeveloperId developer = durable.add_developer("bench");
+    (void)durable.add_users(static_cast<std::uint32_t>(*users));
+    for (std::uint64_t i = 0; i < *apps; ++i) {
+      (void)durable.add_app(util::format("app-{}", i), developer, category,
+                            market::Pricing::kFree, 0, 0);
+    }
+    for (std::uint64_t day = 0; day < *days; ++day) {
+      const auto day32 = static_cast<std::int32_t>(day);
+      durable.ingest_downloads(make_downloads(cli.seed() + day, *rows,
+                                              static_cast<std::uint32_t>(*users),
+                                              static_cast<std::uint32_t>(*apps), day32));
+      durable.ingest_comments(make_comments(cli.seed() + 7919 + day, comment_rows,
+                                            static_cast<std::uint32_t>(*users),
+                                            static_cast<std::uint32_t>(*apps), day32));
+    }
+    durable.close();
+  }
+
+  // WAL replay: open() redoes every batch, then the checkpoint retires it.
+  // While the store is up, also export the legacy CSV form for the
+  // cold-start comparison below.
+  const auto legacy_directory =
+      std::filesystem::temp_directory_path() / "appstore_bench_recovery_legacy";
+  std::filesystem::remove_all(legacy_directory);
+  std::filesystem::create_directories(legacy_directory);
+  double replay_seconds = 0.0;
+  double checkpoint_pause_seconds = 0.0;
+  std::uint64_t replayed_records = 0;
+  {
+    market::DurableStore durable(directory, "bench", options);
+    const auto start = std::chrono::steady_clock::now();
+    const market::RecoveryReport report = durable.open();
+    replay_seconds = seconds_since(start);
+    replayed_records = report.replayed_records;
+    if (report.manifest_found || report.wal_torn_tail) {
+      std::fprintf(stderr, "FAIL: build phase left an unexpected on-disk state\n");
+      return 1;
+    }
+    checkpoint_pause_seconds = durable.checkpoint().write_seconds;
+    market::save_store(durable.store(), legacy_directory);
+    durable.close();
+  }
+
+  // Cold ALSG load: open() from the manifest alone, zero records replayed.
+  double cold_seconds = 0.0;
+  {
+    market::DurableStore durable(directory, "bench", options);
+    const auto start = std::chrono::steady_clock::now();
+    const market::RecoveryReport report = durable.open();
+    cold_seconds = seconds_since(start);
+    if (!report.manifest_found || report.replayed_records != 0) {
+      std::fprintf(stderr, "FAIL: checkpoint did not retire the WAL\n");
+      return 1;
+    }
+    durable.close();
+  }
+  std::filesystem::remove_all(directory);
+
+  // Legacy cold start: CSV parse + one store API call per event row.
+  double legacy_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto store = market::load_store(legacy_directory);
+    legacy_seconds = seconds_since(start);
+    if (store->total_downloads() != *days * *rows) {
+      std::fprintf(stderr, "FAIL: legacy load dropped rows\n");
+      return 1;
+    }
+  }
+  std::filesystem::remove_all(legacy_directory);
+
+  const double replay_rows_per_second = static_cast<double>(total_rows) / replay_seconds;
+  const double cold_rows_per_second = static_cast<double>(total_rows) / cold_seconds;
+  const double legacy_rows_per_second = static_cast<double>(total_rows) / legacy_seconds;
+  const double replay_vs_cold = replay_rows_per_second / cold_rows_per_second;
+  const double replay_vs_legacy = replay_rows_per_second / legacy_rows_per_second;
+
+  report::Table table({"path", "seconds", "rows/s"});
+  table.row({"wal replay open", util::format("{:.3f}", replay_seconds),
+             util::format("{:.0f}", replay_rows_per_second)});
+  table.row({"cold ALSG open", util::format("{:.3f}", cold_seconds),
+             util::format("{:.0f}", cold_rows_per_second)});
+  table.row({"legacy CSV load", util::format("{:.3f}", legacy_seconds),
+             util::format("{:.0f}", legacy_rows_per_second)});
+  table.row({"checkpoint pause", util::format("{:.3f}", checkpoint_pause_seconds), "-"});
+  benchx::print_table(table);
+  std::printf("replayed %llu WAL records covering %llu event rows\n",
+              static_cast<unsigned long long>(replayed_records),
+              static_cast<unsigned long long>(total_rows));
+  std::printf("replay = %.2fx the legacy cold start (floor 2.0x), "
+              "%.2fx the ALSG bulk load (floor 0.5x)\n",
+              replay_vs_legacy, replay_vs_cold);
+
+  const crawlersim::Json document = crawlersim::json_object(
+      {{"bench", "recovery"},
+       {"seed", cli.seed()},
+       {"users", *users},
+       {"apps", *apps},
+       {"days", *days},
+       {"rows_per_day", *rows},
+       {"total_rows", total_rows},
+       {"replayed_records", replayed_records},
+       {"wal_replay_seconds", replay_seconds},
+       {"wal_replay_rows_per_second", replay_rows_per_second},
+       {"cold_alsg_seconds", cold_seconds},
+       {"cold_alsg_rows_per_second", cold_rows_per_second},
+       {"legacy_cold_seconds", legacy_seconds},
+       {"legacy_cold_rows_per_second", legacy_rows_per_second},
+       {"checkpoint_pause_seconds", checkpoint_pause_seconds},
+       {"replay_vs_cold", replay_vs_cold},
+       {"replay_vs_legacy", replay_vs_legacy}});
+  if (load::write_json_file(document, *out_path)) {
+    std::printf("wrote %s\n", out_path->c_str());
+  }
+
+  cli.metrics().gauge("recovery_replay_vs_cold").add(replay_vs_cold);
+  cli.metrics().gauge("recovery_replay_vs_legacy").add(replay_vs_legacy);
+  cli.dump_metrics();
+  // Replay must beat the legacy restart 2x over and stay within 2x of the
+  // bulk-load floor.
+  return (replay_vs_legacy >= 2.0 && replay_vs_cold >= 0.5) ? 0 : 1;
+}

@@ -99,7 +99,8 @@ void save_observations_binary(const CrawlDatabase& database, const std::filesyst
 /// loader: metadata must already be staged in `metadata`).
 void load_observations_binary(CrawlDatabase& database,
                               std::map<std::uint32_t, AppRecord>& metadata,
-                              const std::filesystem::path& path) {
+                              const std::filesystem::path& path,
+                              const events::LoadLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw events::binary::LoadError(events::binary::LoadErrorKind::kOpen,
@@ -116,7 +117,9 @@ void load_observations_binary(CrawlDatabase& database,
   const std::uint64_t n = header.count;
   events::binary::expect_payload(in, n, kObservationRowBytes, "AOBS");
   const auto app = events::binary::read_column<std::uint32_t>(in, n, "app");
+  events::binary::check_app_bound(app, limits.app_bound, "AOBS");
   const auto day = events::binary::read_column<std::int32_t>(in, n, "day");
+  events::binary::check_day_bound(day, limits.day_bound, "AOBS");
   const auto downloads = events::binary::read_column<std::uint64_t>(in, n, "downloads");
   const auto version = events::binary::read_column<std::uint32_t>(in, n, "version");
   const auto price_dollars = events::binary::read_column<double>(in, n, "price");
@@ -124,7 +127,8 @@ void load_observations_binary(CrawlDatabase& database,
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto it = metadata.find(app[i]);
     if (it == metadata.end()) {
-      throw std::runtime_error(
+      throw events::binary::LoadError(
+          events::binary::LoadErrorKind::kAppRange,
           util::format("load_database: observation for unknown app {}", app[i]));
     }
     AppObservation observation;
@@ -194,7 +198,8 @@ void save_database(const CrawlDatabase& database, const std::filesystem::path& d
   }
 }
 
-CrawlDatabase load_database(const std::filesystem::path& directory) {
+CrawlDatabase load_database(const std::filesystem::path& directory,
+                            const events::LoadLimits& limits) {
   const auto apps_path = directory / "apps.csv";
   const auto observations_path = directory / "observations.csv";
   const auto observations_bin_path = directory / "observations.bin";
@@ -224,7 +229,7 @@ CrawlDatabase load_database(const std::filesystem::path& directory) {
   }
 
   if (have_binary) {
-    load_observations_binary(database, metadata, observations_bin_path);
+    load_observations_binary(database, metadata, observations_bin_path, limits);
   } else {
     for (const auto& row : util::read_csv(observations_path).rows) {
       if (row.size() < 5) {
@@ -233,7 +238,8 @@ CrawlDatabase load_database(const std::filesystem::path& directory) {
       const auto id = static_cast<std::uint32_t>(field_u64(row[0], "app"));
       const auto it = metadata.find(id);
       if (it == metadata.end()) {
-        throw std::runtime_error(
+        throw events::binary::LoadError(
+            events::binary::LoadErrorKind::kAppRange,
             util::format("load_database: observation for unknown app {}", id));
       }
       AppObservation observation;
@@ -256,6 +262,14 @@ CrawlDatabase load_database(const std::filesystem::path& directory) {
     }
   }
   return database;
+}
+
+market::CheckpointComponent database_component(CrawlDatabase& database) {
+  return market::CheckpointComponent{
+      .name = "crawldb",
+      .save = [&database](const std::filesystem::path& dir) { save_database(database, dir); },
+      .load = [&database](const std::filesystem::path& dir) { database = load_database(dir); },
+  };
 }
 
 }  // namespace appstore::crawlersim

@@ -27,6 +27,7 @@
 
 #include "crawler/database.hpp"
 #include "events/io.hpp"
+#include "market/durable.hpp"
 
 namespace appstore::crawlersim {
 
@@ -40,7 +41,18 @@ void save_database(const CrawlDatabase& database, const std::filesystem::path& d
 /// Reads a database previously written by save_database (apk_scans.csv and
 /// observations.bin may be absent). Throws std::runtime_error — a typed
 /// events::binary::LoadError for structural defects in observations.bin —
-/// on missing required files or malformed content.
-[[nodiscard]] CrawlDatabase load_database(const std::filesystem::path& directory);
+/// on missing required files or malformed content. `limits` bounds the
+/// binary app/day columns with the same typed errors (kAppRange/kDayRange)
+/// the AEVL and ALSG loaders report; an observation whose app id is absent
+/// from apps.csv is also kAppRange.
+[[nodiscard]] CrawlDatabase load_database(const std::filesystem::path& directory,
+                                          const events::LoadLimits& limits = {});
+
+/// Wires `database` into a market::DurableStore checkpoint barrier: saves
+/// through save_database at each checkpoint, restores through load_database
+/// at recovery. Attach before DurableStore::open(); `database` must outlive
+/// the store lifecycle. This replaces ad-hoc save_database call sites — the
+/// database becomes exactly as durable as the store it crawls.
+[[nodiscard]] market::CheckpointComponent database_component(CrawlDatabase& database);
 
 }  // namespace appstore::crawlersim

@@ -321,6 +321,13 @@ net::HttpResponse AppstoreService::handle(const net::HttpRequest& request) {
 }
 
 void AppstoreService::set_day(market::Day day) {
+  // Day boundaries are the durability cadence: checkpoint the closing day
+  // before the new one becomes visible, so a crash afterwards recovers at
+  // least everything the previous day served. Serving threads are not
+  // blocked — the checkpoint reads frontier snapshots.
+  if (policy_.durable != nullptr && day > day_.load(std::memory_order_relaxed)) {
+    (void)policy_.durable->checkpoint();
+  }
   // Publish-only: entries stamped with the old day stop matching, and the
   // next insert for the same key replaces them. Readers are never blocked.
   day_.store(day, std::memory_order_relaxed);

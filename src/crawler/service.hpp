@@ -58,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "market/durable.hpp"
 #include "market/store.hpp"
 #include "net/proxy.hpp"
 #include "net/rate_limiter.hpp"
@@ -91,6 +92,13 @@ struct ServicePolicy {
   chaos::FaultInjector* faults = nullptr;
   /// Engine limits + planner knobs of the /api/v1/query endpoint.
   query::QueryOptions query;
+  /// Optional durability spine: when set, advancing the virtual day via
+  /// set_day() first checkpoints the closing day (WAL retired, manifest
+  /// published) — the paper's daily crawl cadence becomes the checkpoint
+  /// cadence. Must be the DurableStore that owns the served store and must
+  /// outlive the service. Serving continues lock-free during the
+  /// checkpoint; only ingest writers stall.
+  market::DurableStore* durable = nullptr;
 };
 
 class AppstoreService {

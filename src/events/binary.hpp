@@ -45,6 +45,10 @@ enum class LoadErrorKind : std::uint8_t {
   kLengthMismatch,   ///< row count disagrees with the file size
   kUserRange,        ///< a user column value is outside the caller's bound
   kBadSegment,       ///< a segment header disagrees with the file header
+  kAppRange,         ///< an app column value is outside the caller's bound
+  kDayRange,         ///< a day column value is outside the caller's bound
+  kBadChecksum,      ///< a record checksum does not match its payload
+  kBadSequence,      ///< a sequence number is not the expected successor
 };
 
 [[nodiscard]] inline std::string_view to_string(LoadErrorKind kind) noexcept {
@@ -58,6 +62,10 @@ enum class LoadErrorKind : std::uint8_t {
     case LoadErrorKind::kLengthMismatch: return "length-mismatch";
     case LoadErrorKind::kUserRange: return "user-range";
     case LoadErrorKind::kBadSegment: return "bad-segment";
+    case LoadErrorKind::kAppRange: return "app-range";
+    case LoadErrorKind::kDayRange: return "day-range";
+    case LoadErrorKind::kBadChecksum: return "bad-checksum";
+    case LoadErrorKind::kBadSequence: return "bad-sequence";
   }
   return "unknown";
 }
@@ -184,6 +192,53 @@ inline void check_user_bound(std::span<const std::uint32_t> users, std::uint64_t
                           " >= bound " + std::to_string(user_bound) + " in " + what);
     }
   }
+}
+
+/// Like check_user_bound, but for the app column: every id must be below
+/// `app_bound` (exclusive). Used by the AEVL/ALSG/AOBS loaders when the
+/// caller knows the app universe (a store's app count).
+inline void check_app_bound(std::span<const std::uint32_t> apps, std::uint64_t app_bound,
+                            const char* what) {
+  for (const std::uint32_t app : apps) {
+    if (app >= app_bound) {
+      throw LoadError(LoadErrorKind::kAppRange,
+                      std::string("binary read: app ") + std::to_string(app) + " >= bound " +
+                          std::to_string(app_bound) + " in " + what);
+    }
+  }
+}
+
+/// Day columns are signed and the domain uses small negatives (events dated
+/// relative to a crawl origin, e.g. first_seen before day 0), so the bound
+/// is a magnitude window: a valid file carries only days in
+/// [-day_bound, day_bound). A wildly out-of-window day — flipped high bits —
+/// would otherwise surface as an untyped out-of-range crash in a snapshot
+/// or replay.
+inline void check_day_bound(std::span<const std::int32_t> days, std::int64_t day_bound,
+                            const char* what) {
+  for (const std::int32_t day : days) {
+    const auto wide = static_cast<std::int64_t>(day);
+    if (wide < -day_bound || wide >= day_bound) {
+      throw LoadError(LoadErrorKind::kDayRange,
+                      std::string("binary read: day ") + std::to_string(day) +
+                          " outside [-" + std::to_string(day_bound) + ", " +
+                          std::to_string(day_bound) + ") in " + what);
+    }
+  }
+}
+
+/// FNV-1a 64-bit over a byte range. Used as the per-record checksum in the
+/// WAL (events/wal.hpp) and the manifest: cheap, dependency-free, and good
+/// enough to distinguish a torn tail from a committed record — the WAL
+/// threat model is a crash mid-write, not an adversary.
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
 }
 
 template <typename T>

@@ -95,8 +95,10 @@ EventLog load_binary(const std::filesystem::path& path, const LoadLimits& limits
   auto user = binary::read_column<std::uint32_t>(in, n, "user");
   binary::check_user_bound(user, limits.user_bound, path.string().c_str());
   auto app = binary::read_column<std::uint32_t>(in, n, "app");
+  binary::check_app_bound(app, limits.app_bound, path.string().c_str());
   auto day = binary::read_column<std::int32_t>(
       in, has_column(columns, Columns::kDay) ? n : 0, "day");
+  binary::check_day_bound(day, limits.day_bound, path.string().c_str());
   auto ordinal = binary::read_column<std::uint32_t>(
       in, has_column(columns, Columns::kOrdinal) ? n : 0, "ordinal");
   auto rating = binary::read_column<std::uint8_t>(

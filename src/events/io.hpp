@@ -51,6 +51,17 @@ struct LoadLimits {
   /// here as a typed LoadError{kUserRange} instead of blowing up later
   /// inside build_index() or a live-store append. Default: no bound.
   std::uint64_t user_bound = std::uint64_t{1} << 32;
+
+  /// Exclusive upper bound on app-column values, same rationale as
+  /// user_bound. Enforced uniformly by the AEVL, ALSG, and AOBS loaders
+  /// (typed LoadError{kAppRange}). Default: no bound.
+  std::uint64_t app_bound = std::uint64_t{1} << 32;
+
+  /// Magnitude window on day-column values: days outside
+  /// [-day_bound, day_bound) are rejected (typed LoadError{kDayRange}).
+  /// Small negative days are legitimate — events dated relative to a crawl
+  /// origin — so the bound is symmetric. Default: no bound (full int32).
+  std::int64_t day_bound = std::int64_t{1} << 31;
 };
 
 /// Writes `log` to `path` in the binary format via write-temp-then-rename.

@@ -134,8 +134,10 @@ std::unique_ptr<LiveEventLog> load_segmented(const std::filesystem::path& path,
     auto user = binary::read_column<std::uint32_t>(in, rows, "user");
     binary::check_user_bound(user, user_bound, "ALSG");
     auto app = binary::read_column<std::uint32_t>(in, rows, "app");
+    binary::check_app_bound(app, limits.app_bound, "ALSG");
     auto day =
         binary::read_column<std::int32_t>(in, with_day ? rows : 0, "day");
+    binary::check_day_bound(day, limits.day_bound, "ALSG");
     auto rating = binary::read_column<std::uint8_t>(in, with_rating ? rows : 0, "rating");
     // Replay the segment as one published block. Ordinals reconstruct as row
     // ids inside append_batch — exactly what save_segmented elided.

@@ -1,0 +1,349 @@
+#include "events/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "chaos/fault.hpp"
+#include "chaos/file_faults.hpp"
+#include "events/binary.hpp"
+#include "util/format.hpp"
+
+namespace appstore::events {
+
+namespace {
+
+constexpr std::string_view kMagic = "AWAL";
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 4 + 4 + 8;  // magic..count
+constexpr std::uint64_t kRecordHeaderBytes = 4 + 4 + 8 + 8;
+/// Framing sanity bound: one WAL record is one commit group member, far
+/// below this. A larger size field is either a tear or corruption.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+[[nodiscard]] std::uint64_t record_checksum(std::uint32_t kind, std::uint64_t sequence,
+                                            std::string_view payload) {
+  // Fold kind and sequence into the hash ahead of the payload so a record
+  // can't validate with another record's framing.
+  std::uint64_t hash = binary::fnv1a64(&kind, sizeof kind);
+  hash ^= binary::fnv1a64(&sequence, sizeof sequence);
+  hash ^= binary::fnv1a64(payload.data(), payload.size());
+  return hash;
+}
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+[[nodiscard]] int open_wal_fd(const std::filesystem::path& path, int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("wal: cannot open " + path.string() + ": " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+void write_all(int fd, const char* data, std::size_t size, const std::filesystem::path& path) {
+  while (size > 0) {
+    const ::ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("wal: write to " + path.string() +
+                               " failed: " + std::strerror(errno));
+    }
+    data += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::filesystem::path path, int fd, std::uint64_t base_sequence,
+                     std::uint64_t next_sequence, WalOptions options)
+    : path_(std::move(path)),
+      fd_(fd),
+      base_sequence_(base_sequence),
+      next_sequence_(next_sequence),
+      committed_sequence_(next_sequence),
+      options_(options) {}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      base_sequence_(other.base_sequence_),
+      next_sequence_(other.next_sequence_),
+      committed_sequence_(other.committed_sequence_),
+      pending_records_(other.pending_records_),
+      group_(std::move(other.group_)),
+      options_(other.options_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    base_sequence_ = other.base_sequence_;
+    next_sequence_ = other.next_sequence_;
+    committed_sequence_ = other.committed_sequence_;
+    pending_records_ = other.pending_records_;
+    group_ = std::move(other.group_);
+    options_ = other.options_;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+WalWriter WalWriter::create(const std::filesystem::path& path, std::uint64_t base_sequence,
+                            const WalOptions& options) {
+  const int fd = open_wal_fd(path, O_CREAT | O_WRONLY | O_TRUNC);
+  WalWriter writer(path, fd, base_sequence, base_sequence, options);
+  std::string header;
+  header.reserve(kHeaderBytes);
+  header.append(kMagic);
+  append_pod(header, binary::kEndianTag);
+  append_pod(header, kVersion);
+  append_pod(header, std::uint32_t{0});  // flags
+  append_pod(header, base_sequence);     // header count = base sequence
+  writer.write_guarded(header.data(), header.size());
+  writer.sync();
+  return writer;
+}
+
+WalWriter WalWriter::resume(const std::filesystem::path& path, const WalReplay& replay,
+                            const WalOptions& options) {
+  if (replay.valid_bytes < kHeaderBytes) {
+    // Even the header was torn: the replay carries no trustworthy base
+    // sequence, so appending here would frame records nobody can replay.
+    // The caller knows the true base (its checkpoint watermark) — it must
+    // create() a fresh log instead.
+    throw std::logic_error("wal: resume on a fully-torn file — use create()");
+  }
+  if (replay.torn_tail) {
+    // Drop the tear before appending: the next record must start where the
+    // last valid one ended, or replay would stop at the stale bytes again.
+    std::filesystem::resize_file(path, replay.valid_bytes);
+  }
+  const int fd = open_wal_fd(path, O_WRONLY | O_APPEND);
+  return WalWriter(path, fd, replay.base_sequence, replay.last_sequence(), options);
+}
+
+std::uint64_t WalWriter::append(std::uint32_t kind, std::string_view payload) {
+  if (fd_ < 0) throw std::logic_error("wal: append after close");
+  if (payload.size() > kMaxPayloadBytes) {
+    throw std::invalid_argument("wal: payload exceeds record bound");
+  }
+  const std::uint64_t sequence = ++next_sequence_;
+  append_pod(group_, kind);
+  append_pod(group_, static_cast<std::uint32_t>(payload.size()));
+  append_pod(group_, sequence);
+  append_pod(group_, record_checksum(kind, sequence, payload));
+  group_.append(payload);
+  ++pending_records_;
+  return sequence;
+}
+
+void WalWriter::commit() {
+  if (fd_ < 0) throw std::logic_error("wal: commit after close");
+  if (group_.empty()) return;
+  if (options_.faults != nullptr) {
+    const chaos::Fault fault =
+        options_.faults->next(chaos::FaultSite::kFileWrite, path_.string());
+    if (fault.kind == chaos::FaultKind::kTornWrite) {
+      // Simulate dying mid-group: half the batch reaches the disk.
+      const std::size_t partial = group_.size() / 2;
+      write_all(fd_, group_.data(), partial, path_);
+      sync();
+      throw chaos::InjectedFault(fault.kind, "injected torn write for " + path_.string());
+    }
+  }
+  write_guarded(group_.data(), group_.size());
+  if (options_.fsync_on_commit) sync();
+  committed_sequence_ = next_sequence_;
+  group_.clear();
+  pending_records_ = 0;
+}
+
+void WalWriter::close() {
+  if (fd_ < 0) return;
+  sync();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    throw std::runtime_error("wal: close " + path_.string() +
+                             " failed: " + std::strerror(errno));
+  }
+}
+
+void WalWriter::write_guarded(const char* data, std::size_t size) {
+  if (options_.kill != nullptr) {
+    const std::uint64_t granted = options_.kill->admit(size);
+    write_all(fd_, data, static_cast<std::size_t>(granted), path_);
+    if (granted < size) {
+      sync();  // the kill point is a *crash*: what landed before it is real
+      options_.kill->fire("wal write to " + path_.string());
+    }
+    return;
+  }
+  write_all(fd_, data, size, path_);
+}
+
+void WalWriter::sync() {
+  if (!options_.fsync_on_commit) return;
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("wal: fsync " + path_.string() +
+                             " failed: " + std::strerror(errno));
+  }
+}
+
+WalReplay replay_wal(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw binary::LoadError(binary::LoadErrorKind::kOpen,
+                            "replay_wal: cannot open " + path.string());
+  }
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+
+  // A file shorter than the header is a header torn mid-write (kill offset
+  // inside the header): it cannot hold records, and a partial magic reads
+  // as kBadMagic rather than kTruncated, so *any* header error on a short
+  // file means the same thing — an empty WAL. Structural errors on a
+  // full-size header (bad magic, foreign endianness) still throw.
+  binary::Header header;
+  try {
+    header = binary::read_header(in, kMagic, kVersion);
+  } catch (const binary::LoadError&) {
+    if (file_size < kHeaderBytes) {
+      WalReplay torn;
+      torn.torn_tail = true;
+      return torn;
+    }
+    throw;
+  }
+  if (header.flags != 0) {
+    throw binary::LoadError(
+        binary::LoadErrorKind::kBadFlags,
+        util::format("replay_wal: unknown flags 0x{:x} in {}", header.flags, path.string()));
+  }
+
+  WalReplay replay;
+  replay.base_sequence = header.count;
+  replay.valid_bytes = kHeaderBytes;
+  std::uint64_t expected_sequence = replay.base_sequence;
+
+  std::uint64_t offset = kHeaderBytes;
+  while (offset < file_size) {
+    if (file_size - offset < kRecordHeaderBytes) break;  // tear inside a header
+    const auto kind = binary::read_pod<std::uint32_t>(in, "wal kind");
+    const auto payload_size = binary::read_pod<std::uint32_t>(in, "wal payload size");
+    const auto sequence = binary::read_pod<std::uint64_t>(in, "wal sequence");
+    const auto checksum = binary::read_pod<std::uint64_t>(in, "wal checksum");
+    if (payload_size > kMaxPayloadBytes ||
+        file_size - offset - kRecordHeaderBytes < payload_size) {
+      break;  // size field torn, or payload cut short — either way, the tail
+    }
+    std::string payload(payload_size, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+    if (!in) break;
+    if (record_checksum(kind, sequence, payload) != checksum) break;  // torn record
+    // The checksum passed, so these bytes were genuinely committed — a
+    // sequence gap here is corruption, not a tear, and redo past it would
+    // diverge from the pre-crash run.
+    if (sequence != expected_sequence + 1) {
+      throw binary::LoadError(
+          binary::LoadErrorKind::kBadSequence,
+          util::format("replay_wal: sequence {} after {} in {}", sequence,
+                       expected_sequence, path.string()));
+    }
+    expected_sequence = sequence;
+    offset += kRecordHeaderBytes + payload_size;
+    replay.valid_bytes = offset;
+    replay.records.push_back(WalRecord{kind, sequence, std::move(payload)});
+  }
+  replay.torn_tail = replay.valid_bytes != file_size;
+  return replay;
+}
+
+std::string encode_event_batch(const EventLog& batch) {
+  std::string out;
+  const std::uint64_t rows = batch.size();
+  out.reserve(4 + 8 + rows * 17);
+  append_pod(out, static_cast<std::uint32_t>(batch.columns()));
+  append_pod(out, rows);
+  const auto append_span = [&out](auto span) {
+    out.append(reinterpret_cast<const char*>(span.data()),
+               span.size_bytes());
+  };
+  append_span(batch.user());
+  append_span(batch.app());
+  append_span(batch.day());
+  append_span(batch.ordinal());
+  append_span(batch.rating());
+  return out;
+}
+
+EventLog decode_event_batch(std::string_view payload) {
+  constexpr std::uint32_t kKnownColumns = static_cast<std::uint32_t>(Columns::kDay) |
+                                          static_cast<std::uint32_t>(Columns::kOrdinal) |
+                                          static_cast<std::uint32_t>(Columns::kRating);
+  if (payload.size() < 4 + 8) {
+    throw binary::LoadError(binary::LoadErrorKind::kTruncated,
+                            "wal batch: payload shorter than its header");
+  }
+  std::uint32_t mask = 0;
+  std::uint64_t rows = 0;
+  std::memcpy(&mask, payload.data(), sizeof mask);
+  std::memcpy(&rows, payload.data() + sizeof mask, sizeof rows);
+  if ((mask & ~kKnownColumns) != 0) {
+    throw binary::LoadError(binary::LoadErrorKind::kBadFlags,
+                            util::format("wal batch: unknown column flags 0x{:x}", mask));
+  }
+  const auto columns = static_cast<Columns>(mask);
+  std::uint64_t bytes_per_row = 2 * sizeof(std::uint32_t);
+  if (has_column(columns, Columns::kDay)) bytes_per_row += sizeof(std::int32_t);
+  if (has_column(columns, Columns::kOrdinal)) bytes_per_row += sizeof(std::uint32_t);
+  if (has_column(columns, Columns::kRating)) bytes_per_row += sizeof(std::uint8_t);
+  const std::uint64_t body = payload.size() - (4 + 8);
+  if (rows > kMaxPayloadBytes || body != rows * bytes_per_row) {
+    throw binary::LoadError(
+        binary::LoadErrorKind::kLengthMismatch,
+        util::format("wal batch: {} body bytes for {} rows", body, rows));
+  }
+
+  const char* cursor = payload.data() + 4 + 8;
+  const auto take = [&cursor, rows](auto& column, bool present) {
+    using T = typename std::remove_reference_t<decltype(column)>::value_type;
+    if (!present) return;
+    column.resize(static_cast<std::size_t>(rows));
+    std::memcpy(column.data(), cursor, static_cast<std::size_t>(rows) * sizeof(T));
+    cursor += rows * sizeof(T);
+  };
+  std::vector<std::uint32_t> user;
+  std::vector<std::uint32_t> app;
+  std::vector<std::int32_t> day;
+  std::vector<std::uint32_t> ordinal;
+  std::vector<std::uint8_t> rating;
+  take(user, true);
+  take(app, true);
+  take(day, has_column(columns, Columns::kDay));
+  take(ordinal, has_column(columns, Columns::kOrdinal));
+  take(rating, has_column(columns, Columns::kRating));
+  return EventLog::from_columns(columns, std::move(user), std::move(app), std::move(day),
+                                std::move(ordinal), std::move(rating));
+}
+
+}  // namespace appstore::events

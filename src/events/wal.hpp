@@ -1,0 +1,178 @@
+// Write-ahead log: the sequenced, checksummed redo stream of the durability
+// spine (docs/durability.md).
+//
+// Every mutation the store must not lose is appended here and fsynced
+// *before* the in-memory structures (LiveEventLog frontiers, entity tables)
+// make it visible to readers — so after any crash, memory is a prefix of
+// the WAL and recovery is pure redo: load the newest checkpoint, replay the
+// WAL tail.
+//
+// File layout (header shared with events/binary.hpp):
+//
+//   magic "AWAL" | endian tag | version 1 | flags 0 |
+//   u64 count = base sequence (last record already in the checkpoint) |
+//   records...
+//
+// Each record:
+//
+//   u32 kind | u32 payload size | u64 sequence | u64 fnv1a64 checksum |
+//   payload bytes
+//
+// The checksum covers kind, sequence, and payload, so replay can tell a
+// committed record from a torn tail byte-exactly. Sequences are dense:
+// record i carries base + 1 + i. `kind` is opaque at this layer — the
+// market layer defines the operation vocabulary (market::WalOp) and its
+// payload encodings; this file only knows how to frame, commit, and replay
+// records, plus encode/decode for the one payload the events layer owns
+// (an EventLog batch).
+//
+// Commit protocol (group commit): append() only buffers; commit() writes
+// every buffered record with one write(2) and one fsync(2). A crash between
+// append and commit loses exactly the uncommitted records — which were
+// never applied to memory, so nothing readers observed is lost. Torn-tail
+// tolerance follows the classic WAL rule: replay stops at the first record
+// that fails framing or checksum validation (that is where the crash hit);
+// structural corruption *before* the tail still throws a typed LoadError.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "events/event_log.hpp"
+
+namespace appstore::chaos {
+class FaultInjector;
+class KillAtOffset;
+}  // namespace appstore::chaos
+
+namespace appstore::events {
+
+/// One decoded WAL record. `kind` is the layer-above operation tag.
+struct WalRecord {
+  std::uint32_t kind = 0;
+  std::uint64_t sequence = 0;
+  std::string payload;
+};
+
+/// Everything replay_wal recovered from one WAL file.
+struct WalReplay {
+  /// Sequence already covered by the checkpoint this WAL extends; records
+  /// carry base_sequence + 1, + 2, ...
+  std::uint64_t base_sequence = 0;
+  /// Committed records, in sequence order.
+  std::vector<WalRecord> records;
+  /// True when the file ended inside a record (crash mid-commit). The torn
+  /// bytes are ignored; `valid_bytes` marks where they start.
+  bool torn_tail = false;
+  /// Offset of the first byte past the last valid record — the length to
+  /// truncate to before appending again (WalWriter::resume does this).
+  std::uint64_t valid_bytes = 0;
+
+  /// Sequence of the last committed record (base_sequence when empty).
+  [[nodiscard]] std::uint64_t last_sequence() const noexcept {
+    return records.empty() ? base_sequence : records.back().sequence;
+  }
+};
+
+/// Knobs for the WAL writer, including its crash seams.
+struct WalOptions {
+  /// Consulted once per commit at FaultSite::kFileWrite (key = WAL path);
+  /// a kTornWrite decision flushes half the group and throws InjectedFault.
+  chaos::FaultInjector* faults = nullptr;
+  /// Byte-exact crash seam: every write is filtered through it, so a fuzz
+  /// harness can kill the "process" at any offset, including mid-record and
+  /// mid-header. Fires InjectedFault once the armed offset is crossed.
+  chaos::KillAtOffset* kill = nullptr;
+  /// fsync(2) after each commit group. Leave on: turning it off voids the
+  /// crash-consistency contract (only benches measuring pure CPU cost may).
+  bool fsync_on_commit = true;
+};
+
+/// Appender side of the WAL. Single writer per file (the DurableStore
+/// ingest lock provides this); not thread-safe.
+class WalWriter {
+ public:
+  /// Starts a fresh WAL at `path` whose records begin at
+  /// `base_sequence + 1`. Truncates anything already there (the previous
+  /// log is dead once its checkpoint landed). Writes and syncs the header.
+  static WalWriter create(const std::filesystem::path& path, std::uint64_t base_sequence,
+                          const WalOptions& options = {});
+
+  /// Reopens an existing WAL for appending after `replay` consumed it:
+  /// drops any torn tail (truncate to replay.valid_bytes) and continues the
+  /// sequence from replay.last_sequence().
+  static WalWriter resume(const std::filesystem::path& path, const WalReplay& replay,
+                          const WalOptions& options = {});
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Frames one record into the commit group and returns its sequence.
+  /// Nothing reaches the file until commit().
+  std::uint64_t append(std::uint32_t kind, std::string_view payload);
+
+  /// Writes the buffered group and makes it durable (one write + one
+  /// fsync). No-op on an empty group. Throws chaos::InjectedFault at an
+  /// armed crash seam, std::runtime_error on real I/O failure.
+  void commit();
+
+  /// Syncs and closes the file descriptor. Further appends throw. Called by
+  /// the destructor (which swallows errors) — call explicitly to observe
+  /// failures. Buffered-but-uncommitted records are discarded, mirroring
+  /// what a crash would do.
+  void close();
+
+  [[nodiscard]] std::uint64_t base_sequence() const noexcept { return base_sequence_; }
+  /// Sequence of the last *appended* record (committed or still buffered).
+  [[nodiscard]] std::uint64_t next_sequence() const noexcept { return next_sequence_; }
+  /// Sequence of the last *durable* (committed) record.
+  [[nodiscard]] std::uint64_t committed_sequence() const noexcept {
+    return committed_sequence_;
+  }
+  /// Records waiting in the current commit group.
+  [[nodiscard]] std::size_t pending_records() const noexcept { return pending_records_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  WalWriter(std::filesystem::path path, int fd, std::uint64_t base_sequence,
+            std::uint64_t next_sequence, WalOptions options);
+
+  /// Writes `data` through the kill seam, fsyncs what landed if the seam
+  /// fired, and throws. Plain full write otherwise.
+  void write_guarded(const char* data, std::size_t size);
+  void sync();
+
+  std::filesystem::path path_;
+  int fd_ = -1;
+  std::uint64_t base_sequence_ = 0;
+  std::uint64_t next_sequence_ = 0;       // last appended
+  std::uint64_t committed_sequence_ = 0;  // last durable
+  std::size_t pending_records_ = 0;
+  std::string group_;  // serialized records awaiting commit()
+  WalOptions options_;
+};
+
+/// Reads and validates a WAL file. Returns every committed record plus
+/// torn-tail diagnostics (see WalReplay). Throws binary::LoadError for
+/// structural problems that are *not* explainable as a crash tail: missing
+/// file (kOpen), bad magic/endianness/version/flags, or a checksum-valid
+/// record whose sequence is not the expected successor (kBadSequence —
+/// genuine corruption, unsafe to replay past).
+[[nodiscard]] WalReplay replay_wal(const std::filesystem::path& path);
+
+/// Serializes an EventLog batch as a WAL payload:
+///   u32 column mask | u64 rows | raw columns (user, app, [day], [ordinal],
+///   [rating]), native order. The inverse of decode_event_batch.
+[[nodiscard]] std::string encode_event_batch(const EventLog& batch);
+
+/// Decodes encode_event_batch's output. Throws binary::LoadError{kTruncated,
+/// kBadFlags, kLengthMismatch} on a malformed payload — replay treats that
+/// as corruption, not a tear, because the record checksum already passed.
+[[nodiscard]] EventLog decode_event_batch(std::string_view payload);
+
+}  // namespace appstore::events

@@ -1,0 +1,671 @@
+#include "market/durable.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/fault.hpp"
+#include "chaos/file_faults.hpp"
+#include "events/binary.hpp"
+#include "events/live_io.hpp"
+#include "market/serialize.hpp"
+#include "obs/registry.hpp"
+#include "util/format.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace appstore::market {
+
+namespace {
+
+using events::binary::LoadError;
+using events::binary::LoadErrorKind;
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kWalName = "wal.awal";
+constexpr std::string_view kManifestMagicLine = "AMAN 1";
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+/// Cursor over a WAL payload; a short read means the payload bytes are
+/// corrupt (their record checksum already passed, so this is not a tear).
+struct PayloadCursor {
+  std::string_view rest;
+
+  template <typename T>
+  [[nodiscard]] T take(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rest.size() < sizeof(T)) {
+      throw LoadError(LoadErrorKind::kTruncated,
+                      std::string("wal apply: payload short of ") + what);
+    }
+    T value{};
+    std::memcpy(&value, rest.data(), sizeof value);
+    rest.remove_prefix(sizeof value);
+    return value;
+  }
+
+  [[nodiscard]] std::string take_string(std::size_t size, const char* what) {
+    if (rest.size() < size) {
+      throw LoadError(LoadErrorKind::kTruncated,
+                      std::string("wal apply: payload short of ") + what);
+    }
+    std::string value(rest.substr(0, size));
+    rest.remove_prefix(size);
+    return value;
+  }
+
+  void expect_done(const char* what) const {
+    if (!rest.empty()) {
+      throw LoadError(LoadErrorKind::kLengthMismatch,
+                      std::string("wal apply: trailing payload bytes in ") + what);
+    }
+  }
+};
+
+/// Replicates AppStore's backing-file shaping (".downloads"/".comments"
+/// suffixes) so logs built by load_segmented match what the store would
+/// have created itself.
+[[nodiscard]] events::LiveOptions shaped(const events::LiveOptions& live, const char* suffix) {
+  events::LiveOptions options = live;
+  if (!options.backing_file.empty()) options.backing_file += suffix;
+  return options;
+}
+
+[[nodiscard]] std::uint64_t file_bytes(const std::filesystem::path& path) {
+  std::error_code error;
+  const std::uintmax_t size = std::filesystem::file_size(path, error);
+  if (error) {
+    throw LoadError(LoadErrorKind::kOpen,
+                    "manifest artifact missing: " + path.string() + ": " + error.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace
+
+/// Parsed MANIFEST content. An artifact line records the exact byte size
+/// save wrote, so recovery can reject a tampered or mis-copied file before
+/// its loader runs; component/entity entries are directories and are
+/// validated by their own loaders.
+struct DurableStore::Manifest {
+  std::uint64_t sequence = 0;
+  std::string store_name;
+  std::string entities_dir;
+  std::string downloads_file;
+  std::uint64_t downloads_bytes = 0;
+  std::string comments_file;
+  std::uint64_t comments_bytes = 0;
+  std::vector<std::pair<std::string, std::string>> components;  // name -> dir
+};
+
+DurableStore::DurableStore(std::filesystem::path directory, std::string store_name,
+                           DurableOptions options)
+    : directory_(std::move(directory)),
+      store_name_(std::move(store_name)),
+      options_(std::move(options)) {
+  std::filesystem::create_directories(directory_);
+}
+
+DurableStore::~DurableStore() = default;
+
+void DurableStore::attach_component(CheckpointComponent component) {
+  if (opened_) throw std::logic_error("DurableStore: attach_component after open()");
+  if (component.name.empty() || !component.save || !component.load) {
+    throw std::invalid_argument("DurableStore: incomplete checkpoint component");
+  }
+  for (const auto& existing : components_) {
+    if (existing.name == component.name) {
+      throw std::invalid_argument("DurableStore: duplicate component " + component.name);
+    }
+  }
+  components_.push_back(std::move(component));
+}
+
+std::filesystem::path DurableStore::wal_path() const { return directory_ / kWalName; }
+std::filesystem::path DurableStore::manifest_path() const {
+  return directory_ / kManifestName;
+}
+
+AppStore& DurableStore::store() {
+  if (store_ == nullptr) throw std::logic_error("DurableStore: store() before open()");
+  return *store_;
+}
+
+const AppStore& DurableStore::store() const {
+  if (store_ == nullptr) throw std::logic_error("DurableStore: store() before open()");
+  return *store_;
+}
+
+void DurableStore::require_open() const {
+  if (!opened_) throw std::logic_error("DurableStore: not open");
+  if (wal_ == nullptr) throw std::logic_error("DurableStore: closed");
+}
+
+RecoveryReport DurableStore::open() {
+  const std::lock_guard lock(writer_mutex_);
+  if (opened_) throw std::logic_error("DurableStore: double open()");
+  if (options_.metrics != nullptr) {
+    auto& registry = *options_.metrics;
+    registry.describe("wal_records_total", "WAL records appended");
+    registry.describe("wal_commits_total", "WAL commit groups fsynced");
+    registry.describe("checkpoints_total", "Checkpoints published");
+    registry.describe("wal_replayed_records_total", "WAL records replayed at recovery");
+    wal_records_ = &registry.counter("wal_records_total");
+    wal_commits_ = &registry.counter("wal_commits_total");
+    checkpoints_ = &registry.counter("checkpoints_total");
+    replayed_records_ = &registry.counter("wal_replayed_records_total");
+  }
+
+  RecoveryReport report;
+  if (std::filesystem::exists(manifest_path())) {
+    const Manifest manifest = read_manifest();
+    restore_from_manifest(manifest);
+    checkpoint_sequence_ = manifest.sequence;
+    report.manifest_found = true;
+    report.checkpoint_sequence = manifest.sequence;
+  } else {
+    store_ = std::make_unique<AppStore>(store_name_, options_.live);
+  }
+
+  events::WalOptions wal_options{options_.faults, options_.kill, options_.fsync};
+  if (std::filesystem::exists(wal_path())) {
+    const events::WalReplay replay = events::replay_wal(wal_path());
+    report.wal_torn_tail = replay.torn_tail;
+    if (replay.valid_bytes == 0) {
+      // The crash tore the WAL *header* (mid-reset, after the manifest
+      // landed): the file carries no records, so the manifest is the whole
+      // truth — start a fresh log at its watermark.
+      wal_ = std::make_unique<events::WalWriter>(
+          events::WalWriter::create(wal_path(), checkpoint_sequence_, wal_options));
+    } else {
+      if (replay.base_sequence > checkpoint_sequence_) {
+        // The WAL claims a checkpoint newer than the manifest — records
+        // between the manifest and the WAL base are gone. Refuse to serve
+        // a silently holey store.
+        throw LoadError(LoadErrorKind::kBadSequence,
+                        util::format("recover: wal base {} > manifest watermark {} in {}",
+                                     replay.base_sequence, checkpoint_sequence_,
+                                     directory_.string()));
+      }
+      for (const events::WalRecord& record : replay.records) {
+        if (record.sequence <= checkpoint_sequence_) {
+          ++report.skipped_records;
+          continue;
+        }
+        apply(static_cast<WalOp>(record.kind), record.payload, {});
+        ++report.replayed_records;
+      }
+      wal_ = std::make_unique<events::WalWriter>(
+          events::WalWriter::resume(wal_path(), replay, wal_options));
+    }
+  } else {
+    wal_ = std::make_unique<events::WalWriter>(
+        events::WalWriter::create(wal_path(), checkpoint_sequence_, wal_options));
+  }
+
+  if (replayed_records_ != nullptr) replayed_records_->inc(report.replayed_records);
+  collect_garbage(checkpoint_sequence_);
+  opened_ = true;
+  return report;
+}
+
+// --- WAL-ahead mutators -----------------------------------------------------
+
+void DurableStore::log_and_apply(WalOp op, std::string payload) {
+  wal_->append(static_cast<std::uint32_t>(op), payload);
+  wal_->commit();  // durable before any reader can observe the mutation
+  if (wal_records_ != nullptr) wal_records_->inc();
+  if (wal_commits_ != nullptr) wal_commits_->inc();
+  apply(op, payload, {});
+}
+
+CategoryId DurableStore::add_category(std::string name) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  const CategoryId id{static_cast<std::uint32_t>(store_->categories().size())};
+  log_and_apply(WalOp::kAddCategory, std::move(name));
+  return id;
+}
+
+DeveloperId DurableStore::add_developer(std::string name) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  const DeveloperId id{static_cast<std::uint32_t>(store_->developers().size())};
+  log_and_apply(WalOp::kAddDeveloper, std::move(name));
+  return id;
+}
+
+UserId DurableStore::add_users(std::uint32_t count) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  // Validate before the WAL write: a record that cannot apply must never
+  // become durable, or replay would fault on it.
+  if (static_cast<std::uint64_t>(store_->user_count()) + count >
+      store_->download_live().max_users()) {
+    throw std::invalid_argument("DurableStore: add_users exceeds max_users");
+  }
+  const UserId first{store_->user_count()};
+  std::string payload;
+  append_pod(payload, count);
+  log_and_apply(WalOp::kAddUsers, std::move(payload));
+  return first;
+}
+
+AppId DurableStore::add_app(std::string name, DeveloperId developer, CategoryId category,
+                            Pricing pricing, Cents price, Day released) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  if (!developer.valid() || developer.index() >= store_->developers().size()) {
+    throw std::invalid_argument("DurableStore: add_app invalid developer");
+  }
+  if (!category.valid() || category.index() >= store_->categories().size()) {
+    throw std::invalid_argument("DurableStore: add_app invalid category");
+  }
+  if (pricing == Pricing::kFree && price != 0) {
+    throw std::invalid_argument("DurableStore: free app with nonzero price");
+  }
+  const AppId id{static_cast<std::uint32_t>(store_->apps().size())};
+  std::string payload;
+  append_pod(payload, static_cast<std::uint32_t>(name.size()));
+  payload += name;
+  append_pod(payload, developer.value);
+  append_pod(payload, category.value);
+  append_pod(payload, static_cast<std::uint8_t>(pricing == Pricing::kPaid ? 1 : 0));
+  append_pod(payload, price);
+  append_pod(payload, released);
+  log_and_apply(WalOp::kAddApp, std::move(payload));
+  return id;
+}
+
+void DurableStore::record_update(AppId app, Day day) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  if (app.index() >= store_->apps().size()) {
+    throw std::invalid_argument("DurableStore: record_update invalid app");
+  }
+  std::string payload;
+  append_pod(payload, app.value);
+  append_pod(payload, day);
+  log_and_apply(WalOp::kRecordUpdate, std::move(payload));
+}
+
+void DurableStore::set_price(AppId app, Cents price, Day day) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  if (app.index() >= store_->apps().size() ||
+      store_->app(app).pricing != Pricing::kPaid) {
+    throw std::invalid_argument("DurableStore: set_price on invalid or free app");
+  }
+  std::string payload;
+  append_pod(payload, app.value);
+  append_pod(payload, price);
+  append_pod(payload, day);
+  log_and_apply(WalOp::kSetPrice, std::move(payload));
+}
+
+void DurableStore::set_has_ads(AppId app, bool has_ads) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  if (app.index() >= store_->apps().size()) {
+    throw std::invalid_argument("DurableStore: set_has_ads invalid app");
+  }
+  std::string payload;
+  append_pod(payload, app.value);
+  append_pod(payload, static_cast<std::uint8_t>(has_ads ? 1 : 0));
+  log_and_apply(WalOp::kSetHasAds, std::move(payload));
+}
+
+namespace {
+
+void validate_batch_ids(const events::EventLog& batch, std::uint32_t user_count,
+                        std::size_t app_count, const char* what) {
+  const auto users = batch.user();
+  const auto apps = batch.app();
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (users[k] >= user_count || apps[k] >= app_count) {
+      throw std::invalid_argument(std::string("DurableStore: invalid id in ") + what);
+    }
+  }
+}
+
+}  // namespace
+
+void DurableStore::ingest_downloads(const events::EventLog& batch,
+                                    const events::IngestOptions& options) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  validate_batch_ids(batch, store_->user_count(), store_->apps().size(), "download batch");
+  wal_->append(static_cast<std::uint32_t>(WalOp::kDownloadBatch),
+               events::encode_event_batch(batch));
+  wal_->commit();
+  if (wal_records_ != nullptr) wal_records_->inc();
+  if (wal_commits_ != nullptr) wal_commits_->inc();
+  store_->ingest_downloads(batch, options);
+}
+
+void DurableStore::ingest_comments(const events::EventLog& batch,
+                                   const events::IngestOptions& options) {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  validate_batch_ids(batch, store_->user_count(), store_->apps().size(), "comment batch");
+  wal_->append(static_cast<std::uint32_t>(WalOp::kCommentBatch),
+               events::encode_event_batch(batch));
+  wal_->commit();
+  if (wal_records_ != nullptr) wal_records_->inc();
+  if (wal_commits_ != nullptr) wal_commits_->inc();
+  store_->ingest_comments(batch, options);
+}
+
+void DurableStore::apply(WalOp op, std::string_view payload,
+                         const events::IngestOptions& options) {
+  switch (op) {
+    case WalOp::kDownloadBatch:
+      store_->ingest_downloads(events::decode_event_batch(payload), options);
+      return;
+    case WalOp::kCommentBatch:
+      store_->ingest_comments(events::decode_event_batch(payload), options);
+      return;
+    case WalOp::kAddCategory:
+      (void)store_->add_category(std::string(payload));
+      return;
+    case WalOp::kAddDeveloper:
+      (void)store_->add_developer(std::string(payload));
+      return;
+    case WalOp::kAddUsers: {
+      PayloadCursor cursor{payload};
+      const auto count = cursor.take<std::uint32_t>("user count");
+      cursor.expect_done("add-users");
+      (void)store_->add_users(count);
+      return;
+    }
+    case WalOp::kAddApp: {
+      PayloadCursor cursor{payload};
+      const auto name_size = cursor.take<std::uint32_t>("app name size");
+      std::string name = cursor.take_string(name_size, "app name");
+      const auto developer = cursor.take<std::uint32_t>("developer");
+      const auto category = cursor.take<std::uint32_t>("category");
+      const auto paid = cursor.take<std::uint8_t>("pricing");
+      const auto price = cursor.take<Cents>("price");
+      const auto released = cursor.take<Day>("released day");
+      cursor.expect_done("add-app");
+      (void)store_->add_app(std::move(name), DeveloperId{developer}, CategoryId{category},
+                            paid != 0 ? Pricing::kPaid : Pricing::kFree, price, released);
+      return;
+    }
+    case WalOp::kRecordUpdate: {
+      PayloadCursor cursor{payload};
+      const auto app = cursor.take<std::uint32_t>("app");
+      const auto day = cursor.take<Day>("day");
+      cursor.expect_done("record-update");
+      store_->record_update(AppId{app}, day);
+      return;
+    }
+    case WalOp::kSetPrice: {
+      PayloadCursor cursor{payload};
+      const auto app = cursor.take<std::uint32_t>("app");
+      const auto price = cursor.take<Cents>("price");
+      const auto day = cursor.take<Day>("day");
+      cursor.expect_done("set-price");
+      store_->set_price(AppId{app}, price, day);
+      return;
+    }
+    case WalOp::kSetHasAds: {
+      PayloadCursor cursor{payload};
+      const auto app = cursor.take<std::uint32_t>("app");
+      const auto has_ads = cursor.take<std::uint8_t>("has-ads flag");
+      cursor.expect_done("set-has-ads");
+      store_->set_has_ads(AppId{app}, has_ads != 0);
+      return;
+    }
+  }
+  throw LoadError(LoadErrorKind::kBadFlags,
+                  util::format("wal apply: unknown operation {}",
+                               static_cast<std::uint32_t>(op)));
+}
+
+// --- checkpoint --------------------------------------------------------------
+
+CheckpointStats DurableStore::checkpoint() {
+  const std::lock_guard lock(writer_mutex_);
+  require_open();
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::uint64_t sequence = wal_->committed_sequence();
+  const std::string tag = std::to_string(sequence);
+  const auto entities_dir = directory_ / ("entities-" + tag);
+  const auto downloads_file = directory_ / ("downloads-" + tag + ".alsg");
+  const auto comments_file = directory_ / ("comments-" + tag + ".alsg");
+
+  save_entities(*store_, entities_dir);
+  events::IoOptions io;
+  io.faults = options_.faults;
+  const events::FrontierSnapshot downloads = store_->download_log();
+  const events::FrontierSnapshot comments = store_->comment_log();
+  events::save_segmented(downloads, downloads_file, io);
+  events::save_segmented(comments, comments_file, io);
+  if (options_.fsync) {
+    util::fsync_file(downloads_file);
+    util::fsync_file(comments_file);
+  }
+
+  Manifest manifest;
+  manifest.sequence = sequence;
+  manifest.store_name = store_->name();
+  manifest.entities_dir = entities_dir.filename().string();
+  manifest.downloads_file = downloads_file.filename().string();
+  manifest.downloads_bytes = file_bytes(downloads_file);
+  manifest.comments_file = comments_file.filename().string();
+  manifest.comments_bytes = file_bytes(comments_file);
+  for (const auto& component : components_) {
+    const auto component_dir = directory_ / (component.name + "-" + tag);
+    component.save(component_dir);
+    manifest.components.emplace_back(component.name, component_dir.filename().string());
+  }
+
+  write_manifest(manifest);  // the commit point: atomic rename + dir fsync
+  checkpoint_sequence_ = sequence;
+
+  // Only now is the WAL prefix redundant — retire it. A crash in between
+  // is covered by replay skipping records at or below the watermark.
+  CheckpointStats stats;
+  stats.sequence = sequence;
+  stats.wal_records = sequence - wal_->base_sequence();
+  stats.event_rows = downloads.size() + comments.size();
+  events::WalOptions wal_options{options_.faults, options_.kill, options_.fsync};
+  wal_->close();
+  wal_ = std::make_unique<events::WalWriter>(
+      events::WalWriter::create(wal_path(), sequence, wal_options));
+  collect_garbage(sequence);
+
+  if (checkpoints_ != nullptr) checkpoints_->inc();
+  stats.write_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+void DurableStore::close() {
+  const std::lock_guard lock(writer_mutex_);
+  if (wal_ != nullptr) {
+    wal_->commit();
+    wal_->close();
+    wal_.reset();
+  }
+}
+
+std::uint64_t DurableStore::durable_sequence() const {
+  const std::lock_guard lock(writer_mutex_);
+  if (wal_ != nullptr) return wal_->committed_sequence();
+  return checkpoint_sequence_;
+}
+
+// --- manifest ----------------------------------------------------------------
+
+void DurableStore::write_manifest(const Manifest& manifest) {
+  util::AtomicFile staged(manifest_path());
+  {
+    std::ofstream out(staged.temp_path(), std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + staged.temp_path().string());
+    }
+    out << kManifestMagicLine << '\n';
+    out << "sequence " << manifest.sequence << '\n';
+    out << "store " << manifest.store_name << '\n';
+    out << "entities " << manifest.entities_dir << '\n';
+    out << "downloads " << manifest.downloads_bytes << ' ' << manifest.downloads_file << '\n';
+    out << "comments " << manifest.comments_bytes << ' ' << manifest.comments_file << '\n';
+    for (const auto& [name, dir] : manifest.components) {
+      out << "component " << name << ' ' << dir << '\n';
+    }
+    out << "end\n";
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: manifest write failed in " +
+                               directory_.string());
+    }
+  }
+  // Bytes first, then the name, then the directory entry — the rename only
+  // orders the *name* (see util::fsync_file).
+  if (options_.fsync) util::fsync_file(staged.temp_path());
+  staged.commit();
+  if (options_.fsync) util::fsync_directory(directory_);
+}
+
+DurableStore::Manifest DurableStore::read_manifest() const {
+  std::ifstream in(manifest_path());
+  if (!in) {
+    throw LoadError(LoadErrorKind::kOpen,
+                    "recover: cannot open " + manifest_path().string());
+  }
+  const auto bad = [this](const std::string& why) {
+    return LoadError(LoadErrorKind::kBadMagic,
+                     "recover: malformed manifest in " + directory_.string() + ": " + why);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagicLine) throw bad("bad magic line");
+
+  Manifest manifest;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const auto space = line.find(' ');
+    if (space == std::string::npos) throw bad("fieldless line '" + line + "'");
+    const std::string key = line.substr(0, space);
+    const std::string rest = line.substr(space + 1);
+    if (key == "sequence") {
+      if (!util::parse_u64(rest, manifest.sequence)) throw bad("bad sequence");
+    } else if (key == "store") {
+      manifest.store_name = rest;
+    } else if (key == "entities") {
+      manifest.entities_dir = rest;
+    } else if (key == "downloads" || key == "comments") {
+      const auto split = rest.find(' ');
+      if (split == std::string::npos) throw bad("bad " + key + " line");
+      std::uint64_t bytes = 0;
+      if (!util::parse_u64(rest.substr(0, split), bytes)) throw bad("bad " + key + " size");
+      if (key == "downloads") {
+        manifest.downloads_bytes = bytes;
+        manifest.downloads_file = rest.substr(split + 1);
+      } else {
+        manifest.comments_bytes = bytes;
+        manifest.comments_file = rest.substr(split + 1);
+      }
+    } else if (key == "component") {
+      const auto split = rest.find(' ');
+      if (split == std::string::npos) throw bad("bad component line");
+      manifest.components.emplace_back(rest.substr(0, split), rest.substr(split + 1));
+    } else {
+      throw bad("unknown key '" + key + "'");
+    }
+  }
+  // AtomicFile makes a *torn* manifest impossible under a process kill, so
+  // a missing trailer is corruption, not a crash artifact.
+  if (!saw_end) throw bad("missing end trailer");
+  if (manifest.entities_dir.empty() || manifest.downloads_file.empty() ||
+      manifest.comments_file.empty()) {
+    throw bad("missing artifact entries");
+  }
+  return manifest;
+}
+
+void DurableStore::restore_from_manifest(const Manifest& manifest) {
+  const auto downloads_path = directory_ / manifest.downloads_file;
+  const auto comments_path = directory_ / manifest.comments_file;
+  // Size check before the loaders: the manifest recorded what save wrote,
+  // so any drift is detected even where a format would tolerate it.
+  if (file_bytes(downloads_path) != manifest.downloads_bytes ||
+      file_bytes(comments_path) != manifest.comments_bytes) {
+    throw LoadError(LoadErrorKind::kLengthMismatch,
+                    "recover: artifact size drifted from manifest in " +
+                        directory_.string());
+  }
+
+  store_ = load_entities(directory_ / manifest.entities_dir, options_.live);
+
+  // Tighten the load bounds to the recovered entity universe: the segments
+  // were written by this store, so anything outside it is corruption.
+  events::LoadLimits limits = options_.limits;
+  limits.user_bound = std::min<std::uint64_t>(limits.user_bound, store_->user_count());
+  limits.app_bound = std::min<std::uint64_t>(limits.app_bound, store_->apps().size());
+  auto downloads = events::load_segmented(downloads_path, shaped(options_.live, ".downloads"),
+                                          limits);
+  auto comments =
+      events::load_segmented(comments_path, shaped(options_.live, ".comments"), limits);
+  store_->adopt_event_logs(std::move(downloads), std::move(comments));
+
+  for (const auto& [name, dir] : manifest.components) {
+    bool found = false;
+    for (const auto& component : components_) {
+      if (component.name == name) {
+        component.load(directory_ / dir);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("recover: manifest component '" + name +
+                               "' has no attached handler in " + directory_.string());
+    }
+  }
+}
+
+void DurableStore::collect_garbage(std::uint64_t keep) {
+  // Artifact names embed their checkpoint sequence ("downloads-42.alsg",
+  // "entities-42", "<component>-42"); anything with a different sequence is
+  // either retired or debris from an interrupted checkpoint. Unknown names
+  // are left alone.
+  const std::string keep_tag = std::to_string(keep);
+  std::vector<std::filesystem::path> doomed;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
+    if (name == kWalName || name == kManifestName) continue;
+    if (name.ends_with(".tmp")) {
+      // AtomicFile staging debris from a crashed writer — never a
+      // committed name, always safe to drop.
+      doomed.push_back(entry.path());
+      continue;
+    }
+    std::string stem = name;
+    if (stem.size() > 5 && stem.ends_with(".alsg")) stem.resize(stem.size() - 5);
+    const auto dash = stem.rfind('-');
+    if (dash == std::string::npos) continue;
+    const std::string tag = stem.substr(dash + 1);
+    std::uint64_t sequence = 0;
+    if (tag.empty() || !util::parse_u64(tag, sequence)) continue;
+    if (tag != keep_tag) doomed.push_back(entry.path());
+  }
+  for (const auto& path : doomed) {
+    std::error_code ignored;
+    std::filesystem::remove_all(path, ignored);
+  }
+}
+
+}  // namespace appstore::market

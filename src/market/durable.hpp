@@ -1,0 +1,226 @@
+// DurableStore: the unified store lifecycle over the durability spine
+// (docs/durability.md) — open → recover → serve → checkpoint → close.
+//
+// Before this layer, each persistence path was ad hoc: the ALSG segments,
+// the crawler database, and the store metadata were saved by separate
+// call sites at separate times, so a crash mid-day lost everything since
+// the last manual save and a crash mid-save could leave the three stores
+// of state mutually inconsistent. DurableStore routes every mutation
+// through one write-ahead log (events::Wal) and every day boundary through
+// one checkpoint:
+//
+//   * Mutators (add_app, ingest_downloads, ...) append a sequenced WAL
+//     record and fsync it *before* applying the mutation to the in-memory
+//     AppStore — memory is always a prefix of the WAL, so recovery is pure
+//     redo and bit-identical to the run that never crashed.
+//   * checkpoint() writes the ALSG event segments, the entity tables, and
+//     every attached component (the crawler database) as artifacts named by
+//     the checkpoint sequence, then publishes them with one atomically
+//     renamed MANIFEST. The WAL is truncated only after the manifest
+//     lands; a crash in between is handled by replay skipping records at
+//     or below the manifest's watermark.
+//   * open() recovers: newest valid manifest → entities + ALSG segments
+//     (adopted wholesale, no re-ingest) + components, then the WAL tail
+//     replayed through the same append_batch path ingest uses. A torn WAL
+//     tail (crash mid-commit) is dropped; structural corruption elsewhere
+//     throws a typed events::binary::LoadError.
+//
+// Threading: mutators and checkpoint() serialize on one internal mutex
+// (single logical writer — the ingest pipeline). Readers are never blocked:
+// store() snapshots use the live logs' lock-free frontier protocol even
+// while a checkpoint is writing (the checkpoint reads the same snapshots).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "events/io.hpp"
+#include "events/live_log.hpp"
+#include "events/wal.hpp"
+#include "market/store.hpp"
+#include "market/types.hpp"
+
+namespace appstore::chaos {
+class FaultInjector;
+class KillAtOffset;
+}  // namespace appstore::chaos
+
+namespace appstore::obs {
+class Registry;
+class Counter;
+}  // namespace appstore::obs
+
+namespace appstore::market {
+
+/// WAL operation vocabulary (the record `kind` values). Payload encodings
+/// are private to durable.cpp; the numbers are the on-disk format — append
+/// only, never renumber.
+enum class WalOp : std::uint32_t {
+  kDownloadBatch = 1,
+  kCommentBatch = 2,
+  kAddCategory = 3,
+  kAddDeveloper = 4,
+  kAddUsers = 5,
+  kAddApp = 6,
+  kRecordUpdate = 7,
+  kSetPrice = 8,
+  kSetHasAds = 9,
+};
+
+/// State a higher layer checkpoints inside the same manifest barrier as the
+/// store (the crawler registers its CrawlDatabase through this — market
+/// cannot depend on the crawler layer, so the coupling is two callbacks).
+/// `save` writes into a fresh per-checkpoint directory; `load` restores
+/// from it during recovery. Both may throw; a save failure aborts the
+/// checkpoint before the manifest is published.
+struct CheckpointComponent {
+  std::string name;  ///< artifact label; [a-z0-9_]+, unique per store
+  std::function<void(const std::filesystem::path& directory)> save;
+  std::function<void(const std::filesystem::path& directory)> load;
+};
+
+struct DurableOptions {
+  /// Shape of the recovered/created AppStore's live logs (capacities).
+  events::LiveOptions live;
+  /// Bounds for the ALSG artifact loaders (user/app bounds are tightened
+  /// further to the recovered entity counts).
+  events::LoadLimits limits;
+  /// Chaos seams, both applied to WAL writes: `faults` is consulted once
+  /// per commit group, `kill` cuts the byte stream at an armed offset.
+  chaos::FaultInjector* faults = nullptr;
+  chaos::KillAtOffset* kill = nullptr;
+  /// fsync WAL commits and checkpoint artifacts. Leave on outside pure-CPU
+  /// benches; off voids the crash-consistency contract.
+  bool fsync = true;
+  /// Optional counters: wal_records_total, wal_commits_total,
+  /// checkpoints_total, wal_replayed_records_total.
+  obs::Registry* metrics = nullptr;
+};
+
+/// What open() found and did.
+struct RecoveryReport {
+  bool manifest_found = false;
+  std::uint64_t checkpoint_sequence = 0;  ///< manifest watermark (0 = none)
+  std::uint64_t replayed_records = 0;     ///< WAL records applied
+  std::uint64_t skipped_records = 0;      ///< records at/below the watermark
+  bool wal_torn_tail = false;             ///< crash cut the last commit group
+};
+
+/// What one checkpoint() did.
+struct CheckpointStats {
+  std::uint64_t sequence = 0;        ///< watermark written to the manifest
+  std::uint64_t wal_records = 0;     ///< records the truncation retired
+  std::uint64_t event_rows = 0;      ///< download+comment rows in the ALSG artifacts
+  double write_seconds = 0.0;        ///< wall time with the writer lock held
+};
+
+class DurableStore {
+ public:
+  /// Binds to `directory` (created if needed). Nothing is read until
+  /// open(); `store_name` names a store created fresh when no manifest or
+  /// WAL exists yet.
+  DurableStore(std::filesystem::path directory, std::string store_name,
+               DurableOptions options = {});
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Registers a checkpoint component. Must precede open() (recovery loads
+  /// component state). Throws std::logic_error after open().
+  void attach_component(CheckpointComponent component);
+
+  /// Recovers the store: newest valid manifest + WAL tail, or a fresh
+  /// store when the directory has neither. Throws events::binary::LoadError
+  /// on structural corruption that is not explainable as a crash tail.
+  RecoveryReport open();
+
+  /// The recovered in-memory store. Valid between open() and close().
+  /// Readers may snapshot freely at any time; direct *mutation* of the
+  /// returned store bypasses the WAL and voids recovery — mutate through
+  /// the DurableStore wrappers below.
+  [[nodiscard]] AppStore& store();
+  [[nodiscard]] const AppStore& store() const;
+
+  // --- WAL-ahead mutators (mirror the AppStore construction API) ----------
+
+  CategoryId add_category(std::string name);
+  DeveloperId add_developer(std::string name);
+  UserId add_users(std::uint32_t count);
+  AppId add_app(std::string name, DeveloperId developer, CategoryId category,
+                Pricing pricing, Cents price, Day released);
+  void record_update(AppId app, Day day);
+  void set_price(AppId app, Cents price, Day day);
+  void set_has_ads(AppId app, bool has_ads);
+  /// Group-committed: the whole batch is one WAL record, one fsync, one
+  /// atomically published block.
+  void ingest_downloads(const events::EventLog& batch,
+                        const events::IngestOptions& options = {});
+  void ingest_comments(const events::EventLog& batch,
+                       const events::IngestOptions& options = {});
+
+  /// Day-boundary checkpoint: writes all artifacts, publishes the manifest
+  /// atomically, retires the WAL, garbage-collects older artifacts.
+  /// Concurrent snapshot readers are never blocked; concurrent mutators
+  /// wait. Throws on I/O failure or an injected fault — the previous
+  /// manifest and WAL then still fully describe the store.
+  CheckpointStats checkpoint();
+
+  /// Flushes and closes the WAL. The on-disk state (manifest + WAL)
+  /// remains recoverable; further mutators throw.
+  void close();
+
+  /// Sequence of the last durable (fsynced) WAL record.
+  [[nodiscard]] std::uint64_t durable_sequence() const;
+  /// Watermark of the newest published checkpoint.
+  [[nodiscard]] std::uint64_t checkpoint_sequence() const noexcept {
+    return checkpoint_sequence_;
+  }
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  struct Manifest;
+
+  void require_open() const;
+  /// Appends one record, fsyncs the group, then applies — the WAL-ahead
+  /// discipline every mutator funnels through.
+  void log_and_apply(WalOp op, std::string payload);
+  /// Applies a decoded WAL operation to the in-memory store (the shared
+  /// path of live mutation and recovery replay).
+  void apply(WalOp op, std::string_view payload, const events::IngestOptions& options);
+
+  [[nodiscard]] std::filesystem::path wal_path() const;
+  [[nodiscard]] std::filesystem::path manifest_path() const;
+
+  void write_manifest(const Manifest& manifest);
+  [[nodiscard]] Manifest read_manifest() const;
+  void restore_from_manifest(const Manifest& manifest);
+  /// Removes artifacts whose embedded sequence differs from `keep` (crash
+  /// debris from interrupted checkpoints, or retired checkpoints).
+  void collect_garbage(std::uint64_t keep);
+
+  std::filesystem::path directory_;
+  std::string store_name_;
+  DurableOptions options_;
+  std::vector<CheckpointComponent> components_;
+
+  mutable std::mutex writer_mutex_;  ///< serializes mutators and checkpoint()
+  std::unique_ptr<AppStore> store_;
+  std::unique_ptr<events::WalWriter> wal_;
+  std::uint64_t checkpoint_sequence_ = 0;
+  bool opened_ = false;
+
+  obs::Counter* wal_records_ = nullptr;
+  obs::Counter* wal_commits_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* replayed_records_ = nullptr;
+};
+
+}  // namespace appstore::market

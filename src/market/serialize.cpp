@@ -1,5 +1,6 @@
 #include "market/serialize.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -34,7 +35,7 @@ namespace {
 
 }  // namespace
 
-void save_store(const AppStore& store, const std::filesystem::path& directory) {
+void save_entities(const AppStore& store, const std::filesystem::path& directory) {
   std::filesystem::create_directories(directory);
 
   {
@@ -59,15 +60,32 @@ void save_store(const AppStore& store, const std::filesystem::path& directory) {
   {
     util::CsvWriter apps(directory / "apps.csv");
     apps.write_row({"id", "name", "developer", "category", "paid", "price_cents",
-                    "released", "has_ads"});
+                    "released", "has_ads", "price_sum_bits", "price_samples"});
     for (const auto& app : store.apps()) {
+      const auto [price_sum, price_samples] = store.price_stats(app.id);
+      std::uint64_t price_sum_bits = 0;
+      static_assert(sizeof price_sum_bits == sizeof price_sum);
+      std::memcpy(&price_sum_bits, &price_sum, sizeof price_sum_bits);
       apps.row(static_cast<std::uint64_t>(app.id.value), app.name,
                static_cast<std::uint64_t>(app.developer.value),
                static_cast<std::uint64_t>(app.category.value),
                app.pricing == Pricing::kPaid ? 1 : 0, static_cast<std::int64_t>(app.price),
-               static_cast<std::int64_t>(app.released), app.has_ads ? 1 : 0);
+               static_cast<std::int64_t>(app.released), app.has_ads ? 1 : 0,
+               price_sum_bits, static_cast<std::uint64_t>(price_samples));
     }
   }
+  {
+    util::CsvWriter updates(directory / "updates.csv");
+    updates.write_row({"app", "day"});
+    for (const auto& event : store.update_events()) {
+      updates.row(static_cast<std::uint64_t>(event.app.value),
+                  static_cast<std::int64_t>(event.day));
+    }
+  }
+}
+
+void save_store(const AppStore& store, const std::filesystem::path& directory) {
+  save_entities(store, directory);
   {
     util::CsvWriter downloads(directory / "downloads.csv");
     downloads.write_row({"user", "app", "day"});
@@ -89,22 +107,15 @@ void save_store(const AppStore& store, const std::filesystem::path& directory) {
                    static_cast<std::uint64_t>(log.rating()[i]));
     }
   }
-  {
-    util::CsvWriter updates(directory / "updates.csv");
-    updates.write_row({"app", "day"});
-    for (const auto& event : store.update_events()) {
-      updates.row(static_cast<std::uint64_t>(event.app.value),
-                  static_cast<std::int64_t>(event.day));
-    }
-  }
 }
 
-std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory) {
+std::unique_ptr<AppStore> load_entities(const std::filesystem::path& directory,
+                                        const events::LiveOptions& live) {
   const auto meta = read_required(directory / "meta.csv");
   if (meta.rows.empty() || meta.rows[0].size() < 2) {
     throw std::runtime_error("load_store: malformed meta.csv");
   }
-  auto store = std::make_unique<AppStore>(meta.rows[0][0]);
+  auto store = std::make_unique<AppStore>(meta.rows[0][0], live);
   store->add_users(
       static_cast<std::uint32_t>(parse_field_u64(meta.rows[0][1], "user count")));
 
@@ -126,7 +137,27 @@ std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory) {
         paid ? static_cast<Cents>(parse_field_i64(row[5], "price")) : 0,
         static_cast<Day>(parse_field_i64(row[6], "released")));
     store->set_has_ads(app, row[7] == "1");
+    // Older files (pre-durability) lack the accumulator columns; the
+    // add_app seed is then the best available reconstruction.
+    if (row.size() >= 10) {
+      const std::uint64_t bits = parse_field_u64(row[8], "price_sum_bits");
+      double price_sum = 0.0;
+      std::memcpy(&price_sum, &bits, sizeof price_sum);
+      store->restore_price_stats(
+          app, price_sum,
+          static_cast<std::uint32_t>(parse_field_u64(row[9], "price_samples")));
+    }
   }
+  for (const auto& row : read_required(directory / "updates.csv").rows) {
+    if (row.size() < 2) throw std::runtime_error("load_store: malformed updates.csv");
+    store->record_update(AppId{static_cast<std::uint32_t>(parse_field_u64(row[0], "app"))},
+                         static_cast<Day>(parse_field_i64(row[1], "day")));
+  }
+  return store;
+}
+
+std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory) {
+  auto store = load_entities(directory);
   for (const auto& row : read_required(directory / "downloads.csv").rows) {
     if (row.size() < 3) throw std::runtime_error("load_store: malformed downloads.csv");
     store->record_download(
@@ -141,11 +172,6 @@ std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory) {
         AppId{static_cast<std::uint32_t>(parse_field_u64(row[1], "app"))},
         static_cast<Day>(parse_field_i64(row[2], "day")),
         static_cast<std::uint8_t>(parse_field_u64(row[3], "rating")));
-  }
-  for (const auto& row : read_required(directory / "updates.csv").rows) {
-    if (row.size() < 2) throw std::runtime_error("load_store: malformed updates.csv");
-    store->record_update(AppId{static_cast<std::uint32_t>(parse_field_u64(row[0], "app"))},
-                         static_cast<Day>(parse_field_i64(row[1], "day")));
   }
   store->check_invariants();
   store->build_stream_index();

@@ -8,10 +8,18 @@
 //   <dir>/categories.csv  id,name
 //   <dir>/developers.csv  id,name
 //   <dir>/apps.csv        id,name,developer,category,paid,price_cents,
-//                         released,has_ads
+//                         released,has_ads,price_sum_bits,price_samples
 //   <dir>/downloads.csv   user,app,day
 //   <dir>/comments.csv    user,app,day,rating
 //   <dir>/updates.csv     app,day
+//
+// The entity files (everything except downloads/comments) are the
+// "metadata" component of a durability checkpoint (market/durable.hpp),
+// split out as save_entities/load_entities; the event CSVs exist only for
+// the interchange path — checkpoints carry events as ALSG binaries.
+// `price_sum_bits` is the price-observation sum as raw IEEE-754 bits (u64):
+// a decimal rendering would round, and recovery must reproduce the
+// accumulator bit-for-bit.
 //
 // load_store() rebuilds through the public AppStore API, so all invariants
 // are re-established (and check_invariants() passes by construction).
@@ -20,6 +28,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "events/live_log.hpp"
 #include "market/store.hpp"
 
 namespace appstore::market {
@@ -31,5 +40,16 @@ void save_store(const AppStore& store, const std::filesystem::path& directory);
 /// Reads a store previously written by save_store.
 /// Throws std::runtime_error on missing files or malformed content.
 [[nodiscard]] std::unique_ptr<AppStore> load_store(const std::filesystem::path& directory);
+
+/// Writes only the entity tables (meta/categories/developers/apps/updates)
+/// — the checkpoint metadata component. No event CSVs.
+void save_entities(const AppStore& store, const std::filesystem::path& directory);
+
+/// Rebuilds a store from save_entities output: entities, update history,
+/// and exact price stats, with empty event logs shaped by `live` (recovery
+/// passes the capacity the ALSG segments will need). Pair with
+/// adopt_event_logs to finish a checkpoint restore.
+[[nodiscard]] std::unique_ptr<AppStore> load_entities(
+    const std::filesystem::path& directory, const events::LiveOptions& live = {});
 
 }  // namespace appstore::market

@@ -135,6 +135,63 @@ void AppStore::ingest_downloads(const events::EventLog& batch,
   download_live_->append_batch(batch, options);
 }
 
+void AppStore::ingest_comments(const events::EventLog& batch,
+                               const events::IngestOptions& options) {
+  const auto users = batch.user();
+  const auto apps = batch.app();
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (users[k] >= user_count_) {
+      throw std::invalid_argument("ingest_comments: invalid user");
+    }
+    if (apps[k] >= apps_.size()) {
+      throw std::invalid_argument("ingest_comments: invalid app");
+    }
+  }
+  comment_live_->append_batch(batch, options);
+}
+
+void AppStore::adopt_event_logs(std::unique_ptr<events::LiveEventLog> downloads,
+                                std::unique_ptr<events::LiveEventLog> comments) {
+  if (downloads == nullptr || comments == nullptr) {
+    throw std::invalid_argument("adopt_event_logs: null log");
+  }
+  if (downloads->columns() != (events::Columns::kDay | events::Columns::kOrdinal) ||
+      comments->columns() !=
+          (events::Columns::kDay | events::Columns::kOrdinal | events::Columns::kRating)) {
+    throw std::invalid_argument("adopt_event_logs: column mask mismatch");
+  }
+  const auto validate = [this](const events::LiveEventLog& log, const char* what) {
+    const events::FrontierSnapshot snapshot = log.snapshot();
+    const auto users = snapshot.user();
+    const auto apps = snapshot.app();
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      if (users[i] >= user_count_ || apps[i] >= apps_.size()) {
+        throw std::invalid_argument(std::string("adopt_event_logs: invalid id in ") + what);
+      }
+    }
+  };
+  validate(*downloads, "downloads");
+  validate(*comments, "comments");
+
+  std::vector<std::uint64_t> counters(apps_.size(), 0);
+  std::uint64_t total = 0;
+  const events::FrontierSnapshot snapshot = downloads->snapshot();
+  for (const std::uint32_t app : snapshot.app()) {
+    ++counters[app];
+    ++total;
+  }
+  downloads_ = std::move(counters);
+  total_downloads_ = total;
+  download_live_ = std::move(downloads);
+  comment_live_ = std::move(comments);
+}
+
+void AppStore::restore_price_stats(AppId app, double price_sum_dollars,
+                                   std::uint32_t price_samples) {
+  price_sum_dollars_.at(app.index()) = price_sum_dollars;
+  price_samples_.at(app.index()) = price_samples;
+}
+
 void AppStore::set_price(AppId app, Cents price, Day /*day*/) {
   auto& entry = apps_.at(app.index());
   if (entry.pricing != Pricing::kPaid) {

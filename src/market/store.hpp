@@ -30,6 +30,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "events/event_log.hpp"
@@ -80,6 +81,28 @@ class AppStore {
   void ingest_downloads(const events::EventLog& batch,
                         const events::IngestOptions& options = {});
 
+  /// Bulk comment ingestion — the comment-log twin of ingest_downloads
+  /// (same validation, same atomic publication, same determinism contract).
+  void ingest_comments(const events::EventLog& batch,
+                       const events::IngestOptions& options = {});
+
+  /// Replaces both live logs with pre-built ones — the checkpoint recovery
+  /// fast path (load_segmented builds the logs straight from ALSG segments;
+  /// re-ingesting them through ingest_* would pay the arena+index work a
+  /// second time). Validates every event against the entity tables, then
+  /// rebuilds the download counters from the adopted log. Requires a
+  /// quiesced store; throws std::invalid_argument on a column-mask mismatch
+  /// or an event with an out-of-range id (the store is left unchanged).
+  void adopt_event_logs(std::unique_ptr<events::LiveEventLog> downloads,
+                        std::unique_ptr<events::LiveEventLog> comments);
+
+  /// Restores the price-observation accumulator exactly as a checkpoint
+  /// recorded it (sum serialized as raw IEEE-754 bits, so recovery is
+  /// bit-identical to the run that never crashed). Overwrites whatever
+  /// add_app seeded. Recovery-only; throws on an invalid app.
+  void restore_price_stats(AppId app, double price_sum_dollars,
+                           std::uint32_t price_samples);
+
   /// Updates the list price of a paid app starting at `day`; the average
   /// price (used by the revenue analysis) is tracked per observed day.
   void set_price(AppId app, Cents price, Day day);
@@ -106,6 +129,12 @@ class AppStore {
   /// Mean of the price observations recorded via set_price/add_app — the
   /// paper uses the average price over the measurement window (§6.1).
   [[nodiscard]] double average_price_dollars(AppId id) const;
+
+  /// Raw price-observation accumulator {sum of dollars, sample count} — the
+  /// state checkpoints persist (restore_price_stats is its inverse).
+  [[nodiscard]] std::pair<double, std::uint32_t> price_stats(AppId id) const {
+    return {price_sum_dollars_.at(id.index()), price_samples_.at(id.index())};
+  }
 
   // --- event access (columnar, frontier-consistent) -------------------------
 

@@ -1,16 +1,44 @@
 #include "net/rate_limiter.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace appstore::net {
 
-TokenBucketLimiter::TokenBucketLimiter(double rate_per_second, double burst, Clock clock)
-    : rate_(rate_per_second), burst_(burst), clock_(std::move(clock)) {
+TokenBucketLimiter::TokenBucketLimiter(double rate_per_second, double burst, Clock clock,
+                                       std::size_t max_keys)
+    : rate_(rate_per_second),
+      burst_(burst),
+      clock_(std::move(clock)),
+      max_keys_(std::max<std::size_t>(1, max_keys)) {
   if (!clock_) clock_ = [] { return std::chrono::steady_clock::now(); };
+}
+
+void TokenBucketLimiter::evict_stalest_locked() {
+  // Evicting an eighth (not one) amortises the O(n) scan over the next n/8
+  // inserts, keeping the cap-hit path O(1) amortised under key churn.
+  const std::size_t want = std::max<std::size_t>(1, buckets_.size() / 8);
+  std::vector<std::chrono::steady_clock::time_point> stamps;
+  stamps.reserve(buckets_.size());
+  for (const auto& entry : buckets_) stamps.push_back(entry.second.last_refill);
+  auto nth = stamps.begin() + static_cast<std::ptrdiff_t>(want - 1);
+  std::nth_element(stamps.begin(), nth, stamps.end());
+  const auto cutoff = *nth;
+  std::size_t dropped = 0;
+  std::erase_if(buckets_, [&](const auto& entry) {
+    if (dropped >= want || entry.second.last_refill > cutoff) return false;
+    ++dropped;
+    return true;
+  });
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  if (evictions_counter_ != nullptr) evictions_counter_->inc(dropped);
 }
 
 TokenBucketLimiter::Bucket& TokenBucketLimiter::refill(
     const std::string& key, std::chrono::steady_clock::time_point now) {
+  if (buckets_.size() >= max_keys_ && !buckets_.contains(key)) {
+    evict_stalest_locked();
+  }
   auto [it, inserted] = buckets_.try_emplace(key, Bucket{burst_, now});
   if (!inserted) {
     Bucket& bucket = it->second;
@@ -24,8 +52,11 @@ TokenBucketLimiter::Bucket& TokenBucketLimiter::refill(
 void TokenBucketLimiter::attach_metrics(obs::Registry& registry) {
   registry.describe("rate_limiter_allowed_total", "Admitted allow() decisions");
   registry.describe("rate_limiter_throttled_total", "Rate-limited allow() decisions");
+  registry.describe("rate_limiter_evictions_total",
+                    "Per-key buckets dropped by the key cap or idle sweep");
   allowed_counter_ = &registry.counter("rate_limiter_allowed_total");
   throttled_counter_ = &registry.counter("rate_limiter_throttled_total");
+  evictions_counter_ = &registry.counter("rate_limiter_evictions_total");
 }
 
 bool TokenBucketLimiter::allow(const std::string& key) {
@@ -58,9 +89,16 @@ double TokenBucketLimiter::available(const std::string& key) {
 void TokenBucketLimiter::evict_idle(std::chrono::seconds idle) {
   const auto now = clock_();
   const std::lock_guard lock(mutex_);
-  std::erase_if(buckets_, [&](const auto& entry) {
+  const std::size_t dropped = std::erase_if(buckets_, [&](const auto& entry) {
     return now - entry.second.last_refill > idle;
   });
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  if (evictions_counter_ != nullptr && dropped != 0) evictions_counter_->inc(dropped);
+}
+
+std::size_t TokenBucketLimiter::tracked_keys() {
+  const std::lock_guard lock(mutex_);
+  return buckets_.size();
 }
 
 }  // namespace appstore::net

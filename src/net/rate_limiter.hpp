@@ -26,12 +26,23 @@ class TokenBucketLimiter {
  public:
   using Clock = std::function<std::chrono::steady_clock::time_point()>;
 
-  /// `rate_per_second` tokens refill continuously up to `burst`.
-  TokenBucketLimiter(double rate_per_second, double burst, Clock clock = nullptr);
+  /// Hard cap on distinct per-key buckets (see `max_keys`).
+  static constexpr std::size_t kDefaultMaxKeys = 4096;
+
+  /// `rate_per_second` tokens refill continuously up to `burst`. `max_keys`
+  /// bounds the per-key state: every request carries a client-chosen key
+  /// (the "X-Client-Id" header), so without a cap an adversary — or a
+  /// long-enough run — grows the map forever. Inserting the (max_keys+1)-th
+  /// key evicts the stalest eighth of the buckets (those idle longest), so
+  /// the hot working set survives and an evicted-then-returning client
+  /// merely starts from a full burst again.
+  TokenBucketLimiter(double rate_per_second, double burst, Clock clock = nullptr,
+                     std::size_t max_keys = kDefaultMaxKeys);
 
   /// Mirrors decisions into `rate_limiter_allowed_total` /
-  /// `rate_limiter_throttled_total` counters of `registry` (which must
-  /// outlive the limiter). Call once, before traffic.
+  /// `rate_limiter_throttled_total` / `rate_limiter_evictions_total`
+  /// counters of `registry` (which must outlive the limiter). Call once,
+  /// before traffic.
   void attach_metrics(obs::Registry& registry);
 
   /// Consumes one token for `key`; false = rate limited.
@@ -51,6 +62,14 @@ class TokenBucketLimiter {
   /// Drops per-key state older than `idle` (housekeeping for long runs).
   void evict_idle(std::chrono::seconds idle);
 
+  /// Buckets dropped by the cap or evict_idle() since construction.
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Distinct keys currently tracked (always <= max_keys).
+  [[nodiscard]] std::size_t tracked_keys();
+
  private:
   struct Bucket {
     double tokens;
@@ -60,13 +79,20 @@ class TokenBucketLimiter {
   [[nodiscard]] Bucket& refill(const std::string& key,
                                std::chrono::steady_clock::time_point now);
 
+  /// Drops the stalest eighth of the map (at least one bucket). Caller
+  /// holds mutex_.
+  void evict_stalest_locked();
+
   double rate_;
   double burst_;
   Clock clock_;
+  std::size_t max_keys_;
   std::atomic<std::uint64_t> allowed_{0};
   std::atomic<std::uint64_t> throttled_{0};
+  std::atomic<std::uint64_t> evictions_{0};
   obs::Counter* allowed_counter_ = nullptr;
   obs::Counter* throttled_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
   std::mutex mutex_;
   std::unordered_map<std::string, Bucket> buckets_;
 };

@@ -1,8 +1,40 @@
 #include "util/fs.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
 
 namespace appstore::util {
+
+namespace {
+
+void fsync_fd_of(const std::filesystem::path& path, int open_flags, const char* what) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path.string() + ": " +
+                             std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error(std::string(what) + ": fsync " + path.string() +
+                             " failed: " + std::strerror(saved_errno));
+  }
+}
+
+}  // namespace
+
+void fsync_file(const std::filesystem::path& path) {
+  fsync_fd_of(path, O_RDONLY, "fsync_file");
+}
+
+void fsync_directory(const std::filesystem::path& path) {
+  fsync_fd_of(path, O_RDONLY | O_DIRECTORY, "fsync_directory");
+}
 
 AtomicFile::AtomicFile(std::filesystem::path path)
     : path_(std::move(path)), temp_path_(path_.string() + ".tmp") {}

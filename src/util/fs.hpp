@@ -11,6 +11,17 @@
 
 namespace appstore::util {
 
+/// Flushes a file's written bytes to stable storage (fsync(2)). The rename
+/// in AtomicFile::commit orders the *name*, not the *bytes*: a durability
+/// protocol (the WAL/manifest spine, docs/durability.md) must fsync the
+/// staged file before renaming it, and the containing directory after, or a
+/// power cut can surface an empty file under the committed name.
+/// Throws std::runtime_error on I/O failure.
+void fsync_file(const std::filesystem::path& path);
+
+/// Flushes a directory's entries (the rename itself) to stable storage.
+void fsync_directory(const std::filesystem::path& path);
+
 /// Stages writes for `path` in a sibling "<path>.tmp" file; commit() moves
 /// the temp into place, destruction without commit() deletes it. Single
 /// writer per path assumed (concurrent writers would share the temp name).

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "crawler/db_io.hpp"
+#include "events/binary.hpp"
 #include "util/format.hpp"
 
 namespace appstore::crawlersim {
@@ -107,6 +108,49 @@ TEST_F(DbIoFixture, ObservationForUnknownAppThrows) {
   out << "99,0,5,1,0\n";
   out.close();
   EXPECT_THROW((void)load_database(directory_), std::runtime_error);
+}
+
+TEST_F(DbIoFixture, BinaryObservationLoadEnforcesAppAndDayBounds) {
+  // Satellite: AOBS applies the same LoadLimits windows as AEVL/ALSG, each
+  // defect a typed error. The fixture's apps are 1 and 2, days 0 and 5.
+  save_database(build(), directory_);
+
+  events::LoadLimits limits;
+  limits.app_bound = 2;  // exclusive: app 2 is out of range
+  try {
+    (void)load_database(directory_, limits);
+    FAIL() << "app 2 must not pass a bound of 2";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kAppRange);
+  }
+
+  limits = {};
+  limits.day_bound = 5;  // magnitude window [-5, 5) excludes day 5
+  try {
+    (void)load_database(directory_, limits);
+    FAIL() << "day 5 must not pass a magnitude bound of 5";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kDayRange);
+  }
+
+  limits.day_bound = 6;  // [-6, 6) admits day 5
+  EXPECT_EQ(load_database(directory_, limits).app_count(), 2u);
+}
+
+TEST_F(DbIoFixture, UnknownAppObservationIsTypedOnBothPaths) {
+  // Both observation loaders report a row referencing an app absent from
+  // apps.csv as the typed kAppRange, not a bare runtime_error.
+  save_database(build(), directory_);
+  std::filesystem::remove(directory_ / "observations.bin");
+  std::ofstream out(directory_ / "observations.csv", std::ios::app);
+  out << "99,0,5,1,0\n";
+  out.close();
+  try {
+    (void)load_database(directory_);
+    FAIL() << "an observation for app 99 must not load";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kAppRange);
+  }
 }
 
 TEST_F(DbIoFixture, BinaryObservationsPreferredOverCsv) {

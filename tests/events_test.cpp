@@ -11,8 +11,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "events/binary.hpp"
 #include "events/event_log.hpp"
 #include "events/io.hpp"
+#include "events/live_io.hpp"
 #include "market/store.hpp"
 #include "obs/registry.hpp"
 #include "synth/generator.hpp"
@@ -266,6 +268,37 @@ TEST_F(EventsIoFixture, MissingOrForeignFilesThrow) {
     out << "not an event log";
   }
   EXPECT_THROW((void)events::load_binary(path), std::runtime_error);
+}
+
+TEST_F(EventsIoFixture, BinaryLoaderEnforcesAppAndDayBounds) {
+  // Satellite: LoadLimits now bounds the app and day columns uniformly
+  // across AEVL/ALSG/AOBS, each defect a typed error.
+  EventLog log(Columns::kDay);
+  log.append(1, 900, -12, 0, 0);
+  const auto path = directory_ / "bounds.bin";
+  events::save_binary(log, path);
+
+  EXPECT_EQ(events::load_binary(path).size(), 1u);  // defaults admit everything
+
+  events::LoadLimits limits;
+  limits.app_bound = 900;  // exclusive: app 900 is out of range
+  try {
+    (void)events::load_binary(path, limits);
+    FAIL() << "app 900 must not pass a bound of 900";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kAppRange);
+  }
+
+  limits = {};
+  limits.day_bound = 10;  // magnitude window: day -12 falls outside [-10, 10)
+  try {
+    (void)events::load_binary(path, limits);
+    FAIL() << "day -12 must not pass a magnitude bound of 10";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kDayRange);
+  }
+  limits.day_bound = 13;  // [-13, 13) admits -12
+  EXPECT_EQ(events::load_binary(path, limits).size(), 1u);
 }
 
 // ---- live tiered-index streams vs batch CSR ---------------------------------

@@ -404,6 +404,40 @@ TEST(LiveEventIo, LoadRejectsUsersBeyondTheBound) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(LiveEventIo, SegmentedLoaderEnforcesAppAndDayBounds) {
+  // Satellite: the ALSG loader applies the same app/day windows as AEVL.
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "live_events_appday";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "log.alsg";
+
+  events::LiveEventLog live(Columns::kDay, small_options(1u << 10, 1u << 8, 64));
+  live.append(3, 500, -7);
+  events::save_segmented(live.snapshot(), path);
+
+  events::LoadLimits limits;
+  limits.app_bound = 500;  // exclusive: app 500 is out of range
+  try {
+    (void)events::load_segmented(path, small_options(1u << 10, 1u << 8, 64), limits);
+    FAIL() << "app 500 must not pass a bound of 500";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kAppRange);
+  }
+
+  limits = {};
+  limits.day_bound = 6;  // magnitude window [-6, 6) excludes day -7
+  try {
+    (void)events::load_segmented(path, small_options(1u << 10, 1u << 8, 64), limits);
+    FAIL() << "day -7 must not pass a magnitude bound of 6";
+  } catch (const events::binary::LoadError& error) {
+    EXPECT_EQ(error.kind(), events::binary::LoadErrorKind::kDayRange);
+  }
+  limits.day_bound = 7;  // [-7, 7) admits -7
+  EXPECT_EQ(events::load_segmented(path, small_options(1u << 10, 1u << 8, 64), limits)
+                ->frontier(),
+            1u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(LiveEventIo, BinaryLoaderAppliesTheSameBound) {
   // Satellite fix: the AEVL path gained the identical user-range check.
   const auto dir = std::filesystem::path(::testing::TempDir()) / "live_events_aevl_bound";

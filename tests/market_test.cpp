@@ -210,6 +210,50 @@ TEST(Snapshot, ReplayClampsPreCrawlHistory) {
   EXPECT_EQ(series.snapshots()[0].total_downloads, 1u);
 }
 
+TEST(Snapshot, ReplayOnEmptyStoreYieldsZeroSnapshots) {
+  const AppStore store("empty");
+  const SnapshotSeries series = replay_snapshots(store, 5);
+  ASSERT_EQ(series.snapshots().size(), 6u);  // one per day 0..horizon
+  for (const Snapshot& snap : series.snapshots()) {
+    EXPECT_EQ(snap.total_apps, 0u);
+    EXPECT_EQ(snap.total_downloads, 0u);
+  }
+  EXPECT_DOUBLE_EQ(series.new_apps_per_day(), 0.0);
+  EXPECT_DOUBLE_EQ(series.daily_downloads(), 0.0);
+}
+
+TEST(Snapshot, ReplayHorizonZeroIsASingleDay) {
+  AppStore store = make_small_store();  // apps released on days 0,0,2
+  store.record_download(UserId{0}, AppId{0}, 0);
+  store.record_download(UserId{1}, AppId{2}, 4);  // past the horizon: clamped in
+  const SnapshotSeries series = replay_snapshots(store, 0);
+  ASSERT_EQ(series.snapshots().size(), 1u);
+  EXPECT_EQ(series.snapshots()[0].day, 0);
+  // Days outside [0, horizon] clamp onto the boundary, so the single
+  // snapshot absorbs the day-2 release and the day-4 download.
+  EXPECT_EQ(series.snapshots()[0].total_apps, 3u);
+  EXPECT_EQ(series.snapshots()[0].total_downloads, 2u);
+}
+
+TEST(Snapshot, SingleSnapshotSeriesHasNoRates) {
+  SnapshotSeries series;
+  series.add(Snapshot{0, 100, 1000});
+  // Rates are deltas; with one point there is no interval to divide by.
+  EXPECT_DOUBLE_EQ(series.new_apps_per_day(), 0.0);
+  EXPECT_DOUBLE_EQ(series.daily_downloads(), 0.0);
+}
+
+TEST(Snapshot, NonMonotoneAddLeavesSeriesIntact) {
+  SnapshotSeries series;
+  series.add(Snapshot{0, 10, 100});
+  series.add(Snapshot{3, 14, 220});
+  EXPECT_THROW(series.add(Snapshot{2, 20, 300}), std::invalid_argument);
+  // The rejected snapshot must not have been partially applied.
+  ASSERT_EQ(series.snapshots().size(), 2u);
+  EXPECT_EQ(series.snapshots().back().day, 3);
+  EXPECT_DOUBLE_EQ(series.daily_downloads(), 40.0);
+}
+
 TEST(Store, InvariantCheckerCatchesCorruption) {
   AppStore store = make_small_store();
   store.record_download(UserId{0}, AppId{0}, 0);

@@ -332,6 +332,74 @@ TEST(RateLimiter, EvictIdleDropsState) {
   EXPECT_TRUE(limiter.allow("old"));
 }
 
+TEST(RateLimiter, KeyCapEvictsStalestBuckets) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(1.0, 1.0, [&] { return now; }, /*max_keys=*/8);
+  // Fill the map with keys whose last touch is strictly older than the rest.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(limiter.allow("key-" + std::to_string(i)));
+    now += std::chrono::seconds(1);
+  }
+  EXPECT_EQ(limiter.tracked_keys(), 8u);
+  EXPECT_EQ(limiter.evictions(), 0u);
+  // The 9th distinct key triggers the sweep: the cap holds, the stalest
+  // bucket(s) are dropped, and the counter records them.
+  EXPECT_TRUE(limiter.allow("key-8"));
+  EXPECT_LE(limiter.tracked_keys(), 8u);
+  EXPECT_GE(limiter.evictions(), 1u);
+  // key-0 (stalest, already drained) was evicted, so it returns with a
+  // full burst instead of its drained bucket.
+  EXPECT_TRUE(limiter.allow("key-0"));
+}
+
+TEST(RateLimiter, KeyCapBoundsUnboundedDistinctClients) {
+  auto now = std::chrono::steady_clock::now();
+  obs::Registry registry;
+  TokenBucketLimiter limiter(1.0, 1.0, [&] { return now; }, /*max_keys=*/32);
+  limiter.attach_metrics(registry);
+  // An adversarial stream of never-repeating client ids (the unbounded-map
+  // failure mode): the per-key state must stay capped throughout.
+  for (int i = 0; i < 1000; ++i) {
+    (void)limiter.allow("adversary-" + std::to_string(i));
+    now += std::chrono::milliseconds(1);
+  }
+  EXPECT_LE(limiter.tracked_keys(), 32u);
+  EXPECT_GE(limiter.evictions(), 1000u - 32u);
+  const auto snapshot = registry.snapshot();
+  const auto* evictions = snapshot.find_counter("rate_limiter_evictions_total");
+  ASSERT_NE(evictions, nullptr);
+  EXPECT_EQ(evictions->value, limiter.evictions());
+}
+
+TEST(RateLimiter, CapEvictionPreservesHotKeys) {
+  auto now = std::chrono::steady_clock::now();
+  // No refill: a bucket's tokens only ever change by draining — unless it
+  // is evicted and recreated at full burst, which is what we detect.
+  TokenBucketLimiter limiter(0.0, 2.0, [&] { return now; }, /*max_keys=*/16);
+  EXPECT_TRUE(limiter.allow("hot"));
+  EXPECT_TRUE(limiter.allow("hot"));
+  EXPECT_FALSE(limiter.allow("hot"));  // drained
+  // Cold keys churn through the capped map while the hot key stays the
+  // most recently touched (even throttled calls refresh its stamp).
+  for (int i = 0; i < 200; ++i) {
+    now += std::chrono::milliseconds(10);
+    (void)limiter.allow("cold-" + std::to_string(i));
+    EXPECT_FALSE(limiter.allow("hot")) << "hot bucket was evicted at round " << i;
+  }
+  EXPECT_GE(limiter.evictions(), 1u);
+}
+
+TEST(RateLimiter, EvictIdleCountsIntoEvictions) {
+  auto now = std::chrono::steady_clock::now();
+  TokenBucketLimiter limiter(1.0, 1.0, [&] { return now; });
+  EXPECT_TRUE(limiter.allow("old"));
+  EXPECT_TRUE(limiter.allow("older"));
+  now += std::chrono::seconds(100);
+  limiter.evict_idle(std::chrono::seconds(50));
+  EXPECT_EQ(limiter.evictions(), 2u);
+  EXPECT_EQ(limiter.tracked_keys(), 0u);
+}
+
 TEST(RateLimiter, MetricsCountAllowedAndThrottled) {
   obs::Registry registry;
   auto now = std::chrono::steady_clock::now();

@@ -7,6 +7,8 @@
 #   chaos    corruption-fuzz labels under ASan
 #   load     worker-pool server + load-harness labels (default build)
 #   query    query-engine label (default build)
+#   recovery durability suite (WAL, checkpoints, crash fuzz) under ASan,
+#            then bench_recovery with its replay-throughput floors
 #   ingest   bench_ingest: live vs stop-the-world, exits non-zero below the
 #            5x floor or on any cross-regime checksum divergence
 #
@@ -18,7 +20,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query ingest)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query recovery ingest)
 
 want() {
   local stage
@@ -63,6 +65,16 @@ if want query; then
   cmake -B build -S . >/dev/null
   cmake --build build -j"$JOBS"
   ctest --test-dir build -L query --output-on-failure
+fi
+
+if want recovery; then
+  banner "recovery: durability suite under ASan + bench_recovery floors"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j"$JOBS" --target recovery_test
+  ctest --test-dir build-asan -L recovery --output-on-failure
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target bench_recovery
+  ./build/bench/bench_recovery --metrics-out=results/BENCH_recovery_metrics.json
 fi
 
 if want ingest; then
