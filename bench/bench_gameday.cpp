@@ -1,0 +1,399 @@
+// Game-day SLO bench (ISSUE 9 acceptance bench).
+//
+// Two experiments against the same generated store:
+//
+//   1. Admission sweep — offered load at {0.5, 1, 2}x worker-pool capacity,
+//      fixed queue-capacity cliff vs adaptive (kQueueDelay) admission, with
+//      and without a seeded chaos overlay (connection resets + injected
+//      500s). Service time is modeled by an injected 5 ms latency fault at
+//      FaultSite::kServer so capacity is sleep-bound and the comparison is
+//      meaningful on a single-core CI box: 2 workers / 5 ms = 400 rps.
+//   2. Scenario trajectories — the three load::Scenario shapes (flash crowd,
+//      update storm, diurnal) replayed in real time with their seeded fault
+//      plans plus the service-time rule, recording the shed breakdown and
+//      the admission controller's behaviour over a whole synthetic game day
+//      whose peaks run 2.4x past capacity.
+//
+// The SLO gate (exit code 1 on violation): at 2x saturation — with faults
+// and without — adaptive admission must keep queue-wait p99 within the
+// budget AND keep goodput at >= --gate-ratio of the fixed baseline. The
+// fixed cliff "wins" goodput by queueing everything; the gate pins how much
+// goodput the adaptive mode is allowed to trade for its order-of-magnitude
+// queue-delay reduction. Results land in results/BENCH_gameday.json
+// (docs/gameday.md documents the shape).
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "common.hpp"
+#include "crawler/service.hpp"
+#include "load/harness.hpp"
+#include "load/report.hpp"
+#include "load/scenario.hpp"
+#include "load/workload.hpp"
+#include "net/admission.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace appstore;
+using namespace std::chrono_literals;
+using crawlersim::Json;
+using crawlersim::JsonArray;
+using crawlersim::json_object;
+
+constexpr double kUnlimited = 1e12;  // effectively disable rate limiting
+// The sleep-bound service model: every request is delayed by an injected
+// latency fault, so capacity = workers / service_time regardless of CPU.
+constexpr std::chrono::milliseconds kServiceTime{5};
+constexpr std::size_t kWorkers = 2;
+constexpr std::size_t kQueueCapacity = 64;
+constexpr double kCapacityRps =
+    static_cast<double>(kWorkers) * 1000.0 / kServiceTime.count();
+// Queue-wait p99 budget for the adaptive mode at 2x saturation: 6x the 5 ms
+// target — one log-histogram bucket of slack over the (13.1, 26.2] ms bucket
+// the estimate lands in (gameday_test uses the same budget).
+constexpr double kQueueWaitBudget = 0.030;
+
+struct CellResult {
+  double multiplier = 0.0;
+  net::AdmissionMode mode = net::AdmissionMode::kFixed;
+  bool faults_on = false;
+  load::RunReport report;
+  double goodput_rps = 0.0;     ///< totals.ok / wall_seconds
+  double queue_wait_p99 = 0.0;  ///< server_queue_wait_seconds p99
+  std::uint64_t admission_sheds = 0;
+  std::uint64_t faults_injected = 0;
+  std::size_t final_limit = 0;
+};
+
+struct ScenarioResult {
+  load::ScenarioKind kind = load::ScenarioKind::kFlashCrowd;
+  double peak_offered_rps = 0.0;
+  load::RunReport report;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t admission_sheds = 0;
+  std::size_t final_limit = 0;
+};
+
+/// The per-request fault schedule of one sweep cell: the uncapped latency
+/// rule is the service-time model; with faults on, seeded resets and 500s
+/// hit first (rules are evaluated in order, first hit wins).
+[[nodiscard]] chaos::FaultPlan sweep_plan(bool faults_on, std::uint64_t seed) {
+  chaos::FaultPlan plan;
+  plan.seed = seed;
+  plan.max_faults_per_key = 0;  // uncapped: the latency rule is permanent
+  if (faults_on) {
+    plan.rules.push_back(
+        {chaos::FaultSite::kServer, chaos::FaultKind::kConnectionReset, 0.02});
+    plan.rules.push_back({chaos::FaultSite::kServer, chaos::FaultKind::kHttp500, 0.02});
+  }
+  plan.rules.push_back(
+      {chaos::FaultSite::kServer, chaos::FaultKind::kLatency, 1.0, kServiceTime});
+  return plan;
+}
+
+/// Feeds the adaptive controller a dozen over-target intervals so the limit
+/// converges before the measured window — the measurement then shows the
+/// controller's steady state, not its first ramp-down.
+void preconverge(net::AdmissionController* controller) {
+  if (controller == nullptr ||
+      controller->options().mode == net::AdmissionMode::kFixed) {
+    return;
+  }
+  for (int interval = 0; interval < 12; ++interval) {
+    for (int sample = 0; sample < 4; ++sample) controller->observe(40ms);
+    std::this_thread::sleep_for(27ms);
+  }
+}
+
+[[nodiscard]] CellResult run_cell(const market::AppStore& store, double multiplier,
+                                  net::AdmissionMode mode, bool faults_on,
+                                  std::uint32_t clients, double seconds,
+                                  std::uint64_t seed) {
+  chaos::FaultInjector injector(sweep_plan(faults_on, seed));
+
+  crawlersim::ServicePolicy policy;
+  policy.rate_per_second = kUnlimited;
+  policy.burst = kUnlimited;
+  policy.server_workers = kWorkers;
+  policy.server_queue_capacity = kQueueCapacity;
+  policy.faults = &injector;
+  policy.admission.mode = mode;
+  policy.admission.target_delay = 5ms;
+  policy.admission.interval = 25ms;
+  policy.admission.increase = 1;
+  policy.admission.decrease = 0.5;
+  crawlersim::AppstoreService service(store, policy);
+  service.set_day(60);
+
+  load::ScheduleOptions schedule_options;
+  schedule_options.seed = seed;
+  schedule_options.clients = clients;
+  const double offered = multiplier * kCapacityRps;
+  schedule_options.open_loop_rate_hz = offered / clients;
+  schedule_options.requests_per_client = static_cast<std::uint32_t>(
+      std::ceil(schedule_options.open_loop_rate_hz * seconds));
+  schedule_options.mix.app_count = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(store.apps().size()));
+  const load::Schedule schedule = load::build_schedule(schedule_options);
+
+  // Only overload cells start from the converged limit; under-capacity cells
+  // measure the resting state (limit at the ceiling, no sheds expected).
+  if (multiplier >= 2.0) preconverge(service.admission());
+
+  load::RunOptions run_options;
+  run_options.service = &service;
+  run_options.over_sockets = true;
+
+  CellResult cell;
+  cell.multiplier = multiplier;
+  cell.mode = mode;
+  cell.faults_on = faults_on;
+  cell.report = load::run(schedule, run_options);
+  cell.goodput_rps = cell.report.wall_seconds > 0.0
+                         ? static_cast<double>(cell.report.totals.ok) /
+                               cell.report.wall_seconds
+                         : 0.0;
+  const obs::Snapshot snapshot = service.metrics().snapshot();
+  const auto* wait = snapshot.find_histogram("server_queue_wait_seconds");
+  cell.queue_wait_p99 = wait != nullptr ? wait->p99 : 0.0;
+  cell.faults_injected = injector.injected_total();
+  if (net::AdmissionController* controller = service.admission()) {
+    cell.admission_sheds = controller->sheds();
+    cell.final_limit = controller->limit();
+  }
+  service.stop();
+  return cell;
+}
+
+[[nodiscard]] ScenarioResult run_scenario(const market::AppStore& store,
+                                          load::ScenarioKind kind,
+                                          std::uint64_t seed) {
+  load::ScenarioOptions options;
+  options.kind = kind;
+  options.seed = seed;
+  options.clients = 8;
+  options.base_rate_hz = 30.0;  // 240 rps steady = 0.6x capacity...
+  options.peak_multiplier = 4.0;  // ...and 960 rps offered at the peak (2.4x)
+  options.duration_seconds = 3.0;
+  options.faults.rate = 0.15;
+  options.faults.latency = 20ms;
+  const load::Scenario scenario = load::build_scenario(options);
+
+  // The scenario's seeded chaos overlay plus the same sleep-bound
+  // service-time rule the sweep uses, replayed in real time: the peak phases
+  // run past the 400 rps worker-pool capacity, so the trajectory exercises
+  // the admission controller, not just the fault seams. (Determinism of the
+  // same scenarios replayed on a VirtualClock is gameday_test's job.)
+  chaos::FaultPlan plan = *scenario.fault_plan;
+  plan.max_faults_per_key = 0;
+  plan.rules.push_back(
+      {chaos::FaultSite::kServer, chaos::FaultKind::kLatency, 1.0, kServiceTime});
+  chaos::FaultInjector injector(plan);
+
+  crawlersim::ServicePolicy policy;
+  policy.rate_per_second = kUnlimited;
+  policy.burst = kUnlimited;
+  policy.server_workers = kWorkers;
+  policy.server_queue_capacity = kQueueCapacity;
+  policy.faults = &injector;
+  policy.admission.mode = net::AdmissionMode::kQueueDelay;
+  policy.admission.target_delay = 5ms;
+  policy.admission.interval = 25ms;
+  policy.admission.increase = 1;
+  policy.admission.decrease = 0.5;
+  crawlersim::AppstoreService service(store, policy);
+  service.set_day(60);
+
+  load::RunOptions run_options;
+  run_options.service = &service;
+  run_options.over_sockets = true;
+
+  ScenarioResult result;
+  result.kind = kind;
+  result.peak_offered_rps = scenario.peak_offered_rps();
+  result.report = load::run(scenario.schedule, run_options);
+  result.faults_injected = injector.injected_total();
+  if (net::AdmissionController* controller = service.admission()) {
+    result.admission_sheds = controller->sheds();
+    result.final_limit = controller->limit();
+  }
+  service.stop();
+  return result;
+}
+
+[[nodiscard]] Json to_json(const CellResult& cell) {
+  return json_object(
+      {{"offered_multiplier", cell.multiplier},
+       {"mode", std::string(net::to_string(cell.mode))},
+       {"faults", cell.faults_on},
+       {"goodput_rps", cell.goodput_rps},
+       {"queue_wait_p99_seconds", cell.queue_wait_p99},
+       {"admission_sheds", cell.admission_sheds},
+       {"faults_injected", cell.faults_injected},
+       {"final_admission_limit", static_cast<std::uint64_t>(cell.final_limit)},
+       {"report", load::to_json(cell.report)}});
+}
+
+[[nodiscard]] Json to_json(const ScenarioResult& scenario) {
+  return json_object(
+      {{"kind", std::string(load::to_string(scenario.kind))},
+       {"peak_offered_rps", scenario.peak_offered_rps},
+       {"faults_injected", scenario.faults_injected},
+       {"admission_sheds", scenario.admission_sheds},
+       {"final_admission_limit", static_cast<std::uint64_t>(scenario.final_limit)},
+       {"report", load::to_json(scenario.report)}});
+}
+
+void add_row(report::Table& table, const CellResult& cell) {
+  table.row({util::format("{:.1f}x", cell.multiplier),
+             std::string(net::to_string(cell.mode)),
+             cell.faults_on ? "on" : "off",
+             util::format("{:.0f}", cell.goodput_rps),
+             std::to_string(cell.report.totals.ok),
+             util::format("{}/{}/{}", cell.report.totals.shed_accept,
+                          cell.report.totals.shed_queue,
+                          cell.report.totals.shed_admission),
+             util::format("{:.1f}", cell.queue_wait_p99 * 1e3),
+             std::to_string(cell.final_limit)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::BenchCli cli("bench_gameday",
+                       "adaptive admission vs the fixed queue cliff across offered "
+                       "load, plus full game-day scenario trajectories",
+                       // Small store on purpose: service time is the injected
+                       // 5 ms latency fault, so the handler's directory-scan
+                       // cost must stay negligible next to it.
+                       0.005, 2e-6);
+  auto clients = cli.raw().u64("clients", 16, "concurrent open-loop clients");
+  auto seconds = cli.raw().f64("seconds", 0.8,
+                               "measured window per sweep cell (overload cells "
+                               "run 2x this)");
+  auto gate_ratio =
+      cli.raw().f64("gate-ratio", 0.7,
+                    "minimum adaptive/fixed goodput ratio at 2x saturation");
+  auto out_path =
+      cli.raw().str("out", "results/BENCH_gameday.json", "report destination");
+  cli.parse(argc, argv);
+
+  benchx::print_heading(
+      "gameday: adaptive admission + scenario trajectories",
+      "the paper measures the store under its daily crawl; a game day asks what "
+      "the serving layer does when that load spikes past capacity");
+
+  const auto generated = synth::generate(synth::anzhi(), cli.config());
+  const market::AppStore& store = *generated.store;
+
+  // ---- admission sweep ----------------------------------------------------
+  const double multipliers[] = {0.5, 1.0, 2.0};
+  const net::AdmissionMode modes[] = {net::AdmissionMode::kFixed,
+                                      net::AdmissionMode::kQueueDelay};
+  std::vector<CellResult> cells;
+  for (const bool faults_on : {false, true}) {
+    for (const double multiplier : multipliers) {
+      for (const net::AdmissionMode mode : modes) {
+        const double window = multiplier >= 2.0 ? *seconds * 2.0 : *seconds;
+        cells.push_back(run_cell(store, multiplier, mode, faults_on,
+                                 static_cast<std::uint32_t>(*clients), window,
+                                 cli.seed()));
+      }
+    }
+  }
+
+  report::Table table({"offered", "mode", "faults", "goodput", "ok",
+                       "shed a/q/adm", "wait p99 ms", "limit"});
+  for (const CellResult& cell : cells) add_row(table, cell);
+  benchx::print_table(table);
+
+  // ---- scenario trajectories ----------------------------------------------
+  std::vector<ScenarioResult> scenarios;
+  for (const load::ScenarioKind kind :
+       {load::ScenarioKind::kFlashCrowd, load::ScenarioKind::kUpdateStorm,
+        load::ScenarioKind::kDiurnal}) {
+    scenarios.push_back(run_scenario(store, kind, cli.seed()));
+    const ScenarioResult& scenario = scenarios.back();
+    std::printf(
+        "scenario %-12s peak=%.0frps ok=%llu shed(a/q/adm)=%llu/%llu/%llu "
+        "faults=%llu limit=%zu\n",
+        std::string(load::to_string(scenario.kind)).c_str(),
+        scenario.peak_offered_rps,
+        static_cast<unsigned long long>(scenario.report.totals.ok),
+        static_cast<unsigned long long>(scenario.report.totals.shed_accept),
+        static_cast<unsigned long long>(scenario.report.totals.shed_queue),
+        static_cast<unsigned long long>(scenario.report.totals.shed_admission),
+        static_cast<unsigned long long>(scenario.faults_injected),
+        scenario.final_limit);
+  }
+
+  // ---- SLO gate -----------------------------------------------------------
+  bool gate_pass = true;
+  JsonArray gate_checks;
+  for (const bool faults_on : {false, true}) {
+    const CellResult* fixed = nullptr;
+    const CellResult* adaptive = nullptr;
+    for (const CellResult& cell : cells) {
+      if (cell.multiplier < 2.0 || cell.faults_on != faults_on) continue;
+      if (cell.mode == net::AdmissionMode::kFixed) fixed = &cell;
+      if (cell.mode == net::AdmissionMode::kQueueDelay) adaptive = &cell;
+    }
+    if (fixed == nullptr || adaptive == nullptr) {
+      gate_pass = false;
+      continue;
+    }
+    const double ratio = fixed->goodput_rps > 0.0
+                             ? adaptive->goodput_rps / fixed->goodput_rps
+                             : 0.0;
+    const bool goodput_ok = ratio >= *gate_ratio;
+    const bool delay_ok = adaptive->queue_wait_p99 <= kQueueWaitBudget;
+    gate_pass = gate_pass && goodput_ok && delay_ok;
+    gate_checks.push_back(json_object(
+        {{"faults", faults_on},
+         {"goodput_ratio", ratio},
+         {"goodput_ok", goodput_ok},
+         {"adaptive_queue_wait_p99_seconds", adaptive->queue_wait_p99},
+         {"fixed_queue_wait_p99_seconds", fixed->queue_wait_p99},
+         {"queue_delay_ok", delay_ok}}));
+    std::printf(
+        "gate (faults %s): goodput ratio %.2f (>= %.2f: %s), adaptive wait p99 "
+        "%.1fms (<= %.0fms: %s), fixed wait p99 %.1fms\n",
+        faults_on ? "on" : "off", ratio, *gate_ratio, goodput_ok ? "ok" : "FAIL",
+        adaptive->queue_wait_p99 * 1e3, kQueueWaitBudget * 1e3,
+        delay_ok ? "ok" : "FAIL", fixed->queue_wait_p99 * 1e3);
+  }
+
+  JsonArray sweep;
+  for (const CellResult& cell : cells) sweep.push_back(to_json(cell));
+  JsonArray trajectory;
+  for (const ScenarioResult& scenario : scenarios) {
+    trajectory.push_back(to_json(scenario));
+  }
+  const Json document = json_object(
+      {{"service_model",
+        json_object({{"workers", static_cast<std::uint64_t>(kWorkers)},
+                     {"queue_capacity", static_cast<std::uint64_t>(kQueueCapacity)},
+                     {"service_time_ms",
+                      static_cast<std::uint64_t>(kServiceTime.count())},
+                     {"capacity_rps", kCapacityRps}})},
+       {"queue_wait_budget_seconds", kQueueWaitBudget},
+       {"gate_ratio", *gate_ratio},
+       {"sweep", Json(std::move(sweep))},
+       {"scenarios", Json(std::move(trajectory))},
+       {"gate", json_object({{"pass", gate_pass},
+                             {"checks", Json(std::move(gate_checks))}})}});
+  load::write_json_file(document, *out_path);
+  cli.metrics().gauge("gameday_gate_pass").set(gate_pass ? 1.0 : 0.0);
+  cli.dump_metrics();
+  if (!gate_pass) {
+    std::fprintf(stderr, "bench_gameday: SLO gate FAILED (see %s)\n",
+                 out_path->c_str());
+    return 1;
+  }
+  return 0;
+}

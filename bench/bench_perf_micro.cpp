@@ -140,10 +140,11 @@ BENCHMARK(BM_HttpRoundTrip);
 // bound: <= 5% of the uninstrumented round-trip).
 void BM_HttpRoundTripInstrumented(benchmark::State& state) {
   obs::Registry registry;
-  net::HttpServer server(net::ServerOptions{.metrics = &registry},
-                         [](const net::HttpRequest&) {
-                           return net::HttpResponse::text(200, "pong");
-                         });
+  net::ServerOptions options;
+  options.metrics = &registry;
+  net::HttpServer server(std::move(options), [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, "pong");
+  });
   net::HttpClient client("127.0.0.1", server.port());
   for (auto _ : state) {
     benchmark::DoNotOptimize(client.get("/ping"));

@@ -168,6 +168,7 @@ AppstoreService::AppstoreService(const market::AppStore& store, ServicePolicy po
   server_options.worker_threads = policy_.server_workers;
   server_options.queue_capacity = policy_.server_queue_capacity;
   server_options.max_connections = policy_.max_connections;
+  server_options.admission = policy_.admission;
   // The load-shed 503 is written below the handler; give it the same error
   // envelope every in-handler error uses.
   server_options.shed_body =

@@ -86,6 +86,11 @@ struct ServicePolicy {
   std::size_t server_workers = 0;         ///< 0 = ServerOptions default
   std::size_t server_queue_capacity = 256;
   std::size_t max_connections = 256;
+  /// Admission policy for the ready queue (net::AdmissionOptions, forwarded
+  /// to net::ServerOptions): the default kFixed mode is the legacy
+  /// queue-capacity cliff; the adaptive modes shed once measured queue delay
+  /// exceeds admission.target_delay. See docs/gameday.md.
+  net::AdmissionOptions admission;
   /// Optional server-side chaos seam + clock, forwarded to the underlying
   /// net::HttpServer (see net::ServerOptions). Must outlive the service.
   chaos::Clock* clock = nullptr;
@@ -143,6 +148,14 @@ class AppstoreService {
   [[nodiscard]] std::uint16_t port() const noexcept { return server_->port(); }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return server_->requests_served();
+  }
+
+  /// The HTTP server's admission controller (nullptr in
+  /// thread-per-connection mode). bench_gameday uses it to pre-converge the
+  /// adaptive limit before a measured window and to read the final limit
+  /// and shed count afterwards.
+  [[nodiscard]] net::AdmissionController* admission() noexcept {
+    return server_->admission();
   }
 
   /// The service's metrics registry (also served at /api/metrics).

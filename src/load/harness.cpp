@@ -57,6 +57,18 @@ struct LoadMetrics {
 void classify(const net::HttpResponse& response, Totals& totals) {
   if (response.status == 503) {
     ++totals.shed;
+    // Attribution written by HttpServer::shed_connection; a 503 produced
+    // below the socket layer has no header and stays unattributed.
+    const auto reason = response.headers.find("X-Shed-Reason");
+    if (reason != response.headers.end()) {
+      if (reason->second == "accept") {
+        ++totals.shed_accept;
+      } else if (reason->second == "queue") {
+        ++totals.shed_queue;
+      } else if (reason->second == "admission") {
+        ++totals.shed_admission;
+      }
+    }
   } else if (response.status >= 500) {
     ++totals.http_5xx;
   } else if (response.status >= 400) {
@@ -143,6 +155,9 @@ RunReport run(const Schedule& schedule, const RunOptions& options) {
     report.totals.http_5xx += tally.totals.http_5xx;
     report.totals.shed += tally.totals.shed;
     report.totals.transport_errors += tally.totals.transport_errors;
+    report.totals.shed_accept += tally.totals.shed_accept;
+    report.totals.shed_queue += tally.totals.shed_queue;
+    report.totals.shed_admission += tally.totals.shed_admission;
     for (std::size_t op = 0; op < kOpKindCount; ++op) {
       merged[op].insert(merged[op].end(), tally.latency[op].begin(),
                         tally.latency[op].end());

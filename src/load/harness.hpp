@@ -60,6 +60,13 @@ struct Totals {
   std::uint64_t http_5xx = 0;          ///< 5xx other than shed
   std::uint64_t shed = 0;              ///< 503 (server load shedding)
   std::uint64_t transport_errors = 0;  ///< exceptions (resets, timeouts)
+  /// Shed attribution from the server's X-Shed-Reason header, so game-day
+  /// trajectories can tell the shed layers apart. A 503 without the header
+  /// (e.g. an in-process 503 below the socket layer) counts only in `shed`,
+  /// so shed >= shed_accept + shed_queue + shed_admission always holds.
+  std::uint64_t shed_accept = 0;     ///< accept-time (max_connections)
+  std::uint64_t shed_queue = 0;      ///< ready queue at its hard ceiling
+  std::uint64_t shed_admission = 0;  ///< adaptive admission limit
 };
 
 /// Latency summary for one endpoint class (seconds).

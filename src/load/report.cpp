@@ -16,7 +16,11 @@ Json to_json(const Totals& totals) {
                       {"http_4xx", totals.http_4xx},
                       {"http_5xx", totals.http_5xx},
                       {"shed", totals.shed},
-                      {"transport_errors", totals.transport_errors}});
+                      {"transport_errors", totals.transport_errors},
+                      {"shed_breakdown",
+                       json_object({{"accept", totals.shed_accept},
+                                    {"queue", totals.shed_queue},
+                                    {"admission", totals.shed_admission}})}});
 }
 
 Json to_json(const EndpointLatency& latency) {

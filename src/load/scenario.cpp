@@ -1,0 +1,173 @@
+#include "load/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace appstore::load {
+
+std::string_view to_string(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kFlashCrowd: return "flash_crowd";
+    case ScenarioKind::kUpdateStorm: return "update_storm";
+    case ScenarioKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+double Scenario::peak_offered_rps() const noexcept {
+  double peak = 0.0;
+  for (const ScenarioPhase& phase : phases) peak = std::max(peak, phase.rate_hz);
+  return peak * static_cast<double>(options.clients);
+}
+
+chaos::FaultPlan gameday_fault_plan(const ScenarioFaults& faults) {
+  chaos::FaultPlan plan;
+  plan.seed = faults.seed;
+  plan.max_faults_per_key = faults.max_faults_per_key;
+  const double each = faults.rate / 3.0;
+  plan.rules = {
+      {chaos::FaultSite::kServer, chaos::FaultKind::kConnectionReset, each, {}},
+      {chaos::FaultSite::kServer, chaos::FaultKind::kHttp500, each, {}},
+      {chaos::FaultSite::kServer, chaos::FaultKind::kLatency, each, faults.latency},
+  };
+  return plan;
+}
+
+namespace {
+
+/// The flash phase's mix: app-detail heavy and concentrated on the head of
+/// the popularity curve (a launch sends everyone to the same few apps).
+[[nodiscard]] MixOptions flash_mix(MixOptions mix) {
+  mix.meta_weight = 0.02;
+  mix.apps_weight = 0.08;
+  mix.app_weight = 0.65;
+  mix.comments_weight = 0.25;
+  mix.zr = std::min(1.4, mix.zr + 0.5);
+  mix.p = 0.9;
+  return mix;
+}
+
+/// The storm phase's mix: every device polling the directory and metadata
+/// for updates (Fig. 4's synchronized waves), few organic detail views.
+[[nodiscard]] MixOptions storm_mix(MixOptions mix) {
+  mix.meta_weight = 0.15;
+  mix.apps_weight = 0.45;
+  mix.app_weight = 0.35;
+  mix.comments_weight = 0.05;
+  mix.zr = std::min(1.2, mix.zr + 0.3);
+  mix.p = 0.95;
+  return mix;
+}
+
+[[nodiscard]] std::vector<ScenarioPhase> layout_phases(const ScenarioOptions& options) {
+  const double base = options.base_rate_hz;
+  const double peak = base * options.peak_multiplier;
+  const double total = options.duration_seconds;
+  std::vector<ScenarioPhase> phases;
+  switch (options.kind) {
+    case ScenarioKind::kFlashCrowd:
+      phases = {
+          {"steady", 0.0, 0.4 * total, base, options.mix},
+          {"flash", 0.4 * total, 0.2 * total, peak, flash_mix(options.mix)},
+          {"recovery", 0.6 * total, 0.4 * total, base, options.mix},
+      };
+      break;
+    case ScenarioKind::kUpdateStorm:
+      phases = {
+          {"calm", 0.0, 0.3 * total, base, options.mix},
+          {"storm", 0.3 * total, 0.3 * total, peak, storm_mix(options.mix)},
+          {"drain", 0.6 * total, 0.4 * total, base, options.mix},
+      };
+      break;
+    case ScenarioKind::kDiurnal: {
+      // Raised-cosine day curve sampled at twelve "two-hour" segments:
+      // rate(i) = base + (peak - base) * (1 - cos(2π (i+½)/12)) / 2, so the
+      // night segments run at ~base and the midday ones at ~peak.
+      constexpr int kSegments = 12;
+      const double segment = total / kSegments;
+      phases.reserve(kSegments);
+      for (int i = 0; i < kSegments; ++i) {
+        const double phase_angle =
+            2.0 * std::numbers::pi * (static_cast<double>(i) + 0.5) / kSegments;
+        const double rate = base + (peak - base) * (1.0 - std::cos(phase_angle)) / 2.0;
+        phases.push_back({"h" + std::to_string(2 * i), static_cast<double>(i) * segment,
+                          segment, rate, options.mix});
+      }
+      break;
+    }
+  }
+  return phases;
+}
+
+}  // namespace
+
+Scenario build_scenario(const ScenarioOptions& options) {
+  if (options.clients == 0) throw std::invalid_argument("build_scenario: zero clients");
+  if (options.base_rate_hz <= 0.0) {
+    throw std::invalid_argument("build_scenario: base_rate_hz <= 0");
+  }
+  if (options.peak_multiplier < 1.0) {
+    throw std::invalid_argument("build_scenario: peak_multiplier < 1");
+  }
+  if (options.duration_seconds <= 0.0) {
+    throw std::invalid_argument("build_scenario: duration_seconds <= 0");
+  }
+
+  Scenario scenario;
+  scenario.options = options;
+  scenario.phases = layout_phases(options);
+  if (options.faults.rate > 0.0) {
+    scenario.fault_plan = gameday_fault_plan(options.faults);
+  }
+
+  Schedule& spliced = scenario.schedule;
+  spliced.per_client.resize(options.clients);
+  std::size_t longest_client = 0;
+  for (std::size_t index = 0; index < scenario.phases.size(); ++index) {
+    const ScenarioPhase& phase = scenario.phases[index];
+    ScheduleOptions phase_options;
+    // Every phase draws from its own derived stream, so editing one phase's
+    // shape cannot perturb another's schedule.
+    phase_options.seed = util::rng::derive_seed(options.seed, index);
+    phase_options.clients = options.clients;
+    phase_options.open_loop_rate_hz = phase.rate_hz;
+    phase_options.mix = phase.mix;
+    // Draw ~1.5× the expected count, then truncate to the phase window — a
+    // Poisson process conditioned on a window is still Poisson, so the
+    // truncation keeps both the rate and the inter-arrival law exact.
+    const double expected = phase.rate_hz * phase.duration_seconds;
+    phase_options.requests_per_client =
+        static_cast<std::uint32_t>(std::ceil(expected * 1.5)) + 8;
+    const Schedule drawn = build_schedule(phase_options);
+    const auto window = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(phase.duration_seconds * 1e9));
+    const auto offset = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(phase.start_seconds * 1e9));
+    for (std::uint32_t client = 0; client < options.clients; ++client) {
+      auto& out = spliced.per_client[client];
+      for (const Request& request : drawn.per_client[client]) {
+        if (request.arrival >= window) break;  // arrivals are non-decreasing
+        Request shifted = request;
+        shifted.arrival += offset;
+        out.push_back(std::move(shifted));
+      }
+      longest_client = std::max(longest_client, out.size());
+    }
+  }
+
+  // The spliced schedule's own options describe the scenario envelope: a
+  // non-zero open_loop_rate_hz marks it open-loop for the harness, and the
+  // per-client count records the longest client for reporting.
+  spliced.options.seed = options.seed;
+  spliced.options.clients = options.clients;
+  spliced.options.requests_per_client = static_cast<std::uint32_t>(longest_client);
+  spliced.options.open_loop_rate_hz = options.base_rate_hz;
+  spliced.options.mix = options.mix;
+  return scenario;
+}
+
+}  // namespace appstore::load

@@ -1,0 +1,108 @@
+// Game-day scenarios: multi-phase, seed-pure load shapes over build_schedule.
+//
+// A Scenario composes the stationary generator into the traffic patterns the
+// paper (and its follow-ups in PAPERS.md) actually measured:
+//
+//   * kFlashCrowd — a new hit app launches: steady traffic, then a spike at
+//     peak_multiplier× the base rate whose app-detail targets concentrate on
+//     the head of the Zipf popularity curve (higher zr, stickier clusters),
+//     then recovery at the base rate.
+//   * kUpdateStorm — the synchronized update waves of Fig. 4: calm, then a
+//     storm at peak_multiplier× dominated by directory/meta polling (every
+//     device re-checking for updates), then a drain phase.
+//   * kDiurnal — a full day compressed into duration_seconds: twelve equal
+//     segments whose rates trace a raised-cosine day curve from the base
+//     rate up to peak_multiplier× at "midday" and back. With
+//     peak_multiplier past worker-pool saturation the midday segments drive
+//     the server over capacity while the night segments stay under it.
+//
+// Determinism: build_scenario is a pure function of ScenarioOptions — each
+// phase derives its own schedule seed via util::rng::derive_seed, phases are
+// truncated to their window (a Poisson process conditioned on a window is
+// still Poisson) and spliced per client with arrivals offset to scenario
+// time, so equal options yield byte-identical scenarios on any machine.
+//
+// Faults: ScenarioFaults describes the seeded chaos overlay (proxy resets,
+// injected 500s, latency at FaultSite::kServer); gameday_fault_plan turns it
+// into the chaos::FaultPlan a service-side FaultInjector replays. The plan
+// is part of the scenario value, so "scenario × fault seed" names one exact
+// replayable game day. Replayed on a chaos::VirtualClock, a full day runs in
+// seconds of wall time (arrival sleeps and injected latency advance virtual
+// time instantly).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "load/workload.hpp"
+
+namespace appstore::load {
+
+enum class ScenarioKind : std::uint8_t { kFlashCrowd = 0, kUpdateStorm, kDiurnal };
+
+/// Report/metric label for a kind ("flash_crowd", "update_storm", "diurnal").
+[[nodiscard]] std::string_view to_string(ScenarioKind kind) noexcept;
+
+/// Seeded chaos overlay of a scenario (rate 0 = no faults).
+struct ScenarioFaults {
+  std::uint64_t seed = 0xfa117ULL;
+  /// Total per-request fault probability, split evenly across connection
+  /// resets, injected 500s, and latency injection at FaultSite::kServer.
+  double rate = 0.0;
+  std::chrono::milliseconds latency{50};  ///< injected latency per hit
+  /// Per-target fault cap (chaos::FaultPlan::max_faults_per_key); 0 = uncapped.
+  std::uint32_t max_faults_per_key = 4;
+};
+
+struct ScenarioOptions {
+  ScenarioKind kind = ScenarioKind::kFlashCrowd;
+  std::uint64_t seed = 0xda7eULL;
+  std::uint32_t clients = 8;
+  /// Per-client open-loop arrival rate of the quiet phases (Hz); offered
+  /// load is clients × rate.
+  double base_rate_hz = 50.0;
+  /// Peak rate as a multiple of base_rate_hz (the flash/storm/midday rate).
+  double peak_multiplier = 8.0;
+  /// Total scenario length in (virtual) seconds.
+  double duration_seconds = 60.0;
+  /// Mix of the quiet phases; spike phases derive their own shifted mixes.
+  MixOptions mix;
+  ScenarioFaults faults;
+};
+
+/// One contiguous phase of a scenario (times in scenario seconds).
+struct ScenarioPhase {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  double rate_hz = 0.0;  ///< per-client open-loop rate during the phase
+  MixOptions mix;
+};
+
+struct Scenario {
+  ScenarioOptions options;
+  std::vector<ScenarioPhase> phases;
+  /// The spliced per-client schedule: arrivals are scenario-absolute and
+  /// non-decreasing per client; schedule.open_loop() is always true.
+  Schedule schedule;
+  /// The chaos overlay (nullopt when options.faults.rate == 0).
+  std::optional<chaos::FaultPlan> fault_plan;
+
+  /// Offered load of the hottest phase (clients × max phase rate).
+  [[nodiscard]] double peak_offered_rps() const noexcept;
+};
+
+/// Builds the scenario. Deterministic: equal options (including both seeds)
+/// produce an identical scenario — phases, schedule, and fault plan.
+[[nodiscard]] Scenario build_scenario(const ScenarioOptions& options);
+
+/// The fault plan a ScenarioFaults overlay describes (usable standalone,
+/// e.g. by bench_gameday to compose extra latency rules).
+[[nodiscard]] chaos::FaultPlan gameday_fault_plan(const ScenarioFaults& faults);
+
+}  // namespace appstore::load

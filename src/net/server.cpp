@@ -22,6 +22,8 @@ constexpr std::string_view kComponent = "http";
 
 constexpr std::string_view kStatusClasses[5] = {"1xx", "2xx", "3xx", "4xx", "5xx"};
 
+constexpr std::string_view kShedReasons[3] = {"accept", "queue", "admission"};
+
 /// status -> 0..4 (status/100 - 1); out-of-range statuses count as 5xx.
 [[nodiscard]] std::size_t status_class(int status) noexcept {
   const int band = status / 100 - 1;
@@ -112,6 +114,7 @@ HttpServer::HttpServer(ServerOptions options, Handler handler)
     registry.describe("http_request_seconds", "Handler + write latency by status class");
     registry.describe("http_accepted_total", "Accepted connections");
     registry.describe("http_shed_total", "Connections refused with 503 (load shedding)");
+    registry.describe("server_shed_total", "Load-shed connections by layer");
     registry.describe("http_active_connections", "Connections currently being served");
     registry.describe("server_queue_depth", "Readable connections awaiting a worker");
     registry.describe("server_queue_wait_seconds", "Time spent in the ready queue");
@@ -123,6 +126,9 @@ HttpServer::HttpServer(ServerOptions options, Handler handler)
     }
     metrics_.accepted = &registry.counter("http_accepted_total");
     metrics_.shed = &registry.counter("http_shed_total");
+    for (std::size_t i = 0; i < 3; ++i) {
+      metrics_.shed_by_reason[i] = &registry.counter("server_shed_total", kShedReasons[i]);
+    }
     metrics_.active = &registry.gauge("http_active_connections");
     metrics_.queue_depth = &registry.gauge("server_queue_depth");
     metrics_.queue_wait = &registry.histogram("server_queue_wait_seconds");
@@ -130,6 +136,14 @@ HttpServer::HttpServer(ServerOptions options, Handler handler)
   }
 
   if (options_.mode == ServerMode::kWorkerPool) {
+    // The admission controller fronts the ready queue: its ceiling IS the
+    // queue capacity (one knob), and it reports into the server's registry
+    // unless the caller wired its own.
+    AdmissionOptions admission = options_.admission;
+    admission.limit_ceiling = options_.queue_capacity;
+    if (admission.metrics == nullptr) admission.metrics = options_.metrics;
+    admission_ = std::make_unique<AdmissionController>(admission);
+
     int pipe_fds[2] = {-1, -1};
     if (::pipe(pipe_fds) != 0) {
       throw std::system_error(errno, std::generic_category(), "HttpServer: pipe");
@@ -208,13 +222,22 @@ void HttpServer::stop() {
   }
 }
 
-void HttpServer::shed_connection(TcpStream stream) {
+void HttpServer::shed_connection(TcpStream stream, ShedReason reason) {
   // Load shedding: tell the client explicitly rather than slamming the
   // connection shut — a bare close looks like a transport failure and
   // makes well-behaved clients retry immediately; a 503 lets them back
   // off. Best-effort: a client that already hung up just loses the write.
   ++connections_shed_;
   if (metrics_.shed != nullptr) metrics_.shed->inc();
+  const auto reason_index = static_cast<std::size_t>(reason);
+  if (metrics_.shed_by_reason[reason_index] != nullptr) {
+    metrics_.shed_by_reason[reason_index]->inc();
+  }
+  // Retry-After reflects the smoothed queue wait the controller measured
+  // (floor 1 s), so a client that honors it returns after roughly one queue
+  // drain instead of hammering a still-deep backlog.
+  const int retry_after =
+      admission_ != nullptr ? admission_->retry_after_seconds() : 1;
   try {
     stream.set_timeout(std::chrono::milliseconds(250));
     HttpResponse response;
@@ -223,7 +246,8 @@ void HttpServer::shed_connection(TcpStream stream) {
     response.body = options_.shed_body;
     response.headers["Content-Type"] = options_.shed_content_type;
     response.headers["Connection"] = "close";
-    response.headers["Retry-After"] = "1";
+    response.headers["Retry-After"] = std::to_string(retry_after);
+    response.headers["X-Shed-Reason"] = std::string(kShedReasons[reason_index]);
     stream.write_all(response.serialize());
   } catch (const std::exception&) {
     // The shed response is advisory; dropping it is fine.
@@ -302,21 +326,29 @@ void HttpServer::wake_dispatcher() noexcept {
 
 void HttpServer::enqueue_ready(std::unique_ptr<Conn> conn,
                                std::chrono::steady_clock::time_point now) {
+  AdmissionDecision decision = AdmissionDecision::kAdmit;
   {
     const std::lock_guard lock(queue_mutex_);
-    if (ready_.size() >= options_.queue_capacity) {
-      // Queue-level shed: the connection is readable but no worker slot is
-      // in sight; answering 503 here beats an unbounded backlog.
-      conn->stream.set_timeout(std::chrono::milliseconds(250));
-      shed_connection(std::move(conn->stream));
-      conn.reset();
-      admitted_.fetch_sub(1, std::memory_order_relaxed);
-      if (metrics_.active != nullptr) metrics_.active->sub(1.0);
-      return;
+    decision = admission_->admit(ready_.size());
+    if (decision == AdmissionDecision::kAdmit) {
+      conn->queued_at = now;
+      ready_.push_back(std::move(conn));
+      if (metrics_.queue_depth != nullptr) metrics_.queue_depth->add(1.0);
     }
-    conn->queued_at = now;
-    ready_.push_back(std::move(conn));
-    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->add(1.0);
+  }
+  if (decision != AdmissionDecision::kAdmit) {
+    // Queue-level shed: the connection is readable but either the queue hit
+    // its hard ceiling or the adaptive limit says the backlog's delay is
+    // already past target; answering 503 now beats an unbounded (or merely
+    // slow) backlog. The 503 is written outside queue_mutex_ so a slow shed
+    // client cannot stall the workers.
+    shed_connection(std::move(conn->stream),
+                    decision == AdmissionDecision::kQueueFull ? ShedReason::kQueue
+                                                              : ShedReason::kAdmission);
+    conn.reset();
+    admitted_.fetch_sub(1, std::memory_order_relaxed);
+    if (metrics_.active != nullptr) metrics_.active->sub(1.0);
+    return;
   }
   queue_cv_.notify_one();
 }
@@ -384,7 +416,7 @@ void HttpServer::dispatcher_loop() {
       // Drain the accept backlog without blocking.
       while (auto stream = listener_.accept(std::chrono::milliseconds(0))) {
         if (admitted_.load(std::memory_order_relaxed) >= options_.max_connections) {
-          shed_connection(std::move(*stream));
+          shed_connection(std::move(*stream), ShedReason::kAccept);
           continue;
         }
         admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -419,10 +451,14 @@ void HttpServer::worker_loop(std::size_t index) {
       ready_.pop_front();
       if (metrics_.queue_depth != nullptr) metrics_.queue_depth->sub(1.0);
     }
+    // The measured queue wait feeds both the histogram and the admission
+    // controller's control loop (its congestion signal), so it is computed
+    // whether or not metrics are attached.
+    const auto queue_wait = std::chrono::steady_clock::now() - conn->queued_at;
+    admission_->observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(queue_wait));
     if (metrics_.queue_wait != nullptr) {
-      metrics_.queue_wait->observe(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - conn->queued_at)
-              .count());
+      metrics_.queue_wait->observe(std::chrono::duration<double>(queue_wait).count());
     }
     if (metrics_.workers_busy != nullptr) metrics_.workers_busy->add(1.0);
     worker_fds_[index].store(conn->stream.native_handle(), std::memory_order_release);
@@ -479,7 +515,7 @@ void HttpServer::accept_loop() {
       active = connections_.size();
     }
     if (active >= options_.max_connections) {
-      shed_connection(std::move(*stream));
+      shed_connection(std::move(*stream), ShedReason::kAccept);
       continue;
     }
     if (metrics_.accepted != nullptr) metrics_.accepted->inc();

@@ -36,6 +36,7 @@
 
 #include "chaos/clock.hpp"
 #include "chaos/fault.hpp"
+#include "net/admission.hpp"
 #include "net/http.hpp"
 #include "net/socket.hpp"
 #include "obs/registry.hpp"
@@ -71,12 +72,22 @@ struct ServerOptions {
   /// Bound of the ready queue (readable connections awaiting a worker);
   /// a readable connection past it is shed with 503 + Retry-After.
   std::size_t queue_capacity = 256;
+  /// Admission policy in front of the ready queue (worker-pool mode). The
+  /// default AdmissionMode::kFixed reproduces the legacy queue_capacity
+  /// cliff; the adaptive modes shed early once measured queue delay exceeds
+  /// admission.target_delay (see net/admission.hpp). `limit_ceiling` is
+  /// overridden with queue_capacity and `metrics` defaults to the server's
+  /// registry, so callers normally set only `mode` and the delay target.
+  AdmissionOptions admission;
   /// Optional metrics sink. When set the server registers, under the
   /// conventions of docs/observability.md:
   ///   http_requests_total{1xx..5xx}     responses by status class
   ///   http_request_seconds{1xx..5xx}    handler+write latency by class
   ///   http_accepted_total               accepted connections
-  ///   http_shed_total                   load-shed connections (both layers)
+  ///   http_shed_total                   load-shed connections (all layers)
+  ///   server_shed_total{accept|queue|admission}  sheds by layer
+  ///   admission_limit (gauge)           current admissible queue depth
+  ///   admission_sheds_total             adaptive-limit refusals
   ///   http_active_connections (gauge)   admitted connections
   ///   server_queue_depth (gauge)        ready connections awaiting a worker
   ///   server_queue_wait_seconds         time spent in the ready queue
@@ -106,8 +117,7 @@ class HttpServer {
 
   /// Deprecated positional form; forwards to the ServerOptions constructor.
   HttpServer(std::uint16_t port, Handler handler, std::size_t max_connections = 256)
-      : HttpServer(ServerOptions{.port = port, .max_connections = max_connections},
-                   std::move(handler)) {}
+      : HttpServer(positional_options(port, max_connections), std::move(handler)) {}
 
   /// Stops (see stop()) and joins every thread.
   ~HttpServer();
@@ -122,10 +132,14 @@ class HttpServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
-  /// Connections turned away with a 503 (accept-level or queue-level shed).
+  /// Connections turned away with a 503 (accept, queue, or admission shed).
   [[nodiscard]] std::uint64_t connections_shed() const noexcept {
     return connections_shed_.load(std::memory_order_relaxed);
   }
+
+  /// The admission controller guarding the ready queue (worker-pool mode;
+  /// nullptr in thread-per-connection mode).
+  [[nodiscard]] AdmissionController* admission() noexcept { return admission_.get(); }
 
   /// Stops accepting, drains in-flight work (worker pool: everything already
   /// in the ready queue is served with "Connection: close"), closes idle
@@ -133,6 +147,14 @@ class HttpServer {
   void stop();
 
  private:
+  [[nodiscard]] static ServerOptions positional_options(std::uint16_t port,
+                                                        std::size_t max_connections) {
+    ServerOptions options;
+    options.port = port;
+    options.max_connections = max_connections;
+    return options;
+  }
+
   // ---- shared request path ------------------------------------------------
 
   enum class RequestOutcome : std::uint8_t {
@@ -146,8 +168,13 @@ class HttpServer {
   /// before a request, asked for close, or the server is draining.
   RequestOutcome serve_one(HttpReader& reader, TcpStream& stream);
 
-  /// Best-effort 503 + Retry-After, then closes the stream.
-  void shed_connection(TcpStream stream);
+  /// Which shed layer refused a connection; becomes the X-Shed-Reason
+  /// header on the 503 so load reports can attribute sheds.
+  enum class ShedReason : std::uint8_t { kAccept = 0, kQueue, kAdmission };
+
+  /// Best-effort 503 + Retry-After (from the admission controller's
+  /// estimate, floor 1 s) + X-Shed-Reason, then closes the stream.
+  void shed_connection(TcpStream stream, ShedReason reason);
 
   // ---- worker-pool mode ---------------------------------------------------
 
@@ -196,6 +223,7 @@ class HttpServer {
     obs::Histogram* latency_by_class[5] = {};  ///< same indexing
     obs::Counter* accepted = nullptr;
     obs::Counter* shed = nullptr;
+    obs::Counter* shed_by_reason[3] = {};  ///< index = ShedReason
     obs::Gauge* active = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* queue_wait = nullptr;
@@ -206,6 +234,7 @@ class HttpServer {
   Handler handler_;
   ServerOptions options_;
   Metrics metrics_;
+  std::unique_ptr<AdmissionController> admission_;  ///< worker-pool mode only
   std::atomic<bool> running_{true};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_shed_{0};

@@ -260,7 +260,10 @@ TEST(LoadReport, JsonRoundTripsThroughParser) {
   report.schedule.clients = 8;
   report.schedule.requests_per_client = 100;
   report.over_sockets = true;
-  report.totals = {800, 780, 10, 5, 5, 0};
+  report.totals = {800, 700, 10, 5, 85, 0};
+  report.totals.shed_accept = 3;
+  report.totals.shed_queue = 2;
+  report.totals.shed_admission = 80;
   report.wall_seconds = 1.25;
   report.throughput_rps = 640.0;
   report.latency.push_back({"meta", 160, 0.001, 0.0008, 0.002, 0.004});
@@ -279,6 +282,10 @@ TEST(LoadReport, JsonRoundTripsThroughParser) {
   EXPECT_EQ(parsed->at("response_cache_hits").as_u64(), 750u);
   const auto& baseline = parsed->at("baseline_thread_per_connection");
   EXPECT_EQ(baseline.at("totals").at("issued").as_u64(), 800u);
+  const auto& breakdown = baseline.at("totals").at("shed_breakdown");
+  EXPECT_EQ(breakdown.at("accept").as_u64(), 3u);
+  EXPECT_EQ(breakdown.at("queue").as_u64(), 2u);
+  EXPECT_EQ(breakdown.at("admission").as_u64(), 80u);
   EXPECT_EQ(baseline.at("latency").as_array().size(), 1u);
   EXPECT_DOUBLE_EQ(
       baseline.at("latency").as_array()[0].at("p99_seconds").as_number(), 0.004);

@@ -166,10 +166,24 @@ TEST(Server, OptionsStructRecordsMetrics) {
   ASSERT_NE(err, nullptr);
   EXPECT_EQ(ok->value, 2u);
   EXPECT_EQ(err->value, 1u);
-  const auto* latency = snapshot.find_histogram("http_request_seconds", "2xx");
-  ASSERT_NE(latency, nullptr);
-  EXPECT_EQ(latency->count, 2u);
-  EXPECT_GT(latency->p50, 0.0);
+  // The latency histogram is observed after the response write returns to
+  // the client (it measures handler + write time), so poll briefly instead
+  // of racing the worker thread.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::uint64_t latency_count = 0;
+  double latency_p50 = 0.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto polled = registry.snapshot();
+    const auto* latency = polled.find_histogram("http_request_seconds", "2xx");
+    if (latency != nullptr) {
+      latency_count = latency->count;
+      latency_p50 = latency->p50;
+      if (latency_count == 2u) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(latency_count, 2u);
+  EXPECT_GT(latency_p50, 0.0);
 }
 
 TEST(Server, ShedsWith503WhenSaturated) {
@@ -188,7 +202,8 @@ TEST(Server, ShedsWith503WhenSaturated) {
   const HttpResponse response = overflow.get("/x");
   EXPECT_EQ(response.status, 503);
   EXPECT_GE(server.connections_shed(), 1u);
-  const auto* shed = registry.snapshot().find_counter("http_shed_total");
+  const auto snapshot = registry.snapshot();  // keep alive: find_counter aims into it
+  const auto* shed = snapshot.find_counter("http_shed_total");
   ASSERT_NE(shed, nullptr);
   EXPECT_EQ(shed->value, server.connections_shed());
 }

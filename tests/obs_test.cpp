@@ -171,7 +171,8 @@ TEST(Registry, HistogramSampleCarriesQuantiles) {
   Registry registry;
   Histogram& latency = registry.histogram("latency_seconds", "api");
   for (int i = 1; i <= 100; ++i) latency.observe(i * 1e-3);
-  const auto* sample = registry.snapshot().find_histogram("latency_seconds", "api");
+  const auto snapshot = registry.snapshot();  // keep alive: find_histogram aims into it
+  const auto* sample = snapshot.find_histogram("latency_seconds", "api");
   ASSERT_NE(sample, nullptr);
   EXPECT_EQ(sample->count, 100u);
   EXPECT_GT(sample->p50, 0.0);

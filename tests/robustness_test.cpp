@@ -308,7 +308,8 @@ TEST_F(RobustnessFixture, BreakerOpensOnRepeatedResetsAndCrawlCompletes) {
 
   EXPECT_GT(stats.apps_observed, 0u);
   EXPECT_EQ(stats.apps_observed, database.apps().size());
-  EXPECT_GT(registry.snapshot().find_counter("crawler_breaker_open_total")->value, 0u);
+  const auto snapshot = registry.snapshot();  // keep alive: find_counter aims into it
+  EXPECT_GT(snapshot.find_counter("crawler_breaker_open_total")->value, 0u);
 
   bool any_breaker_opened = false;
   for (std::size_t i = 0; i < options.proxy_count; ++i) {

@@ -11,6 +11,9 @@
 #            then bench_recovery with its replay-throughput floors
 #   ingest   bench_ingest: live vs stop-the-world, exits non-zero below the
 #            5x floor or on any cross-regime checksum divergence
+#   gameday  scenario + admission suite (default build), then bench_gameday:
+#            exits non-zero if adaptive admission at 2x saturation loses the
+#            queue-delay budget or too much goodput vs the fixed cliff
 #
 # Usage: tools/verify.sh [stage ...]     (no args = all stages)
 # Env:   JOBS=<n> to cap build parallelism (default: nproc).
@@ -20,7 +23,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query recovery ingest)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query recovery ingest gameday)
 
 want() {
   local stage
@@ -82,6 +85,14 @@ if want ingest; then
   cmake -B build -S . >/dev/null
   cmake --build build -j"$JOBS" --target bench_ingest
   ./build/bench/bench_ingest --metrics-out=results/BENCH_ingest_metrics.json
+fi
+
+if want gameday; then
+  banner "gameday: scenario + admission suite, then the SLO gate"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target gameday_test bench_gameday
+  ctest --test-dir build -L gameday --output-on-failure
+  ./build/bench/bench_gameday --metrics-out=results/BENCH_gameday_metrics.json
 fi
 
 banner "all requested stages passed: ${STAGES[*]}"
