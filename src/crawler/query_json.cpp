@@ -1,5 +1,6 @@
 #include "crawler/query_json.hpp"
 
+#include <limits>
 #include <utility>
 
 #include "util/format.hpp"
@@ -185,9 +186,143 @@ constexpr std::size_t kMaxListItems = 64;
 
 query::Expr expr_from_json(const Json& node) { return expr_from_json_node(node, 0); }
 
+bool wants_partial(const net::HttpRequest& request) {
+  if (request.method == "POST") {
+    const std::optional<Json> parsed = parse_json(request.body);
+    if (!parsed.has_value() || !parsed->is_object()) return false;
+    const Json* flag = parsed->find("partial");
+    return flag != nullptr && flag->is_bool() && flag->as_bool();
+  }
+  const auto params = request.query();
+  const auto it = params.find("partial");
+  return it != params.end() && (it->second == "1" || it->second == "true");
+}
+
 query::QuerySpec parse_query_request(const net::HttpRequest& request) {
   if (request.method == "POST") return spec_from_body(request.body);
   return spec_from_params(request.query());
+}
+
+Json query_partial_json(const query::PartialAggregate& partial, market::Day day) {
+  JsonObject document;
+  document.emplace_back("kind", Json(query::to_string(partial.kind)));
+  document.emplace_back("day", Json(static_cast<std::int64_t>(day)));
+  document.emplace_back("partial", Json(true));
+  document.emplace_back(
+      "plan", json_object({{"index_scans", static_cast<std::uint64_t>(partial.index_scans)},
+                           {"column_scans", static_cast<std::uint64_t>(partial.column_scans)},
+                           {"residual_filters",
+                            static_cast<std::uint64_t>(partial.residual_filters)}}));
+  document.emplace_back("rows_total", Json(partial.rows_total));
+  document.emplace_back("rows_selected", Json(partial.rows_selected));
+
+  if (partial.kind == query::AggregateKind::kCategoryAffinity) {
+    JsonArray random_walk(partial.random_walk.size());
+    for (std::size_t i = 0; i < partial.random_walk.size(); ++i) {
+      random_walk[i] = Json(partial.random_walk[i]);
+    }
+    document.emplace_back("random_walk", Json(std::move(random_walk)));
+    JsonArray samples(partial.samples.size());
+    for (std::size_t s = 0; s < partial.samples.size(); ++s) {
+      const query::AffinityUserSample& sample = partial.samples[s];
+      JsonArray row(2 + sample.values.size());
+      row[0] = Json(static_cast<std::uint64_t>(sample.user));
+      row[1] = Json(sample.comments);
+      for (std::size_t i = 0; i < sample.values.size(); ++i) row[2 + i] = Json(sample.values[i]);
+      samples[s] = Json(std::move(row));
+    }
+    document.emplace_back("samples", Json(std::move(samples)));
+  } else {
+    document.emplace_back("app_count", Json(partial.app_count));
+    JsonArray counts(partial.counts.size());
+    for (std::size_t i = 0; i < partial.counts.size(); ++i) {
+      JsonArray pair(2);
+      pair[0] = Json(static_cast<std::uint64_t>(partial.counts[i].first));
+      pair[1] = Json(partial.counts[i].second);
+      counts[i] = Json(std::move(pair));
+    }
+    document.emplace_back("counts", Json(std::move(counts)));
+  }
+  return Json(std::move(document));
+}
+
+query::PartialAggregate partial_from_json(const Json& document) {
+  const auto fail = [](std::string_view what) -> query::PartialAggregate {
+    throw QueryError("bad_partial", util::format("partial: {}", what));
+  };
+  if (!document.is_object()) return fail("not a JSON object");
+  const Json* kind = document.find("kind");
+  const Json* flag = document.find("partial");
+  if (kind == nullptr || !kind->is_string()) return fail("missing 'kind'");
+  if (flag == nullptr || !flag->is_bool() || !flag->as_bool()) {
+    return fail("missing 'partial: true' marker");
+  }
+  query::PartialAggregate partial;
+  partial.kind = query::parse_aggregate_kind(kind->as_string());
+  if (const Json* plan = document.find("plan"); plan != nullptr && plan->is_object()) {
+    const auto plan_count = [&](std::string_view name) -> std::uint32_t {
+      const Json* value = plan->find(name);
+      return value != nullptr && value->is_number()
+                 ? static_cast<std::uint32_t>(value->as_number())
+                 : 0;
+    };
+    partial.index_scans = plan_count("index_scans");
+    partial.column_scans = plan_count("column_scans");
+    partial.residual_filters = plan_count("residual_filters");
+  }
+  const auto u64_member = [&](std::string_view name) -> std::uint64_t {
+    const Json* value = document.find(name);
+    return value != nullptr && value->is_number() ? value->as_u64() : 0;
+  };
+  partial.rows_total = u64_member("rows_total");
+  partial.rows_selected = u64_member("rows_selected");
+
+  if (partial.kind == query::AggregateKind::kCategoryAffinity) {
+    if (const Json* walk = document.find("random_walk"); walk != nullptr) {
+      if (!walk->is_array()) return fail("'random_walk' must be an array");
+      for (const Json& value : walk->as_array()) {
+        if (!value.is_number()) return fail("random_walk entries must be numbers");
+        partial.random_walk.push_back(value.as_number());
+      }
+    }
+    const Json* samples = document.find("samples");
+    if (samples == nullptr || !samples->is_array()) return fail("missing 'samples' array");
+    for (const Json& row : samples->as_array()) {
+      if (!row.is_array() || row.as_array().size() < 2) {
+        return fail("sample rows need [user, comments, values...]");
+      }
+      const JsonArray& fields = row.as_array();
+      if (!fields[0].is_number() || !fields[1].is_number()) {
+        return fail("sample user/comments must be numbers");
+      }
+      query::AffinityUserSample sample;
+      sample.user = static_cast<std::uint32_t>(fields[0].as_u64());
+      sample.comments = fields[1].as_u64();
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        if (fields[i].is_null()) {
+          sample.values.push_back(std::numeric_limits<double>::quiet_NaN());
+        } else if (fields[i].is_number()) {
+          sample.values.push_back(fields[i].as_number());
+        } else {
+          return fail("sample values must be numbers or null");
+        }
+      }
+      partial.samples.push_back(std::move(sample));
+    }
+  } else {
+    partial.app_count = u64_member("app_count");
+    const Json* counts = document.find("counts");
+    if (counts == nullptr || !counts->is_array()) return fail("missing 'counts' array");
+    for (const Json& pair : counts->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2 ||
+          !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+        return fail("count entries must be [app, count] pairs");
+      }
+      partial.counts.emplace_back(static_cast<std::uint32_t>(pair.as_array()[0].as_u64()),
+                                  pair.as_array()[1].as_u64());
+    }
+  }
+  return partial;
 }
 
 Json query_result_json(const query::QueryResult& result, market::Day day) {

@@ -37,4 +37,21 @@ namespace appstore::crawlersim {
 /// Renders one engine result as the response document.
 [[nodiscard]] Json query_result_json(const query::QueryResult& result, market::Day day);
 
+/// True when the request asks for the mergeable partial form instead of the
+/// finalized answer: GET ?partial=1 (or =true), or a `"partial": true`
+/// member in the POST body. The flag lives in the query string / body — not
+/// a header — so the per-day response cache (keyed on target + body) keeps
+/// partial and finalized answers distinct.
+[[nodiscard]] bool wants_partial(const net::HttpRequest& request);
+
+/// Renders a shard's partial aggregate. Counts are [app, count] pairs and
+/// affinity samples are [user, comments, value-per-depth...] rows (NaN as
+/// null); doubles use %.17g so the fragment round-trips bit-exactly.
+[[nodiscard]] Json query_partial_json(const query::PartialAggregate& partial,
+                                      market::Day day);
+
+/// Parses a shard's partial-aggregate response body back into the typed
+/// form. Throws query::QueryError("bad_partial") on any malformed document.
+[[nodiscard]] query::PartialAggregate partial_from_json(const Json& document);
+
 }  // namespace appstore::crawlersim

@@ -1,0 +1,87 @@
+#include "fed/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace appstore::fed {
+namespace {
+
+std::uint64_t mix(std::uint64_t value) noexcept {
+  std::uint64_t state = value;
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+HashRing::HashRing(RingOptions options) : options_(options) {
+  if (options_.vnodes == 0) throw std::invalid_argument("HashRing: vnodes must be >= 1");
+}
+
+bool HashRing::add(std::string_view name) {
+  if (contains(name)) return false;
+  Member member;
+  member.name.assign(name);
+  member.points.reserve(options_.vnodes);
+  const std::uint64_t base =
+      util::combine_seed(options_.seed, util::hash64(member.name));
+  for (std::size_t v = 0; v < options_.vnodes; ++v) {
+    member.points.push_back(util::rng::derive_seed(base, v));
+  }
+  members_.push_back(std::move(member));
+  return true;
+}
+
+bool HashRing::remove(std::string_view name) {
+  const auto it = std::find_if(members_.begin(), members_.end(),
+                               [&](const Member& m) { return m.name == name; });
+  if (it == members_.end()) return false;
+  members_.erase(it);
+  return true;
+}
+
+bool HashRing::contains(std::string_view name) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [&](const Member& m) { return m.name == name; });
+}
+
+std::vector<std::string> HashRing::members() const {
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (const auto& member : members_) names.push_back(member.name);
+  return names;
+}
+
+std::size_t HashRing::owner_index(std::uint64_t key) const {
+  if (members_.empty()) throw std::logic_error("HashRing: owner() on an empty ring");
+  const std::uint64_t key_hash = mix(util::combine_seed(options_.seed, key));
+  std::size_t best_index = 0;
+  std::uint64_t best_score = 0;
+  std::uint64_t best_point = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (const std::uint64_t point : members_[i].points) {
+      const std::uint64_t score = mix(point ^ key_hash);
+      // Total order over (score, point, name) so ownership never depends on
+      // member insertion order, even in the astronomically unlikely tie.
+      if (first || score > best_score ||
+          (score == best_score &&
+           std::tie(point, members_[i].name) >
+               std::tie(best_point, members_[best_index].name))) {
+        first = false;
+        best_score = score;
+        best_point = point;
+        best_index = i;
+      }
+    }
+  }
+  return best_index;
+}
+
+const std::string& HashRing::owner(std::uint64_t key) const {
+  return members_[owner_index(key)].name;
+}
+
+}  // namespace appstore::fed

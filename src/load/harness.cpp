@@ -81,8 +81,11 @@ void classify(const net::HttpResponse& response, Totals& totals) {
 }  // namespace
 
 RunReport run(const Schedule& schedule, const RunOptions& options) {
-  if (options.service == nullptr) {
+  if (options.service == nullptr && !options.respond) {
     throw std::invalid_argument("load::run: null service");
+  }
+  if (options.respond && options.over_sockets) {
+    throw std::invalid_argument("load::run: respond hook is in-process only");
   }
   if (schedule.per_client.empty()) {
     throw std::invalid_argument("load::run: empty schedule");
@@ -124,7 +127,8 @@ RunReport run(const Schedule& schedule, const RunOptions& options) {
             net::HttpRequest http;
             http.target = request.target;
             http.headers["X-Client-Id"] = client_id;
-            response = options.service->respond(http);
+            response = options.respond ? options.respond(http)
+                                       : options.service->respond(http);
           }
           classify(response, tally.totals);
         } catch (const std::exception&) {

@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,14 @@
 namespace appstore::load {
 
 struct RunOptions {
-  /// Service under load. Required; must outlive the run.
+  /// Service under load. Required unless `respond` is set; must outlive the
+  /// run.
   crawlersim::AppstoreService* service = nullptr;
+  /// Alternative in-process target: when set, every request goes through
+  /// this callable instead of service->respond() — how the federation
+  /// gateway (or any non-AppstoreService front end) is driven by the same
+  /// harness. Incompatible with over_sockets; `service` may then be null.
+  std::function<net::HttpResponse(const net::HttpRequest&)> respond{};
   /// false = in-process via respond(); true = real sockets via one
   /// PersistentHttpClient per client thread.
   bool over_sockets = false;

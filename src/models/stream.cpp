@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 
 #include "par/parallel.hpp"
 
@@ -15,7 +16,9 @@ std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng)
 
 std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
                                      std::uint64_t max_requests) {
-  return generate_stream(model, rng, StreamOptions{.max_requests = max_requests});
+  StreamOptions options;
+  options.max_requests = max_requests;
+  return generate_stream(model, rng, options);
 }
 
 std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
@@ -31,6 +34,11 @@ std::vector<Request> generate_stream(const DownloadModel& model, util::Rng& rng,
 
 events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
                                      const StreamOptions& options) {
+  return generate_stream_slice(model, rng, options).log;
+}
+
+StreamSlice generate_stream_slice(const DownloadModel& model, util::Rng& rng,
+                                  const StreamOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t max_requests = options.max_requests;
   const ModelParams& params = model.params();
@@ -74,10 +82,24 @@ events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
     for (const std::uint32_t user : slots) ++needed[user];
   }
 
+  // Shard filtering: slot building, shuffling, and per-user derived streams
+  // above are identical regardless of the filter, so a filtered run agrees
+  // bit-for-bit with its position in the unfiltered union. Sequence storage
+  // and generation are skipped entirely for filtered-out users.
+  const bool filtered = static_cast<bool>(options.user_filter);
+  std::vector<bool> owned;
+  if (filtered) {
+    owned.resize(users);
+    for (std::uint64_t user = 0; user < users; ++user) {
+      owned[user] = options.user_filter(static_cast<std::uint32_t>(user));
+    }
+  }
+  const auto owns = [&](std::uint64_t user) { return !filtered || owned[user]; };
+
   // Flat per-user sequence storage: user u owns [offsets[u], offsets[u+1]).
   std::vector<std::uint64_t> offsets(users + 1, 0);
   for (std::uint64_t user = 0; user < users; ++user) {
-    offsets[user + 1] = offsets[user] + needed[user];
+    offsets[user + 1] = offsets[user] + (owns(user) ? needed[user] : 0);
   }
 
   // Phase 3 (parallel): per-user download sequences. Each user replays its
@@ -87,7 +109,7 @@ events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
   std::vector<std::uint32_t> sequence(offsets[users]);
   std::vector<std::uint32_t> generated(users, 0);
   par::parallel_for(users, par_options, [&](std::uint64_t user) {
-    if (needed[user] == 0) return;
+    if (needed[user] == 0 || !owns(user)) return;
     util::Rng user_rng = util::rng::derive(base, user);
     (void)DownloadModel::realized_downloads(params.downloads_per_user, params.app_count,
                                             user_rng);  // re-consume the count draw
@@ -99,19 +121,42 @@ events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
     }
     generated[user] = produced;
   });
+  if (filtered) {
+    // A slice cannot see other shards' exhaustion, so union arrival indexes
+    // are only exact when no session exhausts early. Our synthetic models
+    // (kZipf, kAppClustering) never do; fail loudly rather than misalign.
+    for (std::uint64_t user = 0; user < users; ++user) {
+      if (owns(user) && generated[user] < needed[user]) {
+        throw std::logic_error(
+            "generate_stream_slice: session exhausted under a user filter; "
+            "slice arrival order would diverge from the union stream");
+      }
+    }
+  }
 
   // Phase 4 (serial): replay the shuffled slots against the sequences,
-  // directly into the (user, app) columns of the output log.
+  // directly into the (user, app) columns of the output log. Under a filter
+  // the slot position doubles as the union arrival index (no-exhaustion is
+  // guaranteed above, so the union drops no slot).
   std::vector<std::uint32_t> out_user;
   std::vector<std::uint32_t> out_app;
-  out_user.reserve(slots.size());
-  out_app.reserve(slots.size());
+  std::vector<std::uint64_t> out_arrival;
+  if (!filtered) {
+    out_user.reserve(slots.size());
+    out_app.reserve(slots.size());
+  }
   std::vector<std::uint32_t> cursor(users, 0);
-  for (const std::uint32_t user : slots) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::uint32_t user = slots[i];
+    if (!owns(user)) continue;
     if (cursor[user] >= generated[user]) continue;  // session exhausted early
     out_user.push_back(user);
     out_app.push_back(sequence[offsets[user] + cursor[user]++]);
+    if (filtered) out_arrival.push_back(i);
   }
+  StreamSlice result;
+  result.union_rows = filtered ? slots.size() : out_user.size();
+  result.arrival = std::move(out_arrival);
   events::EventLog stream = events::EventLog::from_columns(
       events::Columns::kNone, std::move(out_user), std::move(out_app));
 
@@ -127,7 +172,8 @@ events::EventLog generate_stream_log(const DownloadModel& model, util::Rng& rng,
           .set(static_cast<double>(stream.size()) / seconds);
     }
   }
-  return stream;
+  result.log = std::move(stream);
+  return result;
 }
 
 }  // namespace appstore::models

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "events/event_log.hpp"
@@ -44,7 +45,34 @@ struct StreamOptions {
   /// Worker threads for per-user sequence generation; 0 = hardware
   /// concurrency. The stream content does not depend on this value.
   std::size_t threads = 0;
+  /// Optional shard filter: when set, only rows whose user passes the filter
+  /// are emitted (generate_stream_slice). The RNG draws consumed from the
+  /// caller's rng (master seed + slot shuffle) and every per-user derived
+  /// stream are IDENTICAL with and without a filter, so the union of
+  /// disjoint slices is bit-identical to the unfiltered stream. Requires
+  /// models whose sessions never exhaust before the realized count (true
+  /// for kZipf and kAppClustering); the slice path throws if violated.
+  std::function<bool(std::uint32_t)> user_filter{};
 };
+
+/// A shard's slice of the global interleaved stream (see
+/// StreamOptions::user_filter).
+struct StreamSlice {
+  /// (user, app) rows of the filtered users, in union arrival order.
+  events::EventLog log;
+  /// Per-row arrival index in the UNION stream (empty when no filter was
+  /// set — the row position is the arrival index then). Lets shards assign
+  /// arrival-derived attributes (e.g. calendar days) exactly as the union
+  /// run would.
+  std::vector<std::uint64_t> arrival;
+  /// Total row count of the union stream across all shards.
+  std::uint64_t union_rows = 0;
+};
+
+/// Generates the (possibly user-filtered) stream slice. With no filter this
+/// is generate_stream_log plus arrival bookkeeping elided.
+[[nodiscard]] StreamSlice generate_stream_slice(const DownloadModel& model, util::Rng& rng,
+                                                const StreamOptions& options = {});
 
 /// Generates the full interleaved stream for `model` as a columnar
 /// (user, app) EventLog in arrival order (Columns::kNone — the append

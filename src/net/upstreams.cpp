@@ -1,0 +1,58 @@
+#include "net/upstreams.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace appstore::net {
+
+UpstreamTable::UpstreamTable(Options options) : options_(options) {
+  options_.max_keys = std::max<std::size_t>(1, options_.max_keys);
+}
+
+void UpstreamTable::evict_stalest_locked() {
+  // Evicting an eighth (not one) amortises the O(n) scan over the next n/8
+  // inserts, keeping the cap-hit path O(1) amortised under upstream churn
+  // (the same policy as TokenBucketLimiter::evict_stalest_locked).
+  const std::size_t want = std::max<std::size_t>(1, entries_.size() / 8);
+  std::vector<std::chrono::steady_clock::time_point> stamps;
+  stamps.reserve(entries_.size());
+  for (const auto& entry : entries_) stamps.push_back(entry.second.last_used);
+  auto nth = stamps.begin() + static_cast<std::ptrdiff_t>(want - 1);
+  std::nth_element(stamps.begin(), nth, stamps.end());
+  const auto cutoff = *nth;
+  std::size_t dropped = 0;
+  std::erase_if(entries_, [&](const auto& entry) {
+    if (dropped >= want || entry.second.last_used > cutoff) return false;
+    ++dropped;
+    return true;
+  });
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+std::shared_ptr<CircuitBreaker> UpstreamTable::breaker(const std::string& id) {
+  const auto now = chaos::now_or_real(options_.clock);
+  const std::lock_guard lock(mutex_);
+  if (entries_.size() >= options_.max_keys && !entries_.contains(id)) {
+    evict_stalest_locked();
+  }
+  auto [it, inserted] = entries_.try_emplace(id);
+  if (inserted) {
+    it->second.breaker = std::make_shared<CircuitBreaker>(options_.breaker);
+  }
+  it->second.last_used = now;
+  return it->second.breaker;
+}
+
+void UpstreamTable::forget(const std::string& id) {
+  const std::lock_guard lock(mutex_);
+  if (entries_.erase(id) != 0) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t UpstreamTable::tracked_keys() {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace appstore::net

@@ -1,0 +1,83 @@
+// Bounded per-upstream circuit-breaker table for the federation gateway.
+//
+// A gateway keeps one CircuitBreaker per upstream shard id so a failing
+// shard trips open without poisoning the healthy ones. Upstream ids arrive
+// from configuration *and* from dynamic membership (shards joining and
+// leaving the ring), so — like TokenBucketLimiter's per-client buckets —
+// the table must be bounded: without a cap, a long-enough run of
+// add/remove churn grows breaker state forever. Inserting past `max_keys`
+// evicts the stalest eighth of the entries (those unused longest), exactly
+// the TokenBucketLimiter policy, so the hot upstream set survives and an
+// evicted-then-returning shard merely starts from a closed breaker again.
+//
+// Entries hand out shared_ptr<CircuitBreaker>: a caller holding a breaker
+// across an in-flight exchange keeps it alive even if the table evicts the
+// entry mid-request.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chaos/clock.hpp"
+#include "net/breaker.hpp"
+
+namespace appstore::net {
+
+class UpstreamTable {
+ public:
+  /// Hard cap on distinct per-upstream entries (see Options::max_keys).
+  static constexpr std::size_t kDefaultMaxKeys = 1024;
+
+  struct Options {
+    /// Breaker configuration stamped onto every new entry.
+    CircuitBreaker::Options breaker{};
+    /// Cap on tracked upstream ids; inserting past it evicts the stalest
+    /// eighth. Clamped to >= 1.
+    std::size_t max_keys = kDefaultMaxKeys;
+    /// Staleness time source (nullptr = real time). Must outlive the table.
+    chaos::Clock* clock = nullptr;
+  };
+
+  UpstreamTable() : UpstreamTable(Options{}) {}
+  explicit UpstreamTable(Options options);
+
+  /// The breaker for `id`, created closed on first use. Touches the entry's
+  /// last-used stamp; may evict the stalest eighth when the cap is hit.
+  [[nodiscard]] std::shared_ptr<CircuitBreaker> breaker(const std::string& id);
+
+  /// Drops `id`'s entry now (shard left the ring); no-op when absent.
+  /// Outstanding shared_ptr holders keep the breaker object alive.
+  void forget(const std::string& id);
+
+  /// Distinct upstream ids currently tracked (always <= max_keys).
+  [[nodiscard]] std::size_t tracked_keys();
+
+  /// Entries dropped by the cap or forget() since construction.
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<CircuitBreaker> breaker;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
+  /// Drops the stalest eighth of the map (at least one entry). Caller holds
+  /// mutex_.
+  void evict_stalest_locked();
+
+  Options options_;
+  std::atomic<std::uint64_t> evictions_{0};
+  std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace appstore::net

@@ -1,12 +1,16 @@
 #include "query/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
 #include <tuple>
 
 #include "affinity/metric.hpp"
 #include "affinity/strings.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
+#include "stats/descriptive.hpp"
 #include "stats/pareto.hpp"
 #include "util/format.hpp"
 
@@ -186,9 +190,62 @@ QueryResult QueryEngine::run(const QuerySpec& spec, market::Day day) const {
   return result;
 }
 
-void QueryEngine::aggregate_downloads(const events::FrontierSnapshot& log,
-                                      const RowSet& rows, const QuerySpec& spec,
-                                      market::Day day, QueryResult& result) const {
+PartialAggregate QueryEngine::run_partial(const QuerySpec& spec, market::Day day) const {
+  validate(spec, options_);
+  const auto kind_index = static_cast<std::size_t>(spec.kind);
+  if (!requests_by_kind_.empty()) requests_by_kind_[kind_index]->inc();
+  obs::ScopedTimer timer(latency_by_kind_.empty() ? nullptr : latency_by_kind_[kind_index]);
+
+  const bool wants_comments = spec.kind == AggregateKind::kCategoryAffinity;
+  const events::FrontierSnapshot log =
+      wants_comments ? store_->comment_log() : store_->download_log();
+  const BoundLog bound = bind(log);
+
+  PlanOptions plan_options;
+  plan_options.allow_index_scan = options_.allow_index_scan;
+  plan_options.index_user_fraction = options_.index_user_fraction;
+  plan_options.scan_block = options_.scan_block;
+  plan_options.threads = options_.threads;
+
+  const Plan plan = spec.filter.has_value()
+                        ? plan_filter(resolve(*spec.filter), bound, plan_options)
+                        : plan_all();
+  if (plan_index_scans_ != nullptr) {
+    plan_index_scans_->inc(plan.index_scans);
+    plan_column_scans_->inc(plan.column_scans);
+    plan_residual_filters_->inc(plan.residual_filters);
+  }
+
+  const RowSet rows = execute(plan, bound, plan_options);
+
+  PartialAggregate partial;
+  partial.kind = spec.kind;
+  partial.index_scans = plan.index_scans;
+  partial.column_scans = plan.column_scans;
+  partial.residual_filters = plan.residual_filters;
+  partial.rows_total = log.size();
+  if (wants_comments) {
+    partial.samples = collect_affinity_samples(log, rows, spec, day, partial.rows_selected);
+    partial.random_walk.reserve(spec.depths.size());
+    for (const std::size_t depth : spec.depths) {
+      partial.random_walk.push_back(affinity::random_walk_affinity(category_sizes_, depth));
+    }
+  } else {
+    const std::vector<std::uint64_t> counts = count_downloads(log, rows, day);
+    partial.app_count = counts.size();
+    for (std::size_t app = 0; app < counts.size(); ++app) {
+      if (counts[app] > 0) {
+        partial.counts.emplace_back(static_cast<std::uint32_t>(app), counts[app]);
+      }
+    }
+    for (const auto& [app, count] : partial.counts) partial.rows_selected += count;
+  }
+  return partial;
+}
+
+std::vector<std::uint64_t> QueryEngine::count_downloads(const events::FrontierSnapshot& log,
+                                                        const RowSet& rows,
+                                                        market::Day day) const {
   const std::span<const std::uint32_t> apps = log.app();
   const std::span<const std::int32_t> days = log.day();
   const std::size_t app_count = store_->apps().size();
@@ -225,7 +282,17 @@ void QueryEngine::aggregate_downloads(const events::FrontierSnapshot& log,
       if (row_day(days, row) <= day) ++counts[apps[row]];
     }
   }
+  return counts;
+}
 
+void QueryEngine::aggregate_downloads(const events::FrontierSnapshot& log,
+                                      const RowSet& rows, const QuerySpec& spec,
+                                      market::Day day, QueryResult& result) const {
+  finalize_downloads(spec, count_downloads(log, rows, day), result);
+}
+
+void finalize_downloads(const QuerySpec& spec, std::span<const std::uint64_t> counts,
+                        QueryResult& result) {
   for (const std::uint64_t count : counts) result.total_downloads += count;
   result.rows_selected = result.total_downloads;
 
@@ -254,7 +321,7 @@ void QueryEngine::aggregate_downloads(const events::FrontierSnapshot& log,
       break;
     }
     case AggregateKind::kRankDownloadCurve: {
-      std::vector<std::uint64_t> sorted = counts;
+      std::vector<std::uint64_t> sorted(counts.begin(), counts.end());
       std::sort(sorted.begin(), sorted.end(), std::greater<>());
       const std::size_t n = sorted.size();
       if (n == 0) break;
@@ -270,9 +337,9 @@ void QueryEngine::aggregate_downloads(const events::FrontierSnapshot& log,
   }
 }
 
-void QueryEngine::aggregate_affinity(const events::FrontierSnapshot& log,
-                                     const RowSet& rows, const QuerySpec& spec,
-                                     market::Day day, QueryResult& result) const {
+std::vector<AffinityUserSample> QueryEngine::collect_affinity_samples(
+    const events::FrontierSnapshot& log, const RowSet& rows, const QuerySpec& spec,
+    market::Day day, std::uint64_t& rows_selected) const {
   const std::span<const std::uint32_t> users = log.user();
   const std::span<const std::uint32_t> apps = log.app();
   const std::span<const std::int32_t> days = log.day();
@@ -301,7 +368,7 @@ void QueryEngine::aggregate_affinity(const events::FrontierSnapshot& log,
   } else {
     for (const std::uint32_t row : rows.rows) consider(row);
   }
-  result.rows_selected = selected.size();
+  rows_selected = selected.size();
 
   std::sort(selected.begin(), selected.end(), [](const Key& a, const Key& b) {
     return std::tie(a.user, a.day, a.ordinal, a.row) <
@@ -310,8 +377,11 @@ void QueryEngine::aggregate_affinity(const events::FrontierSnapshot& log,
 
   // Per-user category strings: rating-0 comments are skipped (a rating is
   // the download signal), duplicate comments on the same app are suppressed
-  // keeping first occurrences — the affinity::app_string contract.
-  std::vector<std::vector<std::uint32_t>> category_strings;
+  // keeping first occurrences — the affinity::app_string contract. The
+  // resulting samples are in ascending user order (selected is sorted by
+  // user first), the order finalize_affinity and merge_partials both rely
+  // on for bit-identical group means.
+  std::vector<AffinityUserSample> samples;
   std::vector<std::uint32_t> app_sequence;
   std::size_t begin = 0;
   while (begin < selected.size()) {
@@ -324,26 +394,65 @@ void QueryEngine::aggregate_affinity(const events::FrontierSnapshot& log,
     }
     if (!app_sequence.empty()) {
       const std::vector<std::uint32_t> unique = affinity::suppress_duplicates(app_sequence);
-      category_strings.push_back(affinity::category_string(unique, app_category_));
+      const std::vector<std::uint32_t> categories =
+          affinity::category_string(unique, app_category_);
+      AffinityUserSample sample;
+      sample.user = selected[begin].user;
+      sample.comments = categories.size();
+      sample.values.reserve(spec.depths.size());
+      for (const std::size_t depth : spec.depths) {
+        const std::optional<double> value = affinity::affinity(categories, depth);
+        sample.values.push_back(value.value_or(std::numeric_limits<double>::quiet_NaN()));
+      }
+      samples.push_back(std::move(sample));
     }
     begin = end;
   }
+  return samples;
+}
 
+void QueryEngine::aggregate_affinity(const events::FrontierSnapshot& log,
+                                     const RowSet& rows, const QuerySpec& spec,
+                                     market::Day day, QueryResult& result) const {
+  const std::vector<AffinityUserSample> samples =
+      collect_affinity_samples(log, rows, spec, day, result.rows_selected);
+  std::vector<double> random_walk;
+  random_walk.reserve(spec.depths.size());
   for (const std::size_t depth : spec.depths) {
+    random_walk.push_back(affinity::random_walk_affinity(category_sizes_, depth));
+  }
+  finalize_affinity(spec, samples, random_walk, result);
+}
+
+void finalize_affinity(const QuerySpec& spec, const std::vector<AffinityUserSample>& samples,
+                       std::span<const double> random_walk, QueryResult& result) {
+  for (std::size_t di = 0; di < spec.depths.size(); ++di) {
     AffinityDepthPoint point;
-    point.depth = depth;
-    point.random_walk = affinity::random_walk_affinity(category_sizes_, depth);
-    const std::vector<affinity::GroupPoint> groups =
-        affinity::affinity_by_group(category_strings, depth, spec.min_samples);
-    double weighted_sum = 0.0;
-    std::size_t samples = 0;
-    for (const affinity::GroupPoint& group : groups) {
-      weighted_sum += group.mean * static_cast<double>(group.samples);
-      samples += group.samples;
+    point.depth = spec.depths[di];
+    point.random_walk = di < random_walk.size() ? random_walk[di] : 0.0;
+    // Group by comment count in sample order — the same (user-ascending)
+    // per-group vectors affinity::affinity_by_group builds, so the means
+    // sum in the same order and match bit-for-bit.
+    std::map<std::uint64_t, std::vector<double>> groups;
+    for (const AffinityUserSample& sample : samples) {
+      const double value = di < sample.values.size()
+                               ? sample.values[di]
+                               : std::numeric_limits<double>::quiet_NaN();
+      if (!std::isnan(value)) groups[sample.comments].push_back(value);
     }
-    point.groups = groups.size();
-    point.samples = samples;
-    point.mean = samples > 0 ? weighted_sum / static_cast<double>(samples) : 0.0;
+    double weighted_sum = 0.0;
+    std::size_t total_samples = 0;
+    std::size_t group_count = 0;
+    for (const auto& [comments, values] : groups) {
+      if (values.size() < spec.min_samples) continue;
+      ++group_count;
+      total_samples += values.size();
+      weighted_sum += stats::mean(values) * static_cast<double>(values.size());
+    }
+    point.groups = group_count;
+    point.samples = total_samples;
+    point.mean =
+        total_samples > 0 ? weighted_sum / static_cast<double>(total_samples) : 0.0;
     result.affinity.push_back(point);
   }
 }

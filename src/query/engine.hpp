@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "market/store.hpp"
@@ -97,6 +99,43 @@ struct CurvePoint {
   std::uint64_t downloads = 0;
 };
 
+/// One user's affinity contribution inside a PartialAggregate. Samples are
+/// emitted in ascending user order; a user appears in at most one shard's
+/// partial (users are ring-sharded), so merged streams concatenate into the
+/// exact global user order the single-store engine iterates.
+struct AffinityUserSample {
+  std::uint32_t user = 0;
+  /// Category-string length ("number of comments" — the Fig. 6 group key).
+  std::uint64_t comments = 0;
+  /// Per-depth affinity values aligned with QuerySpec::depths; NaN when the
+  /// string is shorter than depth+1 (the metric is undefined there).
+  std::vector<double> values;
+};
+
+/// A shard's mergeable fragment of a query answer (see query/federate.hpp).
+/// Download kinds carry sparse per-app counts (plus the dense vector length,
+/// which pareto shares and rank curves depend on); affinity carries per-user
+/// samples plus the store-wide random-walk baseline (identical on every
+/// shard, since entity state is replicated).
+struct PartialAggregate {
+  AggregateKind kind = AggregateKind::kTopKDownloads;
+
+  std::uint32_t index_scans = 0;
+  std::uint32_t column_scans = 0;
+  std::uint32_t residual_filters = 0;
+  std::uint64_t rows_total = 0;
+  std::uint64_t rows_selected = 0;
+
+  /// Download kinds: dense per-app vector length and its non-zero entries.
+  std::uint64_t app_count = 0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> counts;
+
+  /// Affinity: per-depth random-walk baseline (aligned with spec.depths) and
+  /// the per-user samples in ascending user order.
+  std::vector<double> random_walk;
+  std::vector<AffinityUserSample> samples;
+};
+
 struct QueryResult {
   AggregateKind kind = AggregateKind::kTopKDownloads;
 
@@ -115,6 +154,19 @@ struct QueryResult {
   std::vector<CurvePoint> curve;
 };
 
+/// Shared finalization: dense day-bounded per-app counts -> the kind-specific
+/// payload (top-k, pareto shares, rank curve) plus total_downloads and
+/// rows_selected. Used by QueryEngine::run and by merge_partials, so a merged
+/// answer is produced by literally the same code as a single-store answer.
+void finalize_downloads(const QuerySpec& spec, std::span<const std::uint64_t> counts,
+                        QueryResult& result);
+
+/// Shared finalization for category_affinity: samples (ascending user order)
+/// -> per-depth grouped means, matching affinity::affinity_by_group followed
+/// by the sample-weighted mean. `random_walk` is aligned with spec.depths.
+void finalize_affinity(const QuerySpec& spec, const std::vector<AffinityUserSample>& samples,
+                       std::span<const double> random_walk, QueryResult& result);
+
 class QueryEngine {
  public:
   /// Binds `store` (must outlive the engine). When `registry` is non-null
@@ -128,6 +180,13 @@ class QueryEngine {
   /// Throws QueryError on an invalid spec ("bad_query"), filter
   /// ("bad_filter") or unknown category name ("unknown_category").
   [[nodiscard]] QueryResult run(const QuerySpec& spec, market::Day day) const;
+
+  /// Runs the same query but stops before finalization, returning the
+  /// mergeable fragment a federation gateway recombines across shards
+  /// (query::merge_partials). run() is exactly run_partial() of the whole
+  /// store finalized alone — the invariant the cross-shard parity suite
+  /// pins. Same error contract as run().
+  [[nodiscard]] PartialAggregate run_partial(const QuerySpec& spec, market::Day day) const;
 
   [[nodiscard]] const QueryOptions& options() const noexcept { return options_; }
   [[nodiscard]] const market::AppStore& store() const noexcept { return *store_; }
@@ -144,6 +203,15 @@ class QueryEngine {
   void aggregate_affinity(const events::FrontierSnapshot& log, const RowSet& rows,
                           const QuerySpec& spec, market::Day day,
                           QueryResult& result) const;
+
+  /// Per-app download counts (dense, day-bounded) — the shared core of the
+  /// download aggregates and their partial form.
+  [[nodiscard]] std::vector<std::uint64_t> count_downloads(
+      const events::FrontierSnapshot& log, const RowSet& rows, market::Day day) const;
+  /// Per-user affinity samples in ascending user order; sets rows_selected.
+  [[nodiscard]] std::vector<AffinityUserSample> collect_affinity_samples(
+      const events::FrontierSnapshot& log, const RowSet& rows, const QuerySpec& spec,
+      market::Day day, std::uint64_t& rows_selected) const;
 
   const market::AppStore* store_;
   QueryOptions options_;

@@ -370,25 +370,36 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
     util::log_info(kComponent, "{}: generating {} downloads for {} apps / {} users",
                    profile.name, downloads_last, params.app_count, params.user_count);
 
-    const events::EventLog stream = models::generate_stream_log(
-        *model, rng,
-        models::StreamOptions{.max_requests = downloads_last,
-                              .metrics = config.metrics,
-                              .threads = config.threads});
+    // Users are added before generation so a shard filter can be phrased
+    // over global user ids (user_offset + segment-local id).
+    const std::uint32_t user_offset = user_cursor;
+    store.add_users(static_cast<std::uint32_t>(users));
+    user_cursor += static_cast<std::uint32_t>(users);
+
+    models::StreamOptions stream_options;
+    stream_options.max_requests = downloads_last;
+    stream_options.metrics = config.metrics;
+    stream_options.threads = config.threads;
+    if (config.user_filter) {
+      stream_options.user_filter = [&config, user_offset](std::uint32_t local) {
+        return config.user_filter(user_offset + local);
+      };
+    }
+    const models::StreamSlice slice =
+        models::generate_stream_slice(*model, rng, stream_options);
+    const events::EventLog& stream = slice.log;
 
     // Day assignment: the first `downloads_first` arrivals form the
     // pre-crawl history (day -1); the remainder spread uniformly over the
     // crawl window, giving a steady daily download rate as in Table 1.
+    // Arrival indexes and totals are those of the UNION stream so a shard
+    // slice assigns the same day to every row the unfiltered run would.
     const std::uint64_t during_crawl =
-        stream.size() > downloads_first ? stream.size() - downloads_first : 0;
+        slice.union_rows > downloads_first ? slice.union_rows - downloads_first : 0;
     const double per_day =
         during_crawl == 0
             ? 1.0
             : static_cast<double>(during_crawl) / static_cast<double>(profile.crawl_days);
-
-    const std::uint32_t user_offset = user_cursor;
-    store.add_users(static_cast<std::uint32_t>(users));
-    user_cursor += static_cast<std::uint32_t>(users);
 
     // Shard-wise columnar emission: the day of arrival k is a pure function
     // of k (plus the app's release day), so the batch columns are filled in
@@ -402,10 +413,11 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
     std::vector<market::Day> batch_day(n);
     const par::Options par_options{.threads = config.threads, .metrics = config.metrics};
     par::parallel_for(n, par_options, [&](std::uint64_t k) {
+      const std::uint64_t arrival = slice.arrival.empty() ? k : slice.arrival[k];
       market::Day day = -1;
-      if (k >= downloads_first) {
+      if (arrival >= downloads_first) {
         day = static_cast<market::Day>(
-                  static_cast<double>(k - downloads_first) / per_day) +
+                  static_cast<double>(arrival - downloads_first) / per_day) +
               1;
         day = std::min<market::Day>(day, profile.crawl_days);
       }
@@ -434,37 +446,67 @@ GeneratedStore generate(const StoreProfile& profile, const GeneratorConfig& conf
 
   // ---- comments --------------------------------------------------------------
   if (config.comments && profile.commenter_fraction > 0.0) {
-    // Propensities are lazily drawn per user the first time they download.
-    std::vector<float> propensity(store.user_count(), -1.0F);
+    // Per-user derived comment streams: the commenter coin, propensity, and
+    // every per-download comment/rating draw come from
+    // rng::derive(comment_base, global user id), consumed in the user's own
+    // download order. A user's comment stream is therefore identical whether
+    // the store holds the whole ecosystem or just that user's shard slice
+    // (the download log restricted to one user is the same sequence either
+    // way) — the property the federation parity suite depends on.
+    const std::uint64_t comment_base = rng();
+    const std::uint64_t spam_base = rng();
+    struct Commenter {
+      util::Rng rng{0};
+      float propensity = 0.0F;
+    };
+    // Per-user dispatch: 0 = unseen, 1 = non-commenter, 2+k = commenters[k].
+    std::vector<std::uint32_t> state(store.user_count(), 0);
+    std::vector<Commenter> commenters;
     const auto dl_user = store.download_log().user();
     const auto dl_app = store.download_log().app();
     const auto dl_day = store.download_log().day();
     for (std::size_t i = 0; i < store.download_log().size(); ++i) {
-      auto& p = propensity[dl_user[i]];
-      if (p < 0.0F) {
-        p = rng.chance(profile.commenter_fraction)
-                ? static_cast<float>(sample_comment_propensity(rng))
-                : 0.0F;
+      const std::uint32_t user = dl_user[i];
+      if (state[user] == 0) {
+        util::Rng user_rng = util::rng::derive(comment_base, user);
+        if (user_rng.chance(profile.commenter_fraction)) {
+          Commenter commenter;
+          commenter.propensity =
+              static_cast<float>(sample_comment_propensity(user_rng));
+          commenter.rng = user_rng;
+          state[user] = 2 + static_cast<std::uint32_t>(commenters.size());
+          commenters.push_back(commenter);
+        } else {
+          state[user] = 1;
+        }
       }
-      if (p > 0.0F && rng.uniform() < p) {
-        const auto rating = static_cast<std::uint8_t>(rng.uniform() < 0.7 ? 5 : 4);
-        store.record_comment(market::UserId{dl_user[i]}, market::AppId{dl_app[i]},
+      if (state[user] == 1) continue;
+      Commenter& commenter = commenters[state[user] - 2];
+      if (commenter.rng.uniform() < commenter.propensity) {
+        const auto rating =
+            static_cast<std::uint8_t>(commenter.rng.uniform() < 0.7 ? 5 : 4);
+        store.record_comment(market::UserId{user}, market::AppId{dl_app[i]},
                              std::max<market::Day>(dl_day[i], 0), rating);
       }
     }
     // Spam accounts: a handful of users posting hundreds of comments on
     // random apps (§4.1 — excluded from the affinity analysis by the
-    // min-samples rule).
+    // min-samples rule). Each account has its own derived stream; under a
+    // shard filter the draws are made everywhere but the comments land only
+    // on the owning shard, so the union matches the unfiltered store.
     const std::uint32_t spam_users = std::max<std::uint32_t>(2, store.user_count() / 20000);
     for (std::uint32_t s = 0; s < spam_users; ++s) {
-      const market::UserId user{static_cast<std::uint32_t>(rng.below(store.user_count()))};
-      const std::uint64_t burst = 150 + rng.below(850);
+      util::Rng spam_rng = util::rng::derive(spam_base, s);
+      const auto user =
+          static_cast<std::uint32_t>(spam_rng.below(store.user_count()));
+      const std::uint64_t burst = 150 + spam_rng.below(850);
+      const bool owned = !config.user_filter || config.user_filter(user);
       for (std::uint64_t k = 0; k < burst; ++k) {
-        const market::AppId app{static_cast<std::uint32_t>(rng.below(store.apps().size()))};
-        store.record_comment(user, app,
-                             static_cast<market::Day>(rng.below(
-                                 static_cast<std::uint64_t>(profile.crawl_days) + 1)),
-                             static_cast<std::uint8_t>(1 + rng.below(5)));
+        const market::AppId app{static_cast<std::uint32_t>(spam_rng.below(store.apps().size()))};
+        const auto day = static_cast<market::Day>(
+            spam_rng.below(static_cast<std::uint64_t>(profile.crawl_days) + 1));
+        const auto rating = static_cast<std::uint8_t>(1 + spam_rng.below(5));
+        if (owned) store.record_comment(market::UserId{user}, app, day, rating);
       }
     }
   }

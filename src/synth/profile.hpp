@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,16 @@ struct GeneratorConfig {
   /// Optional metrics sink threaded through to the model, event-log and
   /// par layers.
   obs::Registry* metrics = nullptr;
+  /// Optional shard filter over GLOBAL user ids (free users first, then the
+  /// paid pool — the same numbering an unfiltered run produces). When set,
+  /// the generator builds every store-wide entity (categories, developers,
+  /// apps, updates) identically to an unfiltered run, but only emits
+  /// download and comment events of users passing the filter. The union of
+  /// stores generated with disjoint filters covering every user is
+  /// event-for-event identical to the unfiltered store (same user/app ids,
+  /// days, ratings, per-user event order), which is what makes federated
+  /// scatter-gather answers bit-exact. See docs/federation.md.
+  std::function<bool(std::uint32_t)> user_filter{};
 };
 
 }  // namespace appstore::synth

@@ -14,6 +14,10 @@
 #   gameday  scenario + admission suite (default build), then bench_gameday:
 #            exits non-zero if adaptive admission at 2x saturation loses the
 #            queue-delay budget or too much goodput vs the fixed cliff
+#   federation  sharded gateway suite under default AND TSan presets (ring
+#            properties, hedge determinism, cross-shard golden parity), then
+#            bench_federation: exits non-zero when a fan-out endpoint's p99
+#            breaches 3x the single-shard p99 at the same offered load
 #
 # Usage: tools/verify.sh [stage ...]     (no args = all stages)
 # Env:   JOBS=<n> to cap build parallelism (default: nproc).
@@ -23,7 +27,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query recovery ingest gameday)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(tier1 tsan chaos load query recovery ingest gameday federation)
 
 want() {
   local stage
@@ -93,6 +97,17 @@ if want gameday; then
   cmake --build build -j"$JOBS" --target gameday_test bench_gameday
   ctest --test-dir build -L gameday --output-on-failure
   ./build/bench/bench_gameday --metrics-out=results/BENCH_gameday_metrics.json
+fi
+
+if want federation; then
+  banner "federation: sharded gateway suite (default + TSan), then the fan-out floor"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target federation_test bench_federation
+  ctest --test-dir build -L federation --output-on-failure
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$JOBS" --target federation_test
+  ctest --test-dir build-tsan -L federation --output-on-failure
+  ./build/bench/bench_federation --metrics-out=results/BENCH_federation_metrics.json
 fi
 
 banner "all requested stages passed: ${STAGES[*]}"
